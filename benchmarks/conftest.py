@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's per-experiment index), asserts its shape checks, records
+the headline numbers in ``extra_info`` (so they land in pytest-benchmark
+output), and prints the paper-style rendering.
+"""
+
+import pytest
+
+from repro.core.reference import ShapeCheck
+
+
+def assert_checks(checks: list[ShapeCheck]) -> None:
+    """Fail the benchmark if any paper shape check misses."""
+    failed = [str(c) for c in checks if not c.passed]
+    assert not failed, "shape checks failed:\n" + "\n".join(failed)
+
+
+@pytest.fixture()
+def record_info():
+    """Returns a helper that stores values on the benchmark object."""
+
+    def _record(benchmark, **values):
+        for key, value in values.items():
+            benchmark.extra_info[key] = value
+
+    return _record

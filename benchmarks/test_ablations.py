@@ -1,0 +1,50 @@
+"""Benches A1-A3: compiler/hardware ablations from DESIGN.md."""
+
+from conftest import assert_checks
+
+from repro.core import (
+    run_fusion_ablation,
+    run_reorder_ablation,
+    run_tpc_core_sweep,
+)
+
+
+def test_ablation_reorder(benchmark, record_info):
+    """A1: what if the GraphCompiler detected op independence (§3.3)?"""
+    result = benchmark(run_reorder_ablation, "performer")
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        in_order_ms=round(result.in_order.total_time_ms, 2),
+        reordered_ms=round(result.reordered.total_time_ms, 2),
+        improvement=round(result.improvement, 3),
+    )
+    print()
+    print(result.render())
+
+
+def test_ablation_fusion(benchmark, record_info):
+    """A2: elementwise fusion on/off."""
+    result = benchmark(run_fusion_ablation, "softmax")
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        fused_ms=round(result.fused.total_time_ms, 2),
+        unfused_ms=round(result.unfused.total_time_ms, 2),
+        speedup=round(result.speedup, 3),
+    )
+    print()
+    print(result.render())
+
+
+def test_ablation_tpc_cores(benchmark, record_info):
+    """A3: softmax-layer time vs TPC cluster width."""
+    result = benchmark(run_tpc_core_sweep, (2, 4, 8, 16))
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        **{f"cores_{c}_ms": round(t, 2)
+           for c, t in zip(result.core_counts, result.total_ms)},
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,20 @@
+"""Bench A9: KV-cached decode — the inference-side engine inversion."""
+
+from conftest import assert_checks
+
+from repro.core import run_decode_study
+
+
+def test_ext_decode(benchmark, record_info):
+    result = benchmark(run_decode_study, (128, 512, 1024, 1536))
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        decode_mme_tflops=round(result.mme_achieved_tflops(0), 3),
+        training_mme_tflops=round(result.training_mme_tflops, 2),
+        tokens_per_s_at_1024=round(result.tokens_per_second(2), 0),
+        **{f"step_ms_at_{t}": round(ms, 3)
+           for t, ms in zip(result.contexts, result.step_ms())},
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,20 @@
+"""Bench A8: energy per attention variant (nominal constants)."""
+
+from conftest import assert_checks
+
+from repro.core import run_energy_study
+
+
+def test_ext_energy(benchmark, record_info):
+    result = benchmark(run_energy_study)
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        **{f"{v}_joules": round(result.joules(v), 3)
+           for v in result.variants},
+        linear_saving=round(
+            result.joules("softmax") / result.joules("linear"), 2
+        ),
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,20 @@
+"""Bench A7: the Gaudi2 what-if — does the paper's imbalance persist?"""
+
+from conftest import assert_checks
+
+from repro.core import run_generation_comparison
+
+
+def test_ext_gaudi2_whatif(benchmark, record_info):
+    result = benchmark(run_generation_comparison)
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        layer_speedup=round(result.layer_speedup, 2),
+        e2e_speedup=round(result.e2e_speedup, 2),
+        g2_softmax_tpc_share=round(result.layer_g2.softmax_tpc_share, 3),
+        max_batch_g1=result.max_batch_g1,
+        max_batch_g2=result.max_batch_g2,
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,23 @@
+"""Bench A6: software-pipelined exact softmax attention."""
+
+from conftest import assert_checks
+
+from repro.core import run_pipelined_attention_study
+from repro.synapse import ascii_timeline
+
+
+def test_ext_pipelined_attention(benchmark, record_info):
+    result = benchmark(run_pipelined_attention_study)
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        baseline_ms=round(result.baseline.total_time_ms, 2),
+        pipelined_ms=round(result.pipelined.total_time_ms, 2),
+        speedup=round(result.speedup, 3),
+        mme_idle_before=round(result.baseline.mme_idle_fraction, 3),
+        mme_idle_after=round(result.pipelined.mme_idle_fraction, 3),
+    )
+    print()
+    print(result.render())
+    print()
+    print(ascii_timeline(result.pipelined.timeline, width=100))

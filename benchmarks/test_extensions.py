@@ -1,0 +1,32 @@
+"""Benches A4/A5: the multi-card scaling and chunked-attention extensions."""
+
+from conftest import assert_checks
+
+from repro.core import run_chunked_attention_study, run_scaling_study
+
+
+def test_ext_hls1_scaling(benchmark, record_info):
+    """A4: weak-scaling GPT training across 1..8 Gaudis of an HLS-1."""
+    result = benchmark(run_scaling_study, "gpt")
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        efficiency_8_cards=round(result.rows[-1].efficiency, 3),
+        allreduce_8_cards_ms=round(result.rows[-1].allreduce_ms, 2),
+        gradient_mib=round(result.gradient_bytes / (1 << 20), 1),
+    )
+    print()
+    print(result.render())
+
+
+def test_ext_chunked_attention(benchmark, record_info):
+    """A5: the §5 future-work direction — Gaudi-tailored local attention."""
+    result = benchmark(run_chunked_attention_study, (512, 1024, 2048, 4096))
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        **{f"speedup_at_{n}": round(s, 2)
+           for n, s in zip(result.seq_lens, result.speedups())},
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,25 @@
+"""Bench F4: regenerate Figure 4 (softmax-attention layer trace)."""
+
+from conftest import assert_checks
+
+from repro.core import profile_layer, run_attention_study
+from repro.core.insights import describe_insights
+from repro.hw.costmodel import EngineKind
+from repro.synapse import ascii_timeline
+
+
+def test_fig4_softmax_attention(benchmark, record_info):
+    profile = benchmark(profile_layer, "softmax")
+    study = run_attention_study()
+    assert_checks([c for c in study.checks() if c.name.startswith("fig4")])
+    record_info(
+        benchmark,
+        total_ms=round(profile.total_time_ms, 2),
+        softmax_tpc_share=round(profile.softmax_tpc_share, 3),
+        mme_idle_fraction=round(profile.mme_idle_fraction, 3),
+        mme_gaps=len(profile.timeline.gaps(EngineKind.MME, min_dur_us=50.0)),
+    )
+    print()
+    print(f"Figure 4 (softmax attention): total {profile.total_time_ms:.2f} ms")
+    print(ascii_timeline(profile.timeline, width=100))
+    print(describe_insights(profile.timeline))

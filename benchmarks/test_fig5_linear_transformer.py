@@ -1,0 +1,26 @@
+"""Bench F5: regenerate Figure 5 (Linear Transformer trace, ~6x)."""
+
+from conftest import assert_checks
+
+from repro.core import profile_layer, run_attention_study
+from repro.synapse import ascii_timeline
+
+
+def test_fig5_linear_transformer(benchmark, record_info):
+    profile = benchmark(profile_layer, "linear")
+    study = run_attention_study()
+    assert_checks([c for c in study.checks() if c.name.startswith("fig5")])
+    record_info(
+        benchmark,
+        total_ms=round(profile.total_time_ms, 2),
+        paper_total_ms=30.0,
+        speedup_over_softmax=round(study.linear_speedup, 2),
+        paper_speedup=6.0,
+        mme_idle_fraction=round(profile.mme_idle_fraction, 3),
+    )
+    print()
+    print(
+        f"Figure 5 (Linear Transformer): total {profile.total_time_ms:.2f} ms "
+        f"(paper ~30 ms), speedup {study.linear_speedup:.1f}x (paper ~6x)"
+    )
+    print(ascii_timeline(profile.timeline, width=100))

@@ -1,0 +1,28 @@
+"""Bench F6: regenerate Figure 6 (Performer/FAVOR trace, ~2x, MME gap)."""
+
+from conftest import assert_checks
+
+from repro.core import profile_layer, run_attention_study
+from repro.hw.costmodel import EngineKind
+from repro.synapse import ascii_timeline, gap_report
+
+
+def test_fig6_performer(benchmark, record_info):
+    profile = benchmark(profile_layer, "performer")
+    study = run_attention_study()
+    assert_checks([c for c in study.checks() if c.name.startswith("fig6")])
+    record_info(
+        benchmark,
+        total_ms=round(profile.total_time_ms, 2),
+        paper_total_ms=80.0,
+        speedup_over_softmax=round(study.performer_speedup, 2),
+        paper_speedup=2.0,
+        mme_idle_fraction=round(profile.mme_idle_fraction, 3),
+    )
+    print()
+    print(
+        f"Figure 6 (Performer): total {profile.total_time_ms:.2f} ms "
+        f"(paper ~80 ms), speedup {study.performer_speedup:.1f}x (paper ~2x)"
+    )
+    print(ascii_timeline(profile.timeline, width=100))
+    print(gap_report(profile.timeline, EngineKind.MME, min_dur_us=100.0))

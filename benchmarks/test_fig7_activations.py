@@ -1,0 +1,23 @@
+"""Bench F7: regenerate Figure 7 (activation functions in NLP)."""
+
+from conftest import assert_checks
+
+from repro.core import run_activation_study
+from repro.util.tabulate import render_table
+
+
+def test_fig7_activations(benchmark, record_info):
+    result = benchmark(run_activation_study)
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        **{f"{act}_ms": round(ms, 2) for act, ms, _ in result.rows()},
+    )
+    print()
+    print(render_table(
+        ["activation", "measured (ms)", "paper (ms)"],
+        result.rows(),
+        title="Figure 7: Transformer total run time per activation",
+    ))
+    print()
+    print(result.render(width=100))

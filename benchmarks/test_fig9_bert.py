@@ -1,0 +1,22 @@
+"""Bench F9: regenerate Figure 9 (BERT end-to-end training trace)."""
+
+from conftest import assert_checks
+
+from repro.core import run_e2e
+from repro.hw.costmodel import EngineKind
+
+
+def test_fig9_bert_end_to_end(benchmark, record_info):
+    result = benchmark(run_e2e, "bert")
+    assert_checks(result.checks())
+    tl = result.timeline
+    record_info(
+        benchmark,
+        step_ms=round(result.profile.total_time_ms, 1),
+        mme_idle_fraction=round(result.profile.mme_idle_fraction, 3),
+        tpc_utilization=round(tl.utilization(EngineKind.TPC), 3),
+        peak_hbm_gib=round(result.profile.peak_hbm_bytes / (1 << 30), 2),
+        oom_at_batch_128=result.oom_at_large_batch,
+    )
+    print()
+    print(result.render(width=100))

@@ -1,0 +1,48 @@
+"""Bench: roofline analysis of the Figure 4 layer schedule.
+
+Not a paper artifact per se, but the quantitative backbone of its
+narrative: attention matmuls ride the MME roof, softmax's elementwise
+passes hang off the bandwidth slope, and its reductions sit far below
+even that.
+"""
+
+from repro import ht
+from repro.core import roofline_of_schedule
+from repro.hw.costmodel import EngineKind
+from repro.models import TransformerLayer, paper_layer_config
+from repro.synapse import GraphCompiler, memory_timeline
+
+
+def build_fig4_schedule():
+    cfg = paper_layer_config("softmax")
+    layer = TransformerLayer(cfg, materialize=False)
+    with ht.record("fig4", mode="symbolic") as rec:
+        layer(ht.input_tensor((128, 2048, cfg.d_model)))
+    return GraphCompiler().compile(rec.graph)
+
+
+def test_roofline_fig4(benchmark, record_info):
+    schedule = build_fig4_schedule()
+    report = benchmark(roofline_of_schedule, schedule)
+
+    mme_points = report.by_engine(EngineKind.MME)
+    assert mme_points, "no MME ops in the Fig 4 schedule"
+    balance = report._balance_intensity()
+    assert all(p.intensity > balance for p in mme_points), \
+        "attention matmuls must be compute-bound"
+    tpc_points = report.by_engine(EngineKind.TPC)
+    assert any(p.intensity < balance for p in tpc_points), \
+        "softmax passes must include memory-bound work"
+
+    record_info(
+        benchmark,
+        mme_ops=len(mme_points),
+        tpc_ops=len(tpc_points),
+        balance_intensity_flop_per_byte=round(balance, 2),
+    )
+    print()
+    print(report.render(top=12))
+    print()
+    print(memory_timeline(schedule).sparkline(
+        width=100, capacity_bytes=report.config.hbm.capacity_bytes
+    ))

@@ -1,0 +1,20 @@
+"""Bench: the long-sequence study (the paper's challenge #3, §3.3)."""
+
+from conftest import assert_checks
+
+from repro.core import run_seq_sweep
+
+
+def test_long_sequence_sweep(benchmark, record_info):
+    result = benchmark(run_seq_sweep, (256, 512, 1024, 2048, 4096))
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        **{f"speedup_at_{n}": round(s, 2)
+           for n, s in zip(result.seq_lens, result.speedups())},
+        softmax_doubling_ratio=round(
+            result.doubling_ratios(result.softmax_ms())[-1], 2
+        ),
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,17 @@
+"""Bench T1: regenerate Table 1 (operation -> engine mapping)."""
+
+from conftest import assert_checks
+
+from repro.core import run_op_mapping
+
+
+def test_table1_op_mapping(benchmark, record_info):
+    result = benchmark(run_op_mapping)
+    assert_checks(result.checks())
+    record_info(
+        benchmark,
+        rows=len(result.rows),
+        all_match_paper=result.all_match(),
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,20 @@
+"""Bench T2: regenerate Table 2 (MME vs TPC batched matmul)."""
+
+from conftest import assert_checks
+
+from repro.core import run_mme_vs_tpc
+
+
+def test_table2_mme_vs_tpc(benchmark, record_info):
+    result = benchmark(run_mme_vs_tpc)
+    assert_checks(result.checks())
+    final = result.rows[-1]
+    record_info(
+        benchmark,
+        f_mme_at_2048_tflops=round(final.f_mme_tflops, 2),
+        f_tpc_at_2048_tflops=round(final.f_tpc_tflops, 2),
+        speedup_at_2048=round(final.speedup, 2),
+        speedup_at_128=round(result.rows[0].speedup, 2),
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Long-sequence attention comparison — the paper's motivating workload.
+
+Sweeps sequence length for all four attention variants (softmax,
+linear, Performer/FAVOR, and the chunked extension) at the §3.3 layer
+shapes and prints who wins where: softmax's quadratic TPC softmax
+blows up with N, the linearized variants stay MME-bound, and chunked
+attention bounds the softmax cost by its window.
+
+Run:  python examples/long_sequence_attention.py
+"""
+
+from repro import ht
+from repro.models import TransformerLayer, paper_layer_config
+from repro.synapse import SynapseProfiler
+from repro.util.tabulate import render_table
+
+SEQ_LENS = (256, 512, 1024, 2048, 4096)
+KINDS = ("softmax", "linear", "performer", "chunked")
+BATCH = 32  # smaller than the paper's 128 so softmax@4096 fits in HBM
+
+
+def profile_ms(kind: str, seq_len: int) -> tuple[float, float]:
+    """(total ms, MME idle fraction) for one variant and length."""
+    cfg = paper_layer_config(kind, chunk_size=256)
+    layer = TransformerLayer(cfg, materialize=False)
+    with ht.record(f"{kind}-{seq_len}", mode="symbolic") as rec:
+        layer(ht.input_tensor((BATCH, seq_len, cfg.d_model)))
+    res = SynapseProfiler().profile(rec.graph)
+    return res.total_time_ms, res.mme_idle_fraction
+
+
+def main() -> None:
+    rows = []
+    for n in SEQ_LENS:
+        times = {kind: profile_ms(kind, n) for kind in KINDS}
+        best = min(times, key=lambda k: times[k][0])
+        rows.append((
+            n,
+            *(f"{times[k][0]:.1f}" for k in KINDS),
+            best,
+            f"{times['softmax'][0] / times['linear'][0]:.1f}x",
+        ))
+    print(render_table(
+        ["seq len", "softmax ms", "linear ms", "performer ms", "chunked ms",
+         "winner", "linear speedup"],
+        rows,
+        title=f"Attention variants vs sequence length (batch {BATCH}, "
+              "6 heads x 64)",
+    ))
+    print()
+    print("Observations (cf. §3.3):")
+    print(" - softmax attention degrades quadratically: its softmax is")
+    print("   TPC-bound and the TPC is ~7x slower than the MME (Table 2);")
+    print(" - linearized attention keeps nearly all work on the MME and")
+    print("   wins by a growing factor at long sequence lengths;")
+    print(" - chunked (local) attention — the paper's future-work item —")
+    print("   caps the softmax cost at the window size.")
+
+
+if __name__ == "__main__":
+    main()

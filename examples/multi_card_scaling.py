@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Multi-card HLS-1 scaling — the repository's A4 extension.
+
+The paper profiles a single Gaudi of an HLS-1; §2.1 notes the on-chip
+RoCE fabric exists precisely for multi-card training. This example
+weak-scales the profiled GPT training step across 1..8 cards with
+ring all-reduce gradient exchange and reports step time, exposed
+communication, and scaling efficiency.
+
+Run:  python examples/multi_card_scaling.py
+"""
+
+from repro.core import run_scaling_study
+
+
+def main() -> None:
+    for model in ("gpt", "bert"):
+        for overlap in (0.0, 0.5):
+            result = run_scaling_study(
+                model, overlap_fraction=overlap,
+            )
+            print(result.render())
+            print(f"(gradient payload {result.gradient_bytes / (1 << 20):.1f} "
+                  f"MiB, comm/compute overlap {overlap:.0%})")
+            print()
+
+
+if __name__ == "__main__":
+    main()

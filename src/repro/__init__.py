@@ -1,0 +1,34 @@
+"""repro — a simulation-based reproduction of
+"Benchmarking and In-depth Performance Study of Large Language Models
+on Habana Gaudi Processors" (Zhang et al., SC-W 2023).
+
+Subpackages
+-----------
+hw        simulated Gaudi hardware (MME, TPC cluster, DMA, HBM, RoCE)
+tpc       the TPC programming model: VLIW ISA, kernels, simulator
+synapse   the SynapseAI analog: graph IR, compiler, runtime, profiler
+ht        "Habana torch": eager-with-recording tensors + autograd
+models    attention variants, Transformer layers, BERT/GPT analogs
+data      synthetic BookCorpus, tokenizer, batchers
+core      the paper's experiments: Tables 1-2, Figures 4-9, ablations
+
+Quickstart
+----------
+>>> from repro import ht
+>>> from repro.models import TransformerLayer, paper_layer_config
+>>> from repro.synapse import SynapseProfiler
+>>> layer = TransformerLayer(paper_layer_config("softmax"),
+...                          materialize=False)
+>>> with ht.record("layer", mode="symbolic") as rec:
+...     _ = layer(ht.input_tensor((128, 2048, 384)))
+>>> profile = SynapseProfiler().profile(rec.graph)
+>>> profile.softmax_tpc_share > 0.8
+True
+"""
+
+from . import core, data, hw, ht, models, synapse, tpc, util
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "data", "hw", "ht", "models", "synapse", "tpc", "util",
+           "__version__"]

@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Runs any single experiment from the paper (tables, figures, ablations,
+extensions) or the whole study, printing the same rendering the
+benchmark harness produces. Exit code is non-zero when a shape check
+misses — the CLI is usable as a CI gate for the reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .core import (
+    run_activation_study,
+    run_attention_study,
+    run_chunked_attention_study,
+    run_decode_study,
+    run_e2e,
+    run_energy_study,
+    run_full_study,
+    run_fusion_ablation,
+    run_generation_comparison,
+    run_mme_vs_tpc,
+    run_op_mapping,
+    run_pipelined_attention_study,
+    run_reorder_ablation,
+    run_scaling_study,
+    run_seq_sweep,
+    run_tpc_core_sweep,
+)
+from .core.reference import ShapeCheck
+from .hw.device import default_device
+
+
+def _simple(run: Callable[[], object]) -> tuple[str, list[ShapeCheck]]:
+    result = run()
+    return result.render(), result.checks()
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] = {
+    "table1": ("Table 1: operation-engine mapping",
+               lambda: _simple(run_op_mapping)),
+    "table2": ("Table 2: MME vs TPC batched matmul",
+               lambda: _simple(run_mme_vs_tpc)),
+    "fig4-6": ("Figures 4-6: attention-variant layer profiles",
+               lambda: _simple(run_attention_study)),
+    "fig7": ("Figure 7: activation functions",
+             lambda: _simple(run_activation_study)),
+    "fig8": ("Figure 8: GPT end-to-end training step",
+             lambda: _simple(lambda: run_e2e("gpt"))),
+    "fig9": ("Figure 9: BERT end-to-end training step",
+             lambda: _simple(lambda: run_e2e("bert"))),
+    "sweep": ("Long-sequence sweep (challenge #3)",
+              lambda: _simple(run_seq_sweep)),
+    "ablation-reorder": ("A1: issue-order ablation",
+                         lambda: _simple(run_reorder_ablation)),
+    "ablation-fusion": ("A2: elementwise-fusion ablation",
+                        lambda: _simple(run_fusion_ablation)),
+    "ablation-tpc-cores": ("A3: TPC core-count sweep",
+                           lambda: _simple(run_tpc_core_sweep)),
+    "scaling": ("A4: HLS-1 multi-card scaling extension",
+                lambda: _simple(run_scaling_study)),
+    "chunked": ("A5: chunked-attention extension",
+                lambda: _simple(run_chunked_attention_study)),
+    "pipelined": ("A6: pipelined exact-attention extension",
+                  lambda: _simple(run_pipelined_attention_study)),
+    "gaudi2": ("A7: Gaudi2 what-if extension",
+               lambda: _simple(run_generation_comparison)),
+    "energy": ("A8: energy extension",
+               lambda: _simple(run_energy_study)),
+    "decode": ("A9: KV-cached decode extension",
+               lambda: _simple(run_decode_study)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Benchmarking and In-depth Performance "
+                    "Study of LLMs on Habana Gaudi Processors' (SC-W 2023) "
+                    "on a calibrated simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="run every experiment")
+    study.add_argument("--no-extensions", action="store_true",
+                       help="skip ablations/extensions (A1-A9)")
+    study.add_argument("-o", "--output", help="also write the report here")
+    study.add_argument("--artifacts",
+                       help="directory for report.txt + checks.json")
+
+    for name, (title, _) in EXPERIMENTS.items():
+        sub.add_parser(name, help=title)
+
+    sub.add_parser("describe", help="print the simulated-device summary")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "describe":
+        print(default_device().describe())
+        return 0
+
+    if args.command == "study":
+        report = run_full_study(
+            include_extensions=not args.no_extensions
+        )
+        text = report.render()
+        print(text)
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(text + "\n")
+        if args.artifacts:
+            from .core import save_study
+
+            path = save_study(report, args.artifacts)
+            print(f"\nartifacts written to {path.parent}")
+        return 0 if report.all_passed else 1
+
+    title, runner = EXPERIMENTS[args.command]
+    text, checks = runner()
+    print(f"== {title} ==")
+    print(text)
+    print()
+    for check in checks:
+        print(check)
+    return 0 if all(c.passed for c in checks) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

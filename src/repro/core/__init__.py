@@ -1,0 +1,127 @@
+"""The paper's contribution: the benchmarking study itself.
+
+One module per table/figure (see DESIGN.md's per-experiment index),
+plus trace analytics (:mod:`repro.core.insights`), the paper's
+reference numbers (:mod:`repro.core.reference`), ablations, the
+scaling extension, and the :func:`run_full_study` orchestrator.
+"""
+
+from .ablations import (
+    ChunkedAttentionResult,
+    PipelinedAttentionResult,
+    FusionAblationResult,
+    ReorderAblationResult,
+    TpcCoreSweepResult,
+    run_chunked_attention_study,
+    run_fusion_ablation,
+    run_pipelined_attention_study,
+    run_reorder_ablation,
+    run_tpc_core_sweep,
+)
+from .activation_study import ActivationStudyResult, run_activation_study
+from .artifacts import save_profile, save_study
+from .decode_study import DecodeStudyResult, run_decode_study
+from .energy_study import EnergyStudyResult, run_energy_study
+from .generations import (
+    GenerationComparisonResult,
+    run_generation_comparison,
+)
+from .attention_study import (
+    AttentionStudyResult,
+    profile_layer,
+    run_attention_study,
+)
+from .e2e_llm import (
+    E2EProfileResult,
+    max_batch_that_fits,
+    record_forward_step,
+    record_training_step,
+    run_e2e,
+)
+from .insights import (
+    BottleneckEntry,
+    bottleneck_report,
+    describe_insights,
+    gap_overlap_fraction,
+    imbalance_index,
+    overlap_fraction,
+)
+from .mme_vs_tpc import MmeVsTpcResult, MmeVsTpcRow, run_mme_vs_tpc
+from .opmapping import OpMappingResult, OpMappingRow, run_op_mapping
+from .reference import (
+    E2E_SHAPES,
+    FIG7_ACTIVATION_MS,
+    LAYER_STUDY_SHAPES,
+    ShapeCheck,
+    TABLE1_ROWS,
+    TABLE2,
+    ratio_check,
+    threshold_check,
+    within_band,
+)
+from .roofline import RooflinePoint, RooflineReport, roofline_of_schedule
+from .scaling_study import ScalingRow, ScalingStudyResult, run_scaling_study
+from .seq_sweep import SeqSweepResult, run_seq_sweep
+from .study import StudyReport, run_full_study
+
+__all__ = [
+    "ChunkedAttentionResult",
+    "PipelinedAttentionResult",
+    "FusionAblationResult",
+    "ReorderAblationResult",
+    "TpcCoreSweepResult",
+    "run_chunked_attention_study",
+    "run_pipelined_attention_study",
+    "run_fusion_ablation",
+    "run_reorder_ablation",
+    "run_tpc_core_sweep",
+    "save_profile",
+    "save_study",
+    "DecodeStudyResult",
+    "run_decode_study",
+    "EnergyStudyResult",
+    "run_energy_study",
+    "GenerationComparisonResult",
+    "run_generation_comparison",
+    "ActivationStudyResult",
+    "run_activation_study",
+    "AttentionStudyResult",
+    "profile_layer",
+    "run_attention_study",
+    "E2EProfileResult",
+    "max_batch_that_fits",
+    "record_forward_step",
+    "record_training_step",
+    "run_e2e",
+    "BottleneckEntry",
+    "bottleneck_report",
+    "describe_insights",
+    "gap_overlap_fraction",
+    "imbalance_index",
+    "overlap_fraction",
+    "MmeVsTpcResult",
+    "MmeVsTpcRow",
+    "run_mme_vs_tpc",
+    "OpMappingResult",
+    "OpMappingRow",
+    "run_op_mapping",
+    "E2E_SHAPES",
+    "FIG7_ACTIVATION_MS",
+    "LAYER_STUDY_SHAPES",
+    "ShapeCheck",
+    "TABLE1_ROWS",
+    "TABLE2",
+    "ratio_check",
+    "threshold_check",
+    "within_band",
+    "RooflinePoint",
+    "RooflineReport",
+    "roofline_of_schedule",
+    "ScalingRow",
+    "ScalingStudyResult",
+    "run_scaling_study",
+    "SeqSweepResult",
+    "run_seq_sweep",
+    "StudyReport",
+    "run_full_study",
+]

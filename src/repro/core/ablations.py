@@ -1,0 +1,342 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* A1 — runtime reordering: what if the GraphCompiler "detect[ed] the
+  independence" (§3.3) and issued any ready op? (Performer shapes.)
+* A2 — elementwise fusion on/off (layer shapes).
+* A3 — TPC core count sweep: how the softmax bottleneck scales with
+  cluster width.
+* A5 — the §5 future-work extension: chunked (local) attention vs the
+  softmax baseline across sequence lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..hw.config import GaudiConfig
+from ..hw.costmodel import EngineKind
+from ..synapse import CompilerOptions, ProfileResult
+from ..util.tabulate import render_table
+from .attention_study import profile_layer
+from .reference import ShapeCheck, threshold_check
+
+
+# -- A1: reorder -----------------------------------------------------------------
+
+
+@dataclass
+class ReorderAblationResult:
+    """In-order vs reordered issue for a given attention kind."""
+
+    kind: str
+    in_order: ProfileResult
+    reordered: ProfileResult
+
+    @property
+    def improvement(self) -> float:
+        """Relative makespan reduction from reordering."""
+        return 1.0 - self.reordered.total_time_us / self.in_order.total_time_us
+
+    def checks(self) -> list[ShapeCheck]:
+        """Reordering never hurts; gains are bounded by the TPC serial
+        work (reordering cannot create MME work, see EXPERIMENTS.md)."""
+        return [
+            ShapeCheck(
+                f"ablation-reorder [{self.kind}]: reordering never slower",
+                self.reordered.total_time_us
+                <= self.in_order.total_time_us * 1.001,
+                f"{self.reordered.total_time_ms:.2f} ms vs "
+                f"{self.in_order.total_time_ms:.2f} ms",
+                "reordered <= in-order",
+            ),
+        ]
+
+    def render(self) -> str:
+        """Comparison summary."""
+        return render_table(
+            ["issue mode", "total (ms)", "MME idle"],
+            [
+                ("in-order", self.in_order.total_time_ms,
+                 f"{self.in_order.mme_idle_fraction:.1%}"),
+                ("reordered", self.reordered.total_time_ms,
+                 f"{self.reordered.mme_idle_fraction:.1%}"),
+            ],
+            title=f"A1: issue-order ablation ({self.kind} attention)",
+        )
+
+
+def run_reorder_ablation(
+    kind: str = "performer", *, config: GaudiConfig | None = None
+) -> ReorderAblationResult:
+    """Profile one layer under both issue disciplines."""
+    return ReorderAblationResult(
+        kind=kind,
+        in_order=profile_layer(kind, config=config,
+                               options=CompilerOptions(reorder=False)),
+        reordered=profile_layer(kind, config=config,
+                                options=CompilerOptions(reorder=True)),
+    )
+
+
+# -- A2: fusion ---------------------------------------------------------------------
+
+
+@dataclass
+class FusionAblationResult:
+    """Elementwise fusion on vs off."""
+
+    kind: str
+    fused: ProfileResult
+    unfused: ProfileResult
+
+    @property
+    def speedup(self) -> float:
+        """unfused / fused makespan."""
+        return self.unfused.total_time_us / self.fused.total_time_us
+
+    def checks(self) -> list[ShapeCheck]:
+        """Fusion must help (less HBM traffic) and shrink the schedule."""
+        return [
+            threshold_check(
+                f"ablation-fusion [{self.kind}]: fusion speedup", self.speedup,
+                1.0,
+            ),
+            ShapeCheck(
+                f"ablation-fusion [{self.kind}]: fewer scheduled ops",
+                len(self.fused.schedule) < len(self.unfused.schedule),
+                f"{len(self.fused.schedule)} vs {len(self.unfused.schedule)}",
+                "fused < unfused",
+            ),
+            ShapeCheck(
+                f"ablation-fusion [{self.kind}]: smaller peak HBM",
+                self.fused.peak_hbm_bytes <= self.unfused.peak_hbm_bytes,
+                f"{self.fused.peak_hbm_bytes} vs {self.unfused.peak_hbm_bytes}",
+                "fused <= unfused",
+            ),
+        ]
+
+    def render(self) -> str:
+        """Comparison summary."""
+        return render_table(
+            ["fusion", "total (ms)", "ops", "peak HBM (GiB)"],
+            [
+                ("on", self.fused.total_time_ms, len(self.fused.schedule),
+                 self.fused.peak_hbm_bytes / (1 << 30)),
+                ("off", self.unfused.total_time_ms, len(self.unfused.schedule),
+                 self.unfused.peak_hbm_bytes / (1 << 30)),
+            ],
+            title=f"A2: elementwise-fusion ablation ({self.kind} attention)",
+        )
+
+
+def run_fusion_ablation(
+    kind: str = "softmax", *, config: GaudiConfig | None = None
+) -> FusionAblationResult:
+    """Profile one layer with fusion on and off."""
+    return FusionAblationResult(
+        kind=kind,
+        fused=profile_layer(kind, config=config,
+                            options=CompilerOptions(fuse_elementwise=True)),
+        unfused=profile_layer(kind, config=config,
+                              options=CompilerOptions(fuse_elementwise=False)),
+    )
+
+
+# -- A3: TPC core sweep -------------------------------------------------------------
+
+
+@dataclass
+class TpcCoreSweepResult:
+    """Softmax-attention layer time vs TPC core count."""
+
+    core_counts: list[int]
+    total_ms: list[float]
+    softmax_share: list[float]
+
+    def checks(self) -> list[ShapeCheck]:
+        """More cores -> faster, with diminishing returns past the
+        memory-bound regime."""
+        mono = all(a >= b for a, b in zip(self.total_ms, self.total_ms[1:]))
+        first_gain = self.total_ms[0] / self.total_ms[1]
+        last_gain = self.total_ms[-2] / self.total_ms[-1]
+        return [
+            ShapeCheck(
+                "ablation-tpc-cores: time non-increasing with cores",
+                mono, "monotone" if mono else "non-monotone", "monotone",
+            ),
+            ShapeCheck(
+                "ablation-tpc-cores: diminishing returns",
+                first_gain >= last_gain,
+                f"{first_gain:.2f}x then {last_gain:.2f}x",
+                "early doubling helps more",
+            ),
+        ]
+
+    def render(self) -> str:
+        """Sweep table."""
+        return render_table(
+            ["TPC cores", "layer total (ms)", "softmax share of TPC"],
+            [
+                (c, t, f"{s:.1%}")
+                for c, t, s in zip(self.core_counts, self.total_ms,
+                                   self.softmax_share)
+            ],
+            title="A3: TPC core-count sweep (softmax attention layer)",
+        )
+
+
+def run_tpc_core_sweep(
+    core_counts: tuple[int, ...] = (2, 4, 8, 16),
+    *,
+    config: GaudiConfig | None = None,
+) -> TpcCoreSweepResult:
+    """Profile the Fig 4 layer under different cluster widths."""
+    base = config or GaudiConfig()
+    result = TpcCoreSweepResult([], [], [])
+    for cores in core_counts:
+        res = profile_layer("softmax", config=base.with_tpc_cores(cores))
+        result.core_counts.append(cores)
+        result.total_ms.append(res.total_time_ms)
+        result.softmax_share.append(res.softmax_tpc_share)
+    return result
+
+
+# -- A5: chunked attention extension ---------------------------------------------------
+
+
+@dataclass
+class ChunkedAttentionResult:
+    """Softmax vs chunked attention across sequence lengths."""
+
+    seq_lens: list[int]
+    softmax_ms: list[float] = field(default_factory=list)
+    chunked_ms: list[float] = field(default_factory=list)
+
+    def speedups(self) -> list[float]:
+        """Per-length chunked speedup."""
+        return [s / c for s, c in zip(self.softmax_ms, self.chunked_ms)]
+
+    def checks(self) -> list[ShapeCheck]:
+        """The extension's claim: chunking helps more at longer N."""
+        sp = self.speedups()
+        return [
+            threshold_check(
+                "ext-chunked: speedup at the longest sequence", sp[-1], 1.5,
+            ),
+            ShapeCheck(
+                "ext-chunked: speedup grows with sequence length",
+                sp == sorted(sp),
+                " -> ".join(f"{s:.1f}x" for s in sp),
+                "monotone growth",
+            ),
+        ]
+
+    def render(self) -> str:
+        """Sweep table."""
+        return render_table(
+            ["seq len", "softmax (ms)", "chunked (ms)", "speedup"],
+            [
+                (n, s, c, f"{s / c:.2f}x")
+                for n, s, c in zip(self.seq_lens, self.softmax_ms,
+                                   self.chunked_ms)
+            ],
+            title="A5: chunked (local) attention vs softmax across "
+                  "sequence lengths",
+        )
+
+
+# -- A6: pipelined exact attention -------------------------------------------
+
+
+@dataclass
+class PipelinedAttentionResult:
+    """Monolithic vs software-pipelined exact softmax attention."""
+
+    baseline: ProfileResult
+    pipelined: ProfileResult
+    chunk_size: int
+
+    @property
+    def speedup(self) -> float:
+        """baseline / pipelined makespan."""
+        return self.baseline.total_time_us / self.pipelined.total_time_us
+
+    def checks(self) -> list[ShapeCheck]:
+        """The extension's claims: same math, better overlap."""
+        return [
+            threshold_check(
+                "ext-pipelined: exact attention speedup", self.speedup, 1.15,
+            ),
+            ShapeCheck(
+                "ext-pipelined: MME idle fraction shrinks",
+                self.pipelined.mme_idle_fraction
+                < self.baseline.mme_idle_fraction - 0.05,
+                f"{self.pipelined.mme_idle_fraction:.1%} vs "
+                f"{self.baseline.mme_idle_fraction:.1%}",
+                "pipelined < baseline - 5pp",
+            ),
+            ShapeCheck(
+                "ext-pipelined: softmax still fully on the TPC",
+                self.pipelined.softmax_tpc_share > 0.5,
+                f"{self.pipelined.softmax_tpc_share:.1%}",
+                "> 50% of TPC busy",
+            ),
+        ]
+
+    def render(self) -> str:
+        """Comparison summary."""
+        return render_table(
+            ["attention", "total (ms)", "MME idle", "softmax TPC share"],
+            [
+                ("softmax (monolithic)", self.baseline.total_time_ms,
+                 f"{self.baseline.mme_idle_fraction:.1%}",
+                 f"{self.baseline.softmax_tpc_share:.1%}"),
+                (f"pipelined (chunk {self.chunk_size})",
+                 self.pipelined.total_time_ms,
+                 f"{self.pipelined.mme_idle_fraction:.1%}",
+                 f"{self.pipelined.softmax_tpc_share:.1%}"),
+            ],
+            title="A6: software-pipelined exact softmax attention "
+                  f"({self.speedup:.2f}x)",
+        )
+
+
+def run_pipelined_attention_study(
+    *, chunk_size: int = 256, config: GaudiConfig | None = None
+) -> PipelinedAttentionResult:
+    """Profile monolithic vs pipelined exact attention at Fig 4 shapes."""
+    from .. import ht
+    from ..models import TransformerLayer, paper_layer_config
+    from ..synapse import SynapseProfiler
+
+    baseline = profile_layer("softmax", config=config)
+    layer_cfg = paper_layer_config("pipelined", chunk_size=chunk_size)
+    layer = TransformerLayer(layer_cfg, materialize=False)
+    with ht.record("pipelined", mode="symbolic") as rec:
+        layer(ht.input_tensor((128, 2048, layer_cfg.d_model)))
+    pipelined = SynapseProfiler(config or GaudiConfig()).profile(rec.graph)
+    return PipelinedAttentionResult(baseline, pipelined, chunk_size)
+
+
+def run_chunked_attention_study(
+    seq_lens: tuple[int, ...] = (512, 1024, 2048, 4096),
+    *,
+    chunk_size: int = 256,
+    config: GaudiConfig | None = None,
+) -> ChunkedAttentionResult:
+    """Sweep sequence lengths for both attention layouts."""
+    from .. import ht
+    from ..models import TransformerLayer, paper_layer_config
+    from ..synapse import SynapseProfiler
+
+    result = ChunkedAttentionResult(list(seq_lens))
+    for n in seq_lens:
+        for kind, sink in (("softmax", result.softmax_ms),
+                           ("chunked", result.chunked_ms)):
+            layer_cfg = paper_layer_config(kind, chunk_size=chunk_size)
+            layer = TransformerLayer(layer_cfg, materialize=False)
+            with ht.record(f"{kind}-{n}", mode="symbolic") as rec:
+                layer(ht.input_tensor((32, n, layer_cfg.d_model)))
+            res = SynapseProfiler(config or GaudiConfig()).profile(rec.graph)
+            sink.append(res.total_time_ms)
+    return result

@@ -1,0 +1,92 @@
+"""Artifact export: write profiles and study reports to disk.
+
+Every profiled experiment can leave behind the same artifacts a real
+SynapseAI profiling session does: a chrome://tracing JSON (open in
+Perfetto), the ASCII figure, the summary, and the HBM occupancy curve.
+``save_study`` dumps the whole reproduction into a directory tree that
+can be attached to a paper-reproduction report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..hw.costmodel import EngineKind
+from ..synapse import ProfileResult, ascii_timeline, gap_report
+from ..synapse.memtrace import memory_timeline
+from ..util.errors import ReproError
+from .insights import describe_insights
+from .study import StudyReport
+
+
+def save_profile(profile: ProfileResult, directory: "str | Path") -> list[Path]:
+    """Write one profile's artifacts; returns the created paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = profile.graph_name.replace("/", "_")
+    written: list[Path] = []
+
+    chrome = directory / f"{stem}.trace.json"
+    chrome.write_text(profile.timeline.to_chrome_trace())
+    written.append(chrome)
+
+    figure = directory / f"{stem}.figure.txt"
+    figure.write_text(
+        "\n".join([
+            f"profile {profile.graph_name!r}: "
+            f"{profile.total_time_ms:.2f} ms",
+            ascii_timeline(profile.timeline, width=110),
+            "",
+            describe_insights(profile.timeline),
+            "",
+            gap_report(profile.timeline, EngineKind.MME, min_dur_us=50.0),
+        ]) + "\n"
+    )
+    written.append(figure)
+
+    summary = directory / f"{stem}.summary.txt"
+    summary.write_text(profile.summary() + "\n")
+    written.append(summary)
+
+    memory = directory / f"{stem}.memory.txt"
+    mem_tl = memory_timeline(profile.schedule)
+    memory.write_text(mem_tl.sparkline(width=110) + "\n")
+    written.append(memory)
+
+    metrics = directory / f"{stem}.metrics.json"
+    metrics.write_text(json.dumps({
+        "graph": profile.graph_name,
+        "total_time_ms": profile.total_time_ms,
+        "mme_utilization": profile.utilization(EngineKind.MME),
+        "tpc_utilization": profile.utilization(EngineKind.TPC),
+        "dma_utilization": profile.utilization(EngineKind.DMA),
+        "softmax_tpc_share": profile.softmax_tpc_share,
+        "peak_hbm_bytes": profile.peak_hbm_bytes,
+        "scheduled_ops": len(profile.schedule),
+    }, indent=2) + "\n")
+    written.append(metrics)
+    return written
+
+
+def save_study(report: StudyReport, directory: "str | Path") -> Path:
+    """Write the full study report + machine-readable check results."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if not report.sections:
+        raise ReproError("study report is empty — run the study first")
+
+    report_path = directory / "report.txt"
+    report_path.write_text(report.render() + "\n")
+
+    checks_path = directory / "checks.json"
+    checks_path.write_text(json.dumps([
+        {
+            "name": c.name,
+            "passed": c.passed,
+            "measured": c.measured,
+            "expected": c.expected,
+        }
+        for c in report.checks
+    ], indent=2) + "\n")
+    return report_path

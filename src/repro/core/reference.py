@@ -1,0 +1,119 @@
+"""The paper's published numbers, as structured data.
+
+Every experiment compares its measurement against these references and
+reports *shape* agreement (who wins, by what factor, where the
+bottleneck sits) rather than absolute-time equality — our substrate is
+a calibrated simulator, not the authors' HLS-1 (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# -- Table 1: operation -> engine mapping -------------------------------------
+
+#: the paper's probe set (torch-level op, our op name, expected engine)
+TABLE1_ROWS: list[tuple[str, str, str]] = [
+    ("torch.mul", "mul", "TPC"),
+    ("torch.matmul", "matmul", "MME"),
+    ("torch.square", "square", "TPC"),
+    ("** (tensor power)", "spow", "TPC"),
+    ("tensor + tensor", "add", "TPC"),
+    ("tensor - tensor", "sub", "TPC"),
+    ("scalar * tensor", "smul", "TPC"),
+    ("scalar + tensor", "sadd", "TPC"),
+    ("torch.sqrt", "sqrt", "TPC"),
+    ("torch.log", "log", "TPC"),
+]
+
+# -- Table 2: MME vs TPC batched matmul ----------------------------------------
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the paper's Table 2 (batch 64, square matrices)."""
+
+    size: int
+    t_mme_ms: float
+    f_mme_tflops: float
+    t_tpc_ms: float
+    f_tpc_tflops: float
+    speedup: float
+
+
+TABLE2: list[Table2Row] = [
+    Table2Row(128, 7.31, 2.35, 9.21, 1.86, 1.3),
+    Table2Row(256, 11.78, 11.67, 67.04, 2.05, 5.7),
+    Table2Row(512, 76.51, 14.37, 516.60, 2.13, 6.7),
+    Table2Row(1024, 151.03, 14.56, 1006.30, 2.18, 6.7),
+    Table2Row(2048, 338.27, 14.59, 2247.80, 2.19, 6.6),
+]
+
+# -- §3.3 layer studies (Figs 4-7) ----------------------------------------------
+
+#: workload shapes of the layer studies: seq, batch, heads, head_dim
+LAYER_STUDY_SHAPES = {"seq_len": 2048, "batch": 128, "heads": 6, "head_dim": 64}
+
+#: Fig 4: softmax share of TPC busy time exceeds this
+FIG4_SOFTMAX_TPC_SHARE_MIN = 0.80
+
+#: Figs 5/6: total run time and speedup over softmax attention
+FIG5_LINEAR_TOTAL_MS = 30.0
+FIG5_LINEAR_SPEEDUP = 6.0
+FIG6_PERFORMER_TOTAL_MS = 80.0
+FIG6_PERFORMER_SPEEDUP = 2.0
+
+#: Fig 7: total run time per feature-map activation (ms)
+FIG7_ACTIVATION_MS = {
+    "relu": 30.1,
+    "leaky_relu": 30.2,
+    "gelu": 29.7,
+    "glu": 32.6,
+}
+
+# -- §3.4 end-to-end models (Figs 8/9) --------------------------------------------
+
+#: workload shapes: seq, batch, layers, heads, head_dim
+E2E_SHAPES = {"seq_len": 2048, "batch": 8, "layers": 2, "heads": 8,
+              "head_dim": 64}
+
+# -- band helpers ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim checked against the simulation."""
+
+    name: str
+    passed: bool
+    measured: str
+    expected: str
+
+    def __str__(self) -> str:
+        flag = "PASS" if self.passed else "MISS"
+        return f"[{flag}] {self.name}: measured {self.measured}, paper {self.expected}"
+
+
+def within_band(measured: float, reference: float, rel: float) -> bool:
+    """|measured - reference| <= rel * |reference|."""
+    return abs(measured - reference) <= rel * abs(reference)
+
+
+def ratio_check(
+    name: str, measured: float, reference: float, rel: float
+) -> ShapeCheck:
+    """A ShapeCheck asserting a value lands within a relative band."""
+    return ShapeCheck(
+        name,
+        within_band(measured, reference, rel),
+        f"{measured:.3g}",
+        f"{reference:.3g} (+-{rel:.0%})",
+    )
+
+
+def threshold_check(
+    name: str, measured: float, minimum: float, *, upper: bool = False
+) -> ShapeCheck:
+    """A ShapeCheck asserting measured >= minimum (or <= when upper)."""
+    passed = measured <= minimum if upper else measured >= minimum
+    op = "<=" if upper else ">="
+    return ShapeCheck(name, passed, f"{measured:.3g}", f"{op} {minimum:.3g}")

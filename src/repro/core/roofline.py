@@ -1,0 +1,139 @@
+"""Roofline analysis: where each op sits against its engine's ceilings.
+
+An "in-depth" companion to the profiler: for every scheduled compute
+op, compute its arithmetic intensity (FLOPs per HBM byte) and compare
+the achieved rate against the engine's roofline
+``min(peak, intensity * bandwidth)``. The output quantifies the
+paper's narrative — attention matmuls ride the MME's flat roof while
+softmax's elementwise passes hang off the bandwidth slope and its
+reductions sit far below even that (SIMD-hostile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.config import GaudiConfig
+from ..hw.costmodel import EngineKind, OpClass
+from ..synapse.runtime import op_duration_us
+from ..synapse.schedule import Schedule
+from ..util.tabulate import render_table
+from ..util.units import tflops
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One op's position in the roofline plane."""
+
+    label: str
+    engine: EngineKind
+    src: str
+    flops: float
+    bytes_moved: int
+    time_us: float
+
+    @property
+    def intensity(self) -> float:
+        """FLOPs per byte of HBM traffic (inf for traffic-free ops)."""
+        if self.bytes_moved <= 0:
+            return float("inf")
+        return self.flops / self.bytes_moved
+
+    @property
+    def achieved_tflops(self) -> float:
+        """Sustained rate of this op."""
+        return tflops(self.flops, self.time_us)
+
+    def roof_tflops(self, config: GaudiConfig) -> float:
+        """The op's ceiling: min(engine peak, intensity * bandwidth)."""
+        if self.engine is EngineKind.MME:
+            peak = config.mme.peak_tflops
+        else:
+            peak = config.tpc.peak_tflops(config.default_dtype)
+        bw = config.hbm.effective_bandwidth
+        if self.intensity == float("inf"):
+            return peak
+        return min(peak, self.intensity * bw / 1e12)
+
+    def attainment(self, config: GaudiConfig) -> float:
+        """achieved / roof in [0, ~1]."""
+        roof = self.roof_tflops(config)
+        if roof <= 0:
+            return 0.0
+        return self.achieved_tflops / roof
+
+
+@dataclass
+class RooflineReport:
+    """Roofline points for a compiled schedule."""
+
+    config: GaudiConfig
+    points: list[RooflinePoint]
+
+    def by_engine(self, engine: EngineKind) -> list[RooflinePoint]:
+        """Points on one engine, slowest first."""
+        return sorted(
+            (p for p in self.points if p.engine is engine),
+            key=lambda p: p.time_us, reverse=True,
+        )
+
+    def compute_bound(self, *, threshold: float = 1.0) -> list[RooflinePoint]:
+        """Ops whose intensity exceeds the machine balance point."""
+        balance = self._balance_intensity()
+        return [p for p in self.points if p.intensity >= balance * threshold]
+
+    def memory_bound(self, *, threshold: float = 1.0) -> list[RooflinePoint]:
+        """Ops below the machine balance point."""
+        balance = self._balance_intensity()
+        return [p for p in self.points if p.intensity < balance * threshold]
+
+    def _balance_intensity(self) -> float:
+        peak = self.config.tpc.peak_tflops(self.config.default_dtype) * 1e12
+        return peak / self.config.hbm.effective_bandwidth
+
+    def render(self, *, top: int = 12) -> str:
+        """Top-N ops by time with their roofline placement."""
+        rows = []
+        for p in sorted(self.points, key=lambda p: p.time_us,
+                        reverse=True)[:top]:
+            rows.append((
+                p.label[:40],
+                p.engine.value,
+                f"{p.time_us / 1e3:.2f}",
+                "inf" if p.intensity == float("inf")
+                else f"{p.intensity:.1f}",
+                f"{p.achieved_tflops:.2f}",
+                f"{p.roof_tflops(self.config):.2f}",
+                f"{p.attainment(self.config):.0%}",
+            ))
+        return render_table(
+            ["op", "engine", "ms", "FLOP/B", "achieved TF", "roof TF",
+             "attainment"],
+            rows,
+            title="Roofline: slowest ops vs their ceilings",
+        )
+
+
+def roofline_of_schedule(
+    schedule: Schedule, config: GaudiConfig | None = None
+) -> RooflineReport:
+    """Build the roofline report for a compiled schedule."""
+    config = config or GaudiConfig()
+    from ..hw.device import GaudiDevice
+
+    cost = GaudiDevice(config).cost_model
+    points = []
+    for op in schedule.ops:
+        if op.engine not in (EngineKind.MME, EngineKind.TPC):
+            continue
+        flops = op.flops
+        bytes_moved = sum(i.bytes_total for i in op.items)
+        points.append(RooflinePoint(
+            label=op.label,
+            engine=op.engine,
+            src=op.src,
+            flops=flops,
+            bytes_moved=bytes_moved,
+            time_us=op_duration_us(cost, op),
+        ))
+    return RooflineReport(config, points)

@@ -1,0 +1,109 @@
+"""Extension A4: multi-card HLS-1 scaling of LLM training.
+
+§2.1 advertises "exceptional scalability in both expanding and
+multiplying setups" over the on-chip RoCE fabric; the paper itself
+profiles a single card. This extension models weak-scaling
+data-parallel training across 1..8 Gaudis of an HLS-1: each card runs
+the profiled per-card step, then ring-all-reduces the gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.config import HLS1Config
+from ..hw.dtypes import itemsize
+from ..hw.interconnect import RingAllReduce, data_parallel_step_time_us
+from ..models import paper_bert_config, paper_gpt_config
+from ..synapse import SynapseProfiler
+from ..util.tabulate import render_table
+from ..util.units import us_to_ms
+from .e2e_llm import MODEL_BUILDERS, record_training_step
+from .reference import ShapeCheck, threshold_check
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One card count in the weak-scaling sweep."""
+
+    num_cards: int
+    step_time_ms: float
+    allreduce_ms: float
+    efficiency: float
+    aggregate_samples_per_s: float
+
+
+@dataclass
+class ScalingStudyResult:
+    """Weak scaling of one model across an HLS-1."""
+
+    model_name: str
+    per_card_batch: int
+    gradient_bytes: int
+    rows: list[ScalingRow] = field(default_factory=list)
+
+    def checks(self) -> list[ShapeCheck]:
+        """Scaling sanity claims for the extension."""
+        eff8 = next(r.efficiency for r in self.rows if r.num_cards == 8)
+        thr = [r.aggregate_samples_per_s for r in self.rows]
+        return [
+            threshold_check(
+                f"scaling [{self.model_name}]: 8-card weak-scaling efficiency",
+                eff8, 0.80,
+            ),
+            ShapeCheck(
+                f"scaling [{self.model_name}]: throughput grows with cards",
+                thr == sorted(thr),
+                "monotone" if thr == sorted(thr) else "non-monotone",
+                "monotone",
+            ),
+        ]
+
+    def render(self) -> str:
+        """Scaling table."""
+        return render_table(
+            ["Cards", "Step (ms)", "All-reduce (ms)", "Efficiency",
+             "Samples/s"],
+            [(r.num_cards, r.step_time_ms, r.allreduce_ms,
+              f"{r.efficiency:.1%}", r.aggregate_samples_per_s)
+             for r in self.rows],
+            title=f"HLS-1 weak scaling, {self.model_name} "
+                  f"(per-card batch {self.per_card_batch})",
+        )
+
+
+def run_scaling_study(
+    model_name: str = "gpt",
+    *,
+    hls1: HLS1Config | None = None,
+    card_counts: tuple[int, ...] = (1, 2, 4, 8),
+    overlap_fraction: float = 0.5,
+) -> ScalingStudyResult:
+    """Weak-scale a training step across the box."""
+    hls1 = hls1 or HLS1Config()
+    rec = record_training_step(model_name)
+    profile = SynapseProfiler(hls1.card).profile(rec.graph)
+    compute_us = profile.total_time_us
+
+    model_cls, config_fn = MODEL_BUILDERS[model_name]
+    cfg = config_fn()
+    model = model_cls(cfg, materialize=False)
+    grad_bytes = sum(
+        p.numel * itemsize(p.dtype) for p in model.parameters()
+    )
+    batch = 8
+    result = ScalingStudyResult(model_name, batch, grad_bytes)
+    ar = RingAllReduce(hls1.interconnect)
+    for p in card_counts:
+        step_us = data_parallel_step_time_us(
+            compute_us, grad_bytes, p, hls1.interconnect,
+            overlap_fraction=overlap_fraction,
+        )
+        result.rows.append(ScalingRow(
+            num_cards=p,
+            step_time_ms=us_to_ms(step_us),
+            allreduce_ms=us_to_ms(ar.cost(p, grad_bytes).time_us),
+            efficiency=compute_us / step_us,
+            aggregate_samples_per_s=p * batch / (step_us / 1e6),
+        ))
+    return result

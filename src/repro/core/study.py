@@ -1,0 +1,135 @@
+"""The full benchmarking study: every table, figure and extension.
+
+``run_full_study()`` reproduces the paper end to end and returns a
+:class:`StudyReport` whose ``render()`` is the EXPERIMENTS.md payload:
+per-experiment measurements, the paper's reference values, and the
+pass/miss state of every qualitative shape check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.config import GaudiConfig
+from .ablations import (
+    run_chunked_attention_study,
+    run_pipelined_attention_study,
+    run_fusion_ablation,
+    run_reorder_ablation,
+    run_tpc_core_sweep,
+)
+from .activation_study import run_activation_study
+from .attention_study import run_attention_study
+from .decode_study import run_decode_study
+from .e2e_llm import run_e2e
+from .energy_study import run_energy_study
+from .generations import run_generation_comparison
+from .mme_vs_tpc import run_mme_vs_tpc
+from .opmapping import run_op_mapping
+from .reference import ShapeCheck
+from .scaling_study import run_scaling_study
+from .seq_sweep import run_seq_sweep
+
+
+@dataclass
+class StudyReport:
+    """Everything the study produced."""
+
+    sections: list[tuple[str, str]] = field(default_factory=list)
+    checks: list[ShapeCheck] = field(default_factory=list)
+
+    def add(self, title: str, body: str, checks: list[ShapeCheck]) -> None:
+        """Append one experiment's rendering + checks."""
+        self.sections.append((title, body))
+        self.checks.extend(checks)
+
+    @property
+    def num_passed(self) -> int:
+        """Shape checks that hold."""
+        return sum(1 for c in self.checks if c.passed)
+
+    @property
+    def all_passed(self) -> bool:
+        """Whether every shape check holds."""
+        return self.num_passed == len(self.checks)
+
+    def failed_checks(self) -> list[ShapeCheck]:
+        """Checks that missed the paper's band."""
+        return [c for c in self.checks if not c.passed]
+
+    def render(self) -> str:
+        """Full human-readable report."""
+        parts = [
+            "Reproduction study report",
+            f"shape checks: {self.num_passed}/{len(self.checks)} passed",
+            "",
+        ]
+        for title, body in self.sections:
+            parts.append(f"{'=' * 8} {title} {'=' * 8}")
+            parts.append(body)
+            parts.append("")
+        parts.append("=" * 8 + " shape-check summary " + "=" * 8)
+        parts.extend(str(c) for c in self.checks)
+        return "\n".join(parts)
+
+
+def run_full_study(
+    config: GaudiConfig | None = None, *, include_extensions: bool = True
+) -> StudyReport:
+    """Run every experiment in DESIGN.md's index."""
+    config = config or GaudiConfig()
+    report = StudyReport()
+
+    t1 = run_op_mapping()
+    report.add("Table 1: operation-engine mapping", t1.render(), t1.checks())
+
+    t2 = run_mme_vs_tpc(config)
+    report.add("Table 2: MME vs TPC batched matmul", t2.render(), t2.checks())
+
+    attn = run_attention_study(config)
+    report.add("Figures 4-6: attention variants", attn.render(), attn.checks())
+
+    act = run_activation_study(config)
+    report.add("Figure 7: activation functions", act.render(), act.checks())
+
+    sweep = run_seq_sweep(config=config)
+    report.add("Long-sequence sweep (challenge #3)", sweep.render(),
+               sweep.checks())
+
+    for model in ("gpt", "bert"):
+        e2e = run_e2e(model, config=config)
+        fig = "Figure 8: GPT end-to-end" if model == "gpt" else \
+            "Figure 9: BERT end-to-end"
+        report.add(fig, e2e.render(), e2e.checks())
+
+    if include_extensions:
+        a1 = run_reorder_ablation("performer", config=config)
+        report.add("A1: issue-order ablation", a1.render(), a1.checks())
+
+        a2 = run_fusion_ablation("softmax", config=config)
+        report.add("A2: fusion ablation", a2.render(), a2.checks())
+
+        a3 = run_tpc_core_sweep(config=config)
+        report.add("A3: TPC core sweep", a3.render(), a3.checks())
+
+        a4 = run_scaling_study("gpt", hls1=None)
+        report.add("A4: HLS-1 scaling extension", a4.render(), a4.checks())
+
+        a5 = run_chunked_attention_study(config=config)
+        report.add("A5: chunked attention extension", a5.render(), a5.checks())
+
+        a6 = run_pipelined_attention_study(config=config)
+        report.add("A6: pipelined exact attention extension", a6.render(),
+                   a6.checks())
+
+        a7 = run_generation_comparison()
+        report.add("A7: Gaudi2 what-if extension", a7.render(), a7.checks())
+
+        a8 = run_energy_study(config)
+        report.add("A8: energy extension", a8.render(), a8.checks())
+
+        a9 = run_decode_study(config=config)
+        report.add("A9: KV-cached decode extension", a9.render(),
+                   a9.checks())
+
+    return report

@@ -1,0 +1,38 @@
+"""Synthetic corpus, tokenizer, and batchers (BookCorpus substitute)."""
+
+from .batching import (
+    CLMBatch,
+    batch_iterator,
+    MLMBatch,
+    make_clm_batch,
+    make_mlm_batch,
+    pack_blocks,
+)
+from .corpus import CorpusConfig, SyntheticBookCorpus
+from .tokenizer import (
+    CLS,
+    MASK,
+    PAD,
+    SEP,
+    SPECIAL_TOKENS,
+    UNK,
+    WordTokenizer,
+)
+
+__all__ = [
+    "CLMBatch",
+    "batch_iterator",
+    "MLMBatch",
+    "make_clm_batch",
+    "make_mlm_batch",
+    "pack_blocks",
+    "CorpusConfig",
+    "SyntheticBookCorpus",
+    "CLS",
+    "MASK",
+    "PAD",
+    "SEP",
+    "SPECIAL_TOKENS",
+    "UNK",
+    "WordTokenizer",
+]

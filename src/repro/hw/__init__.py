@@ -1,0 +1,106 @@
+"""Simulated Gaudi hardware: configs, cost models, engines, memory.
+
+The package models the architecture the paper describes in §2.1–§2.2:
+a Matrix Multiplication Engine, eight VLIW/SIMD Tensor Processing
+Cores, a DMA engine moving data through shared memory, 32 GB of HBM,
+and RoCE/PCIe links — with throughput constants calibrated against the
+paper's own measurements (Table 2).
+"""
+
+from .config import (
+    DMAConfig,
+    GaudiConfig,
+    gaudi2_config,
+    HBMConfig,
+    HLS1Config,
+    InterconnectConfig,
+    MMEConfig,
+    SharedMemoryConfig,
+    TPCClusterConfig,
+)
+from .costmodel import (
+    EAGER_DISPATCH_OVERHEAD_US,
+    CostModel,
+    DMAModel,
+    EngineKind,
+    MatmulDims,
+    MMEModel,
+    OpClass,
+    TPCModel,
+    WorkItem,
+    tpc_matmul_cycles,
+)
+from .des import EngineTimeline, EventQueue, Interval
+from .energy import (
+    EnergyBreakdown,
+    EnergyConfig,
+    joules_per_token,
+    schedule_energy,
+)
+from .device import GaudiDevice, HLS1System, default_device
+from .dtypes import (
+    DType,
+    TPC_VECTOR_BITS,
+    dtype_info,
+    itemsize,
+    numpy_dtype,
+    parse_dtype,
+    simd_lanes,
+)
+from .interconnect import (
+    AllGather,
+    CollectiveCost,
+    HostLink,
+    RingAllReduce,
+    data_parallel_step_time_us,
+    scaling_efficiency,
+)
+from .memory import Allocation, MemoryTracker, plan_peak_bytes
+
+__all__ = [
+    "DMAConfig",
+    "GaudiConfig",
+    "gaudi2_config",
+    "HBMConfig",
+    "HLS1Config",
+    "InterconnectConfig",
+    "MMEConfig",
+    "SharedMemoryConfig",
+    "TPCClusterConfig",
+    "CostModel",
+    "EAGER_DISPATCH_OVERHEAD_US",
+    "DMAModel",
+    "EngineKind",
+    "MatmulDims",
+    "MMEModel",
+    "OpClass",
+    "TPCModel",
+    "WorkItem",
+    "tpc_matmul_cycles",
+    "EnergyBreakdown",
+    "EnergyConfig",
+    "joules_per_token",
+    "schedule_energy",
+    "EngineTimeline",
+    "EventQueue",
+    "Interval",
+    "GaudiDevice",
+    "HLS1System",
+    "default_device",
+    "DType",
+    "TPC_VECTOR_BITS",
+    "dtype_info",
+    "itemsize",
+    "numpy_dtype",
+    "parse_dtype",
+    "simd_lanes",
+    "AllGather",
+    "CollectiveCost",
+    "HostLink",
+    "RingAllReduce",
+    "data_parallel_step_time_us",
+    "scaling_efficiency",
+    "Allocation",
+    "MemoryTracker",
+    "plan_peak_bytes",
+]

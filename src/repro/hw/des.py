@@ -1,0 +1,151 @@
+"""Discrete-event simulation primitives.
+
+Two pieces are enough for the whole simulator:
+
+* :class:`EventQueue` — a time-ordered queue with FIFO tie-breaking,
+  used by the runtime to drive op-completion events;
+* :class:`EngineTimeline` — a single-server resource that can only run
+  one op at a time (an MME, the TPC cluster as scheduled by SynapseAI,
+  a DMA channel); it allocates non-overlapping busy intervals and
+  answers utilization/gap queries afterwards. The "blank areas in the
+  MME operating area" that the paper keeps pointing at (Figs 4, 6, 8, 9)
+  are exactly the gaps of an :class:`EngineTimeline`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..util.errors import ExecutionError
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """Min-heap of (time, payload) events with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, payload: Any) -> None:
+        """Schedule ``payload`` at ``time`` (microseconds)."""
+        if time < 0:
+            raise ExecutionError(f"cannot schedule event at negative time {time}")
+        heapq.heappush(self._heap, _Entry(time, next(self._counter), payload))
+
+    def pop(self) -> tuple[float, Any]:
+        """Remove and return the earliest ``(time, payload)``."""
+        if not self._heap:
+            raise ExecutionError("pop from empty event queue")
+        entry = heapq.heappop(self._heap)
+        return entry.time, entry.payload
+
+    def peek_time(self) -> float | None:
+        """Earliest scheduled time, or ``None`` when empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed-open busy interval [start, end) tagged with a label."""
+
+    start: float
+    end: float
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in microseconds."""
+        return self.end - self.start
+
+
+class EngineTimeline:
+    """Single-server busy-interval ledger for one engine.
+
+    Ops are appended in non-decreasing start order (the runtime issues
+    per-engine work in order); the class enforces that intervals never
+    overlap, which is the core hardware invariant — one MME, one DMA
+    channel, and one TPC-cluster schedule slot at a time.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._intervals: list[Interval] = []
+        self._free_at = 0.0
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time the engine can start new work."""
+        return self._free_at
+
+    @property
+    def intervals(self) -> list[Interval]:
+        """Busy intervals recorded so far (chronological)."""
+        return list(self._intervals)
+
+    def reserve(self, earliest: float, duration: float, label: str = "") -> Interval:
+        """Allocate the next busy interval starting no earlier than ``earliest``.
+
+        Returns the allocated interval; the start is ``max(earliest,
+        free_at)`` so the engine never runs two ops at once.
+        """
+        if duration < 0:
+            raise ExecutionError(
+                f"{self.name}: negative duration {duration} for {label!r}"
+            )
+        start = max(earliest, self._free_at)
+        interval = Interval(start, start + duration, label)
+        self._intervals.append(interval)
+        self._free_at = interval.end
+        return interval
+
+    def busy_time(self, until: float | None = None) -> float:
+        """Total busy microseconds (optionally clipped to ``until``)."""
+        total = 0.0
+        for iv in self._intervals:
+            end = iv.end if until is None else min(iv.end, until)
+            if end > iv.start:
+                total += end - iv.start
+        return total
+
+    def gaps(self, horizon: float | None = None) -> list[Interval]:
+        """Idle intervals between time 0 and ``horizon`` (default: free_at)."""
+        horizon = self._free_at if horizon is None else horizon
+        out: list[Interval] = []
+        cursor = 0.0
+        for iv in self._intervals:
+            if iv.start > cursor:
+                out.append(Interval(cursor, min(iv.start, horizon), "idle"))
+            cursor = max(cursor, iv.end)
+            if cursor >= horizon:
+                break
+        if cursor < horizon:
+            out.append(Interval(cursor, horizon, "idle"))
+        return [g for g in out if g.duration > 0]
+
+    def utilization(self, horizon: float | None = None) -> float:
+        """busy / horizon in [0, 1]; 0.0 for an empty horizon."""
+        horizon = self._free_at if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(until=horizon) / horizon)
+
+    def reset(self) -> None:
+        """Clear all recorded intervals."""
+        self._intervals.clear()
+        self._free_at = 0.0

@@ -1,0 +1,100 @@
+"""Device objects: a simulated Gaudi card and an HLS-1 system.
+
+A :class:`GaudiDevice` bundles the per-engine timelines, the cost
+model, and the HBM tracker. The synapse runtime executes compiled
+schedules *onto* a device; the device owns all mutable simulation state
+so one device can run many graphs back to back (its clock keeps
+advancing) or be reset between experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import GaudiConfig, HLS1Config
+from .costmodel import CostModel, EngineKind
+from .des import EngineTimeline
+from .memory import MemoryTracker
+
+
+class GaudiDevice:
+    """One simulated Gaudi processor."""
+
+    def __init__(self, config: GaudiConfig | None = None, *, enforce_memory: bool = True):
+        self.config = config or GaudiConfig()
+        self.cost_model = CostModel(self.config)
+        self.timelines: dict[EngineKind, EngineTimeline] = {
+            EngineKind.MME: EngineTimeline("MME"),
+            EngineKind.TPC: EngineTimeline("TPC"),
+            EngineKind.DMA: EngineTimeline("DMA"),
+            EngineKind.HOST: EngineTimeline("HOST"),
+        }
+        self.hbm = MemoryTracker(
+            self.config.hbm.capacity_bytes, enforce=enforce_memory
+        )
+
+    @property
+    def now(self) -> float:
+        """Device clock: the latest completion time across engines."""
+        return max(tl.free_at for tl in self.timelines.values())
+
+    def timeline(self, engine: EngineKind) -> EngineTimeline:
+        """The busy-interval ledger of ``engine``."""
+        return self.timelines[engine]
+
+    def reset(self) -> None:
+        """Clear all engine timelines and memory statistics."""
+        for tl in self.timelines.values():
+            tl.reset()
+        self.hbm.reset()
+
+    def utilization(self, engine: EngineKind, horizon: float | None = None) -> float:
+        """Fraction of time ``engine`` was busy up to ``horizon``."""
+        horizon = self.now if horizon is None else horizon
+        return self.timelines[engine].utilization(horizon)
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        cfg = self.config
+        return (
+            f"{cfg.name}: MME {cfg.mme.peak_tflops:.1f} TFLOPS peak, "
+            f"TPC {cfg.tpc.num_cores}x{cfg.tpc.vector_bits}b "
+            f"({cfg.tpc.peak_tflops(cfg.default_dtype):.2f} TFLOPS "
+            f"{cfg.default_dtype}), HBM "
+            f"{cfg.hbm.capacity_bytes / (1 << 30):.0f} GiB @ "
+            f"{cfg.hbm.bandwidth_bytes_per_s / 1e9:.0f} GB/s"
+        )
+
+
+@dataclass
+class HLS1System:
+    """An HLS-1 box: eight Gaudi cards behind two PCIe Gen4 switches.
+
+    The paper runs on a single card of an HLS-1 (§3.1); the system
+    object exists for the multi-card scaling extension and for host
+    dataloading cost accounting.
+    """
+
+    config: HLS1Config
+
+    def __post_init__(self) -> None:
+        self.cards = [
+            GaudiDevice(self.config.card) for _ in range(self.config.num_cards)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.cards)
+
+    def card(self, index: int) -> GaudiDevice:
+        """The ``index``-th Gaudi in the box."""
+        return self.cards[index]
+
+    def reset(self) -> None:
+        """Reset every card."""
+        for card in self.cards:
+            card.reset()
+
+
+def default_device() -> GaudiDevice:
+    """A fresh device with the paper-calibrated default configuration."""
+    return GaudiDevice(GaudiConfig())

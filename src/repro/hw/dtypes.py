@@ -1,0 +1,83 @@
+"""Device data types supported by the simulated Gaudi.
+
+The TPC's SIMD unit is 2048 bits wide and supports float32, bfloat16,
+INT32, INT16 and INT8 (§2.2 of the paper); the number of SIMD lanes for
+a given dtype is ``2048 / (8 * itemsize)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """Enumerates device dtypes with their canonical names."""
+
+    FP32 = "fp32"
+    BF16 = "bf16"
+    FP16 = "fp16"
+    INT32 = "int32"
+    INT16 = "int16"
+    INT8 = "int8"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class DTypeInfo:
+    """Static properties of a device dtype."""
+
+    dtype: DType
+    itemsize: int  # bytes
+    is_float: bool
+    numpy_dtype: np.dtype
+
+
+_INFO: dict[DType, DTypeInfo] = {
+    # bf16 has no native numpy dtype; float32 is used as the functional
+    # carrier — the *performance* model only consumes itemsize.
+    DType.FP32: DTypeInfo(DType.FP32, 4, True, np.dtype(np.float32)),
+    DType.BF16: DTypeInfo(DType.BF16, 2, True, np.dtype(np.float32)),
+    DType.FP16: DTypeInfo(DType.FP16, 2, True, np.dtype(np.float16)),
+    DType.INT32: DTypeInfo(DType.INT32, 4, False, np.dtype(np.int32)),
+    DType.INT16: DTypeInfo(DType.INT16, 2, False, np.dtype(np.int16)),
+    DType.INT8: DTypeInfo(DType.INT8, 1, False, np.dtype(np.int8)),
+}
+
+#: SIMD vector width of a TPC in bits (§2.2).
+TPC_VECTOR_BITS = 2048
+
+
+def dtype_info(dtype: DType) -> DTypeInfo:
+    """Return static info for ``dtype``."""
+    return _INFO[dtype]
+
+
+def itemsize(dtype: DType) -> int:
+    """Bytes per element of ``dtype``."""
+    return _INFO[dtype].itemsize
+
+
+def simd_lanes(dtype: DType, vector_bits: int = TPC_VECTOR_BITS) -> int:
+    """SIMD lanes available for ``dtype`` in a ``vector_bits``-wide VPU."""
+    return vector_bits // (8 * _INFO[dtype].itemsize)
+
+
+def numpy_dtype(dtype: DType) -> np.dtype:
+    """Numpy dtype used as the functional carrier for ``dtype``."""
+    return _INFO[dtype].numpy_dtype
+
+
+def parse_dtype(value: "DType | str") -> DType:
+    """Accept a :class:`DType` or its string name (``"bf16"`` etc.)."""
+    if isinstance(value, DType):
+        return value
+    try:
+        return DType(value)
+    except ValueError:
+        raise ValueError(f"unknown dtype {value!r}; expected one of "
+                         f"{[d.value for d in DType]}") from None

@@ -1,0 +1,114 @@
+"""Energy model: joules per executed schedule (extension).
+
+The paper measures time, not power; its introduction nonetheless
+motivates the work with "energy efficiency ... and deployment cost".
+This extension attaches a standard architectural energy model to the
+simulator:
+
+``E = sum_ops (flops x pJ/FLOP(engine)) + bytes x pJ/B(HBM)
+     + idle_power x makespan``
+
+Constants are *nominal* (order-of-magnitude for a 7nm-class training
+ASIC and HBM2) and clearly labeled as such; the value of the model is
+*relative* conclusions — which attention variant costs fewer joules
+per token — not absolute watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import ConfigError
+from .costmodel import EngineKind
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Nominal energy constants."""
+
+    #: MAC-array arithmetic (systolic, amortized control)
+    mme_pj_per_flop: float = 0.8
+    #: SIMD arithmetic (VLIW fetch/decode per bundle amortized worse)
+    tpc_pj_per_flop: float = 2.0
+    #: HBM access energy
+    hbm_pj_per_byte: float = 7.0
+    #: DMA/shared-memory staging
+    dma_pj_per_byte: float = 1.5
+    #: static + fan/board power burned over the makespan, in watts
+    idle_watts: float = 100.0
+
+    def __post_init__(self) -> None:
+        for name in ("mme_pj_per_flop", "tpc_pj_per_flop",
+                     "hbm_pj_per_byte", "dma_pj_per_byte", "idle_watts"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"EnergyConfig.{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules attributed per component."""
+
+    mme_joules: float
+    tpc_joules: float
+    hbm_joules: float
+    dma_joules: float
+    static_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        """Sum of all components."""
+        return (self.mme_joules + self.tpc_joules + self.hbm_joules
+                + self.dma_joules + self.static_joules)
+
+    def dominant(self) -> str:
+        """Name of the largest dynamic component."""
+        parts = {
+            "mme": self.mme_joules,
+            "tpc": self.tpc_joules,
+            "hbm": self.hbm_joules,
+            "dma": self.dma_joules,
+        }
+        return max(parts, key=parts.get)
+
+
+def schedule_energy(
+    schedule,
+    makespan_us: float,
+    config: EnergyConfig | None = None,
+) -> EnergyBreakdown:
+    """Energy of one executed schedule.
+
+    ``schedule`` is a :class:`~repro.synapse.schedule.Schedule`;
+    ``makespan_us`` the executed duration (for the static term).
+    """
+    if makespan_us < 0:
+        raise ConfigError(f"makespan must be >= 0, got {makespan_us}")
+    cfg = config or EnergyConfig()
+    mme = tpc = hbm = dma = 0.0
+    for op in schedule.ops:
+        flops = op.flops
+        bytes_moved = sum(i.bytes_total for i in op.items)
+        if op.engine is EngineKind.MME:
+            mme += flops * cfg.mme_pj_per_flop
+            hbm += bytes_moved * cfg.hbm_pj_per_byte
+        elif op.engine is EngineKind.TPC:
+            tpc += flops * cfg.tpc_pj_per_flop
+            hbm += bytes_moved * cfg.hbm_pj_per_byte
+        elif op.engine is EngineKind.DMA:
+            dma += bytes_moved * cfg.dma_pj_per_byte
+    static = cfg.idle_watts * (makespan_us / 1e6)
+    pj = 1e-12
+    return EnergyBreakdown(
+        mme_joules=mme * pj,
+        tpc_joules=tpc * pj,
+        hbm_joules=hbm * pj,
+        dma_joules=dma * pj,
+        static_joules=static,
+    )
+
+
+def joules_per_token(breakdown: EnergyBreakdown, tokens: int) -> float:
+    """Energy efficiency metric for LM training/inference."""
+    if tokens <= 0:
+        raise ConfigError(f"tokens must be positive, got {tokens}")
+    return breakdown.total_joules / tokens

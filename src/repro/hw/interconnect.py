@@ -1,0 +1,136 @@
+"""Multi-card interconnect model for the HLS-1 scaling extension.
+
+Gaudi integrates RoCE v2 NICs on chip; inside an HLS-1 the eight cards
+form an all-to-all fabric, which data-parallel training uses for
+gradient all-reduce (§2.1: "GAUDI ... delivers exceptional scalability
+in both expanding and multiplying setups"). The paper itself profiles a
+single card; this module powers the scaling *extension* experiment
+(DESIGN.md exp A4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..util.errors import ConfigError
+from ..util.units import s_to_us
+from .config import InterconnectConfig
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Duration breakdown of one collective operation."""
+
+    algorithm: str
+    num_cards: int
+    payload_bytes: int
+    time_us: float
+    steps: int
+
+
+class RingAllReduce:
+    """Bandwidth-optimal ring all-reduce cost model.
+
+    time = 2 (p-1)/p * bytes / link_bw  +  2 (p-1) * latency
+
+    which is the standard Rabenseifner/ring bound; with the HLS-1's
+    all-to-all wiring each card has a dedicated link to its ring
+    neighbour so the links don't contend.
+    """
+
+    def __init__(self, config: InterconnectConfig):
+        self.config = config
+
+    def cost(self, num_cards: int, payload_bytes: int) -> CollectiveCost:
+        """All-reduce cost for ``payload_bytes`` across ``num_cards``."""
+        if num_cards < 1:
+            raise ConfigError(f"num_cards must be >= 1, got {num_cards}")
+        if payload_bytes < 0:
+            raise ConfigError(f"payload_bytes must be >= 0, got {payload_bytes}")
+        if num_cards == 1:
+            return CollectiveCost("ring-allreduce", 1, payload_bytes, 0.0, 0)
+        p = num_cards
+        steps = 2 * (p - 1)
+        bw_term = 2.0 * (p - 1) / p * payload_bytes / self.config.roce_bandwidth_bytes_per_s
+        lat_term = steps * self.config.roce_latency_us
+        return CollectiveCost(
+            "ring-allreduce", p, payload_bytes, s_to_us(bw_term) + lat_term, steps
+        )
+
+
+class AllGather:
+    """Ring all-gather: (p-1)/p * total bytes per link + latencies."""
+
+    def __init__(self, config: InterconnectConfig):
+        self.config = config
+
+    def cost(self, num_cards: int, payload_bytes: int) -> CollectiveCost:
+        """All-gather cost where each card contributes ``payload_bytes``."""
+        if num_cards < 1:
+            raise ConfigError(f"num_cards must be >= 1, got {num_cards}")
+        if payload_bytes < 0:
+            raise ConfigError(f"payload_bytes must be >= 0, got {payload_bytes}")
+        if num_cards == 1:
+            return CollectiveCost("ring-allgather", 1, payload_bytes, 0.0, 0)
+        p = num_cards
+        steps = p - 1
+        bw_term = (p - 1) * payload_bytes / self.config.roce_bandwidth_bytes_per_s
+        lat_term = steps * self.config.roce_latency_us
+        return CollectiveCost(
+            "ring-allgather", p, payload_bytes, s_to_us(bw_term) + lat_term, steps
+        )
+
+
+class HostLink:
+    """PCIe Gen4 path between the external host CPU and a card (§3.1)."""
+
+    def __init__(self, config: InterconnectConfig):
+        self.config = config
+
+    def transfer_time_us(self, payload_bytes: int) -> float:
+        """Host<->device copy duration."""
+        if payload_bytes < 0:
+            raise ConfigError(f"payload_bytes must be >= 0, got {payload_bytes}")
+        return self.config.pcie_latency_us + s_to_us(
+            payload_bytes / self.config.pcie_bandwidth_bytes_per_s
+        )
+
+
+def data_parallel_step_time_us(
+    compute_time_us: float,
+    gradient_bytes: int,
+    num_cards: int,
+    config: InterconnectConfig,
+    *,
+    overlap_fraction: float = 0.0,
+) -> float:
+    """One data-parallel training step: per-card compute + allreduce.
+
+    ``overlap_fraction`` is how much of the all-reduce hides under
+    backward compute (bucketed gradient reduction); 0 models the naive
+    sequential step.
+    """
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ConfigError(
+            f"overlap_fraction must be in [0, 1], got {overlap_fraction}"
+        )
+    comm = RingAllReduce(config).cost(num_cards, gradient_bytes).time_us
+    exposed = comm * (1.0 - overlap_fraction)
+    hidden = comm * overlap_fraction
+    # Hidden communication can only hide under actual compute time.
+    return compute_time_us + exposed + max(0.0, hidden - compute_time_us)
+
+
+def scaling_efficiency(step_time_1: float, step_time_p: float, p: int) -> float:
+    """Weak-scaling efficiency of p cards vs 1 card at fixed per-card batch."""
+    if p < 1 or step_time_1 <= 0 or step_time_p <= 0:
+        raise ConfigError("invalid scaling-efficiency inputs")
+    return step_time_1 / step_time_p
+
+
+def log2_cards(num_cards: int) -> int:
+    """Validate a power-of-two card count and return its log2."""
+    if num_cards < 1 or (num_cards & (num_cards - 1)) != 0:
+        raise ConfigError(f"card count must be a power of two, got {num_cards}")
+    return int(math.log2(num_cards))

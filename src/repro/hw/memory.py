@@ -1,0 +1,131 @@
+"""Device-memory accounting.
+
+The paper had to shrink the end-to-end batch size to 8 at sequence
+length 2048 "due to limited GAUDI memory" (§3.4, 32 GB HBM per card).
+This module provides the allocator/planner that reproduces that
+constraint: a byte-accurate live-set tracker used both online (during
+graph recording) and offline (liveness analysis over a compiled graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.errors import DeviceMemoryError
+from ..util.units import fmt_bytes
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One live device buffer."""
+
+    handle: int
+    nbytes: int
+    label: str = ""
+
+
+class MemoryTracker:
+    """Tracks live HBM bytes and enforces capacity.
+
+    The tracker is addressless: it models *footprint*, not placement —
+    fragmentation is ignored, which matches how SynapseAI's workspace
+    allocator behaves for the large contiguous activations these
+    workloads produce.
+    """
+
+    def __init__(self, capacity_bytes: int, *, enforce: bool = True) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.enforce = enforce
+        self._live: dict[int, Allocation] = {}
+        self._next_handle = 0
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.total_allocated_bytes = 0
+        self.num_allocations = 0
+
+    def alloc(self, nbytes: int, label: str = "") -> Allocation:
+        """Allocate ``nbytes``; raises :class:`DeviceMemoryError` on overflow."""
+        if nbytes < 0:
+            raise ValueError(f"allocation size must be >= 0, got {nbytes}")
+        nbytes = int(nbytes)
+        if self.enforce and self.live_bytes + nbytes > self.capacity_bytes:
+            raise DeviceMemoryError(
+                self.live_bytes + nbytes,
+                self.capacity_bytes,
+                detail=f"while allocating {fmt_bytes(nbytes)} for {label!r}",
+            )
+        alloc = Allocation(self._next_handle, nbytes, label)
+        self._next_handle += 1
+        self._live[alloc.handle] = alloc
+        self.live_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.live_bytes)
+        self.total_allocated_bytes += nbytes
+        self.num_allocations += 1
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release a live allocation (idempotence is an error)."""
+        if alloc.handle not in self._live:
+            raise ValueError(f"double free / unknown allocation {alloc.handle}")
+        del self._live[alloc.handle]
+        self.live_bytes -= alloc.nbytes
+
+    def live_allocations(self) -> list[Allocation]:
+        """Currently live allocations (insertion order)."""
+        return list(self._live.values())
+
+    def headroom_bytes(self) -> int:
+        """Bytes still available under capacity."""
+        return self.capacity_bytes - self.live_bytes
+
+    def would_fit(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` would fit right now."""
+        return self.live_bytes + int(nbytes) <= self.capacity_bytes
+
+    def reset(self) -> None:
+        """Clear all live allocations and statistics."""
+        self._live.clear()
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.total_allocated_bytes = 0
+        self.num_allocations = 0
+
+    def summary(self) -> dict[str, int]:
+        """Stats snapshot for reports."""
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "live_bytes": self.live_bytes,
+            "peak_bytes": self.peak_bytes,
+            "total_allocated_bytes": self.total_allocated_bytes,
+            "num_allocations": self.num_allocations,
+        }
+
+
+def plan_peak_bytes(sizes: list[int], frees: list[list[int]]) -> int:
+    """Offline liveness peak: allocate ``sizes[i]`` at step i, then free
+    the indices listed in ``frees[i]``.
+
+    Used by the graph memory planner to compute a schedule's peak
+    footprint without touching a tracker. Raises ``ValueError`` on
+    malformed input (mismatched lengths, double frees, bad indices).
+    """
+    if len(sizes) != len(frees):
+        raise ValueError("sizes and frees must have equal length")
+    live = 0
+    peak = 0
+    freed: set[int] = set()
+    for i, nbytes in enumerate(sizes):
+        if nbytes < 0:
+            raise ValueError(f"negative size at step {i}")
+        live += nbytes
+        peak = max(peak, live)
+        for j in frees[i]:
+            if j < 0 or j > i:
+                raise ValueError(f"free of not-yet-allocated buffer {j} at step {i}")
+            if j in freed:
+                raise ValueError(f"double free of buffer {j} at step {i}")
+            freed.add(j)
+            live -= sizes[j]
+    return peak

@@ -1,0 +1,69 @@
+"""Transformer models: the workloads the paper profiles.
+
+Attention variants (softmax / linear / Performer-FAVOR / chunked),
+feed-forward with the Fig 7 activation set, layer/stack composition,
+and the two §3.4 end-to-end models (BERT-MLM and GPT-2-LM analogs).
+"""
+
+from .attention import (
+    ChunkedAttention,
+    LinearAttention,
+    PerformerAttention,
+    SoftmaxAttention,
+    build_attention,
+    reference_softmax_attention,
+)
+from .bert import BertForMaskedLM, MLMHead
+from .config import (
+    ATTENTION_KINDS,
+    AttentionConfig,
+    FEATURE_MAPS,
+    LayerConfig,
+    LLMConfig,
+    paper_bert_config,
+    paper_gpt_config,
+    paper_layer_config,
+    scaled,
+)
+from .feedforward import FeedForward
+from .generation import generate, perplexity
+from .gpt import GPT2LMHeadModel, tiny_bert_config, tiny_gpt_config
+from .seq2seq import (
+    CrossAttention,
+    DecoderLayer,
+    EncoderDecoderTransformer,
+    tiny_seq2seq_config,
+)
+from .transformer import TransformerLayer, TransformerStack
+
+__all__ = [
+    "ChunkedAttention",
+    "LinearAttention",
+    "PerformerAttention",
+    "SoftmaxAttention",
+    "build_attention",
+    "reference_softmax_attention",
+    "BertForMaskedLM",
+    "MLMHead",
+    "ATTENTION_KINDS",
+    "AttentionConfig",
+    "FEATURE_MAPS",
+    "LayerConfig",
+    "LLMConfig",
+    "paper_bert_config",
+    "paper_gpt_config",
+    "paper_layer_config",
+    "scaled",
+    "FeedForward",
+    "generate",
+    "perplexity",
+    "GPT2LMHeadModel",
+    "tiny_bert_config",
+    "tiny_gpt_config",
+    "CrossAttention",
+    "DecoderLayer",
+    "EncoderDecoderTransformer",
+    "tiny_seq2seq_config",
+    "TransformerLayer",
+    "TransformerStack",
+]

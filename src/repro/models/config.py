@@ -1,0 +1,154 @@
+"""Model configuration dataclasses.
+
+Defaults encode the paper's experimental settings:
+
+* layer studies (§3.3, Figs 4–7): seq 2048, batch 128, 6 heads,
+  head dim 64;
+* end-to-end LLMs (§3.4, Figs 8/9): seq 2048, batch 8, 2 layers,
+  8 heads, head dim 64, BookCorpus vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..util.validation import check_in, check_positive_int
+
+ATTENTION_KINDS = ("softmax", "linear", "performer", "chunked", "pipelined")
+FEATURE_MAPS = ("elu1", "relu", "leaky_relu", "gelu", "glu")
+ACTIVATIONS = ("relu", "leaky_relu", "gelu", "glu")
+
+
+@dataclass(frozen=True)
+class AttentionConfig:
+    """One attention block."""
+
+    num_heads: int = 6
+    head_dim: int = 64
+    kind: str = "softmax"
+    #: linear attention's feature map (paper default: elu(x) + 1)
+    feature_map: str = "elu1"
+    #: Performer/FAVOR random-feature count
+    performer_features: int = 256
+    #: chunked (local) attention window
+    chunk_size: int = 256
+    causal: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int("AttentionConfig.num_heads", self.num_heads)
+        check_positive_int("AttentionConfig.head_dim", self.head_dim)
+        check_in("AttentionConfig.kind", self.kind, ATTENTION_KINDS)
+        check_in("AttentionConfig.feature_map", self.feature_map, FEATURE_MAPS)
+        check_positive_int(
+            "AttentionConfig.performer_features", self.performer_features
+        )
+        check_positive_int("AttentionConfig.chunk_size", self.chunk_size)
+
+    @property
+    def d_model(self) -> int:
+        """Model width implied by heads x head_dim."""
+        return self.num_heads * self.head_dim
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """One Transformer layer (attention + optional FFN)."""
+
+    attention: AttentionConfig = field(default_factory=AttentionConfig)
+    #: FFN expansion factor; the paper's layer studies profile the
+    #: attention block itself, so the layer-study config disables the FFN
+    ffn_mult: int = 4
+    activation: str = "gelu"
+    include_ffn: bool = True
+    pre_norm: bool = True
+    #: residual/embedding dropout probability; 0 (the profiling default)
+    #: records no dropout ops, > 0 adds real TPC mask work per call
+    dropout_p: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int("LayerConfig.ffn_mult", self.ffn_mult)
+        check_in("LayerConfig.activation", self.activation, ACTIVATIONS)
+        if not 0.0 <= self.dropout_p < 1.0:
+            from ..util.errors import ConfigError
+
+            raise ConfigError(
+                f"LayerConfig.dropout_p must be in [0, 1), got {self.dropout_p}"
+            )
+
+    @property
+    def d_model(self) -> int:
+        """Model width."""
+        return self.attention.d_model
+
+
+@dataclass(frozen=True)
+class LLMConfig:
+    """A BERT/GPT-style language model."""
+
+    vocab_size: int = 30522
+    max_seq_len: int = 2048
+    num_layers: int = 2
+    layer: LayerConfig = field(default_factory=lambda: LayerConfig(
+        attention=AttentionConfig(num_heads=8, head_dim=64)
+    ))
+    tie_embeddings: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int("LLMConfig.vocab_size", self.vocab_size)
+        check_positive_int("LLMConfig.max_seq_len", self.max_seq_len)
+        check_positive_int("LLMConfig.num_layers", self.num_layers)
+
+    @property
+    def d_model(self) -> int:
+        """Model width."""
+        return self.layer.d_model
+
+
+def paper_layer_config(
+    kind: str = "softmax", *, feature_map: str = "elu1",
+    include_ffn: bool = False, **attn_overrides,
+) -> LayerConfig:
+    """The §3.3 layer-study configuration (H=6, dh=64, seq 2048 x B 128).
+
+    The study profiles the attention block itself, so the FFN is off by
+    default; Figure 7's "activation" sweep varies the *feature map* of
+    linear attention.
+    """
+    attn = AttentionConfig(
+        num_heads=6, head_dim=64, kind=kind, feature_map=feature_map,
+        **attn_overrides,
+    )
+    return LayerConfig(attention=attn, include_ffn=include_ffn)
+
+
+def paper_bert_config() -> LLMConfig:
+    """BertForMaskedLM analog with the §3.4 shape settings."""
+    return LLMConfig(
+        vocab_size=30522, max_seq_len=2048, num_layers=2,
+        layer=LayerConfig(
+            attention=AttentionConfig(num_heads=8, head_dim=64, causal=False),
+            activation="gelu",
+        ),
+    )
+
+
+def paper_gpt_config() -> LLMConfig:
+    """GPT2LMHeadModel analog with the §3.4 shape settings."""
+    return LLMConfig(
+        vocab_size=50257, max_seq_len=2048, num_layers=2,
+        layer=LayerConfig(
+            attention=AttentionConfig(num_heads=8, head_dim=64, causal=True),
+            activation="gelu",
+        ),
+    )
+
+
+def scaled(config: LLMConfig, *, vocab_size: int | None = None,
+           seq_len: int | None = None, num_layers: int | None = None) -> LLMConfig:
+    """A smaller variant for concrete-mode tests and examples."""
+    return replace(
+        config,
+        vocab_size=vocab_size or config.vocab_size,
+        max_seq_len=seq_len or config.max_seq_len,
+        num_layers=num_layers or config.num_layers,
+    )

@@ -1,0 +1,129 @@
+"""KV-cached autoregressive decoding — the inference-side workload.
+
+The paper profiles training; a user deploying the same models cares
+about *decode*: one token at a time with cached keys/values. That
+workload inverts the paper's balance analysis — every matmul becomes a
+matvec (M = 1), covering 1/128 of the MME's rows, so the MME runs at
+a tiny fraction of peak and the step is dominated by streaming the
+weights — which this module lets the simulator demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import ht
+from ..ht import functional as F
+from ..ht.tensor import Tensor
+from ..util.errors import ShapeError
+from ..util.validation import check_positive_int
+from .config import LLMConfig
+
+
+@dataclass(frozen=True)
+class DecodeShapes:
+    """Shapes of one cached decode step."""
+
+    batch: int
+    context_len: int  # tokens already in the cache
+    num_heads: int
+    head_dim: int
+    d_model: int
+    vocab_size: int
+    num_layers: int
+
+
+def decode_shapes(config: LLMConfig, batch: int, context_len: int) -> DecodeShapes:
+    """Derive the step shapes from a model config."""
+    check_positive_int("batch", batch)
+    check_positive_int("context_len", context_len)
+    if context_len >= config.max_seq_len:
+        raise ShapeError(
+            f"context {context_len} exceeds max_seq_len {config.max_seq_len}"
+        )
+    attn = config.layer.attention
+    return DecodeShapes(
+        batch=batch,
+        context_len=context_len,
+        num_heads=attn.num_heads,
+        head_dim=attn.head_dim,
+        d_model=config.d_model,
+        vocab_size=config.vocab_size,
+        num_layers=config.num_layers,
+    )
+
+
+def _decode_layer(
+    x: Tensor,
+    k_cache: Tensor,
+    v_cache: Tensor,
+    wq: Tensor,
+    wk: Tensor,
+    wv: Tensor,
+    wo: Tensor,
+    w1: Tensor,
+    w2: Tensor,
+    shapes: DecodeShapes,
+) -> Tensor:
+    """One decoder layer's work for a single new token.
+
+    ``x`` is (B, 1, D); the caches are (B, H, T, dh). Cache-append
+    bookkeeping is a concat (DMA-class traffic); attention reduces to
+    per-head matvecs against the cache.
+    """
+    b, h, dh = shapes.batch, shapes.num_heads, shapes.head_dim
+    q = F.reshape(F.matmul(x, wq), (b, 1, h, dh))
+    q = F.transpose(q, (0, 2, 1, 3))                    # (B,H,1,dh)
+    k_new = F.transpose(F.reshape(F.matmul(x, wk), (b, 1, h, dh)),
+                        (0, 2, 1, 3))
+    v_new = F.transpose(F.reshape(F.matmul(x, wv), (b, 1, h, dh)),
+                        (0, 2, 1, 3))
+    k = F.concat_rows(k_cache, k_new)                    # (B,H,T+1,dh)
+    v = F.concat_rows(v_cache, v_new)
+    scores = F.mul_scalar(F.matmul(q, k, transpose_b=True), dh ** -0.5)
+    probs = F.softmax(scores, axis=-1)                   # (B,H,1,T+1)
+    ctx = F.matmul(probs, v)                             # (B,H,1,dh)
+    ctx = F.reshape(F.transpose(ctx, (0, 2, 1, 3)), (b, 1, h * dh))
+    attn_out = F.matmul(ctx, wo)
+    x = F.add(x, attn_out)
+    hmid = F.gelu(F.matmul(x, w1))
+    return F.add(x, F.matmul(hmid, w2))
+
+
+def record_decode_step(
+    config: LLMConfig,
+    *,
+    batch: int = 1,
+    context_len: int = 1024,
+) -> "ht.Recorder":
+    """Record one symbolic KV-cached decode step of a GPT-style model.
+
+    Weights and caches enter as graph inputs (they are resident state
+    during decoding); the recorded graph is the marginal per-token work.
+    """
+    shapes = decode_shapes(config, batch, context_len)
+    d, h, dh = shapes.d_model, shapes.num_heads, shapes.head_dim
+    ffn = d * config.layer.ffn_mult
+    with ht.record(
+        f"decode-b{batch}-t{context_len}", mode="symbolic"
+    ) as rec:
+        x = ht.input_tensor((batch, 1, d), name="token_embedding")
+        for layer in range(shapes.num_layers):
+            with ht.scope(f"layer{layer}"):
+                k_cache = ht.input_tensor((batch, h, context_len, dh),
+                                          name=f"k_cache{layer}")
+                v_cache = ht.input_tensor((batch, h, context_len, dh),
+                                          name=f"v_cache{layer}")
+                weights = {
+                    name: ht.input_tensor(shape, name=f"{name}{layer}")
+                    for name, shape in (
+                        ("wq", (d, d)), ("wk", (d, d)), ("wv", (d, d)),
+                        ("wo", (d, d)), ("w1", (d, ffn)), ("w2", (ffn, d)),
+                    )
+                }
+                x = _decode_layer(x, k_cache, v_cache,
+                                  shapes=shapes, **weights)
+        lm_head = ht.input_tensor((d, shapes.vocab_size), name="lm_head")
+        with ht.scope("head"):
+            F.matmul(x, lm_head)
+    return rec

@@ -1,0 +1,80 @@
+"""The SynapseAI software-stack analog.
+
+Graph IR -> op registry (Table 1's operation/engine mapping) ->
+lowering -> GraphCompiler (fusion, DMA staging, recompilation events,
+memory planning) -> Runtime (in-order or reordered issue) ->
+SynapseProfiler (hardware trace events + the paper's derived metrics).
+"""
+
+from .compiler import CompilerOptions, GraphCompiler
+from .critical_path import CriticalPathResult, critical_path
+from .dot import graph_to_dot, schedule_to_dot
+from .executor import execute_graph, execute_outputs, execute_schedule
+from .graph import Graph, Node, TensorValue
+from .lint import LintWarning, lint_graph, render_warnings
+from .lowering import lower_graph
+from .memtrace import MemorySample, MemoryTimeline, memory_timeline
+from .ops import (
+    OpDef,
+    engine_for,
+    matmul_spec,
+    op,
+    op_names,
+    work_item_for,
+)
+from .profiler import ProfileResult, SynapseProfiler
+from .render import ascii_timeline, gap_report
+from .runtime import ExecutionResult, Runtime, op_duration_us
+from .schedule import MemoryPlan, Schedule, ScheduledOp
+from .serialize import (
+    graph_from_json,
+    graph_to_json,
+    load_graph,
+    save_graph,
+)
+from .trace import Timeline, TraceEvent, validate_no_engine_overlap
+
+__all__ = [
+    "CompilerOptions",
+    "GraphCompiler",
+    "CriticalPathResult",
+    "critical_path",
+    "graph_to_dot",
+    "schedule_to_dot",
+    "execute_graph",
+    "execute_outputs",
+    "execute_schedule",
+    "Graph",
+    "Node",
+    "TensorValue",
+    "LintWarning",
+    "lint_graph",
+    "render_warnings",
+    "lower_graph",
+    "MemorySample",
+    "MemoryTimeline",
+    "memory_timeline",
+    "OpDef",
+    "engine_for",
+    "matmul_spec",
+    "op",
+    "op_names",
+    "work_item_for",
+    "ProfileResult",
+    "SynapseProfiler",
+    "ascii_timeline",
+    "gap_report",
+    "ExecutionResult",
+    "Runtime",
+    "op_duration_us",
+    "MemoryPlan",
+    "Schedule",
+    "ScheduledOp",
+    "graph_from_json",
+    "graph_to_json",
+    "load_graph",
+    "save_graph",
+    "Timeline",
+    "TraceEvent",
+    "validate_no_engine_overlap",
+]

@@ -1,0 +1,110 @@
+"""Critical-path analysis over a compiled schedule's dependency DAG.
+
+"Which ops actually bound the makespan?" — the question behind every
+optimization decision in the paper. The *data* critical path (longest
+dependency chain by duration) tells you the floor no scheduler can
+beat; comparing it to the executed makespan separates algorithmic
+serialization (softmax chains) from queueing artifacts (in-order
+engines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.costmodel import CostModel
+from ..util.errors import ExecutionError
+from ..util.tabulate import render_table
+from ..util.units import fmt_time_us
+from .runtime import op_duration_us
+from .schedule import Schedule, ScheduledOp
+
+
+@dataclass
+class CriticalPathResult:
+    """The longest duration-weighted dependency chain."""
+
+    ops: list[ScheduledOp]
+    durations_us: list[float]
+    total_us: float
+    #: sum of ALL op durations (the serial bound)
+    serial_total_us: float
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def parallelism(self) -> float:
+        """serial work / critical path — the available parallelism."""
+        if self.total_us <= 0:
+            return 1.0
+        return self.serial_total_us / self.total_us
+
+    def share_of(self, makespan_us: float) -> float:
+        """How much of an executed makespan the data path explains."""
+        if makespan_us <= 0:
+            raise ExecutionError("makespan must be positive")
+        return self.total_us / makespan_us
+
+    def by_src(self) -> dict[str, float]:
+        """Critical-path microseconds grouped by source op."""
+        out: dict[str, float] = {}
+        for op, dur in zip(self.ops, self.durations_us):
+            key = op.src or op.label
+            out[key] = out.get(key, 0.0) + dur
+        return out
+
+    def render(self, *, top: int = 10) -> str:
+        """The path's dominant contributors."""
+        contributions = sorted(
+            self.by_src().items(), key=lambda kv: kv[1], reverse=True
+        )[:top]
+        rows = [
+            (src, us / 1e3, f"{us / self.total_us:.0%}")
+            for src, us in contributions
+        ]
+        header = (
+            f"critical path: {fmt_time_us(self.total_us)} over "
+            f"{len(self.ops)} ops; serial work "
+            f"{fmt_time_us(self.serial_total_us)} "
+            f"(parallelism {self.parallelism():.2f}x)"
+        )
+        return header + "\n" + render_table(
+            ["source op", "path ms", "share"], rows,
+        )
+
+
+def critical_path(
+    schedule: Schedule, cost: CostModel
+) -> CriticalPathResult:
+    """Longest-duration chain through the schedule's dependency DAG.
+
+    Uses the same per-op durations the runtime charges; ops are already
+    topologically ordered (dependencies point backwards), so a single
+    DP pass suffices.
+    """
+    n = len(schedule.ops)
+    if n == 0:
+        return CriticalPathResult([], [], 0.0, 0.0)
+    durations = [op_duration_us(cost, op) for op in schedule.ops]
+    best = [0.0] * n       # longest finish time ending at op i
+    parent = [-1] * n
+    for op in schedule.ops:
+        start = 0.0
+        for dep in op.deps:
+            if best[dep] > start:
+                start = best[dep]
+                parent[op.index] = dep
+        best[op.index] = start + durations[op.index]
+    end = max(range(n), key=lambda i: best[i])
+    chain: list[int] = []
+    cursor = end
+    while cursor != -1:
+        chain.append(cursor)
+        cursor = parent[cursor]
+    chain.reverse()
+    return CriticalPathResult(
+        ops=[schedule.ops[i] for i in chain],
+        durations_us=[durations[i] for i in chain],
+        total_us=best[end],
+        serial_total_us=sum(durations),
+    )

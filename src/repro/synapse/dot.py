@@ -1,0 +1,94 @@
+"""Graphviz DOT export of op graphs and compiled schedules.
+
+Debugging/teaching aid: render what the frontend recorded and what the
+compiler made of it. Nodes are colored by engine (the Table 1 mapping
+becomes visible at a glance), fused chains collapse into single boxes,
+and DMA/host events show as the diamonds between engines.
+"""
+
+from __future__ import annotations
+
+from ..hw.costmodel import EngineKind
+from .graph import Graph
+from .ops import op as op_def
+from .schedule import Schedule
+
+_ENGINE_COLORS = {
+    EngineKind.MME: "#8ecae6",   # blue: the matmul engine
+    EngineKind.TPC: "#ffb703",   # amber: everything else
+    EngineKind.DMA: "#cdeac0",
+    EngineKind.HOST: "#ffafcc",
+}
+
+
+def _esc(text: str) -> str:
+    return text.replace('"', r"\"")
+
+
+def graph_to_dot(graph: Graph, *, max_nodes: int = 400) -> str:
+    """DOT for a recorded (pre-compilation) graph."""
+    lines = [
+        f'digraph "{_esc(graph.name)}" {{',
+        "  rankdir=TB;",
+        '  node [shape=box, style=filled, fontname="monospace"];',
+    ]
+    nodes = graph.nodes[:max_nodes]
+    for node in nodes:
+        engine = op_def(node.op).engine
+        color = _ENGINE_COLORS[engine]
+        label = node.label()
+        lines.append(
+            f'  n{node.nid} [label="{_esc(label)}", fillcolor="{color}"];'
+        )
+    producers = {n.output: n.nid for n in nodes}
+    for node in nodes:
+        for vid in node.inputs:
+            if vid in producers:
+                lines.append(f"  n{producers[vid]} -> n{node.nid};")
+            else:
+                value = graph.value(vid)
+                if value.kind in ("input", "param"):
+                    iv = f"v{vid}"
+                    shape_str = "x".join(map(str, value.shape)) or "scalar"
+                    lines.append(
+                        f'  {iv} [label="{_esc(value.name or iv)}\\n'
+                        f'{shape_str}", shape=ellipse, '
+                        f'fillcolor="#e9ecef"];'
+                    )
+                    lines.append(f"  {iv} -> n{node.nid};")
+    if len(graph.nodes) > max_nodes:
+        lines.append(
+            f'  truncated [label="... {len(graph.nodes) - max_nodes} more '
+            f'nodes", shape=plaintext];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot(schedule: Schedule, *, max_ops: int = 400) -> str:
+    """DOT for a compiled schedule (deps as edges, engines as colors)."""
+    lines = [
+        f'digraph "{_esc(schedule.graph.name)}_schedule" {{',
+        "  rankdir=TB;",
+        '  node [style=filled, fontname="monospace"];',
+    ]
+    ops = schedule.ops[:max_ops]
+    shown = {op.index for op in ops}
+    for op in ops:
+        color = _ENGINE_COLORS[op.engine]
+        shape = "diamond" if op.engine in (EngineKind.DMA, EngineKind.HOST) \
+            else "box"
+        lines.append(
+            f'  s{op.index} [label="{_esc(op.label)}", '
+            f'fillcolor="{color}", shape={shape}];'
+        )
+        for dep in op.deps:
+            if dep in shown:
+                lines.append(f"  s{dep} -> s{op.index};")
+    if len(schedule.ops) > max_ops:
+        lines.append(
+            f'  truncated [label="... {len(schedule.ops) - max_ops} more '
+            f'ops", shape=plaintext];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

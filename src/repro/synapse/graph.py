@@ -1,0 +1,194 @@
+"""Graph IR: the program representation SynapseAI compiles.
+
+A :class:`Graph` is a list of single-output :class:`Node` ops over
+:class:`TensorValue` operands, kept in *program order* — the order the
+frontend emitted them, which is also a topological order (an op can
+only consume already-created values). Program order matters: the paper
+attributes its MME idle gaps to the GraphCompiler issuing work
+in-order per engine (§3.3), so the IR must preserve it.
+
+Values are symbolic (shape + dtype); functional data lives in the
+frontend (:mod:`repro.ht`), keeping paper-scale graphs cheap to build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.dtypes import DType, itemsize
+from ..util.errors import GraphError
+from ..util.validation import check_shape
+
+Shape = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TensorValue:
+    """A symbolic tensor in the graph."""
+
+    vid: int
+    shape: Shape
+    dtype: DType
+    name: str = ""
+    #: graph inputs: "input" (activations fed per step), "param"
+    #: (persistent weights), "const"; producer outputs: "activation"
+    kind: str = "activation"
+
+    @property
+    def numel(self) -> int:
+        """Number of elements."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes of this value."""
+        return self.numel * itemsize(self.dtype)
+
+
+@dataclass
+class Node:
+    """One op in program order. Single output, n inputs."""
+
+    nid: int
+    op: str
+    inputs: tuple[int, ...]
+    output: int
+    attrs: dict = field(default_factory=dict)
+    #: provenance of lowered ops ("softmax", "layernorm", ...) or the
+    #: composite op's own name; used by trace analysis.
+    src: str = ""
+    #: frontend scope, e.g. "encoder0.attn"
+    scope: str = ""
+
+    def label(self) -> str:
+        """Human-readable op label for traces."""
+        base = f"{self.scope}.{self.op}" if self.scope else self.op
+        return base
+
+
+class Graph:
+    """An op graph in program order."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self.values: dict[int, TensorValue] = {}
+        self.nodes: list[Node] = []
+        self._next_vid = 0
+        self._next_nid = 0
+
+    # -- construction ----------------------------------------------------
+
+    def add_value(
+        self,
+        shape: Shape,
+        dtype: DType,
+        *,
+        name: str = "",
+        kind: str = "activation",
+    ) -> TensorValue:
+        """Create a new value (graph input if no node produces it)."""
+        shape = check_shape(name or "value", shape)
+        if kind not in ("activation", "input", "param", "const"):
+            raise GraphError(f"unknown value kind {kind!r}")
+        value = TensorValue(self._next_vid, shape, dtype, name=name, kind=kind)
+        self.values[value.vid] = value
+        self._next_vid += 1
+        return value
+
+    def add_node(
+        self,
+        op: str,
+        inputs: tuple[int, ...] | list[int],
+        output: TensorValue,
+        *,
+        attrs: dict | None = None,
+        src: str = "",
+        scope: str = "",
+    ) -> Node:
+        """Append an op; inputs must be existing value ids."""
+        inputs = tuple(inputs)
+        for vid in inputs:
+            if vid not in self.values:
+                raise GraphError(f"node {op!r} consumes unknown value {vid}")
+        if output.vid not in self.values:
+            raise GraphError(f"node {op!r} produces unregistered value")
+        if any(n.output == output.vid for n in self.nodes):
+            raise GraphError(
+                f"value {output.vid} already has a producer (single "
+                f"static assignment violated by {op!r})"
+            )
+        node = Node(
+            self._next_nid, op, inputs, output.vid,
+            attrs=dict(attrs or {}), src=src or op, scope=scope,
+        )
+        self._next_nid += 1
+        self.nodes.append(node)
+        return node
+
+    # -- queries -----------------------------------------------------------
+
+    def value(self, vid: int) -> TensorValue:
+        """Look up a value by id."""
+        try:
+            return self.values[vid]
+        except KeyError:
+            raise GraphError(f"unknown value id {vid}") from None
+
+    def producer(self, vid: int) -> Node | None:
+        """The node producing ``vid`` (None for graph inputs)."""
+        for node in self.nodes:
+            if node.output == vid:
+                return node
+        return None
+
+    def producers(self) -> dict[int, Node]:
+        """Map of value id -> producing node for all produced values."""
+        return {node.output: node for node in self.nodes}
+
+    def consumers(self) -> dict[int, list[Node]]:
+        """Map of value id -> consuming nodes (program order)."""
+        out: dict[int, list[Node]] = {vid: [] for vid in self.values}
+        for node in self.nodes:
+            for vid in node.inputs:
+                out[vid].append(node)
+        return out
+
+    def graph_inputs(self) -> list[TensorValue]:
+        """Values with no producer (inputs, params, consts)."""
+        produced = {node.output for node in self.nodes}
+        return [v for vid, v in sorted(self.values.items()) if vid not in produced]
+
+    def parameters(self) -> list[TensorValue]:
+        """Graph inputs marked as parameters."""
+        return [v for v in self.graph_inputs() if v.kind == "param"]
+
+    def total_flops_hint(self) -> int:
+        """Number of nodes (quick size probe for logs)."""
+        return len(self.nodes)
+
+    def validate(self) -> None:
+        """Check SSA + program-order (topological) invariants."""
+        produced: set[int] = set()
+        for node in self.nodes:
+            for vid in node.inputs:
+                if vid not in self.values:
+                    raise GraphError(f"node {node.nid} reads unknown value {vid}")
+                producer_seen = vid in produced
+                is_graph_input = self.values[vid].kind in ("input", "param", "const")
+                if not producer_seen and not is_graph_input:
+                    raise GraphError(
+                        f"node {node.nid} ({node.op}) reads value {vid} "
+                        "before it is produced — graph is not in program order"
+                    )
+            if node.output in produced:
+                raise GraphError(f"value {node.output} produced twice")
+            produced.add(node.output)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph({self.name!r}, {len(self.nodes)} nodes, {len(self.values)} values)"

@@ -1,0 +1,140 @@
+"""Graph linter: catch performance smells before profiling.
+
+The paper's §4 insights are, in effect, lint rules ("use basic ops",
+"make work matmul-shaped"). This linter walks a recorded graph and
+flags what a Gaudi performance engineer would circle in review:
+
+* mixed-dtype op inputs (hidden casts / broken MME eligibility),
+* ops the compiler must recompile for (GLU),
+* TPC-heavy FLOP balance (most arithmetic *not* reaching the MME),
+* physical transposes that could often be folded into matmul flags,
+* reductions over short axes (worst-case SIMD efficiency, §3.3),
+* values produced and never consumed (dead compute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.costmodel import EngineKind, OpClass
+from .graph import Graph
+from .ops import op as op_def
+
+SHORT_REDUCTION_AXIS = 32
+TPC_FLOPS_SHARE_WARN = 0.5
+
+
+@dataclass(frozen=True)
+class LintWarning:
+    """One finding; ``rule`` is stable for filtering/tests."""
+
+    rule: str
+    message: str
+    node_id: int | None = None
+
+    def __str__(self) -> str:
+        where = f" (node {self.node_id})" if self.node_id is not None else ""
+        return f"[{self.rule}]{where} {self.message}"
+
+
+def lint_graph(graph: Graph) -> list[LintWarning]:
+    """Run every rule; returns warnings in graph order."""
+    graph.validate()
+    warnings: list[LintWarning] = []
+    consumed = {vid for node in graph.nodes for vid in node.inputs}
+
+    mme_flops = 0.0
+    tpc_flops = 0.0
+    for node in graph.nodes:
+        opdef = op_def(node.op)
+        in_values = [graph.value(v) for v in node.inputs]
+        out_value = graph.value(node.output)
+
+        dtypes = {v.dtype for v in in_values if v.numel > 0}
+        if len(dtypes) > 1:
+            warnings.append(LintWarning(
+                "mixed-dtype",
+                f"{node.op} mixes input dtypes "
+                f"{sorted(d.value for d in dtypes)}",
+                node.nid,
+            ))
+
+        if not opdef.supported:
+            warnings.append(LintWarning(
+                "recompile",
+                f"{node.op} is poorly supported by SynapseAI and will "
+                "trigger a host recompilation (see Fig 7's GLU)",
+                node.nid,
+            ))
+
+        if node.op == "transpose":
+            consumers = [
+                n for n in graph.nodes if node.output in n.inputs
+            ]
+            if consumers and all(n.op == "matmul" for n in consumers):
+                warnings.append(LintWarning(
+                    "foldable-transpose",
+                    "physical transpose feeds only matmuls; use the "
+                    "matmul transpose flags and keep the data in place",
+                    node.nid,
+                ))
+
+        if opdef.op_class is OpClass.REDUCTION:
+            axis = node.attrs.get("axis")
+            if isinstance(axis, int):
+                length = in_values[0].shape[axis]
+                if length < SHORT_REDUCTION_AXIS:
+                    warnings.append(LintWarning(
+                        "short-reduction",
+                        f"{node.op} reduces an axis of length {length}: "
+                        "horizontal combines dominate on the SIMD TPC "
+                        "(section 3.3)",
+                        node.nid,
+                    ))
+
+        # rough FLOP split for the balance rule
+        numel = out_value.numel
+        if opdef.op_class is OpClass.MATMUL:
+            from .ops import matmul_spec
+
+            _, dims = matmul_spec(
+                in_values[0].shape, in_values[1].shape, node.attrs
+            )
+            mme_flops += dims.flops
+        elif opdef.op_class in (OpClass.ELEMENTWISE, OpClass.SPECIAL,
+                                OpClass.REDUCTION):
+            tpc_flops += numel * opdef.flops_per_element
+
+    produced = {node.output for node in graph.nodes}
+    dead = produced - consumed
+    # terminal values are the graph's outputs; "dead" only when there
+    # is more than one terminal and some carry no name (accidental)
+    if len(dead) > 1:
+        unnamed = [vid for vid in dead if not graph.value(vid).name]
+        for vid in sorted(unnamed)[1:]:
+            producer = next(n for n in graph.nodes if n.output == vid)
+            warnings.append(LintWarning(
+                "dead-value",
+                f"{producer.op} produces value {vid} that nothing "
+                "consumes; dead compute still burns engine time",
+                producer.nid,
+            ))
+
+    total = mme_flops + tpc_flops
+    if total > 0 and tpc_flops / total > TPC_FLOPS_SHARE_WARN:
+        warnings.append(LintWarning(
+            "tpc-heavy",
+            f"{tpc_flops / total:.0%} of arithmetic maps to the TPC "
+            "(~7x slower than the MME, Table 2); restructure toward "
+            "matmuls (section 4 insight #3)",
+        ))
+    return warnings
+
+
+def render_warnings(warnings: list[LintWarning]) -> str:
+    """Human-readable lint report."""
+    if not warnings:
+        return "lint: clean (no findings)"
+    lines = [f"lint: {len(warnings)} finding(s)"]
+    lines.extend(f"  {w}" for w in warnings)
+    return "\n".join(lines)

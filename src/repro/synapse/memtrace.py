@@ -1,0 +1,144 @@
+"""HBM occupancy over time: the memory-pressure view of an execution.
+
+The compiler's :class:`~repro.synapse.schedule.MemoryPlan` gives the
+peak; this module reconstructs the whole live-bytes curve over an
+executed timeline — which op allocates the spike, when activations
+saved for backward finally release, and how close the run sails to the
+32 GB ceiling that capped the paper's batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.errors import ExecutionError
+from ..util.units import fmt_bytes, fmt_time_us
+from .schedule import Schedule
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """Live HBM bytes right after one op completes."""
+
+    time_us: float
+    live_bytes: int
+    op_label: str
+    delta_bytes: int
+
+
+@dataclass
+class MemoryTimeline:
+    """The occupancy curve of one executed schedule."""
+
+    samples: list[MemorySample] = field(default_factory=list)
+    persistent_bytes: int = 0
+
+    @property
+    def peak_bytes(self) -> int:
+        """Maximum live bytes over the run."""
+        return max(
+            (s.live_bytes for s in self.samples), default=self.persistent_bytes
+        )
+
+    def peak_sample(self) -> MemorySample | None:
+        """The sample at which the peak occurs."""
+        if not self.samples:
+            return None
+        return max(self.samples, key=lambda s: s.live_bytes)
+
+    def utilization_of(self, capacity_bytes: int) -> float:
+        """peak / capacity."""
+        if capacity_bytes <= 0:
+            raise ExecutionError("capacity must be positive")
+        return self.peak_bytes / capacity_bytes
+
+    def sparkline(self, *, width: int = 80, capacity_bytes: int | None = None) -> str:
+        """ASCII occupancy curve: one column per time slice."""
+        if not self.samples:
+            return "(no samples)"
+        t_end = self.samples[-1].time_us
+        top = capacity_bytes or self.peak_bytes
+        levels = " .:-=+*#%@"
+        cols = [self.persistent_bytes] * width
+        for s in self.samples:
+            col = min(width - 1, int(s.time_us / max(t_end, 1e-9) * width))
+            cols[col] = max(cols[col], s.live_bytes)
+        # carry forward so gaps hold the last level
+        for i in range(1, width):
+            if cols[i] == self.persistent_bytes:
+                cols[i] = max(cols[i], cols[i - 1])
+        row = "".join(
+            levels[min(len(levels) - 1,
+                       int(c / max(top, 1) * (len(levels) - 1)))]
+            for c in cols
+        )
+        peak = self.peak_sample()
+        cap_note = (
+            f" / cap {fmt_bytes(capacity_bytes)}" if capacity_bytes else ""
+        )
+        return (
+            f"HBM |{row}| peak {fmt_bytes(self.peak_bytes)}{cap_note} "
+            f"at {fmt_time_us(peak.time_us)} ({peak.op_label})"
+        )
+
+
+def memory_timeline(
+    schedule: Schedule,
+    completion_times_us: list[float] | None = None,
+) -> MemoryTimeline:
+    """Reconstruct the occupancy curve of ``schedule``.
+
+    ``completion_times_us`` gives each scheduled op's end time (from an
+    :class:`~repro.synapse.runtime.ExecutionResult`); without it, the
+    curve is indexed by schedule position (one 'tick' per op).
+
+    The reconstructed peak must equal the compiler's planned peak —
+    tests enforce that cross-check.
+    """
+    graph = schedule.graph
+    plan = schedule.memory
+    if completion_times_us is not None and len(completion_times_us) != len(
+        schedule.ops
+    ):
+        raise ExecutionError(
+            f"{len(completion_times_us)} completion times for "
+            f"{len(schedule.ops)} ops"
+        )
+    graph_inputs = {v.vid for v in graph.graph_inputs()}
+    internal = _fused_internal(schedule)
+    frees_at: dict[int, list[int]] = {}
+    for vid, idx in plan.free_after.items():
+        frees_at.setdefault(idx, []).append(vid)
+
+    timeline = MemoryTimeline(persistent_bytes=plan.persistent_bytes)
+    live = plan.persistent_bytes
+    for op in schedule.ops:
+        delta = 0
+        for vid in op.writes:
+            if vid in internal or vid in graph_inputs:
+                continue
+            delta += graph.value(vid).nbytes
+        live += delta
+        sample_live = live
+        for vid in frees_at.get(op.index, ()):
+            live -= graph.value(vid).nbytes
+            delta -= graph.value(vid).nbytes
+        t = (
+            completion_times_us[op.index]
+            if completion_times_us is not None
+            else float(op.index)
+        )
+        timeline.samples.append(
+            MemorySample(t, sample_live, op.label, delta)
+        )
+    return timeline
+
+
+def _fused_internal(schedule: Schedule) -> set[int]:
+    node_by_id = {n.nid: n for n in schedule.graph.nodes}
+    internal: set[int] = set()
+    for op in schedule.ops:
+        if len(op.node_ids) > 1:
+            outs = [node_by_id[nid].output for nid in op.node_ids]
+            internal.update(outs[:-1])
+    return internal

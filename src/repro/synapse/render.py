@@ -1,0 +1,102 @@
+"""ASCII rendering of hardware traces — the paper's figures, in text.
+
+Figures 4–9 of the paper are profiler timelines with one lane per
+engine, colored blocks for op executions and white gaps for idleness.
+:func:`ascii_timeline` renders the same view in a terminal: ``#``-style
+block characters per op (letter-coded by source op) and spaces for the
+blank areas the paper keeps pointing at.
+"""
+
+from __future__ import annotations
+
+from ..hw.costmodel import EngineKind
+from ..util.units import fmt_time_us
+from .trace import Timeline
+
+#: engines shown, top to bottom, matching the paper's figures
+LANES = (EngineKind.MME, EngineKind.TPC, EngineKind.DMA, EngineKind.HOST)
+
+_GLYPHS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def _glyph_map(timeline: Timeline) -> dict[str, str]:
+    srcs: list[str] = []
+    for ev in timeline.events:
+        key = ev.src or ev.name
+        if key not in srcs:
+            srcs.append(key)
+    return {src: _GLYPHS[i % len(_GLYPHS)] for i, src in enumerate(srcs)}
+
+
+def ascii_timeline(
+    timeline: Timeline,
+    *,
+    width: int = 100,
+    lanes: tuple[EngineKind, ...] = LANES,
+    show_legend: bool = True,
+) -> str:
+    """Render ``timeline`` as fixed-width engine lanes.
+
+    Each column is ``makespan / width`` microseconds; a column shows the
+    glyph of the op that occupies the largest share of it, or a space
+    when the engine is idle (the paper's "blank areas").
+    """
+    total = timeline.total_time_us
+    if total <= 0 or width < 1:
+        return "(empty trace)"
+    glyphs = _glyph_map(timeline)
+    col_us = total / width
+    lines = [
+        f"trace {timeline.name!r}  makespan {fmt_time_us(total)}  "
+        f"({col_us:.1f} us/column)"
+    ]
+    for engine in lanes:
+        events = timeline.engine_events(engine)
+        if not events and engine in (EngineKind.DMA, EngineKind.HOST):
+            continue
+        occupancy = [0.0] * width
+        owner = [" "] * width
+        best = [0.0] * width
+        for ev in events:
+            first = int(ev.start_us / col_us)
+            last = int(min(ev.end_us / col_us, width - 1e-9))
+            for col in range(max(first, 0), min(last, width - 1) + 1):
+                lo = max(ev.start_us, col * col_us)
+                hi = min(ev.end_us, (col + 1) * col_us)
+                share = max(0.0, hi - lo)
+                occupancy[col] += share
+                if share > best[col]:
+                    best[col] = share
+                    owner[col] = glyphs[ev.src or ev.name]
+        row = "".join(
+            owner[c] if occupancy[c] >= 0.5 * col_us else
+            ("." if occupancy[c] > 0 else " ")
+            for c in range(width)
+        )
+        util = timeline.utilization(engine)
+        lines.append(f"{engine.value:>4} |{row}| {util:5.1%}")
+    if show_legend:
+        legend = "  ".join(f"{g}={src}" for src, g in glyphs.items())
+        lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def gap_report(
+    timeline: Timeline, engine: EngineKind, *, min_dur_us: float = 50.0, top: int = 5
+) -> str:
+    """List the largest idle gaps of ``engine`` — the blank areas."""
+    gaps = sorted(
+        timeline.gaps(engine, min_dur_us=min_dur_us),
+        key=lambda g: g.duration,
+        reverse=True,
+    )[:top]
+    if not gaps:
+        return f"{engine.value}: no idle gaps > {fmt_time_us(min_dur_us)}"
+    lines = [f"{engine.value}: {len(gaps)} largest idle gaps "
+             f"(idle fraction {timeline.idle_fraction(engine):.1%})"]
+    for g in gaps:
+        lines.append(
+            f"  [{fmt_time_us(g.start)} .. {fmt_time_us(g.end)}] "
+            f"duration {fmt_time_us(g.duration)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Runtime: execute a compiled schedule on a simulated device.
+
+Two issue disciplines, selected by
+:attr:`~repro.synapse.compiler.CompilerOptions.reorder`:
+
+* **in-order** (default, what SynapseAI does): each engine issues its
+  queue strictly in program order; an op starts when its engine is free
+  AND its producers are done. Engines still overlap *across* queues —
+  this is what produces both the good overlap of Fig 5 and the MME idle
+  gaps of Figs 4/6/8/9.
+* **reorder** (the ablation): an engine may start any *ready* op,
+  earliest-ready first (ties by program order) — a greedy list
+  scheduler standing in for a compiler that "detect[s] independence"
+  (§3.3's Performer discussion).
+
+Durations come from the device's calibrated cost models; fused chains
+sum member compute time and pay HBM traffic only at the chain edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.costmodel import CostModel, EngineKind, WorkItem
+from ..hw.device import GaudiDevice
+from ..util.errors import ExecutionError
+from ..util.units import s_to_us
+from .schedule import Schedule, ScheduledOp
+from .trace import Timeline, TraceEvent
+
+
+def op_duration_us(cost: CostModel, op: ScheduledOp) -> float:
+    """Duration of a scheduled op (single or fused chain)."""
+    if not op.items:
+        raise ExecutionError(f"scheduled op {op.label!r} has no work items")
+    if len(op.items) == 1:
+        return cost.time_us(op.engine, op.items[0])
+    # Fused chain: members compute back to back on-chip; HBM traffic is
+    # only the chain's external reads + final write; one launch total.
+    if op.engine is not EngineKind.TPC:
+        raise ExecutionError(f"fused op {op.label!r} must be on TPC")
+    launch = cost.config.tpc.launch_overhead_us
+    compute = 0.0
+    for item in op.items:
+        bare = WorkItem(
+            item.name, item.op_class, flops=item.flops, elements=item.elements,
+            dtype=item.dtype, special_fn=item.special_fn,
+        )
+        compute += cost.time_us(op.engine, bare) - launch
+    first, last = op.items[0], op.items[-1]
+    traffic = first.bytes_read + last.bytes_written
+    mem = s_to_us(traffic / cost.config.hbm.effective_bandwidth)
+    fixed = sum(item.fixed_time_us for item in op.items)
+    return max(compute, mem) + launch + fixed
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one schedule execution."""
+
+    timeline: Timeline
+    total_time_us: float
+    start_offset_us: float
+    schedule: Schedule
+    peak_hbm_bytes: int = 0
+    issue_order: list[int] = field(default_factory=list)
+
+
+class Runtime:
+    """Executes compiled schedules on a :class:`GaudiDevice`."""
+
+    def __init__(self, device: GaudiDevice | None = None):
+        self.device = device or GaudiDevice()
+
+    def execute(
+        self, schedule: Schedule, *, reorder: bool = False
+    ) -> ExecutionResult:
+        """Run ``schedule``; the device clock keeps advancing across calls."""
+        start_offset = self.device.now
+        cost = self.device.cost_model
+        durations = [op_duration_us(cost, op) for op in schedule.ops]
+        if reorder:
+            events, order = self._execute_reorder(schedule, durations, start_offset)
+        else:
+            events, order = self._execute_in_order(schedule, durations, start_offset)
+        timeline = Timeline(
+            [ev for ev in events], name=schedule.graph.name
+        )
+        total = max((ev.end_us for ev in events), default=start_offset)
+        return ExecutionResult(
+            timeline=timeline,
+            total_time_us=total - start_offset,
+            start_offset_us=start_offset,
+            schedule=schedule,
+            peak_hbm_bytes=schedule.memory.peak_bytes,
+            issue_order=order,
+        )
+
+    # -- helpers -------------------------------------------------------------
+
+    def _record(
+        self, op: ScheduledOp, ready: float, duration: float
+    ) -> TraceEvent:
+        interval = self.device.timeline(op.engine).reserve(
+            ready, duration, op.label
+        )
+        return TraceEvent(
+            name=op.label,
+            engine=op.engine,
+            start_us=interval.start,
+            dur_us=duration,
+            src=op.src,
+            scope=op.scope,
+            flops=op.flops,
+        )
+
+    def _execute_in_order(
+        self, schedule: Schedule, durations: list[float], t0: float
+    ) -> tuple[list[TraceEvent], list[int]]:
+        finish: dict[int, float] = {}
+        events: list[TraceEvent] = []
+        for op in schedule.ops:
+            ready = max((finish[d] for d in op.deps), default=t0)
+            event = self._record(op, ready, durations[op.index])
+            finish[op.index] = event.end_us
+            events.append(event)
+        return events, [op.index for op in schedule.ops]
+
+    def _execute_reorder(
+        self, schedule: Schedule, durations: list[float], t0: float
+    ) -> tuple[list[TraceEvent], list[int]]:
+        n = len(schedule.ops)
+        remaining = set(range(n))
+        finish: dict[int, float] = {}
+        pending_deps = {op.index: set(op.deps) for op in schedule.ops}
+        ready_time = {op.index: t0 for op in schedule.ops if not op.deps}
+        events: list[TraceEvent] = []
+        order: list[int] = []
+        while remaining:
+            # Among ready ops, greedily pick the one that can *start*
+            # earliest on its engine; break ties by program order.
+            best: tuple[float, int] | None = None
+            for idx, r in ready_time.items():
+                op = schedule.ops[idx]
+                start = max(r, self.device.timeline(op.engine).free_at)
+                key = (start, idx)
+                if best is None or key < best:
+                    best = key
+            if best is None:
+                raise ExecutionError(
+                    "deadlock: no ready ops but schedule incomplete "
+                    "(cyclic dependencies?)"
+                )
+            _, idx = best
+            op = schedule.ops[idx]
+            event = self._record(op, ready_time.pop(idx), durations[idx])
+            finish[idx] = event.end_us
+            events.append(event)
+            order.append(idx)
+            remaining.discard(idx)
+            for other in remaining:
+                deps = pending_deps[other]
+                if idx in deps:
+                    deps.discard(idx)
+                    if not deps:
+                        ready_time[other] = max(
+                            (finish[d] for d in schedule.ops[other].deps),
+                            default=t0,
+                        )
+        return events, order

@@ -1,0 +1,121 @@
+"""Graph serialization: save recorded programs, reload them anywhere.
+
+A recorded graph is the complete performance-relevant description of a
+workload (shapes, ops, attrs, provenance), so serializing it enables
+offline workflows: record on one machine, compile/profile/sweep
+configurations elsewhere, check a graph into a repo as a benchmark
+fixture. JSON, versioned, loss-free for everything the compiler reads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..hw.dtypes import DType
+from ..util.errors import GraphError
+from .graph import Graph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_json(graph: Graph) -> str:
+    """Serialize ``graph`` to a JSON string."""
+    payload = {
+        "format": "repro-graph",
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "values": [
+            {
+                "vid": v.vid,
+                "shape": list(v.shape),
+                "dtype": v.dtype.value,
+                "name": v.name,
+                "kind": v.kind,
+            }
+            for _, v in sorted(graph.values.items())
+        ],
+        "nodes": [
+            {
+                "nid": n.nid,
+                "op": n.op,
+                "inputs": list(n.inputs),
+                "output": n.output,
+                "attrs": _encode_attrs(n.attrs),
+                "src": n.src,
+                "scope": n.scope,
+            }
+            for n in graph.nodes
+        ],
+    }
+    return json.dumps(payload, indent=1)
+
+
+def _encode_attrs(attrs: dict) -> dict:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, tuple):
+            out[key] = {"__tuple__": list(value)}
+        else:
+            out[key] = value
+    return out
+
+
+def _decode_attrs(attrs: dict) -> dict:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, dict) and "__tuple__" in value:
+            out[key] = tuple(value["__tuple__"])
+        else:
+            out[key] = value
+    return out
+
+
+def graph_from_json(text: str) -> Graph:
+    """Reconstruct a graph serialized by :func:`graph_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != "repro-graph":
+        raise GraphError("not a serialized repro graph")
+    if payload.get("version") != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported graph format version {payload.get('version')}"
+        )
+    graph = Graph(payload.get("name", "graph"))
+    vid_map: dict[int, int] = {}
+    for spec in payload["values"]:
+        value = graph.add_value(
+            tuple(spec["shape"]), DType(spec["dtype"]),
+            name=spec.get("name", ""), kind=spec.get("kind", "activation"),
+        )
+        vid_map[spec["vid"]] = value.vid
+    for spec in payload["nodes"]:
+        graph.add_node(
+            spec["op"],
+            [vid_map[v] for v in spec["inputs"]],
+            graph.value(vid_map[spec["output"]]),
+            attrs=_decode_attrs(spec.get("attrs", {})),
+            src=spec.get("src", ""),
+            scope=spec.get("scope", ""),
+        )
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: Graph, path: "str | Path") -> Path:
+    """Write the graph JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(graph_to_json(graph))
+    return path
+
+
+def load_graph(path: "str | Path") -> Graph:
+    """Load a graph saved by :func:`save_graph`."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise GraphError(f"cannot read {path}: {exc}") from exc
+    return graph_from_json(text)

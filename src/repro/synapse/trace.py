@@ -1,0 +1,227 @@
+"""Hardware trace events and timeline analysis.
+
+The SynapseAI profiler "generate[s] hardware trace events and
+accurately measure[s] the execution time of each operation" (§3.2);
+every figure in the paper is a rendering of such a trace. This module
+is the data model: :class:`TraceEvent` per executed op and
+:class:`Timeline` for the queries the paper performs on them — MME idle
+gaps (Figs 4/6/8/9), softmax's share of TPC busy time (Fig 4), total
+run time per attention variant (Figs 5/6/7).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..hw.costmodel import EngineKind
+from ..hw.des import Interval
+from ..util.errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One op execution on one engine."""
+
+    name: str
+    engine: EngineKind
+    start_us: float
+    dur_us: float
+    src: str = ""
+    scope: str = ""
+    flops: float = 0.0
+
+    @property
+    def end_us(self) -> float:
+        """Completion time."""
+        return self.start_us + self.dur_us
+
+
+class Timeline:
+    """An executed trace: events + derived occupancy queries."""
+
+    def __init__(self, events: list[TraceEvent] | None = None, name: str = "trace"):
+        self.name = name
+        self.events: list[TraceEvent] = []
+        if events:
+            for ev in events:
+                self.add(ev)
+
+    def add(self, event: TraceEvent) -> None:
+        """Append an event (negative durations are runtime bugs)."""
+        if event.dur_us < 0:
+            raise ExecutionError(f"negative duration for event {event.name!r}")
+        self.events.append(event)
+
+    # -- global queries -----------------------------------------------------
+
+    @property
+    def total_time_us(self) -> float:
+        """Makespan: last completion time (0 for an empty trace)."""
+        return max((ev.end_us for ev in self.events), default=0.0)
+
+    def engine_events(self, engine: EngineKind) -> list[TraceEvent]:
+        """Events of one engine, ordered by start time."""
+        return sorted(
+            (ev for ev in self.events if ev.engine is engine),
+            key=lambda ev: (ev.start_us, ev.end_us),
+        )
+
+    def busy_time_us(self, engine: EngineKind) -> float:
+        """Total busy microseconds of ``engine`` (events never overlap
+        on one engine, so a plain sum is exact)."""
+        return sum(ev.dur_us for ev in self.events if ev.engine is engine)
+
+    def utilization(self, engine: EngineKind) -> float:
+        """busy / makespan for ``engine``."""
+        total = self.total_time_us
+        if total <= 0:
+            return 0.0
+        return self.busy_time_us(engine) / total
+
+    def idle_fraction(self, engine: EngineKind) -> float:
+        """1 - utilization: the paper's 'blank areas' metric."""
+        return 1.0 - self.utilization(engine)
+
+    def gaps(self, engine: EngineKind, *, min_dur_us: float = 0.0) -> list[Interval]:
+        """Idle intervals of ``engine`` within [0, makespan)."""
+        horizon = self.total_time_us
+        events = self.engine_events(engine)
+        out: list[Interval] = []
+        cursor = 0.0
+        for ev in events:
+            if ev.start_us > cursor:
+                out.append(Interval(cursor, ev.start_us, "idle"))
+            cursor = max(cursor, ev.end_us)
+        if cursor < horizon:
+            out.append(Interval(cursor, horizon, "idle"))
+        return [g for g in out if g.duration > min_dur_us]
+
+    # -- attribution ---------------------------------------------------------
+
+    def busy_by_src(self, engine: EngineKind | None = None) -> dict[str, float]:
+        """Busy microseconds grouped by source op (e.g. 'softmax')."""
+        out: dict[str, float] = {}
+        for ev in self.events:
+            if engine is not None and ev.engine is not engine:
+                continue
+            out[ev.src or ev.name] = out.get(ev.src or ev.name, 0.0) + ev.dur_us
+        return out
+
+    def src_share(self, src: str, engine: EngineKind) -> float:
+        """Fraction of ``engine`` busy time attributed to ``src``.
+
+        ``src_share('softmax', TPC)`` is the Fig 4 headline number
+        ("the running time of softmax exceeds 80% of the total running
+        time" of the TPC).
+        """
+        busy = self.busy_time_us(engine)
+        if busy <= 0:
+            return 0.0
+        attributed = sum(
+            ev.dur_us
+            for ev in self.events
+            if ev.engine is engine and ev.src == src
+        )
+        return attributed / busy
+
+    def top_events(self, n: int = 10) -> list[TraceEvent]:
+        """The ``n`` longest events."""
+        return sorted(self.events, key=lambda ev: ev.dur_us, reverse=True)[:n]
+
+    # -- composition / export -------------------------------------------------
+
+    def window(self, t0_us: float, t1_us: float) -> "Timeline":
+        """Events clipped to [t0, t1): per-region analysis (e.g. 'the
+        transformer-layer stretch of an end-to-end trace')."""
+        if t1_us < t0_us:
+            raise ExecutionError(f"bad window [{t0_us}, {t1_us})")
+        out = Timeline(name=f"{self.name}[{t0_us:.0f}:{t1_us:.0f}]")
+        for ev in self.events:
+            lo = max(ev.start_us, t0_us)
+            hi = min(ev.end_us, t1_us)
+            if hi > lo:
+                out.add(TraceEvent(ev.name, ev.engine, lo, hi - lo,
+                                   ev.src, ev.scope, ev.flops))
+        return out
+
+    def filter(
+        self,
+        *,
+        scope_prefix: str | None = None,
+        src: str | None = None,
+        engine: EngineKind | None = None,
+    ) -> "Timeline":
+        """A sub-trace matching all the given predicates."""
+        out = Timeline(name=f"{self.name}|filtered")
+        for ev in self.events:
+            if scope_prefix is not None and not ev.scope.startswith(
+                scope_prefix
+            ):
+                continue
+            if src is not None and ev.src != src:
+                continue
+            if engine is not None and ev.engine is not engine:
+                continue
+            out.add(ev)
+        return out
+
+    def scope_span(self, scope_prefix: str) -> tuple[float, float]:
+        """[first start, last end) of events under ``scope_prefix``;
+        (0, 0) when nothing matches."""
+        matching = [
+            ev for ev in self.events if ev.scope.startswith(scope_prefix)
+        ]
+        if not matching:
+            return (0.0, 0.0)
+        return (min(ev.start_us for ev in matching),
+                max(ev.end_us for ev in matching))
+
+    def shifted(self, offset_us: float) -> "Timeline":
+        """A copy with every event moved later by ``offset_us``."""
+        return Timeline(
+            [
+                TraceEvent(
+                    ev.name, ev.engine, ev.start_us + offset_us, ev.dur_us,
+                    ev.src, ev.scope, ev.flops,
+                )
+                for ev in self.events
+            ],
+            name=self.name,
+        )
+
+    def to_chrome_trace(self) -> str:
+        """Export as a chrome://tracing / Perfetto JSON string."""
+        rows = [
+            {
+                "name": ev.name,
+                "cat": ev.src or ev.name,
+                "ph": "X",
+                "ts": ev.start_us,
+                "dur": ev.dur_us,
+                "pid": 0,
+                "tid": ev.engine.value,
+                "args": {"scope": ev.scope, "flops": ev.flops},
+            }
+            for ev in self.events
+        ]
+        return json.dumps({"traceEvents": rows, "displayTimeUnit": "ms"})
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def validate_no_engine_overlap(timeline: Timeline) -> None:
+    """Assert the hardware invariant: one op at a time per engine.
+
+    Raises :class:`ExecutionError` on violation — used by tests and by
+    the runtime's self-check mode.
+    """
+    for engine in EngineKind:
+        events = timeline.engine_events(engine)
+        for prev, nxt in zip(events, events[1:]):
+            if nxt.start_us < prev.end_us - 1e-9:
+                raise ExecutionError(
+                    f"{engine.value}: events {prev.name!r} and {nxt.name!r} "
+                    f"overlap ({prev.end_us} > {nxt.start_us})"
+                )

@@ -1,0 +1,66 @@
+"""The TPC programming model: VLIW ISA, index spaces, kernels, simulator.
+
+Mirrors §2.2 of the paper — the four-slot VLIW instruction word, the
+2048-bit SIMD vector unit, 1 KB scalar + 80 KB vector local memories,
+CUDA-thread-like index spaces, and a kernel SDK with a simulator. The
+batched-matmul kernel here is the reproduction of the custom kernel the
+paper measures for Table 2's TPC column.
+"""
+
+from .indexspace import IndexSpace, balance_ratio, partition_members
+from .isa import (
+    Bundle,
+    InstructionStream,
+    Slot,
+    SlotOp,
+    spu,
+    vload_global,
+    vload_global_streamed,
+    vload_local,
+    vpu,
+    vstore_global,
+    vstore_local,
+)
+from .kernel import REGISTRY, KernelRegistry, TensorSpec, TpcKernel
+from .simulator import FUNCTIONAL_ELEMENT_LIMIT, LaunchResult, TPCSimulator
+
+# Importing the kernel package populates REGISTRY.
+from . import kernels  # noqa: F401  (import for side effect)
+from .kernels import (
+    BatchMatmulKernel,
+    BinaryElementwiseKernel,
+    GluKernel,
+    RowReduceKernel,
+    SoftmaxKernel,
+    UnaryElementwiseKernel,
+)
+
+__all__ = [
+    "IndexSpace",
+    "balance_ratio",
+    "partition_members",
+    "Bundle",
+    "InstructionStream",
+    "Slot",
+    "SlotOp",
+    "spu",
+    "vload_global",
+    "vload_global_streamed",
+    "vload_local",
+    "vpu",
+    "vstore_global",
+    "vstore_local",
+    "REGISTRY",
+    "KernelRegistry",
+    "TensorSpec",
+    "TpcKernel",
+    "FUNCTIONAL_ELEMENT_LIMIT",
+    "LaunchResult",
+    "TPCSimulator",
+    "BatchMatmulKernel",
+    "BinaryElementwiseKernel",
+    "GluKernel",
+    "RowReduceKernel",
+    "SoftmaxKernel",
+    "UnaryElementwiseKernel",
+]

@@ -1,0 +1,83 @@
+"""Index spaces: how TPC kernels divide work across the cluster.
+
+§2.2: "Index spacing, similar to threads in CUDA programming,
+efficiently divides workloads among TPC processors. Each index space
+member corresponds to an independent unit of work executed on a single
+TPC." An :class:`IndexSpace` is a 1–5 dimensional grid of members; the
+launcher partitions members across the eight cores.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from ..util.errors import KernelError
+
+MAX_RANK = 5
+
+
+@dataclass(frozen=True)
+class IndexSpace:
+    """A grid of independent work units, rank 1..5."""
+
+    dims: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.dims) <= MAX_RANK:
+            raise KernelError(
+                f"index space rank must be 1..{MAX_RANK}, got {len(self.dims)}"
+            )
+        for d in self.dims:
+            if not isinstance(d, int) or isinstance(d, bool) or d < 1:
+                raise KernelError(f"index space dims must be positive ints: {self.dims}")
+
+    @property
+    def size(self) -> int:
+        """Total number of members."""
+        return math.prod(self.dims)
+
+    def members(self) -> "itertools.product":
+        """Iterate all members in row-major order."""
+        return itertools.product(*(range(d) for d in self.dims))
+
+    def member_at(self, flat: int) -> tuple[int, ...]:
+        """The ``flat``-th member in row-major order."""
+        if not 0 <= flat < self.size:
+            raise KernelError(f"member index {flat} out of range [0, {self.size})")
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(flat % d)
+            flat //= d
+        return tuple(reversed(coords))
+
+
+def partition_members(space: IndexSpace, num_cores: int) -> list[list[int]]:
+    """Block-partition member flat-indices across ``num_cores`` cores.
+
+    Returns one list of flat member indices per core; the partition is
+    contiguous (members 0..k-1 to core 0, ...) which preserves the
+    spatial locality kernels rely on, and balanced to within one member.
+    """
+    if num_cores < 1:
+        raise KernelError(f"num_cores must be >= 1, got {num_cores}")
+    n = space.size
+    base, extra = divmod(n, num_cores)
+    assignments: list[list[int]] = []
+    start = 0
+    for core in range(num_cores):
+        count = base + (1 if core < extra else 0)
+        assignments.append(list(range(start, start + count)))
+        start += count
+    return assignments
+
+
+def balance_ratio(per_core_cycles: list[float]) -> float:
+    """Mean/max load ratio in (0, 1]; 1.0 is a perfectly balanced launch."""
+    if not per_core_cycles:
+        raise KernelError("no per-core cycle data")
+    peak = max(per_core_cycles)
+    if peak <= 0:
+        return 1.0
+    return (sum(per_core_cycles) / len(per_core_cycles)) / peak

@@ -1,0 +1,173 @@
+"""TPC VLIW instruction-set model.
+
+The TPC is a VLIW SIMD processor whose instruction word has four
+functional slots (§2.2 of the paper):
+
+* **Load** — memory loads, value movements/settings;
+* **SPU** — scalar computations;
+* **VPU** — 2048-bit vector computations;
+* **Store** — memory stores, value movements/settings.
+
+We model a program as a stream of :class:`Bundle` objects (one VLIW
+word each). A bundle always retires in ``max(1, stall)`` cycles: slots
+issue in parallel, and a bundle only costs extra when one of its slots
+stalls (e.g. a global-memory access that misses the 4-cycle pipelining
+window). This is deliberately a *timing* model, not a functional ISA —
+functional behaviour lives in the kernels' numpy bodies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..util.errors import KernelError
+
+
+class Slot(enum.Enum):
+    """The four functional slots of the TPC VLIW word (§2.2)."""
+
+    LOAD = "load"
+    SPU = "spu"
+    VPU = "vpu"
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class SlotOp:
+    """One operation occupying one slot of a bundle."""
+
+    slot: Slot
+    mnemonic: str
+    #: extra cycles beyond the single issue cycle (e.g. transcendental
+    #: VPU ops, exposed global-memory latency)
+    stall_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.stall_cycles < 0:
+            raise KernelError(
+                f"{self.mnemonic}: stall_cycles must be >= 0, got {self.stall_cycles}"
+            )
+
+
+@dataclass
+class Bundle:
+    """A single VLIW instruction word: at most one op per slot."""
+
+    ops: tuple[SlotOp, ...] = ()
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeat < 1:
+            raise KernelError(f"bundle repeat must be >= 1, got {self.repeat}")
+        seen: set[Slot] = set()
+        for op in self.ops:
+            if op.slot in seen:
+                raise KernelError(
+                    f"slot {op.slot.value} used twice in one bundle "
+                    f"({[o.mnemonic for o in self.ops]})"
+                )
+            seen.add(op.slot)
+
+    @property
+    def cycles(self) -> float:
+        """Retire time of one issue of this bundle."""
+        stall = max((op.stall_cycles for op in self.ops), default=0.0)
+        return 1.0 + stall
+
+    @property
+    def total_cycles(self) -> float:
+        """Retire time including the repeat count."""
+        return self.cycles * self.repeat
+
+
+@dataclass
+class InstructionStream:
+    """A kernel inner program: an ordered list of bundles.
+
+    Kernels emit their per-index-space-member work as a stream; the
+    simulator sums retire times. ``slot_counts`` supports the classic
+    VLIW utilization question: how full are the four slots?
+    """
+
+    bundles: list[Bundle] = field(default_factory=list)
+
+    def emit(self, *ops: SlotOp, repeat: int = 1) -> Bundle:
+        """Append one bundle of ``ops`` issued ``repeat`` times."""
+        bundle = Bundle(tuple(ops), repeat)
+        self.bundles.append(bundle)
+        return bundle
+
+    @property
+    def cycles(self) -> float:
+        """Total retire cycles of the stream."""
+        return sum(b.total_cycles for b in self.bundles)
+
+    def slot_counts(self) -> dict[Slot, int]:
+        """Number of issued ops per slot (weighted by repeats)."""
+        counts = {slot: 0 for slot in Slot}
+        for bundle in self.bundles:
+            for op in bundle.ops:
+                counts[op.slot] += bundle.repeat
+        return counts
+
+    def slot_utilization(self) -> float:
+        """Mean fraction of the 4 slots filled per issued bundle."""
+        issued = sum(b.repeat for b in self.bundles)
+        if issued == 0:
+            return 0.0
+        filled = sum(len(b.ops) * b.repeat for b in self.bundles)
+        return filled / (4 * issued)
+
+
+# Canonical slot-op constructors used by the kernel library. The stall
+# numbers encode the architectural statements from §2.2: local memory
+# has "unrestricted bandwidth ... in each cycle" (no stall), while a
+# 2048-bit global-memory access completes every 4 cycles (3 exposed
+# stall cycles when not covered by double buffering).
+
+GLOBAL_ACCESS_STALL = 3.0
+DOUBLE_BUFFERED_GLOBAL_STALL = 1.0
+
+
+def vload_local(mnemonic: str = "ld_l_v") -> SlotOp:
+    """Vector load from local memory (single cycle, §2.2)."""
+    return SlotOp(Slot.LOAD, mnemonic)
+
+
+def vload_global(*, double_buffered: bool = False) -> SlotOp:
+    """Vector load from global memory through a tensor access point."""
+    stall = DOUBLE_BUFFERED_GLOBAL_STALL if double_buffered else GLOBAL_ACCESS_STALL
+    return SlotOp(Slot.LOAD, "ld_g_v", stall_cycles=stall)
+
+
+def vload_global_streamed() -> SlotOp:
+    """Global load fully hidden under a long compute loop.
+
+    When a kernel issues many more VPU bundles than loads (e.g. the
+    matmul inner loop reuses a local tile across 32 rows), the 4-cycle
+    global access pipelines entirely behind compute and the load rides
+    in an FMA bundle's Load slot for free.
+    """
+    return SlotOp(Slot.LOAD, "ld_g_v_stream", stall_cycles=0.0)
+
+
+def vstore_local(mnemonic: str = "st_l_v") -> SlotOp:
+    """Vector store to local memory."""
+    return SlotOp(Slot.STORE, mnemonic)
+
+
+def vstore_global(*, double_buffered: bool = False) -> SlotOp:
+    """Vector store to global memory."""
+    stall = DOUBLE_BUFFERED_GLOBAL_STALL if double_buffered else GLOBAL_ACCESS_STALL
+    return SlotOp(Slot.STORE, "st_g_v", stall_cycles=stall)
+
+
+def vpu(mnemonic: str, stall_cycles: float = 0.0) -> SlotOp:
+    """A VPU (vector) operation."""
+    return SlotOp(Slot.VPU, mnemonic, stall_cycles=stall_cycles)
+
+
+def spu(mnemonic: str, stall_cycles: float = 0.0) -> SlotOp:
+    """An SPU (scalar) operation."""
+    return SlotOp(Slot.SPU, mnemonic, stall_cycles=stall_cycles)

@@ -1,0 +1,149 @@
+"""TPC kernel framework: declaring, validating and registering kernels.
+
+A TPC program has two halves (§2.2): *host glue code* that launches the
+kernel, and the *kernel* itself that runs on the cores. Here a kernel
+is a Python class providing three things:
+
+* shape validation + output-shape inference,
+* an :class:`~repro.tpc.indexspace.IndexSpace` dividing the work,
+* per-member behaviour, twice over:
+  - ``execute_member`` — the functional body (numpy), and
+  - ``member_stream`` — the timing body (a VLIW
+    :class:`~repro.tpc.isa.InstructionStream`).
+
+This mirrors how real TPC-C kernels are developed against the SynapseAI
+TPC SDK's compiler + simulator; our simulator is
+:class:`repro.tpc.simulator.TPCSimulator`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hw.dtypes import DType
+from ..util.errors import KernelError
+from ..util.validation import check_shape
+from .indexspace import IndexSpace
+from .isa import InstructionStream
+
+Shape = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Declared kernel tensor: name + allowed rank range (1..5 on Gaudi)."""
+
+    name: str
+    min_rank: int = 1
+    max_rank: int = 5
+
+    def validate(self, shape: Shape) -> None:
+        """Check ``shape`` against this spec."""
+        check_shape(self.name, shape)
+        if not self.min_rank <= len(shape) <= self.max_rank:
+            raise KernelError(
+                f"tensor {self.name!r}: rank {len(shape)} outside "
+                f"[{self.min_rank}, {self.max_rank}]"
+            )
+
+
+class TpcKernel(abc.ABC):
+    """Base class for TPC kernels.
+
+    Subclasses set ``name``, ``inputs`` and ``outputs`` class attributes
+    and implement the four abstract methods. ``uniform_members`` may be
+    set True when every index-space member performs identical work —
+    the simulator then times one member and multiplies, which keeps
+    paper-scale launches (tens of thousands of members) cheap.
+    """
+
+    name: str = ""
+    inputs: tuple[TensorSpec, ...] = ()
+    outputs: tuple[TensorSpec, ...] = ()
+    uniform_members: bool = False
+
+    def validate(self, shapes: dict[str, Shape]) -> None:
+        """Validate the input-shape dict against declared specs."""
+        for spec in self.inputs:
+            if spec.name not in shapes:
+                raise KernelError(f"{self.name}: missing input {spec.name!r}")
+            spec.validate(shapes[spec.name])
+        extra = set(shapes) - {s.name for s in self.inputs}
+        if extra:
+            raise KernelError(f"{self.name}: unexpected inputs {sorted(extra)}")
+        self.check_shapes(shapes)
+
+    def check_shapes(self, shapes: dict[str, Shape]) -> None:
+        """Hook for kernel-specific cross-tensor shape constraints."""
+
+    @abc.abstractmethod
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        """Infer output shapes from validated input shapes."""
+
+    @abc.abstractmethod
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        """The work grid for the given input shapes."""
+
+    @abc.abstractmethod
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        """Functional body: fill the member's slice of each output."""
+
+    @abc.abstractmethod
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        """Timing body: the VLIW instruction stream of one member."""
+
+    def flops(self, shapes: dict[str, Shape]) -> float:
+        """Arithmetic work of the whole launch (for TFLOPS reporting)."""
+        return 0.0
+
+    def dtype_supported(self, dtype: DType) -> bool:
+        """Whether the kernel has a code path for ``dtype``."""
+        return True
+
+
+class KernelRegistry:
+    """Name -> kernel factory registry (the 'custom kernel library')."""
+
+    def __init__(self) -> None:
+        self._kernels: dict[str, type[TpcKernel]] = {}
+
+    def register(self, kernel_cls: type[TpcKernel]) -> type[TpcKernel]:
+        """Register a kernel class; usable as a decorator."""
+        name = kernel_cls.name
+        if not name:
+            raise KernelError(f"kernel class {kernel_cls.__name__} has no name")
+        if name in self._kernels:
+            raise KernelError(f"kernel {name!r} already registered")
+        self._kernels[name] = kernel_cls
+        return kernel_cls
+
+    def create(self, name: str, **kwargs) -> TpcKernel:
+        """Instantiate a registered kernel by name."""
+        try:
+            cls = self._kernels[name]
+        except KeyError:
+            raise KernelError(
+                f"unknown kernel {name!r}; registered: {sorted(self._kernels)}"
+            ) from None
+        return cls(**kwargs)
+
+    def names(self) -> list[str]:
+        """Sorted registered kernel names."""
+        return sorted(self._kernels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+
+#: Global registry populated by :mod:`repro.tpc.kernels`.
+REGISTRY = KernelRegistry()

@@ -1,0 +1,98 @@
+"""TPC kernel library: the custom kernels used by the experiments.
+
+All kernels register into :data:`repro.tpc.kernel.REGISTRY` by name so
+host code can instantiate them like the SynapseAI SDK resolves TPC GUIDs:
+
+>>> from repro.tpc import REGISTRY, TPCSimulator
+>>> kernel = REGISTRY.create("bmm")
+"""
+
+from ..kernel import REGISTRY
+from .bmm import BatchMatmulKernel
+from .elementwise import (
+    BINARY_SPECS,
+    BinaryElementwiseKernel,
+    GluKernel,
+    UNARY_SPECS,
+    UnaryElementwiseKernel,
+)
+from .datamove import GatherRowsKernel, Transpose2DKernel
+from .layernorm import LayerNormKernel
+from .reduce import REDUCE_SPECS, RowReduceKernel
+from .softmax import SoftmaxKernel
+
+REGISTRY.register(BatchMatmulKernel)
+REGISTRY.register(SoftmaxKernel)
+REGISTRY.register(GluKernel)
+REGISTRY.register(LayerNormKernel)
+REGISTRY.register(Transpose2DKernel)
+REGISTRY.register(GatherRowsKernel)
+
+
+class _NamedUnary(UnaryElementwiseKernel):
+    """Registry adapter: a unary kernel with its function baked in."""
+
+    _SPEC_NAME = ""
+
+    def __init__(self, lanes_hint: int = 128):
+        super().__init__(self._SPEC_NAME, lanes_hint)
+
+
+class _NamedBinary(BinaryElementwiseKernel):
+    """Registry adapter: a binary kernel with its function baked in."""
+
+    _SPEC_NAME = ""
+
+    def __init__(self, lanes_hint: int = 128):
+        super().__init__(self._SPEC_NAME, lanes_hint)
+
+
+class _NamedReduce(RowReduceKernel):
+    """Registry adapter: a reduce kernel with its function baked in."""
+
+    _SPEC_NAME = ""
+
+    def __init__(self):
+        super().__init__(self._SPEC_NAME)
+
+
+def _register_specs() -> None:
+    for spec_name in UNARY_SPECS:
+        cls = type(
+            f"Unary{spec_name.title().replace('_', '')}Kernel",
+            (_NamedUnary,),
+            {"_SPEC_NAME": spec_name, "name": f"unary_{spec_name}"},
+        )
+        REGISTRY.register(cls)
+    for spec_name in BINARY_SPECS:
+        cls = type(
+            f"Binary{spec_name.title()}Kernel",
+            (_NamedBinary,),
+            {"_SPEC_NAME": spec_name, "name": f"binary_{spec_name}"},
+        )
+        REGISTRY.register(cls)
+    for spec_name in REDUCE_SPECS:
+        cls = type(
+            f"Reduce{spec_name.title()}Kernel",
+            (_NamedReduce,),
+            {"_SPEC_NAME": spec_name, "name": f"reduce_{spec_name}"},
+        )
+        REGISTRY.register(cls)
+
+
+_register_specs()
+
+__all__ = [
+    "BatchMatmulKernel",
+    "BinaryElementwiseKernel",
+    "GatherRowsKernel",
+    "GluKernel",
+    "LayerNormKernel",
+    "Transpose2DKernel",
+    "RowReduceKernel",
+    "SoftmaxKernel",
+    "UnaryElementwiseKernel",
+    "BINARY_SPECS",
+    "REDUCE_SPECS",
+    "UNARY_SPECS",
+]

@@ -1,0 +1,131 @@
+"""Batched matrix-multiplication TPC kernel.
+
+This is the repro of the custom kernel the paper takes from Habana's
+``Habana_Custom_Kernel`` repository to measure the TPC side of Table 2
+("We implement TPC batch matrix-matrix product kernels using example
+code from Habana_Custom_Kernel", §3.2).
+
+Work division: one index-space member computes a block of
+``ROWS_PER_MEMBER`` output rows for one batch element. Inside a member
+the kernel tiles the contraction dimension in ``k_chunk`` steps so that
+a B-matrix chunk (``k_chunk x lanes`` elements) plus the A row-block
+fits the 80 KB vector local memory; the chunk is loaded once and reused
+across all rows of the block, which is why the loads stream for free
+behind the FMA loop (see :func:`~repro.tpc.isa.vload_global_streamed`).
+
+Timing shape: a square size-s problem sustains roughly
+``peak * s / (s + c)`` with c ~ 20 — reproducing the paper's TPC column
+(1.86 TFLOPS at 128 up to 2.19 at 2048).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...util.errors import KernelError
+from ..indexspace import IndexSpace
+from ..isa import (
+    InstructionStream,
+    spu,
+    vload_global,
+    vload_global_streamed,
+    vpu,
+    vstore_global,
+)
+from ..kernel import Shape, TensorSpec, TpcKernel
+
+#: Output rows computed by one index-space member.
+ROWS_PER_MEMBER = 32
+#: bf16 contraction tile (recomputed per launch from the lane count so
+#: fp32's fatter elements shrink the tile; see repro.tpc.memory)
+K_CHUNK = 256
+#: Cycles of addressing/descriptor setup per member.
+PROLOGUE_CYCLES = 40
+#: Scalar loop-bookkeeping overhead as a fraction of FMA cycles
+#: (the VLIW inner loop sustains ~97% of peak).
+LOOP_OVERHEAD_FRACTION = 1.0 / 0.972 - 1.0
+
+
+class BatchMatmulKernel(TpcKernel):
+    """C[b] = A[b] @ B[b] for b in range(batch)."""
+
+    name = "bmm"
+    inputs = (TensorSpec("a", 3, 3), TensorSpec("b", 3, 3))
+    outputs = (TensorSpec("c", 3, 3),)
+    uniform_members = True
+
+    def check_shapes(self, shapes: dict[str, Shape]) -> None:
+        a, b = shapes["a"], shapes["b"]
+        if a[0] != b[0]:
+            raise KernelError(f"bmm: batch mismatch {a[0]} vs {b[0]}")
+        if a[2] != b[1]:
+            raise KernelError(
+                f"bmm: contraction mismatch A[.,.,{a[2]}] @ B[.,{b[1]},.]"
+            )
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        a, b = shapes["a"], shapes["b"]
+        return {"c": (a[0], a[1], b[2])}
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        batch, m, _ = shapes["a"]
+        return IndexSpace((batch, math.ceil(m / ROWS_PER_MEMBER)))
+
+    def flops(self, shapes: dict[str, Shape]) -> float:
+        batch, m, k = shapes["a"]
+        n = shapes["b"][2]
+        return 2.0 * batch * m * n * k
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        b, block = member
+        a_mat = inputs["a"][b]
+        b_mat = inputs["b"][b]
+        r0 = block * ROWS_PER_MEMBER
+        r1 = min(r0 + ROWS_PER_MEMBER, a_mat.shape[0])
+        outputs["c"][b, r0:r1, :] = a_mat[r0:r1, :] @ b_mat
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        from ..memory import LocalMemory, max_k_chunk_for_lanes
+
+        _, m, k = shapes["a"]
+        n = shapes["b"][2]
+        rows = min(ROWS_PER_MEMBER, m)
+        n_tiles = math.ceil(n / lanes)
+        k_chunk = min(max_k_chunk_for_lanes(lanes, ROWS_PER_MEMBER), k)
+        # Static footprint check: the chunk must actually fit the 80 KB
+        # vector bank (KernelError here means the tiling math is wrong).
+        itemsize = 256 // lanes
+        local = LocalMemory()
+        local.alloc("b_tile", k_chunk * lanes * itemsize)
+        local.alloc("a_block", rows * k_chunk * itemsize)
+
+        stream = InstructionStream()
+        # Member prologue: tensor descriptors, index-space addressing.
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        # First chunk of B and the A row-block are loaded before compute
+        # can start; only this first fill is exposed (double-buffered).
+        first_b_vectors = k_chunk
+        first_a_vectors = math.ceil(rows * k_chunk / lanes)
+        stream.emit(
+            vload_global(double_buffered=True),
+            repeat=first_b_vectors + first_a_vectors,
+        )
+        # Main loop: one FMA bundle per (row, k-step, n-tile); subsequent
+        # tile loads stream behind it in the Load slot.
+        fma = rows * k * n_tiles
+        stream.emit(vpu("mac_v"), vload_global_streamed(), repeat=fma)
+        # Scalar loop bookkeeping not hidden by the VLIW schedule.
+        loop_overhead = math.ceil(fma * LOOP_OVERHEAD_FRACTION)
+        stream.emit(spu("loop_ctl"), repeat=loop_overhead)
+        # Results leave through the Store slot, double-buffered.
+        stream.emit(vstore_global(double_buffered=True), repeat=rows * n_tiles)
+        return stream

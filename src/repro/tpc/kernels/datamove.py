@@ -1,0 +1,110 @@
+"""Data-movement TPC kernels: 2D transpose and embedding gather.
+
+Neither moves a single FLOP, yet both burn real TPC time — transpose
+because one side of the access pattern is strided (defeating the
+4-cycle global-port pipelining), gather because every row lands where
+the index table says. They complete the kernel library's coverage of
+the op classes the framework maps to the TPC.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..indexspace import IndexSpace
+from ..isa import InstructionStream, spu, vload_global, vstore_global
+from ..kernel import Shape, TensorSpec, TpcKernel
+
+PROLOGUE_CYCLES = 20
+#: square tile staged through vector local memory per member
+TILE = 64
+
+
+class Transpose2DKernel(TpcKernel):
+    """y = x.T for 2D tensors, tiled through local memory."""
+
+    name = "transpose2d"
+    inputs = (TensorSpec("x", 2, 2),)
+    outputs = (TensorSpec("y", 2, 2),)
+    uniform_members = True
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        r, c = shapes["x"]
+        return {"y": (c, r)}
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        r, c = shapes["x"]
+        return IndexSpace((math.ceil(r / TILE), math.ceil(c / TILE)))
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        ti, tj = member
+        x = inputs["x"]
+        r0, c0 = ti * TILE, tj * TILE
+        r1 = min(r0 + TILE, x.shape[0])
+        c1 = min(c0 + TILE, x.shape[1])
+        outputs["y"][c0:c1, r0:r1] = x[r0:r1, c0:c1].T
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        stream = InstructionStream()
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        vectors = math.ceil(TILE * TILE / lanes)
+        # staging through local memory keeps strided access off the
+        # global port: contiguous source rows in, in-tile transpose in
+        # local memory (single-cycle), contiguous destination rows out
+        stream.emit(vload_global(double_buffered=True), repeat=vectors)
+        stream.emit(vstore_global(double_buffered=True), repeat=vectors)
+        return stream
+
+
+class GatherRowsKernel(TpcKernel):
+    """y[i, :] = table[idx[i], :] — the embedding lookup."""
+
+    name = "gather_rows"
+    inputs = (TensorSpec("table", 2, 2), TensorSpec("idx", 1, 1))
+    outputs = (TensorSpec("y", 2, 2),)
+    uniform_members = True
+    ROWS_PER_MEMBER = 8
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        return {"y": (shapes["idx"][0], shapes["table"][1])}
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        n = shapes["idx"][0]
+        return IndexSpace((max(1, math.ceil(n / self.ROWS_PER_MEMBER)),))
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        lo = member[0] * self.ROWS_PER_MEMBER
+        hi = min(lo + self.ROWS_PER_MEMBER, inputs["idx"].shape[0])
+        rows = inputs["idx"][lo:hi].astype(np.int64)
+        outputs["y"][lo:hi, :] = inputs["table"][rows, :]
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        width = shapes["table"][1]
+        vectors_per_row = math.ceil(width / lanes)
+        stream = InstructionStream()
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        for _ in range(self.ROWS_PER_MEMBER):
+            # scalar index load + address computation, then a random-
+            # access row copy (no pipelining across rows: the next
+            # address depends on the next index)
+            stream.emit(spu("load_index", stall_cycles=3.0))
+            stream.emit(vload_global(), repeat=vectors_per_row)
+            stream.emit(vstore_global(double_buffered=True),
+                        repeat=vectors_per_row)
+        return stream

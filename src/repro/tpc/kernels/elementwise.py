@@ -1,0 +1,293 @@
+"""Elementwise TPC kernels: activations and binary arithmetic.
+
+These are the op category §3.3 calls "extremely suitable for SIMD
+architecture like TPC": each vector is loaded, transformed in the VPU,
+and stored, with the global-memory port (one 2048-bit access per four
+cycles, §2.2) as the structural bottleneck.
+
+The activation set matches the paper's Figure 7 study: ReLU,
+LeakyReLU, GELU, GLU — plus ELU (the Linear Transformer feature map),
+exponential (FAVOR), sigmoid and tanh.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ...util.errors import KernelError
+from ..indexspace import IndexSpace
+from ..isa import InstructionStream, spu, vload_global, vpu, vstore_global
+from ..kernel import Shape, TensorSpec, TpcKernel
+
+#: Elements processed by one index-space member (64 vectors of work —
+#: enough to amortize the member prologue).
+ELEMENTS_PER_MEMBER_VECTORS = 64
+PROLOGUE_CYCLES = 20
+
+
+def _numel(shape: Shape) -> int:
+    return int(math.prod(shape)) if shape else 1
+
+
+def _flat_member_slice(member_idx: int, chunk: int, numel: int) -> slice:
+    lo = member_idx * chunk
+    return slice(lo, min(lo + chunk, numel))
+
+
+@dataclass(frozen=True)
+class UnarySpec:
+    """Description of a unary elementwise function."""
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    #: extra VPU stall cycles per vector beyond the single issue cycle
+    vpu_stall: float
+    #: FLOPs charged per element (for TFLOPS reporting)
+    flops_per_element: float = 1.0
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    # tanh-approximated GELU (the form TPC special-function tables
+    # implement); max abs error vs erf-GELU is ~1e-3.
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+UNARY_SPECS: dict[str, UnarySpec] = {
+    "relu": UnarySpec("relu", lambda x: np.maximum(x, 0.0), vpu_stall=0.0),
+    "leaky_relu": UnarySpec(
+        "leaky_relu", lambda x: np.where(x >= 0, x, 0.01 * x), vpu_stall=1.0,
+        flops_per_element=2.0,
+    ),
+    "elu": UnarySpec(
+        # elu(x) = x for x>0 else exp(x)-1 ; exp costs 12 VPU cycles.
+        "elu", lambda x: np.where(x > 0, x, np.expm1(x)), vpu_stall=13.0,
+        flops_per_element=3.0,
+    ),
+    "exp": UnarySpec("exp", np.exp, vpu_stall=11.0, flops_per_element=1.0),
+    "gelu": UnarySpec("gelu", _gelu, vpu_stall=17.0, flops_per_element=5.0),
+    "sigmoid": UnarySpec("sigmoid", _sigmoid, vpu_stall=13.0, flops_per_element=3.0),
+    "tanh": UnarySpec("tanh", np.tanh, vpu_stall=13.0, flops_per_element=3.0),
+    "square": UnarySpec("square", np.square, vpu_stall=0.0),
+    "sqrt": UnarySpec("sqrt", np.sqrt, vpu_stall=7.0),
+    "log": UnarySpec("log", np.log, vpu_stall=13.0),
+    "neg": UnarySpec("neg", np.negative, vpu_stall=0.0),
+    "abs": UnarySpec("abs", np.abs, vpu_stall=0.0),
+}
+
+
+class UnaryElementwiseKernel(TpcKernel):
+    """Generic y = f(x) kernel parameterized by a :class:`UnarySpec`."""
+
+    inputs = (TensorSpec("x", 1, 5),)
+    outputs = (TensorSpec("y", 1, 5),)
+    uniform_members = True
+
+    def __init__(self, spec_name: str, lanes_hint: int = 128):
+        try:
+            self.spec = UNARY_SPECS[spec_name]
+        except KeyError:
+            raise KernelError(
+                f"unknown unary function {spec_name!r}; "
+                f"known: {sorted(UNARY_SPECS)}"
+            ) from None
+        self.name = f"unary_{spec_name}"
+        self._chunk = ELEMENTS_PER_MEMBER_VECTORS * lanes_hint
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        return {"y": shapes["x"]}
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        return IndexSpace((max(1, math.ceil(_numel(shapes["x"]) / self._chunk)),))
+
+    def flops(self, shapes: dict[str, Shape]) -> float:
+        return _numel(shapes["x"]) * self.spec.flops_per_element
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        x = inputs["x"].reshape(-1)
+        y = outputs["y"].reshape(-1)
+        sl = _flat_member_slice(member[0], self._chunk, x.size)
+        y[sl] = self.spec.fn(x[sl])
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        vectors = math.ceil(min(self._chunk, _numel(shapes["x"])) / lanes)
+        stream = InstructionStream()
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        # Per vector: one global load (4-cycle port) then a bundle that
+        # both computes and stores; the store shares the port, so the
+        # bundle costs max(4, 1 + vpu_stall) cycles.
+        stream.emit(vload_global(), repeat=vectors)
+        stream.emit(
+            vpu(self.spec.name, stall_cycles=max(3.0, self.spec.vpu_stall)),
+            vstore_global(),
+            repeat=vectors,
+        )
+        return stream
+
+
+@dataclass(frozen=True)
+class BinarySpec:
+    """Description of a binary elementwise function."""
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    vpu_stall: float = 0.0
+    flops_per_element: float = 1.0
+
+
+BINARY_SPECS: dict[str, BinarySpec] = {
+    "add": BinarySpec("add", np.add),
+    "sub": BinarySpec("sub", np.subtract),
+    "mul": BinarySpec("mul", np.multiply),
+    "div": BinarySpec("div", np.divide, vpu_stall=5.0, flops_per_element=1.0),
+    "max": BinarySpec("max", np.maximum),
+}
+
+
+class BinaryElementwiseKernel(TpcKernel):
+    """Generic z = f(x, y) for same-shape tensors."""
+
+    inputs = (TensorSpec("x", 1, 5), TensorSpec("y", 1, 5))
+    outputs = (TensorSpec("z", 1, 5),)
+    uniform_members = True
+
+    def __init__(self, spec_name: str, lanes_hint: int = 128):
+        try:
+            self.spec = BINARY_SPECS[spec_name]
+        except KeyError:
+            raise KernelError(
+                f"unknown binary function {spec_name!r}; "
+                f"known: {sorted(BINARY_SPECS)}"
+            ) from None
+        self.name = f"binary_{spec_name}"
+        self._chunk = ELEMENTS_PER_MEMBER_VECTORS * lanes_hint
+
+    def check_shapes(self, shapes: dict[str, Shape]) -> None:
+        if shapes["x"] != shapes["y"]:
+            raise KernelError(
+                f"{self.name}: shape mismatch {shapes['x']} vs {shapes['y']}"
+            )
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        return {"z": shapes["x"]}
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        return IndexSpace((max(1, math.ceil(_numel(shapes["x"]) / self._chunk)),))
+
+    def flops(self, shapes: dict[str, Shape]) -> float:
+        return _numel(shapes["x"]) * self.spec.flops_per_element
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        x = inputs["x"].reshape(-1)
+        y = inputs["y"].reshape(-1)
+        z = outputs["z"].reshape(-1)
+        sl = _flat_member_slice(member[0], self._chunk, x.size)
+        z[sl] = self.spec.fn(x[sl], y[sl])
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        vectors = math.ceil(min(self._chunk, _numel(shapes["x"])) / lanes)
+        stream = InstructionStream()
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        # Two operand streams share the global port: 2 loads per vector.
+        stream.emit(vload_global(), repeat=2 * vectors)
+        stream.emit(
+            vpu(self.spec.name, stall_cycles=max(3.0, self.spec.vpu_stall)),
+            vstore_global(),
+            repeat=vectors,
+        )
+        return stream
+
+
+class GluKernel(TpcKernel):
+    """Gated Linear Unit: splits the last dim in half, y = a * sigmoid(b).
+
+    The paper singles GLU out (Fig. 7): it is the slowest activation and
+    "SynapseAI does not have good support for GLU, which cause extra
+    compilation during the execution". The *kernel* itself is only
+    moderately more expensive (two operand streams + a sigmoid); the
+    recompilation penalty is a graph-level effect modeled by the
+    compiler (see :mod:`repro.synapse.compiler`), not here.
+    """
+
+    name = "glu"
+    inputs = (TensorSpec("x", 1, 5),)
+    outputs = (TensorSpec("y", 1, 5),)
+    uniform_members = True
+    SIGMOID_STALL = 13.0
+
+    def __init__(self, lanes_hint: int = 128):
+        self._chunk = ELEMENTS_PER_MEMBER_VECTORS * lanes_hint
+
+    def check_shapes(self, shapes: dict[str, Shape]) -> None:
+        if shapes["x"][-1] % 2 != 0:
+            raise KernelError(
+                f"glu: last dim must be even, got {shapes['x'][-1]}"
+            )
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        x = shapes["x"]
+        return {"y": x[:-1] + (x[-1] // 2,)}
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        out_numel = _numel(self.output_shapes(shapes)["y"])
+        return IndexSpace((max(1, math.ceil(out_numel / self._chunk)),))
+
+    def flops(self, shapes: dict[str, Shape]) -> float:
+        # sigmoid (3) + multiply (1) per output element
+        return _numel(self.output_shapes(shapes)["y"]) * 4.0
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        x = inputs["x"]
+        half = x.shape[-1] // 2
+        a = x[..., :half].reshape(-1)
+        b = x[..., half:].reshape(-1)
+        y = outputs["y"].reshape(-1)
+        sl = _flat_member_slice(member[0], self._chunk, y.size)
+        y[sl] = a[sl] * _sigmoid(b[sl])
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        out_numel = _numel(self.output_shapes(shapes)["y"])
+        vectors = math.ceil(min(self._chunk, out_numel) / lanes)
+        stream = InstructionStream()
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        # Gate and value streams both come from global memory; the gate
+        # halves are strided (split along the last dim), which defeats
+        # the access pipelining: full 4-cycle cost on both loads.
+        stream.emit(vload_global(), repeat=2 * vectors)
+        stream.emit(vpu("sigmoid", stall_cycles=self.SIGMOID_STALL), repeat=vectors)
+        stream.emit(vpu("mul"), vstore_global(), repeat=vectors)
+        return stream

@@ -1,0 +1,82 @@
+"""Row-wise LayerNorm TPC kernel.
+
+LayerNorm is the other reduction-bearing Transformer op that lands on
+the TPC (Table 1 leaves nothing else). The kernel normalizes each row
+in three passes — mean-reduce, variance-reduce, scale — and, like the
+softmax kernel, pays the serial horizontal-combine cost twice per row.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..indexspace import IndexSpace
+from ..isa import InstructionStream, spu, vload_global, vpu, vstore_global
+from ..kernel import Shape, TensorSpec, TpcKernel
+
+PROLOGUE_CYCLES = 20
+RSQRT_STALL = 7.0
+ROWS_PER_MEMBER = 4
+EPS = 1e-5
+
+
+class LayerNormKernel(TpcKernel):
+    """y[..., :] = (x - mean) / sqrt(var + eps) along the last dim."""
+
+    name = "layernorm"
+    inputs = (TensorSpec("x", 2, 5),)
+    outputs = (TensorSpec("y", 2, 5),)
+    uniform_members = True
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        return {"y": shapes["x"]}
+
+    def _num_rows(self, shapes: dict[str, Shape]) -> int:
+        return int(math.prod(shapes["x"][:-1]))
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        rows = self._num_rows(shapes)
+        return IndexSpace((max(1, math.ceil(rows / ROWS_PER_MEMBER)),))
+
+    def flops(self, shapes: dict[str, Shape]) -> float:
+        # mean + centered square + var + rsqrt-scale: ~6 ops/element
+        return 6.0 * math.prod(shapes["x"])
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        length = inputs["x"].shape[-1]
+        x = inputs["x"].reshape(-1, length)
+        y = outputs["y"].reshape(-1, length)
+        r0 = member[0] * ROWS_PER_MEMBER
+        r1 = min(r0 + ROWS_PER_MEMBER, x.shape[0])
+        block = x[r0:r1, :]
+        mu = block.mean(axis=-1, keepdims=True)
+        var = ((block - mu) ** 2).mean(axis=-1, keepdims=True)
+        y[r0:r1, :] = (block - mu) / np.sqrt(var + EPS)
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        length = shapes["x"][-1]
+        rows = min(ROWS_PER_MEMBER, self._num_rows(shapes))
+        vectors = math.ceil(length / lanes)
+        stream = InstructionStream()
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        for _ in range(rows):
+            # pass 1: stream the row in, accumulating the sum
+            stream.emit(vload_global(), vpu("vadd"), repeat=vectors)
+            stream.emit(vpu("hadd", stall_cycles=float(lanes - 1)))
+            # pass 2: centered squares from local memory + sum
+            stream.emit(vpu("sub_sq"), repeat=vectors)
+            stream.emit(vpu("hadd2", stall_cycles=float(lanes - 1)))
+            # scalar rsqrt of the variance
+            stream.emit(spu("rsqrt", stall_cycles=RSQRT_STALL))
+            # pass 3: scale and stream out
+            stream.emit(vpu("mul"), vstore_global(), repeat=vectors)
+        return stream

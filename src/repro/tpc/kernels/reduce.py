@@ -1,0 +1,104 @@
+"""Reduction TPC kernels: row-wise sum and max.
+
+§3.3: "Softmax requires reduction operations, which are not well-suited
+for single instruction, multiple data (SIMD) architectures like TPC."
+The timing model makes that concrete: after the vectorized partial pass
+(one VPU op per 2048-bit vector), combining the ``lanes`` partial
+results needs a horizontal tree the VPU executes serially — ~``lanes``
+cycles that no amount of data hides, so short rows see terrible
+efficiency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ...util.errors import KernelError
+from ..indexspace import IndexSpace
+from ..isa import InstructionStream, spu, vload_global, vpu, vstore_global
+from ..kernel import Shape, TensorSpec, TpcKernel
+
+PROLOGUE_CYCLES = 20
+#: Rows handled by one index-space member.
+ROWS_PER_MEMBER = 4
+
+
+@dataclass(frozen=True)
+class ReduceSpec:
+    """A row-reduction function."""
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]  # reduces axis=-1
+
+
+REDUCE_SPECS: dict[str, ReduceSpec] = {
+    "sum": ReduceSpec("sum", lambda x: np.sum(x, axis=-1)),
+    "max": ReduceSpec("max", lambda x: np.max(x, axis=-1)),
+}
+
+
+class RowReduceKernel(TpcKernel):
+    """y[..., r] = reduce(x[..., r, :]) over the last dimension."""
+
+    inputs = (TensorSpec("x", 2, 5),)
+    outputs = (TensorSpec("y", 1, 4),)
+    uniform_members = True
+
+    def __init__(self, spec_name: str):
+        try:
+            self.spec = REDUCE_SPECS[spec_name]
+        except KeyError:
+            raise KernelError(
+                f"unknown reduction {spec_name!r}; known: {sorted(REDUCE_SPECS)}"
+            ) from None
+        self.name = f"reduce_{spec_name}"
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        return {"y": shapes["x"][:-1]}
+
+    def _num_rows(self, shapes: dict[str, Shape]) -> int:
+        return int(math.prod(shapes["x"][:-1]))
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        rows = self._num_rows(shapes)
+        return IndexSpace((max(1, math.ceil(rows / ROWS_PER_MEMBER)),))
+
+    def flops(self, shapes: dict[str, Shape]) -> float:
+        return float(math.prod(shapes["x"]))
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        length = inputs["x"].shape[-1]
+        x = inputs["x"].reshape(-1, length)
+        y = outputs["y"].reshape(-1)
+        r0 = member[0] * ROWS_PER_MEMBER
+        r1 = min(r0 + ROWS_PER_MEMBER, x.shape[0])
+        y[r0:r1] = self.spec.fn(x[r0:r1, :])
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        length = shapes["x"][-1]
+        rows = min(ROWS_PER_MEMBER, self._num_rows(shapes))
+        vectors = math.ceil(length / lanes)
+        stream = InstructionStream()
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        for _ in range(rows):
+            # Vectorized partial pass: load + accumulate per vector.
+            stream.emit(
+                vload_global(), vpu(f"v{self.spec.name}"), repeat=vectors
+            )
+            # Horizontal combine across lanes: serial shuffle/op tree,
+            # ~1 cycle per lane — the SIMD-hostile part.
+            stream.emit(vpu(f"h{self.spec.name}", stall_cycles=float(lanes - 1)))
+        # One scalar result per row leaves via the store slot.
+        stream.emit(vstore_global(), repeat=max(1, rows * 1 // lanes + 1))
+        return stream

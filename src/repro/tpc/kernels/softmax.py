@@ -1,0 +1,89 @@
+"""Row-wise softmax TPC kernel.
+
+The op at the center of the paper: softmax is the Transformer operation
+that SynapseAI can only map to the TPC, and on long sequences it
+"exceeds 80% of the total running time" of a layer (§3.3, Fig. 4).
+
+The kernel computes a numerically stable softmax per row in four
+passes — max-reduce, subtract+exp, sum-reduce, divide — and its timing
+stream shows exactly why the TPC dislikes it: two horizontal reductions
+per row (serial across SIMD lanes) plus a 12-cycle exponential per
+vector, on O(N^2) attention-matrix rows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..indexspace import IndexSpace
+from ..isa import InstructionStream, spu, vload_global, vpu, vstore_global
+from ..kernel import Shape, TensorSpec, TpcKernel
+
+PROLOGUE_CYCLES = 20
+EXP_STALL = 11.0  # 12-cycle exponential
+ROWS_PER_MEMBER = 4
+
+
+class SoftmaxKernel(TpcKernel):
+    """y[..., :] = softmax(x[..., :]) along the last dimension."""
+
+    name = "softmax"
+    inputs = (TensorSpec("x", 2, 5),)
+    outputs = (TensorSpec("y", 2, 5),)
+    uniform_members = True
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        return {"y": shapes["x"]}
+
+    def _num_rows(self, shapes: dict[str, Shape]) -> int:
+        return int(math.prod(shapes["x"][:-1]))
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        rows = self._num_rows(shapes)
+        return IndexSpace((max(1, math.ceil(rows / ROWS_PER_MEMBER)),))
+
+    def flops(self, shapes: dict[str, Shape]) -> float:
+        # max + sub + exp + sum + div: ~5 ops per element.
+        return 5.0 * math.prod(shapes["x"])
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        length = inputs["x"].shape[-1]
+        x = inputs["x"].reshape(-1, length)
+        y = outputs["y"].reshape(-1, length)
+        r0 = member[0] * ROWS_PER_MEMBER
+        r1 = min(r0 + ROWS_PER_MEMBER, x.shape[0])
+        block = x[r0:r1, :]
+        shifted = block - block.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)
+        y[r0:r1, :] = e / e.sum(axis=-1, keepdims=True)
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        length = shapes["x"][-1]
+        rows = min(ROWS_PER_MEMBER, self._num_rows(shapes))
+        vectors = math.ceil(length / lanes)
+        stream = InstructionStream()
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        for _ in range(rows):
+            # Pass 1: running max while streaming the row in.
+            stream.emit(vload_global(), vpu("vmax"), repeat=vectors)
+            stream.emit(vpu("hmax", stall_cycles=float(lanes - 1)))
+            # Pass 2: subtract the max and exponentiate; the row now
+            # lives in vector local memory (single-cycle access).
+            stream.emit(vpu("sub_exp", stall_cycles=EXP_STALL), repeat=vectors)
+            # Pass 3: sum of exponentials + horizontal combine.
+            stream.emit(vpu("vadd"), repeat=vectors)
+            stream.emit(vpu("hadd", stall_cycles=float(lanes - 1)))
+            # SPU computes the reciprocal of the row sum once.
+            stream.emit(spu("recip", stall_cycles=5.0))
+            # Pass 4: scale and stream the row back out.
+            stream.emit(vpu("mul"), vstore_global(), repeat=vectors)
+        return stream

@@ -1,0 +1,128 @@
+"""Per-core TPC local-memory accounting.
+
+§2.2: each TPC owns 1 KB of scalar local memory and 80 KB of vector
+local memory with single-cycle access. Kernels tile their working sets
+to fit; this module gives kernel authors the allocator that enforces
+it and the helper that picks the largest contraction tile fitting the
+budget — which is why the bmm kernel's K-chunk shrinks automatically
+for fp32 (fewer lanes, fatter elements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.config import TPCClusterConfig
+from ..hw.dtypes import DType, itemsize
+from ..util.errors import KernelError
+from ..util.units import fmt_bytes
+
+
+@dataclass
+class LocalMemory:
+    """One core's scalar + vector local banks."""
+
+    scalar_capacity: int = 1024
+    vector_capacity: int = 80 * 1024
+    _scalar_used: int = field(default=0, init=False)
+    _vector_used: int = field(default=0, init=False)
+    _live: dict[str, tuple[str, int]] = field(default_factory=dict, init=False)
+
+    def alloc(self, name: str, nbytes: int, *, bank: str = "vector") -> None:
+        """Reserve ``nbytes`` in a bank under ``name``."""
+        if bank not in ("scalar", "vector"):
+            raise KernelError(f"unknown local-memory bank {bank!r}")
+        if nbytes < 0:
+            raise KernelError(f"allocation must be >= 0, got {nbytes}")
+        if name in self._live:
+            raise KernelError(f"buffer {name!r} already allocated")
+        capacity = self.scalar_capacity if bank == "scalar" else \
+            self.vector_capacity
+        used = self._scalar_used if bank == "scalar" else self._vector_used
+        if used + nbytes > capacity:
+            raise KernelError(
+                f"{bank} local memory exhausted: {name!r} needs "
+                f"{fmt_bytes(nbytes)}, {fmt_bytes(capacity - used)} free "
+                f"of {fmt_bytes(capacity)}"
+            )
+        self._live[name] = (bank, nbytes)
+        if bank == "scalar":
+            self._scalar_used += nbytes
+        else:
+            self._vector_used += nbytes
+
+    def free(self, name: str) -> None:
+        """Release a named buffer."""
+        try:
+            bank, nbytes = self._live.pop(name)
+        except KeyError:
+            raise KernelError(f"unknown buffer {name!r}") from None
+        if bank == "scalar":
+            self._scalar_used -= nbytes
+        else:
+            self._vector_used -= nbytes
+
+    def vector_free_bytes(self) -> int:
+        """Remaining vector-bank bytes."""
+        return self.vector_capacity - self._vector_used
+
+    def scalar_free_bytes(self) -> int:
+        """Remaining scalar-bank bytes."""
+        return self.scalar_capacity - self._scalar_used
+
+
+def from_config(config: TPCClusterConfig) -> LocalMemory:
+    """A :class:`LocalMemory` sized from the cluster config."""
+    return LocalMemory(
+        scalar_capacity=config.scalar_local_bytes,
+        vector_capacity=config.vector_local_bytes,
+    )
+
+
+def max_k_chunk(
+    dtype: DType,
+    lanes: int,
+    rows_per_member: int,
+    *,
+    vector_capacity: int = 80 * 1024,
+    alignment: int = 32,
+) -> int:
+    """Largest contraction tile whose working set fits local memory.
+
+    The bmm kernel holds a ``k x lanes`` B tile plus a
+    ``rows x k`` A block per step; this solves for k and rounds down to
+    ``alignment``. bf16 at 128 lanes gives exactly the kernel's
+    historical 256; fp32 (64 lanes, 4 B) gives 192.
+    """
+    isz = itemsize(dtype)
+    return _solve_k(isz, lanes, rows_per_member, vector_capacity, alignment)
+
+
+def max_k_chunk_for_lanes(
+    lanes: int,
+    rows_per_member: int,
+    *,
+    vector_capacity: int = 80 * 1024,
+    alignment: int = 32,
+) -> int:
+    """Like :func:`max_k_chunk` with the element size derived from the
+    lane count (a 2048-bit VPU: ``itemsize = 256 // lanes``)."""
+    if lanes <= 0 or 256 % lanes:
+        raise KernelError(f"invalid lane count {lanes} for a 2048-bit VPU")
+    return _solve_k(256 // lanes, lanes, rows_per_member, vector_capacity,
+                    alignment)
+
+
+def _solve_k(isz: int, lanes: int, rows_per_member: int,
+             vector_capacity: int, alignment: int) -> int:
+    per_k = (lanes + rows_per_member) * isz
+    if per_k <= 0:
+        raise KernelError("degenerate tile geometry")
+    k = vector_capacity // per_k
+    k -= k % alignment
+    if k < alignment:
+        raise KernelError(
+            f"local memory cannot hold even one {alignment}-deep tile "
+            f"at {lanes} lanes x {isz} B elements"
+        )
+    return k

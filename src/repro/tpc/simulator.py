@@ -1,0 +1,153 @@
+"""The TPC cluster simulator: launch kernels, get outputs + timing.
+
+Plays the role of the SynapseAI TPC SDK's simulator (§2.2): given a
+kernel and input tensors (or just shapes), it
+
+1. validates shapes and builds the index space,
+2. partitions members across the cores,
+3. sums each core's VLIW retire cycles (timing), and
+4. optionally executes the functional numpy body per member (values).
+
+Timing-only launches accept bare shapes, so paper-scale problems
+(sequence length 2048, batch 128) can be timed without materializing
+multi-GiB arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hw.config import TPCClusterConfig
+from ..hw.dtypes import DType, numpy_dtype
+from ..util.errors import KernelError
+from ..util.units import tflops
+from .indexspace import balance_ratio, partition_members
+from .kernel import Shape, TpcKernel
+
+#: Refuse functional execution above this many total output elements —
+#: the caller almost certainly wanted a timing-only launch.
+FUNCTIONAL_ELEMENT_LIMIT = 64_000_000
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch."""
+
+    kernel_name: str
+    index_space_size: int
+    per_core_cycles: list[float]
+    time_us: float
+    flops: float
+    outputs: dict[str, np.ndarray] | None = None
+    output_shapes: dict[str, Shape] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        """Cluster makespan in cycles (slowest core)."""
+        return max(self.per_core_cycles)
+
+    @property
+    def balance(self) -> float:
+        """Mean/max core-load ratio in (0, 1]."""
+        return balance_ratio(self.per_core_cycles)
+
+    @property
+    def achieved_tflops(self) -> float:
+        """Sustained TFLOP/s of the launch."""
+        return tflops(self.flops, self.time_us)
+
+
+class TPCSimulator:
+    """Functional + timing simulator for one TPC cluster."""
+
+    def __init__(
+        self,
+        config: TPCClusterConfig | None = None,
+        dtype: DType = DType.BF16,
+    ):
+        self.config = config or TPCClusterConfig()
+        self.dtype = dtype
+
+    # -- timing ---------------------------------------------------------
+
+    def _per_core_cycles(
+        self, kernel: TpcKernel, shapes: dict[str, Shape]
+    ) -> list[float]:
+        space = kernel.index_space(shapes)
+        lanes = self.config.lanes(self.dtype)
+        parts = partition_members(space, self.config.num_cores)
+        if kernel.uniform_members:
+            member0 = space.member_at(0)
+            per_member = kernel.member_stream(member0, shapes, lanes).cycles
+            return [len(p) * per_member for p in parts]
+        cycles = []
+        for part in parts:
+            total = 0.0
+            for flat in part:
+                member = space.member_at(flat)
+                total += kernel.member_stream(member, shapes, lanes).cycles
+            cycles.append(total)
+        return cycles
+
+    # -- launching ------------------------------------------------------
+
+    def launch(
+        self,
+        kernel: TpcKernel,
+        inputs: dict[str, np.ndarray] | None = None,
+        *,
+        shapes: dict[str, Shape] | None = None,
+    ) -> LaunchResult:
+        """Run ``kernel``; pass arrays for a functional launch or
+        ``shapes=`` for timing-only."""
+        if (inputs is None) == (shapes is None):
+            raise KernelError("pass exactly one of inputs= or shapes=")
+        if inputs is not None:
+            shapes = {name: tuple(arr.shape) for name, arr in inputs.items()}
+        assert shapes is not None
+        shapes = {name: tuple(s) for name, s in shapes.items()}
+        if not kernel.dtype_supported(self.dtype):
+            raise KernelError(
+                f"kernel {kernel.name!r} does not support dtype {self.dtype}"
+            )
+        kernel.validate(shapes)
+        out_shapes = kernel.output_shapes(shapes)
+
+        per_core = self._per_core_cycles(kernel, shapes)
+        time_us = max(per_core) / (self.config.freq_ghz * 1e3)
+        time_us += self.config.launch_overhead_us
+
+        outputs: dict[str, np.ndarray] | None = None
+        if inputs is not None:
+            total_out = sum(int(np.prod(s)) for s in out_shapes.values())
+            if total_out > FUNCTIONAL_ELEMENT_LIMIT:
+                raise KernelError(
+                    f"functional launch of {kernel.name!r} would produce "
+                    f"{total_out} elements (> {FUNCTIONAL_ELEMENT_LIMIT}); "
+                    "use a timing-only launch (shapes=...)"
+                )
+            carrier = numpy_dtype(self.dtype)
+            cast_inputs = {
+                name: np.asarray(arr, dtype=carrier) if arr.dtype.kind == "f"
+                else np.asarray(arr)
+                for name, arr in inputs.items()
+            }
+            outputs = {
+                name: np.zeros(shape, dtype=carrier)
+                for name, shape in out_shapes.items()
+            }
+            space = kernel.index_space(shapes)
+            for member in space.members():
+                kernel.execute_member(member, cast_inputs, outputs)
+
+        return LaunchResult(
+            kernel_name=kernel.name,
+            index_space_size=kernel.index_space(shapes).size,
+            per_core_cycles=per_core,
+            time_us=time_us,
+            flops=kernel.flops(shapes),
+            outputs=outputs,
+            output_shapes=out_shapes,
+        )

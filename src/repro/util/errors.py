@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError`` etc. are still raised for caller bugs at the API
+boundary where that is the clearer signal).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A hardware or compiler configuration value is invalid."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are incompatible for the requested operation."""
+
+
+class GraphError(ReproError):
+    """The operation graph is malformed (cycles, dangling inputs, ...)."""
+
+
+class CompileError(ReproError):
+    """The graph compiler could not produce a schedule."""
+
+
+class ExecutionError(ReproError):
+    """The runtime failed while executing a compiled schedule."""
+
+
+class DeviceMemoryError(ReproError):
+    """The workload does not fit in device (HBM) memory.
+
+    Mirrors the out-of-memory condition that forced the paper to reduce
+    the end-to-end batch size to 8 at sequence length 2048 (§3.4).
+    """
+
+    def __init__(self, required_bytes: int, capacity_bytes: int, detail: str = ""):
+        self.required_bytes = int(required_bytes)
+        self.capacity_bytes = int(capacity_bytes)
+        msg = (
+            f"device memory exhausted: peak live footprint {required_bytes} B "
+            f"exceeds HBM capacity {capacity_bytes} B"
+        )
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class KernelError(ReproError):
+    """A TPC kernel was declared or invoked incorrectly."""
+
+
+class AutogradError(ReproError):
+    """Backward pass failure (non-differentiable op, detached graph, ...)."""
+
+
+class DataError(ReproError):
+    """Corpus/tokenizer/batching failure."""

@@ -1,0 +1,66 @@
+"""Dependency-free text tables used by the benchmark harness.
+
+The benchmark targets print paper-style tables (Table 1, Table 2) and
+per-figure summary rows; this module renders them as aligned monospace
+text with an optional markdown mode for inclusion in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    markdown: bool = False,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Floats are shown with two decimals; all other values via ``str``.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        joined = " | ".join(c.ljust(widths[j]) for j, c in enumerate(cells))
+        return ("| " + joined + " |") if markdown else joined
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    if markdown:
+        lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    else:
+        lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Sequence[tuple[str, object]], *, title: str | None = None) -> str:
+    """Render key/value pairs as an aligned two-column block."""
+    if not pairs:
+        return title or ""
+    width = max(len(k) for k, _ in pairs)
+    lines = [title] if title else []
+    for key, value in pairs:
+        lines.append(f"{key.ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)

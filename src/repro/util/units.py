@@ -1,0 +1,92 @@
+"""Unit helpers: the simulator's canonical units and human formatting.
+
+Canonical units used throughout the simulator:
+
+* time         — microseconds (float)
+* memory/data  — bytes (int)
+* compute      — FLOPs (float), rates in TFLOP/s
+* bandwidth    — bytes per second (float)
+
+Keeping a single canonical unit per quantity avoids the classic
+simulation bug of mixing ns/us/ms mid-pipeline; conversion happens only
+at the formatting boundary.
+"""
+
+from __future__ import annotations
+
+US_PER_MS = 1_000.0
+US_PER_S = 1_000_000.0
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+GB = 1_000_000_000  # decimal gigabyte, used for bandwidth specs
+TERA = 1.0e12
+
+
+def us_to_ms(us: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return us / US_PER_MS
+
+
+def ms_to_us(ms: float) -> float:
+    """Convert milliseconds to microseconds."""
+    return ms * US_PER_MS
+
+
+def s_to_us(s: float) -> float:
+    """Convert seconds to microseconds."""
+    return s * US_PER_S
+
+
+def us_to_s(us: float) -> float:
+    """Convert microseconds to seconds."""
+    return us / US_PER_S
+
+
+def tflops(flops: float, duration_us: float) -> float:
+    """Achieved TFLOP/s for ``flops`` of work over ``duration_us``.
+
+    Returns 0.0 for zero duration to keep degenerate (empty) measurements
+    well-defined rather than raising in reporting code.
+    """
+    if duration_us <= 0.0:
+        return 0.0
+    return flops / us_to_s(duration_us) / TERA
+
+
+def fmt_time_us(us: float) -> str:
+    """Human-readable time from canonical microseconds."""
+    if us < 0:
+        return "-" + fmt_time_us(-us)
+    if us < 1_000.0:
+        return f"{us:.2f} us"
+    if us < US_PER_S:
+        return f"{us / US_PER_MS:.2f} ms"
+    return f"{us / US_PER_S:.3f} s"
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable size from canonical bytes."""
+    n = float(n)
+    if n < 0:
+        return "-" + fmt_bytes(-n)
+    for unit, div in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if n >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_flops(flops: float) -> str:
+    """Human-readable FLOP count."""
+    flops = float(flops)
+    for unit, div in (("TFLOP", 1e12), ("GFLOP", 1e9), ("MFLOP", 1e6), ("kFLOP", 1e3)):
+        if flops >= div:
+            return f"{flops / div:.2f} {unit}"
+    return f"{flops:.0f} FLOP"
+
+
+def fmt_rate(tflops_value: float) -> str:
+    """Human-readable compute rate given TFLOP/s."""
+    return f"{tflops_value:.2f} TFLOPS"

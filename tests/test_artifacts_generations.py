@@ -1,0 +1,125 @@
+"""Tests for artifact export, MFU metrics, and the Gaudi2 what-if."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    profile_layer,
+    run_e2e,
+    run_generation_comparison,
+    save_profile,
+    save_study,
+)
+from repro.core.study import StudyReport
+from repro.core.reference import ShapeCheck
+from repro.hw import GaudiConfig, gaudi2_config
+from repro.util.errors import ReproError
+
+
+class TestGaudi2Config:
+    def test_public_ratios(self):
+        g1, g2 = GaudiConfig(), gaudi2_config()
+        assert g2.tpc.num_cores == 24
+        assert g2.hbm.capacity_bytes == 3 * g1.hbm.capacity_bytes
+        assert g2.mme.peak_tflops > 2.5 * g1.mme.peak_tflops
+        assert g2.hbm.bandwidth_bytes_per_s > 2 * g1.hbm.bandwidth_bytes_per_s
+
+    def test_name(self):
+        assert "gaudi2" in gaudi2_config().name
+
+
+class TestGenerationComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_generation_comparison()
+
+    def test_checks_pass(self, result):
+        failed = [str(c) for c in result.checks() if not c.passed]
+        assert not failed, failed
+
+    def test_speedups_in_hardware_band(self, result):
+        assert 2.0 < result.layer_speedup < 6.0
+        assert 2.0 < result.e2e_speedup < 6.0
+
+    def test_imbalance_is_architectural(self, result):
+        # faster hardware does not change WHERE softmax runs
+        assert result.layer_g2.softmax_tpc_share > 0.7
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Gaudi2" in text and "max batch" in text
+
+
+class TestE2EMetrics:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_e2e("gpt")
+
+    def test_tokens_per_second(self, result):
+        expected = 8 * 2048 / (result.profile.total_time_us / 1e6)
+        assert result.tokens_per_second == pytest.approx(expected)
+
+    def test_mfu_in_plausible_band(self, result):
+        # bounded by the engine imbalance; must be > 0 and < 1
+        assert 0.05 < result.mfu < 1.0
+
+    def test_render_includes_throughput(self, result):
+        text = result.render(width=50)
+        assert "tokens/s" in text and "MFU" in text
+
+
+class TestSaveProfile:
+    def test_writes_all_artifacts(self, tmp_path):
+        profile = profile_layer("linear")
+        written = save_profile(profile, tmp_path)
+        names = {p.name for p in written}
+        stem = profile.graph_name
+        assert f"{stem}.trace.json" in names
+        assert f"{stem}.figure.txt" in names
+        assert f"{stem}.summary.txt" in names
+        assert f"{stem}.memory.txt" in names
+        assert f"{stem}.metrics.json" in names
+        for p in written:
+            assert p.exists() and p.stat().st_size > 0
+
+    def test_metrics_json_round_trips(self, tmp_path):
+        profile = profile_layer("linear")
+        written = save_profile(profile, tmp_path)
+        metrics_path = next(p for p in written if p.suffix == ".json"
+                            and "metrics" in p.name)
+        data = json.loads(metrics_path.read_text())
+        assert data["total_time_ms"] == pytest.approx(
+            profile.total_time_ms
+        )
+        assert 0 <= data["mme_utilization"] <= 1
+
+    def test_chrome_trace_is_valid_json(self, tmp_path):
+        profile = profile_layer("linear")
+        written = save_profile(profile, tmp_path)
+        trace_path = next(p for p in written if p.name.endswith("trace.json"))
+        data = json.loads(trace_path.read_text())
+        assert data["traceEvents"]
+
+    def test_creates_directory(self, tmp_path):
+        profile = profile_layer("linear")
+        target = tmp_path / "deep" / "nested"
+        save_profile(profile, target)
+        assert target.is_dir()
+
+
+class TestSaveStudy:
+    def test_writes_report_and_checks(self, tmp_path):
+        report = StudyReport()
+        report.add("Table X", "body text", [
+            ShapeCheck("a-check", True, "1", "1"),
+        ])
+        path = save_study(report, tmp_path)
+        assert path.read_text().startswith("Reproduction study report")
+        checks = json.loads((tmp_path / "checks.json").read_text())
+        assert checks[0]["name"] == "a-check"
+        assert checks[0]["passed"] is True
+
+    def test_empty_report_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="empty"):
+            save_study(StudyReport(), tmp_path)

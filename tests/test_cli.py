@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_study_flags(self):
+        args = build_parser().parse_args(["study", "--no-extensions",
+                                          "-o", "out.txt"])
+        assert args.no_extensions and args.output == "out.txt"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_describe(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "MME" in out and "HBM" in out
+
+    def test_table1_passes(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "[PASS]" in out and "[MISS]" not in out
+
+    def test_table2_passes(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Speedup" in capsys.readouterr().out
+
+    def test_ablation_fusion(self, capsys):
+        assert main(["ablation-fusion"]) == 0
+
+    def test_study_writes_output(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        code = main(["study", "--no-extensions", "-o", str(out_file)])
+        assert code == 0
+        text = out_file.read_text()
+        assert "shape checks" in text
+        assert "[MISS]" not in text
+
+    def test_study_artifacts_flag(self, tmp_path, capsys):
+        art = tmp_path / "artifacts"
+        code = main(["study", "--no-extensions", "--artifacts", str(art)])
+        assert code == 0
+        assert (art / "report.txt").exists()
+        assert (art / "checks.json").exists()
+
+    def test_decode_and_energy_commands(self, capsys):
+        assert main(["decode"]) == 0
+        assert main(["energy"]) == 0

@@ -1,0 +1,132 @@
+"""Integration tests: the paper's experiments reproduce their claims.
+
+These are the repository's acceptance tests — each experiment's
+qualitative shape checks against the paper must pass on the default
+(calibrated) configuration.
+"""
+
+import pytest
+
+from repro.core import (
+    run_activation_study,
+    run_attention_study,
+    run_e2e,
+    run_mme_vs_tpc,
+    run_op_mapping,
+)
+from repro.core.reference import TABLE2
+from repro.hw.costmodel import EngineKind
+
+
+@pytest.fixture(scope="module")
+def attention_study():
+    return run_attention_study()
+
+
+@pytest.fixture(scope="module")
+def activation_study():
+    return run_activation_study()
+
+
+@pytest.fixture(scope="module")
+def e2e_gpt():
+    return run_e2e("gpt")
+
+
+class TestTable1:
+    def test_all_probes_match_paper(self):
+        result = run_op_mapping()
+        assert result.all_match(), [
+            str(c) for c in result.checks() if not c.passed
+        ]
+
+    def test_render_contains_all_rows(self):
+        result = run_op_mapping()
+        text = result.render()
+        assert "torch.matmul" in text and "MME" in text
+        assert "scalar * tensor" in text
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_mme_vs_tpc()
+
+    def test_all_checks_pass(self, result):
+        failed = [str(c) for c in result.checks() if not c.passed]
+        assert not failed, failed
+
+    def test_row_count_and_sizes(self, result):
+        assert [r.size for r in result.rows] == [r.size for r in TABLE2]
+
+    def test_speedup_saturates_near_paper(self, result):
+        final = result.rows[-1]
+        assert final.speedup == pytest.approx(6.6, rel=0.15)
+
+    def test_render(self, result):
+        assert "Speedup" in result.render()
+
+
+class TestFigures456(object):
+    def test_all_checks_pass(self, attention_study):
+        failed = [str(c) for c in attention_study.checks() if not c.passed]
+        assert not failed, failed
+
+    def test_fig4_softmax_dominates_tpc(self, attention_study):
+        assert attention_study.softmax.softmax_tpc_share >= 0.8
+
+    def test_fig5_linear_speedup_band(self, attention_study):
+        assert 4.0 <= attention_study.linear_speedup <= 8.0
+
+    def test_fig6_performer_between_softmax_and_linear(self, attention_study):
+        s = attention_study.softmax.total_time_us
+        l = attention_study.linear.total_time_us
+        p = attention_study.performer.total_time_us
+        assert l < p < s
+
+    def test_render_contains_figures(self, attention_study):
+        text = attention_study.render(width=60)
+        assert "Figure 4" in text and "Figure 6" in text
+        assert "MME" in text
+
+
+class TestFigure7:
+    def test_all_checks_pass(self, activation_study):
+        failed = [str(c) for c in activation_study.checks() if not c.passed]
+        assert not failed, failed
+
+    def test_glu_is_slowest(self, activation_study):
+        times = {a: activation_study.total_ms(a)
+                 for a in ("relu", "leaky_relu", "gelu", "glu")}
+        assert max(times, key=times.get) == "glu"
+
+    def test_rows_cover_paper_activations(self, activation_study):
+        acts = [r[0] for r in activation_study.rows()]
+        assert acts == ["relu", "leaky_relu", "gelu", "glu"]
+
+
+class TestFigures89:
+    def test_gpt_checks_pass(self, e2e_gpt):
+        failed = [str(c) for c in e2e_gpt.checks() if not c.passed]
+        assert not failed, failed
+
+    def test_bert_checks_pass(self):
+        result = run_e2e("bert")
+        failed = [str(c) for c in result.checks() if not c.passed]
+        assert not failed, failed
+
+    def test_oom_at_batch_128(self, e2e_gpt):
+        assert e2e_gpt.oom_at_large_batch
+
+    def test_training_step_contains_all_phases(self, e2e_gpt):
+        srcs = {ev.scope for ev in e2e_gpt.timeline.events}
+        assert any("bwd" in s for s in srcs)
+        assert any("optimizer" in s for s in srcs)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            run_e2e("llama")
+
+    def test_render(self, e2e_gpt):
+        text = e2e_gpt.render(width=60)
+        assert "Figure 8" in text and "GiB" in text

@@ -1,0 +1,105 @@
+"""Tests for critical-path analysis."""
+
+import pytest
+
+from repro import ht
+from repro.ht import functional as F
+from repro.hw.device import GaudiDevice
+from repro.models import TransformerLayer, paper_layer_config
+from repro.synapse import (
+    GraphCompiler,
+    Runtime,
+    SynapseProfiler,
+    critical_path,
+)
+from repro.util.errors import ExecutionError
+
+
+def compile_program(fn):
+    with ht.record("cp", mode="symbolic") as rec:
+        fn()
+    return GraphCompiler().compile(rec.graph)
+
+
+class TestCriticalPath:
+    def test_serial_chain_is_the_whole_path(self):
+        schedule = compile_program(lambda: F.exp(F.matmul(
+            ht.input_tensor((256, 256), name="a"),
+            ht.input_tensor((256, 256), name="b"),
+        )))
+        cost = GaudiDevice().cost_model
+        cp = critical_path(schedule, cost)
+        # a pure chain: every op (incl. the DMA hop) is on the path
+        assert len(cp) == len(schedule.ops)
+        assert cp.parallelism() == pytest.approx(1.0)
+
+    def test_parallel_branches_excluded(self):
+        def program():
+            a = ht.input_tensor((512, 512), name="a")
+            b = ht.input_tensor((512, 512), name="b")
+            big = F.matmul(a, b)       # long branch
+            small = F.exp(a)           # short independent branch
+            return big, small
+
+        schedule = compile_program(program)
+        cp = critical_path(schedule, GaudiDevice().cost_model)
+        labels = [op.label for op in cp.ops]
+        assert any("matmul" in l for l in labels)
+        assert not any("exp" in l for l in labels)
+        assert cp.parallelism() > 1.0
+
+    def test_path_bounds_execution(self):
+        schedule = compile_program(lambda: F.matmul(F.softmax(F.matmul(
+            ht.input_tensor((512, 512), name="a"),
+            ht.input_tensor((512, 512), name="b"),
+        )), ht.input_tensor((512, 512), name="c")))
+        device = GaudiDevice()
+        cp = critical_path(schedule, device.cost_model)
+        executed = Runtime(device).execute(schedule).total_time_us
+        # the data path is a lower bound; the serial sum an upper bound
+        assert cp.total_us <= executed + 1e-6
+        assert executed <= cp.serial_total_us + 1e-6
+        assert 0 < cp.share_of(executed) <= 1.0
+
+    def test_empty_schedule(self):
+        from repro.synapse.schedule import MemoryPlan, Schedule
+        from repro.synapse.graph import Graph
+
+        empty = Schedule(Graph(), [], MemoryPlan(0, 0, {}))
+        cp = critical_path(empty, GaudiDevice().cost_model)
+        assert len(cp) == 0 and cp.total_us == 0.0
+        assert cp.parallelism() == 1.0
+
+    def test_share_of_invalid_makespan(self):
+        schedule = compile_program(lambda: F.exp(
+            ht.input_tensor((8,), name="x")
+        ))
+        cp = critical_path(schedule, GaudiDevice().cost_model)
+        with pytest.raises(ExecutionError):
+            cp.share_of(0.0)
+
+    def test_fig4_path_is_softmax_dominated(self):
+        cfg = paper_layer_config("softmax")
+        layer = TransformerLayer(cfg, materialize=False)
+        with ht.record("fig4", mode="symbolic") as rec:
+            layer(ht.input_tensor((128, 2048, cfg.d_model)))
+        schedule = GraphCompiler().compile(rec.graph)
+        device = GaudiDevice()
+        cp = critical_path(schedule, device.cost_model)
+        by_src = cp.by_src()
+        # softmax + the attention matmuls form the spine of the path
+        assert by_src.get("softmax", 0.0) > 0.25 * cp.total_us
+        assert by_src.get("matmul", 0.0) > 0.2 * cp.total_us
+        # the in-order execution tracks the data path closely here
+        # (the chain is inherently serial)
+        profile = SynapseProfiler().profile(rec.graph)
+        assert cp.share_of(profile.total_time_us) > 0.8
+
+    def test_render(self):
+        schedule = compile_program(lambda: F.softmax(F.matmul(
+            ht.input_tensor((128, 128), name="a"),
+            ht.input_tensor((128, 128), name="b"),
+        )))
+        cp = critical_path(schedule, GaudiDevice().cost_model)
+        text = cp.render()
+        assert "critical path" in text and "parallelism" in text

@@ -1,0 +1,206 @@
+"""Tests for the synthetic corpus, tokenizer, and batchers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    CorpusConfig,
+    SyntheticBookCorpus,
+    WordTokenizer,
+    make_clm_batch,
+    make_mlm_batch,
+    pack_blocks,
+)
+from repro.data.tokenizer import MASK, PAD, SPECIAL_TOKENS
+from repro.util.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticBookCorpus(CorpusConfig(
+        vocab_words=500, num_books=2, sentences_per_book=50,
+    ))
+
+
+@pytest.fixture(scope="module")
+def tokenizer(corpus):
+    return WordTokenizer.train(corpus, max_vocab=400)
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        cfg = CorpusConfig(vocab_words=100, num_books=1, sentences_per_book=5)
+        a = SyntheticBookCorpus(cfg).books()
+        b = SyntheticBookCorpus(cfg).books()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = SyntheticBookCorpus(CorpusConfig(seed=1)).books()[0][0]
+        b = SyntheticBookCorpus(CorpusConfig(seed=2)).books()[0][0]
+        assert a != b
+
+    def test_structure(self, corpus):
+        books = corpus.books()
+        assert len(books) == 2
+        assert all(len(book) == 50 for book in books)
+        assert all(s.endswith(" .") for s in books[0])
+
+    def test_zipf_like_frequencies(self, corpus):
+        """Most frequent word should dominate, as in natural text."""
+        from collections import Counter
+
+        counts = Counter(corpus.token_stream())
+        counts.pop(".", None)
+        freqs = [c for _, c in counts.most_common()]
+        assert freqs[0] > 4 * freqs[min(20, len(freqs) - 1)]
+
+    def test_invalid_configs(self):
+        with pytest.raises(DataError):
+            CorpusConfig(vocab_words=5)
+        with pytest.raises(DataError):
+            CorpusConfig(zipf_exponent=1.0)
+        with pytest.raises(DataError):
+            CorpusConfig(num_books=0)
+
+
+class TestTokenizer:
+    def test_specials_present_and_first(self, tokenizer):
+        assert tokenizer.id_to_token[: len(SPECIAL_TOKENS)] == list(SPECIAL_TOKENS)
+        assert tokenizer.pad_id == 0
+
+    def test_round_trip(self, tokenizer, corpus):
+        sentence = corpus.books()[0][0]
+        ids = tokenizer.encode(sentence)
+        decoded = tokenizer.decode(ids)
+        # round-trips exactly when no word was OOV
+        if tokenizer.unk_id not in ids:
+            assert decoded == sentence
+
+    def test_unknown_maps_to_unk(self, tokenizer):
+        ids = tokenizer.encode("xyzzyplugh")
+        assert ids == [tokenizer.unk_id]
+
+    def test_add_specials(self, tokenizer):
+        ids = tokenizer.encode("a", add_specials=True)
+        assert ids[0] == tokenizer.cls_id and ids[-1] == tokenizer.sep_id
+
+    def test_decode_skips_specials(self, tokenizer):
+        text = tokenizer.decode([tokenizer.cls_id, tokenizer.unk_id,
+                                 tokenizer.sep_id], skip_specials=True)
+        assert PAD not in text and "[CLS]" not in text
+
+    def test_decode_range_check(self, tokenizer):
+        with pytest.raises(DataError):
+            tokenizer.decode([10**6])
+
+    def test_max_vocab_respected(self, corpus):
+        tok = WordTokenizer.train(corpus, max_vocab=50)
+        assert tok.vocab_size == 50
+
+    def test_min_freq(self, corpus):
+        tok_all = WordTokenizer.train(corpus, max_vocab=10_000, min_freq=1)
+        tok_freq = WordTokenizer.train(corpus, max_vocab=10_000, min_freq=5)
+        assert tok_freq.vocab_size < tok_all.vocab_size
+
+    def test_duplicate_vocab_rejected(self):
+        with pytest.raises(DataError):
+            WordTokenizer(list(SPECIAL_TOKENS) + ["a", "a"])
+
+    def test_missing_special_rejected(self):
+        with pytest.raises(DataError, match="missing special"):
+            WordTokenizer(["a", "b"])
+
+    def test_save_load_round_trip(self, tokenizer, tmp_path):
+        path = tokenizer.save(tmp_path / "tok.json")
+        loaded = WordTokenizer.load(path)
+        assert loaded.id_to_token == tokenizer.id_to_token
+        assert loaded.encode("a b c") == tokenizer.encode("a b c")
+
+    def test_load_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(DataError, match="not a saved tokenizer"):
+            WordTokenizer.load(bad)
+        with pytest.raises(DataError, match="cannot load"):
+            WordTokenizer.load(tmp_path / "missing.json")
+
+
+class TestPackBlocks:
+    def test_shape(self):
+        out = pack_blocks(list(range(100)), seq_len=8, batch_size=4)
+        assert out.shape == (4, 8)
+        np.testing.assert_array_equal(out.reshape(-1), np.arange(32))
+
+    def test_cycles_short_stream(self):
+        out = pack_blocks([1, 2, 3], seq_len=4, batch_size=2)
+        assert out.shape == (2, 4)
+        np.testing.assert_array_equal(out.reshape(-1),
+                                      [1, 2, 3, 1, 2, 3, 1, 2])
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            pack_blocks([], 4, 2)
+        with pytest.raises(DataError):
+            pack_blocks([1], 0, 2)
+
+
+class TestMLMBatch:
+    def test_mask_rate_and_targets(self, tokenizer):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(5, tokenizer.vocab_size, size=(8, 128))
+        batch = make_mlm_batch(blocks, tokenizer, mask_prob=0.15, rng=rng)
+        rate = batch.masked_positions.mean()
+        assert 0.10 < rate < 0.20
+        # one-hot rows exist exactly at masked positions
+        row_sums = batch.target_onehot.sum(-1)
+        np.testing.assert_array_equal(row_sums > 0, batch.masked_positions)
+        # targets recover the ORIGINAL token, not the corrupted one
+        rows, cols = np.nonzero(batch.masked_positions)
+        recovered = batch.target_onehot[rows, cols].argmax(-1)
+        np.testing.assert_array_equal(recovered, blocks[rows, cols])
+
+    def test_eighty_percent_mask_token(self, tokenizer):
+        rng = np.random.default_rng(1)
+        blocks = rng.integers(5, tokenizer.vocab_size, size=(16, 256))
+        batch = make_mlm_batch(blocks, tokenizer, rng=rng)
+        masked_inputs = batch.input_ids[batch.masked_positions]
+        frac_mask_tok = (masked_inputs == tokenizer.mask_id).mean()
+        assert 0.7 < frac_mask_tok < 0.9
+
+    def test_at_least_one_target(self, tokenizer):
+        rng = np.random.default_rng(2)
+        blocks = np.full((1, 4), 7)
+        batch = make_mlm_batch(blocks, tokenizer, mask_prob=0.01, rng=rng)
+        assert batch.masked_positions.any()
+
+    def test_bad_prob(self, tokenizer):
+        with pytest.raises(DataError):
+            make_mlm_batch(np.zeros((1, 4), dtype=int), tokenizer, mask_prob=0.0)
+
+
+class TestCLMBatch:
+    def test_shifted_targets(self):
+        blocks = np.array([[3, 1, 4, 1]])
+        batch = make_clm_batch(blocks, vocab_size=6)
+        assert batch.target_onehot.shape == (1, 4, 6)
+        np.testing.assert_array_equal(
+            batch.target_onehot[0, :3].argmax(-1), [1, 4, 1]
+        )
+        # final position has no target
+        assert batch.target_onehot[0, 3].sum() == 0
+
+    def test_vocab_range_checked(self):
+        with pytest.raises(DataError):
+            make_clm_batch(np.array([[9]]), vocab_size=5)
+
+    @given(st.integers(2, 32), st.integers(2, 16), st.integers(5, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_onehot_consistency(self, b, n, v):
+        rng = np.random.default_rng(b * n * v)
+        blocks = rng.integers(0, v, size=(b, n))
+        batch = make_clm_batch(blocks, vocab_size=v)
+        # every non-final position points at the next token
+        for i in range(b):
+            for t in range(n - 1):
+                assert batch.target_onehot[i, t].argmax() == blocks[i, t + 1]

@@ -1,0 +1,88 @@
+"""Tests for KV-cached decode modeling (extension A9)."""
+
+import pytest
+
+from repro.core import run_decode_study
+from repro.hw.costmodel import EngineKind
+from repro.models import paper_gpt_config, tiny_gpt_config
+from repro.models.kvcache import decode_shapes, record_decode_step
+from repro.synapse import SynapseProfiler
+from repro.util.errors import ShapeError
+
+
+class TestDecodeShapes:
+    def test_derivation(self):
+        cfg = paper_gpt_config()
+        s = decode_shapes(cfg, batch=4, context_len=100)
+        assert s.d_model == 512 and s.num_heads == 8
+        assert s.vocab_size == cfg.vocab_size
+
+    def test_context_bound(self):
+        cfg = tiny_gpt_config()
+        with pytest.raises(ShapeError, match="exceeds"):
+            decode_shapes(cfg, 1, cfg.max_seq_len)
+
+
+class TestRecordDecodeStep:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        rec = record_decode_step(paper_gpt_config(), batch=1,
+                                 context_len=256)
+        return SynapseProfiler().profile(rec.graph)
+
+    def test_graph_contains_per_layer_attention(self, profile):
+        scopes = {ev.scope for ev in profile.timeline.events}
+        assert any("layer0" in s for s in scopes)
+        assert any("layer1" in s for s in scopes)
+        assert any("head" in s for s in scopes)
+
+    def test_softmax_present_but_tiny(self, profile):
+        share = profile.timeline.src_share("softmax", EngineKind.TPC)
+        assert 0.0 < share < 0.9
+
+    def test_cache_append_is_recorded(self, profile):
+        assert any("concat_rows" in op.label
+                   for op in profile.schedule.ops)
+
+    def test_matvec_work_is_mme_mapped(self, profile):
+        # Table 1 still applies: the matvecs are matmul ops on the MME
+        mme_ops = profile.schedule.engine_queue(EngineKind.MME)
+        assert len(mme_ops) >= 2 * 6 + 1  # 6 weight matmuls/layer + head
+
+
+class TestDecodeStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_decode_study((128, 512, 1024))
+
+    def test_checks_pass(self, result):
+        failed = [str(c) for c in result.checks() if not c.passed]
+        assert not failed, failed
+
+    def test_mme_rate_collapse(self, result):
+        # the headline: decode matvecs waste the MAC array
+        assert result.mme_achieved_tflops(0) < 0.5
+        assert result.training_mme_tflops > 10.0
+
+    def test_latency_grows_with_context(self, result):
+        ms = result.step_ms()
+        assert ms == sorted(ms)
+        assert ms[-1] > ms[0]
+
+    def test_throughput_decreases_with_context(self, result):
+        tps = [result.tokens_per_second(i) for i in range(len(result.contexts))]
+        assert tps[0] > tps[-1]
+
+    def test_batching_grows_sublinearly(self):
+        # weight matmuls don't scale with batch (one weight stream for
+        # all tokens); attention matvecs do — so the step grows
+        # sub-linearly and per-token cost improves, but modestly
+        # (per-head caches can't be packed into one GEMM).
+        b1 = run_decode_study((512,), batch=1)
+        b8 = run_decode_study((512,), batch=8)
+        assert b8.step_ms()[0] < 8 * b1.step_ms()[0]
+        assert b8.tokens_per_second(0) > b1.tokens_per_second(0)
+
+    def test_render(self, result):
+        text = result.render()
+        assert "tokens/s" in text and "MME TFLOPS" in text

@@ -1,0 +1,89 @@
+"""Tests: dtype-aware MME rates and forward-vs-training profiling."""
+
+import numpy as np
+import pytest
+
+from repro import ht
+from repro.ht import functional as F
+from repro.core import record_forward_step, record_training_step
+from repro.hw.config import HBMConfig, MMEConfig
+from repro.hw.costmodel import MatmulDims, MMEModel
+from repro.hw.dtypes import DType
+from repro.synapse import SynapseProfiler
+from repro.hw.costmodel import EngineKind
+
+
+class TestDtypeAwareMME:
+    @pytest.fixture(scope="class")
+    def mme(self):
+        return MMEModel(MMEConfig(), HBMConfig())
+
+    def test_bf16_is_the_calibration_dtype(self, mme):
+        assert MMEModel.dtype_rate_factor(DType.BF16) == 1.0
+
+    def test_fp32_halves_the_rate(self, mme):
+        dims = MatmulDims(8, 1024, 1024, 1024)
+        bf16 = mme.achieved_tflops(dims, DType.BF16)
+        fp32 = mme.achieved_tflops(dims, DType.FP32)
+        assert fp32 == pytest.approx(bf16 / 2)
+
+    def test_int8_doubles_capped(self, mme):
+        assert MMEModel.dtype_rate_factor(DType.INT8) == 2.0
+        assert MMEModel.dtype_rate_factor(DType.FP16) == 1.0
+
+    def test_fp32_matmul_time_doubles(self, mme):
+        dims = MatmulDims(8, 1024, 1024, 1024)
+        t16 = mme.matmul_time_us(dims, DType.BF16)
+        t32 = mme.matmul_time_us(dims, DType.FP32)
+        # launch overhead is tiny at this size
+        assert t32 == pytest.approx(2 * t16, rel=0.01)
+
+    def test_fp32_layer_profile_roughly_doubles(self):
+        def total(dtype):
+            with ht.record(mode="symbolic") as rec:
+                a = ht.input_tensor((512, 512), dtype=dtype, name="a")
+                b = ht.input_tensor((512, 512), dtype=dtype, name="b")
+                F.matmul(F.softmax(F.matmul(a, b)), b)
+            return SynapseProfiler().profile(rec.graph).total_time_us
+
+        ratio = total(DType.FP32) / total(DType.BF16)
+        # matmuls 2x (rate), softmax ~2x (lanes + traffic)
+        assert 1.6 < ratio < 2.4
+
+
+class TestForwardVsTraining:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        fwd = SynapseProfiler().profile(record_forward_step("gpt").graph)
+        train = SynapseProfiler().profile(record_training_step("gpt").graph)
+        return fwd, train
+
+    def test_training_is_roughly_3x_forward(self, profiles):
+        fwd, train = profiles
+        ratio = train.total_time_us / fwd.total_time_us
+        # fwd + ~2x bwd matmuls + loss + optimizer
+        assert 2.3 < ratio < 4.5
+
+    def test_forward_has_no_backward_scope(self, profiles):
+        fwd, _ = profiles
+        assert not any("bwd" in ev.scope for ev in fwd.timeline.events)
+
+    def test_training_has_backward_and_optimizer(self, profiles):
+        _, train = profiles
+        scopes = {ev.scope for ev in train.timeline.events}
+        assert any("bwd" in s for s in scopes)
+        assert any("optimizer" in s for s in scopes)
+
+    def test_forward_peak_memory_lower(self, profiles):
+        fwd, train = profiles
+        # no loss one-hot input and no stored-for-backward pressure at
+        # the end of the graph
+        assert fwd.peak_hbm_bytes < train.peak_hbm_bytes
+
+    def test_forward_softmax_still_on_tpc(self, profiles):
+        fwd, _ = profiles
+        assert fwd.timeline.src_share("softmax", EngineKind.TPC) > 0.0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            record_forward_step("mamba")

@@ -1,0 +1,261 @@
+"""Autograd tests: numeric gradient checks per op + driver behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ht
+from repro.ht import functional as F
+from repro.util.errors import AutogradError
+
+EPS = 1e-4
+
+
+def analytic_grad(fn, x0: np.ndarray) -> tuple[float, np.ndarray]:
+    """Run fn under a concrete recording; return (loss, grad)."""
+    with ht.record(mode="concrete"):
+        x = ht.tensor(x0, requires_grad=True)
+        loss = fn(x)
+        loss.backward()
+        return loss.item(), (
+            x.grad.numpy().copy() if x.grad is not None else np.zeros_like(x0)
+        )
+
+
+def numeric_grad(fn, x0: np.ndarray) -> np.ndarray:
+    """Central finite differences of the same scalar function."""
+
+    def value(arr):
+        with ht.record(mode="concrete"):
+            return fn(ht.tensor(arr, requires_grad=True)).item()
+
+    out = np.zeros_like(x0)
+    for idx in np.ndindex(*x0.shape):
+        xp, xm = x0.copy(), x0.copy()
+        xp[idx] += EPS
+        xm[idx] -= EPS
+        out[idx] = (value(xp) - value(xm)) / (2 * EPS)
+    return out
+
+
+def gradcheck(fn, x0: np.ndarray, atol: float = 2e-3) -> None:
+    _, g = analytic_grad(fn, x0)
+    n = numeric_grad(fn, x0)
+    np.testing.assert_allclose(g, n, atol=atol, rtol=1e-2)
+
+
+RNG = np.random.default_rng(1234)
+X23 = RNG.normal(size=(2, 3))
+XPOS = np.abs(RNG.normal(size=(2, 3))) + 0.5
+
+
+class TestGradcheckUnary:
+    @pytest.mark.parametrize(
+        "name,fn,x0",
+        [
+            ("exp", lambda x: F.mean(F.exp(x)), X23),
+            ("log", lambda x: F.mean(F.log(x)), XPOS),
+            ("sqrt", lambda x: F.mean(F.sqrt(x)), XPOS),
+            ("rsqrt", lambda x: F.mean(F.rsqrt(x)), XPOS),
+            ("sigmoid", lambda x: F.mean(F.sigmoid(x)), X23),
+            ("tanh", lambda x: F.mean(F.tanh(x)), X23),
+            ("square", lambda x: F.mean(F.square(x)), X23),
+            ("neg", lambda x: F.mean(F.neg(x)), X23),
+            ("abs", lambda x: F.mean(F.abs(x)), X23 + 0.3),
+            ("relu", lambda x: F.mean(F.relu(x)), X23 + 0.05),
+            ("leaky", lambda x: F.mean(F.leaky_relu(x, 0.2)), X23 + 0.05),
+            ("elu", lambda x: F.mean(F.elu(x)), X23 + 0.05),
+            ("gelu", lambda x: F.mean(F.gelu(x)), X23),
+            ("smul", lambda x: F.mean(F.mul_scalar(x, -2.5)), X23),
+            ("sadd", lambda x: F.mean(F.add_scalar(x, 1.5)), X23),
+            ("spow", lambda x: F.mean(F.pow_scalar(x, 3.0)), XPOS),
+            ("glu", lambda x: F.mean(F.glu(x)), RNG.normal(size=(3, 4))),
+        ],
+    )
+    def test_gradcheck(self, name, fn, x0):
+        gradcheck(fn, x0)
+
+
+class TestGradcheckBinaryAndMatmul:
+    def test_mul_both_sides(self):
+        b0 = RNG.normal(size=(2, 3))
+
+        def fn(x):
+            b = ht.tensor(b0)
+            return F.mean(F.mul(x, b))
+
+        gradcheck(fn, X23)
+
+    def test_div(self):
+        b0 = np.abs(RNG.normal(size=(2, 3))) + 1.0
+        gradcheck(lambda x: F.mean(F.div(x, ht.tensor(b0))), X23)
+        gradcheck(lambda x: F.mean(F.div(ht.tensor(b0), x)), XPOS)
+
+    def test_maximum(self):
+        b0 = RNG.normal(size=(2, 3))
+        gradcheck(lambda x: F.mean(F.maximum(x, ht.tensor(b0))), X23 + 0.7)
+
+    def test_add_with_broadcast(self):
+        bias = RNG.normal(size=(3,))
+        gradcheck(lambda x: F.mean(F.add(x, ht.tensor(bias))), X23)
+        # gradient flows to the broadcast side too
+        def fn_bias(b):
+            x = ht.tensor(X23)
+            return F.mean(F.add(x, b))
+
+        gradcheck(fn_bias, bias.copy())
+
+    def test_matmul_plain(self):
+        b0 = RNG.normal(size=(3, 4))
+        gradcheck(lambda x: F.mean(F.matmul(x, ht.tensor(b0))), X23)
+
+    def test_matmul_batched_broadcast_weight(self):
+        # x(B, N, D) @ W(D, F): the Linear pattern with batch broadcast.
+        w0 = RNG.normal(size=(3, 2))
+        x0 = RNG.normal(size=(4, 5, 3))
+
+        def fn(w):
+            x = ht.tensor(x0)
+            return F.mean(F.matmul(x, w))
+
+        gradcheck(fn, w0)
+
+    def test_matmul_transpose_flags(self):
+        b0 = RNG.normal(size=(4, 3))
+        gradcheck(
+            lambda x: F.mean(F.matmul(x, ht.tensor(b0), transpose_b=True)),
+            X23,
+        )
+        gradcheck(
+            lambda x: F.mean(F.matmul(x, ht.tensor(X23), transpose_a=True)),
+            RNG.normal(size=(2, 5)),
+        )
+
+
+class TestGradcheckReductionsComposites:
+    def test_sum_axis(self):
+        gradcheck(lambda x: F.mean(F.square(F.sum(x, axis=-1))), X23)
+
+    def test_sum_all(self):
+        gradcheck(lambda x: F.square(F.sum(x)), X23)
+
+    def test_mean_keepdims(self):
+        gradcheck(
+            lambda x: F.sum(F.square(F.sub(x, F.mean(x, axis=-1, keepdims=True)))),
+            X23,
+        )
+
+    def test_max_axis(self):
+        # offset to avoid ties (non-differentiable points)
+        x0 = X23 + np.arange(6).reshape(2, 3) * 0.37
+        gradcheck(lambda x: F.sum(F.square(F.max(x, axis=-1))), x0)
+
+    def test_softmax(self):
+        w = RNG.normal(size=(2, 3))
+        gradcheck(
+            lambda x: F.sum(F.mul(F.softmax(x, axis=-1), ht.tensor(w))), X23
+        )
+
+    def test_log_softmax(self):
+        w = RNG.normal(size=(2, 3))
+        gradcheck(
+            lambda x: F.sum(F.mul(F.log_softmax(x, axis=-1), ht.tensor(w))),
+            X23,
+        )
+
+    def test_transpose_reshape_slice(self):
+        def fn(x):
+            t = F.transpose(x, (1, 0))
+            r = F.reshape(t, (6,))
+            s = F.slice_last(r, 1, 5)
+            return F.mean(F.square(s))
+
+        gradcheck(fn, X23)
+
+    def test_concat(self):
+        b0 = RNG.normal(size=(2, 2))
+
+        def fn(x):
+            return F.mean(F.square(F.concat_last(x, ht.tensor(b0))))
+
+        gradcheck(fn, X23)
+
+    def test_gather_rows_grad(self):
+        idx = np.array([0, 2, 0])
+
+        def fn(table):
+            return F.mean(F.square(F.gather_rows(table, ht.tensor(idx))))
+
+        gradcheck(fn, RNG.normal(size=(4, 3)))
+
+    def test_broadcast_to(self):
+        def fn(x):
+            return F.sum(F.square(F.broadcast_to(x, (4, 2, 3))))
+
+        gradcheck(fn, X23)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_chain_rule_random_expressions(self, seed):
+        rng = np.random.default_rng(seed)
+        x0 = rng.normal(size=(2, 2))
+        gradcheck(
+            lambda x: F.mean(
+                F.mul(F.sigmoid(F.mul_scalar(x, 1.5)), F.exp(F.neg(F.square(x))))
+            ),
+            x0,
+        )
+
+
+class TestBackwardDriver:
+    def test_requires_scalar(self):
+        with ht.record():
+            x = ht.randn(2, 2, requires_grad=True)
+            with pytest.raises(AutogradError, match="scalar"):
+                F.exp(x).backward()
+
+    def test_requires_grad(self):
+        with ht.record():
+            x = ht.randn(2, 2)  # requires_grad False
+            with pytest.raises(AutogradError, match="nothing to do"):
+                F.mean(x).backward()
+
+    def test_grad_accumulates_across_uses(self):
+        with ht.record():
+            x = ht.tensor(np.array(2.0), requires_grad=True)
+            y = F.add(F.mul(x, x), x)  # x^2 + x -> dy/dx = 2x + 1 = 5
+            y.backward()
+            assert x.grad.item() == pytest.approx(5.0)
+
+    def test_no_grad_for_untracked_inputs(self):
+        with ht.record():
+            x = ht.randn(2, 2, requires_grad=True)
+            c = ht.randn(2, 2)  # constant
+            F.mean(F.mul(x, c)).backward()
+            assert c.grad is None
+            assert x.grad is not None
+
+    def test_backward_ops_are_recorded_with_bwd_scope(self):
+        with ht.record() as rec:
+            x = ht.randn(2, 2, requires_grad=True)
+            F.mean(F.exp(x)).backward()
+        bwd_nodes = [n for n in rec.graph.nodes if "bwd" in n.scope]
+        assert bwd_nodes
+        assert any(n.src == "exp_bwd" for n in rec.graph.nodes)
+
+    def test_symbolic_backward_records_graph(self):
+        with ht.record(mode="symbolic") as rec:
+            x = ht.input_tensor((8, 8), requires_grad=True)
+            F.mean(F.square(x)).backward()
+            assert x.grad is not None
+            assert x.grad.shape == (8, 8)
+            assert x.grad.data is None
+        assert len(rec.graph) > 3
+
+    def test_parameter_grad_set(self):
+        p = ht.Parameter(np.ones((2, 2)), name="w")
+        with ht.record():
+            t = p.as_tensor()
+            F.sum(F.square(t)).backward()
+        assert p.grad is not None
+        np.testing.assert_allclose(p.grad.numpy(), 2 * np.ones((2, 2)))

@@ -1,0 +1,208 @@
+"""Tests for the ht module system and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro import ht
+from repro.ht import functional as F
+from repro.util.errors import ConfigError, ShapeError
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        lin = ht.Linear(4, 3, rng=rng)
+        x_np = rng.normal(size=(5, 4))
+        with ht.record():
+            out = lin(ht.tensor(x_np))
+            expected = x_np @ lin.weight.data + lin.bias.data
+            np.testing.assert_allclose(out.numpy(), expected, rtol=1e-5)
+
+    def test_no_bias(self):
+        lin = ht.Linear(4, 3, bias=False)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_wrong_input_dim(self):
+        lin = ht.Linear(4, 3)
+        with ht.record():
+            with pytest.raises(ShapeError, match="expected last dim 4"):
+                lin(ht.randn(5, 7))
+
+    def test_symbolic_linear(self):
+        lin = ht.Linear(64, 32, materialize=False)
+        with ht.record(mode="symbolic"):
+            out = lin(ht.input_tensor((8, 64)))
+            assert out.shape == (8, 32)
+
+
+class TestEmbeddingLayerNorm:
+    def test_embedding_lookup(self):
+        rng = np.random.default_rng(1)
+        emb = ht.Embedding(10, 4, rng=rng)
+        with ht.record():
+            out = emb(ht.tensor(np.array([1, 5])))
+            np.testing.assert_allclose(out.numpy(), emb.weight.data[[1, 5]])
+
+    def test_layernorm_normalizes(self):
+        rng = np.random.default_rng(2)
+        ln = ht.LayerNorm(8)
+        with ht.record():
+            out = ln(ht.tensor(rng.normal(2.0, 3.0, size=(4, 8)))).numpy()
+        np.testing.assert_allclose(out.mean(-1), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(-1), 1.0, atol=1e-2)
+
+    def test_layernorm_wrong_dim(self):
+        ln = ht.LayerNorm(8)
+        with ht.record():
+            with pytest.raises(ShapeError):
+                ln(ht.randn(4, 7))
+
+    def test_layernorm_is_composed_of_primitives(self):
+        ln = ht.LayerNorm(8, materialize=False)
+        with ht.record(mode="symbolic") as rec:
+            ln(ht.input_tensor((4, 8)))
+        ops = {n.op for n in rec.graph.nodes}
+        assert {"mean", "sub", "square", "rsqrt", "mul"} <= ops
+
+
+class TestModuleTree:
+    def make_mlp(self):
+        return ht.Sequential(
+            ht.Linear(8, 16, name="fc1"),
+            ht.Dropout(0.1),
+            ht.Linear(16, 4, name="fc2"),
+            name="mlp",
+        )
+
+    def test_named_parameters(self):
+        mlp = self.make_mlp()
+        names = [n for n, _ in mlp.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.2.bias" in names
+        assert len(names) == 4
+
+    def test_num_parameters(self):
+        mlp = self.make_mlp()
+        assert mlp.num_parameters() == 8 * 16 + 16 + 16 * 4 + 4
+        assert mlp.parameter_bytes() == mlp.num_parameters() * 2  # bf16
+
+    def test_scopes_in_graph(self):
+        mlp = self.make_mlp()
+        with ht.record() as rec:
+            mlp(ht.randn(2, 8))
+        scopes = {n.scope for n in rec.graph.nodes}
+        assert any("mlp.fc1" in s for s in scopes)
+
+    def test_dropout_is_identity(self):
+        d = ht.Dropout(0.5)
+        with ht.record():
+            x = ht.randn(3, 3)
+            assert d(x) is x
+        with pytest.raises(ConfigError):
+            ht.Dropout(1.0)
+
+    def test_sequential_indexing(self):
+        mlp = self.make_mlp()
+        assert len(mlp) == 3
+        assert isinstance(mlp[0], ht.Linear)
+
+
+class TestSGD:
+    def test_training_reduces_loss(self):
+        """End-to-end sanity: a tiny regression problem must converge."""
+        rng = np.random.default_rng(3)
+        w_true = rng.normal(size=(4, 1))
+        x_np = rng.normal(size=(64, 4))
+        y_np = x_np @ w_true
+        model = ht.Linear(4, 1, rng=rng)
+        opt = ht.SGD(model.parameters(), lr=0.1)
+        losses = []
+        for _ in range(60):
+            with ht.record():
+                pred = model(ht.tensor(x_np))
+                loss = F.mean(F.square(F.sub(pred, ht.tensor(y_np))))
+                loss.backward()
+                opt.step()
+                opt.zero_grad()
+                losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.01
+
+    def test_momentum_converges(self):
+        rng = np.random.default_rng(4)
+        x_np = rng.normal(size=(32, 3))
+        y_np = x_np @ rng.normal(size=(3, 1))
+        model = ht.Linear(3, 1, rng=rng)
+        opt = ht.SGD(model.parameters(), lr=0.05, momentum=0.9)
+        first = last = None
+        for _ in range(50):
+            with ht.record():
+                loss = F.mean(F.square(F.sub(model(ht.tensor(x_np)),
+                                             ht.tensor(y_np))))
+                loss.backward()
+                opt.step()
+                opt.zero_grad()
+                first = first if first is not None else loss.item()
+                last = loss.item()
+        assert last < first * 0.05
+
+    def test_step_skips_gradless_params(self):
+        model = ht.Linear(2, 2)
+        opt = ht.SGD(model.parameters(), lr=0.1)
+        with ht.record():
+            assert opt.step() == 0
+
+    def test_step_emits_ops(self):
+        model = ht.Linear(2, 2)
+        opt = ht.SGD(model.parameters(), lr=0.1)
+        with ht.record() as rec:
+            loss = F.mean(F.square(model(ht.randn(3, 2))))
+            loss.backward()
+            n_before = len(rec.graph)
+            updated = opt.step()
+        assert updated == 2
+        assert len(rec.graph) > n_before
+        opt_nodes = [n for n in rec.graph.nodes if "optimizer" in n.scope]
+        assert opt_nodes
+
+    def test_invalid_hyperparams(self):
+        model = ht.Linear(2, 2)
+        with pytest.raises(ConfigError):
+            ht.SGD(model.parameters(), lr=0.0)
+        with pytest.raises(ConfigError):
+            ht.SGD(model.parameters(), lr=0.1, momentum=1.0)
+        with pytest.raises(ConfigError):
+            ht.SGD([], lr=0.1)
+
+
+class TestAdamLike:
+    def test_converges(self):
+        rng = np.random.default_rng(5)
+        x_np = rng.normal(size=(32, 3))
+        y_np = x_np @ rng.normal(size=(3, 1))
+        model = ht.Linear(3, 1, rng=rng)
+        opt = ht.AdamLike(model.parameters(), lr=0.05)
+        first = last = None
+        for _ in range(80):
+            with ht.record():
+                loss = F.mean(F.square(F.sub(model(ht.tensor(x_np)),
+                                             ht.tensor(y_np))))
+                loss.backward()
+                opt.step()
+                opt.zero_grad()
+                first = first if first is not None else loss.item()
+                last = loss.item()
+        assert last < first * 0.2
+
+    def test_emits_more_ops_than_sgd(self):
+        model = ht.Linear(4, 4)
+
+        def count_opt_nodes(opt_cls, **kw):
+            opt = opt_cls(model.parameters(), lr=0.01, **kw)
+            with ht.record() as rec:
+                loss = F.mean(F.square(model(ht.randn(2, 4))))
+                loss.backward()
+                opt.step()
+            return sum(1 for n in rec.graph.nodes if "optimizer" in n.scope)
+
+        assert count_opt_nodes(ht.AdamLike) > count_opt_nodes(ht.SGD)

@@ -1,0 +1,244 @@
+"""Unit tests for the ht frontend: tensors, recording, functional ops."""
+
+import numpy as np
+import pytest
+
+from repro import ht
+from repro.ht import functional as F
+from repro.util.errors import GraphError, ShapeError
+
+
+class TestRecording:
+    def test_requires_active_recorder(self):
+        with pytest.raises(GraphError, match="no active recording"):
+            ht.tensor([1.0, 2.0])
+
+    def test_record_yields_graph(self):
+        with ht.record("g") as rec:
+            x = ht.tensor([1.0, 2.0])
+            F.exp(x)
+        assert rec.graph.name == "g"
+        assert len(rec.graph) == 1
+        assert rec.graph.nodes[0].op == "exp"
+
+    def test_nested_records_are_independent(self):
+        with ht.record("outer") as outer:
+            ht.tensor([1.0])
+            with ht.record("inner") as inner:
+                x = ht.tensor([2.0])
+                F.exp(x)
+            assert len(inner.graph) == 1
+            assert len(outer.graph) == 0
+
+    def test_scope_tagging(self):
+        with ht.record() as rec:
+            x = ht.tensor([1.0])
+            with ht.scope("attn"):
+                with ht.scope("softmax"):
+                    F.exp(x)
+        assert rec.graph.nodes[0].scope == "attn.softmax"
+
+    def test_symbolic_mode_has_no_data(self):
+        with ht.record(mode="symbolic"):
+            x = ht.input_tensor((4, 4))
+            y = F.relu(x)
+            assert y.data is None
+            with pytest.raises(GraphError, match="symbolic"):
+                y.numpy()
+
+    def test_concrete_input_requires_data(self):
+        with ht.record(mode="concrete"):
+            with pytest.raises(GraphError, match="needs data"):
+                ht.input_tensor((2, 2))
+
+    def test_bad_mode(self):
+        with pytest.raises(GraphError, match="mode"):
+            with ht.record(mode="quantum"):
+                pass
+
+
+class TestTensorBasics:
+    def test_shape_dtype_numel(self):
+        with ht.record():
+            x = ht.tensor(np.zeros((2, 3)))
+            assert x.shape == (2, 3)
+            assert x.ndim == 2
+            assert x.numel == 6
+
+    def test_item(self):
+        with ht.record():
+            x = ht.tensor(3.5)
+            assert x.item() == pytest.approx(3.5)
+            y = ht.tensor([1.0, 2.0])
+            with pytest.raises(ShapeError):
+                y.item()
+
+    def test_operators_match_numpy(self):
+        rng = np.random.default_rng(0)
+        a_np = rng.normal(size=(3, 4))
+        b_np = rng.normal(size=(3, 4))
+        with ht.record():
+            a, b = ht.tensor(a_np), ht.tensor(b_np)
+            tol = dict(rtol=1e-5, atol=1e-6)  # fp32 carrier precision
+            np.testing.assert_allclose((a + b).numpy(), a_np + b_np, **tol)
+            np.testing.assert_allclose((a - b).numpy(), a_np - b_np, **tol)
+            np.testing.assert_allclose((a * b).numpy(), a_np * b_np, **tol)
+            np.testing.assert_allclose((a / b).numpy(), a_np / b_np, **tol)
+            np.testing.assert_allclose((a * 2.0).numpy(), a_np * 2, **tol)
+            np.testing.assert_allclose((3.0 + a).numpy(), 3 + a_np, **tol)
+            np.testing.assert_allclose((1.0 - a).numpy(), 1 - a_np, **tol)
+            np.testing.assert_allclose((-a).numpy(), -a_np, **tol)
+            np.testing.assert_allclose((a ** 2).numpy(), a_np ** 2, **tol)
+            np.testing.assert_allclose((a / 2).numpy(), a_np / 2, **tol)
+
+    def test_matmul_operator(self):
+        rng = np.random.default_rng(1)
+        a_np = rng.normal(size=(2, 3, 4))
+        b_np = rng.normal(size=(2, 4, 5))
+        with ht.record():
+            out = ht.tensor(a_np) @ ht.tensor(b_np)
+            np.testing.assert_allclose(out.numpy(), a_np @ b_np, rtol=1e-5)
+
+    def test_transpose_reshape(self):
+        with ht.record():
+            x = ht.tensor(np.arange(24.0).reshape(2, 3, 4))
+            t = x.transpose(-2, -1)
+            assert t.shape == (2, 4, 3)
+            r = x.reshape(6, 4)
+            assert r.shape == (6, 4)
+            r2 = x.reshape(-1, 4)
+            assert r2.shape == (6, 4)
+
+    def test_reductions(self):
+        x_np = np.arange(12.0).reshape(3, 4)
+        with ht.record():
+            x = ht.tensor(x_np)
+            np.testing.assert_allclose(x.sum().numpy(), x_np.sum())
+            np.testing.assert_allclose(
+                x.mean(axis=-1).numpy(), x_np.mean(-1), rtol=1e-6
+            )
+            np.testing.assert_allclose(
+                x.max(axis=0, keepdims=True).numpy(), x_np.max(0, keepdims=True)
+            )
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self):
+        with ht.record():
+            x = ht.randn(4, 7)
+            s = F.softmax(x)
+            np.testing.assert_allclose(s.numpy().sum(-1), 1.0, rtol=1e-5)
+
+    def test_activations_match_numpy(self):
+        x_np = np.linspace(-3, 3, 13)
+        with ht.record():
+            x = ht.tensor(x_np)
+            np.testing.assert_allclose(
+                F.relu(x).numpy(), np.maximum(x_np, 0), rtol=1e-6
+            )
+            np.testing.assert_allclose(
+                F.elu(x).numpy(),
+                np.where(x_np > 0, x_np, np.expm1(x_np)), rtol=1e-5,
+            )
+            np.testing.assert_allclose(
+                F.leaky_relu(x, 0.1).numpy(),
+                np.where(x_np >= 0, x_np, 0.1 * x_np), rtol=1e-6,
+            )
+            np.testing.assert_allclose(F.tanh(x).numpy(), np.tanh(x_np), rtol=1e-5)
+
+    def test_gelu_close_to_erf_form(self):
+        from math import erf, sqrt
+
+        x_np = np.linspace(-3, 3, 25)
+        ref = np.array([0.5 * v * (1 + erf(v / sqrt(2))) for v in x_np])
+        with ht.record():
+            out = F.gelu(ht.tensor(x_np)).numpy()
+        np.testing.assert_allclose(out, ref, atol=2e-3)
+
+    def test_glu(self):
+        with ht.record():
+            x = ht.tensor([[2.0, 0.0]])
+            np.testing.assert_allclose(F.glu(x).numpy(), [[1.0]], rtol=1e-6)
+
+    def test_slice_concat_round_trip(self):
+        x_np = np.arange(12.0).reshape(3, 4)
+        with ht.record():
+            x = ht.tensor(x_np)
+            a = F.slice_last(x, 0, 2)
+            b = F.slice_last(x, 2, 4)
+            back = F.concat_last(a, b)
+            np.testing.assert_allclose(back.numpy(), x_np)
+
+    def test_gather_rows(self):
+        with ht.record():
+            table = ht.tensor(np.arange(12.0).reshape(4, 3))
+            idx = ht.tensor(np.array([0, 3]))
+            out = F.gather_rows(table, idx)
+            np.testing.assert_allclose(out.numpy(), [[0, 1, 2], [9, 10, 11]])
+
+    def test_matmul_transpose_flags(self):
+        rng = np.random.default_rng(2)
+        a_np = rng.normal(size=(4, 3))
+        b_np = rng.normal(size=(5, 3))
+        with ht.record():
+            out = F.matmul(ht.tensor(a_np), ht.tensor(b_np), transpose_b=True)
+            np.testing.assert_allclose(out.numpy(), a_np @ b_np.T, rtol=1e-5)
+            out2 = F.matmul(ht.tensor(a_np), ht.tensor(a_np), transpose_a=True)
+            np.testing.assert_allclose(out2.numpy(), a_np.T @ a_np, rtol=1e-5)
+
+    def test_cross_entropy_matches_reference(self):
+        rng = np.random.default_rng(3)
+        logits_np = rng.normal(size=(5, 7))
+        targets = rng.integers(0, 7, size=5)
+        onehot_np = np.eye(7)[targets]
+        # reference: -mean(log softmax picked)
+        shifted = logits_np - logits_np.max(-1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(-1, keepdims=True))
+        expected = -logp[np.arange(5), targets].mean()
+        with ht.record():
+            loss = F.cross_entropy_with_logits(
+                ht.tensor(logits_np), ht.tensor(onehot_np)
+            )
+            assert loss.item() == pytest.approx(expected, rel=1e-5)
+
+    def test_shape_errors_propagate(self):
+        with ht.record():
+            a = ht.tensor(np.zeros((2, 3)))
+            b = ht.tensor(np.zeros((4, 5)))
+            with pytest.raises(ShapeError):
+                F.matmul(a, b)
+
+    def test_raw_arrays_rejected(self):
+        with ht.record():
+            with pytest.raises(GraphError, match="wrap raw arrays"):
+                F.exp(np.zeros(3))
+
+
+class TestParameters:
+    def test_parameter_binds_once_per_graph(self):
+        p = ht.Parameter(np.zeros((2, 2)), name="w")
+        with ht.record() as rec:
+            t1 = p.as_tensor()
+            t2 = p.as_tensor()
+            assert t1.vid == t2.vid
+        with ht.record() as rec2:
+            t3 = p.as_tensor()
+        # fresh graph, fresh registration
+        assert rec2.graph.value(t3.vid).kind == "param"
+
+    def test_parameter_needs_shape_or_data(self):
+        with pytest.raises(ShapeError):
+            ht.Parameter()
+
+    def test_symbolic_parameter_in_concrete_recording_fails(self):
+        p = ht.Parameter(shape=(2, 2), name="w")
+        with ht.record(mode="concrete"):
+            with pytest.raises(GraphError, match="no data"):
+                p.as_tensor()
+
+    def test_symbolic_parameter_in_symbolic_recording_ok(self):
+        p = ht.Parameter(shape=(2, 2), name="w")
+        with ht.record(mode="symbolic"):
+            t = p.as_tensor()
+            assert t.shape == (2, 2)
+            assert t.requires_grad

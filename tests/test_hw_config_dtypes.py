@@ -1,0 +1,128 @@
+"""Unit tests for repro.hw.config and repro.hw.dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    DMAConfig,
+    DType,
+    GaudiConfig,
+    HBMConfig,
+    HLS1Config,
+    MMEConfig,
+    TPCClusterConfig,
+    TPC_VECTOR_BITS,
+    dtype_info,
+    itemsize,
+    numpy_dtype,
+    parse_dtype,
+    simd_lanes,
+)
+from repro.util.errors import ConfigError
+from repro.util.units import GIB, KIB
+
+
+class TestDtypes:
+    def test_itemsizes(self):
+        assert itemsize(DType.FP32) == 4
+        assert itemsize(DType.BF16) == 2
+        assert itemsize(DType.INT8) == 1
+
+    def test_simd_lanes_from_2048_bit_vpu(self):
+        # Paper section 2.2: 2048-bit SIMD.
+        assert TPC_VECTOR_BITS == 2048
+        assert simd_lanes(DType.FP32) == 64
+        assert simd_lanes(DType.BF16) == 128
+        assert simd_lanes(DType.INT8) == 256
+
+    def test_bf16_functional_carrier_is_float32(self):
+        assert numpy_dtype(DType.BF16) == np.dtype(np.float32)
+
+    def test_parse_dtype(self):
+        assert parse_dtype("bf16") is DType.BF16
+        assert parse_dtype(DType.FP32) is DType.FP32
+        with pytest.raises(ValueError, match="unknown dtype"):
+            parse_dtype("fp64")
+
+    def test_info_is_float(self):
+        assert dtype_info(DType.FP32).is_float
+        assert not dtype_info(DType.INT32).is_float
+
+
+class TestMMEConfig:
+    def test_peak_tflops_default(self):
+        # 128x128 MACs at 0.45 GHz: calibrated to paper Table 2
+        # saturation of ~14.6 TFLOPS.
+        cfg = MMEConfig()
+        assert cfg.peak_tflops == pytest.approx(14.7456, rel=1e-6)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            MMEConfig(rows=0)
+        with pytest.raises(ConfigError):
+            MMEConfig(freq_ghz=-1.0)
+
+
+class TestTPCConfig:
+    def test_paper_architecture_facts(self):
+        cfg = TPCClusterConfig()
+        assert cfg.num_cores == 8
+        assert cfg.vector_bits == 2048
+        assert cfg.scalar_local_bytes == 1 * KIB
+        assert cfg.vector_local_bytes == 80 * KIB
+        assert cfg.global_access_cycles == 4
+
+    def test_peak_tflops_bf16(self):
+        cfg = TPCClusterConfig()
+        # 8 cores x 128 bf16 lanes x 2 flops x 1.1 GHz = 2.2528 TFLOPS
+        assert cfg.peak_tflops(DType.BF16) == pytest.approx(2.2528, rel=1e-6)
+
+    def test_peak_scales_with_lanes(self):
+        cfg = TPCClusterConfig()
+        assert cfg.peak_tflops(DType.FP32) == pytest.approx(
+            cfg.peak_tflops(DType.BF16) / 2
+        )
+
+    def test_special_cost_fallback(self):
+        cfg = TPCClusterConfig()
+        assert cfg.special_cost("exp") == 12
+        assert cfg.special_cost("nonexistent") == cfg.default_special_cycles
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            TPCClusterConfig(reduction_eff=1.5)
+
+
+class TestMemoryConfigs:
+    def test_hbm_capacity_32gb(self):
+        assert HBMConfig().capacity_bytes == 32 * GIB
+
+    def test_effective_bandwidth(self):
+        cfg = HBMConfig(bandwidth_bytes_per_s=1e12, efficiency=0.5)
+        assert cfg.effective_bandwidth == pytest.approx(5e11)
+
+    def test_dma_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigError):
+            DMAConfig(bandwidth_bytes_per_s=0)
+
+
+class TestGaudiConfig:
+    def test_defaults_compose(self):
+        cfg = GaudiConfig()
+        assert cfg.default_dtype is DType.BF16
+        assert cfg.mme.peak_tflops > cfg.tpc.peak_tflops(cfg.default_dtype)
+
+    def test_with_tpc_cores(self):
+        cfg = GaudiConfig().with_tpc_cores(4)
+        assert cfg.tpc.num_cores == 4
+        # original untouched (frozen dataclasses)
+        assert GaudiConfig().tpc.num_cores == 8
+
+
+class TestHLS1Config:
+    def test_eight_cards(self):
+        assert HLS1Config().num_cards == 8
+
+    def test_rejects_zero_cards(self):
+        with pytest.raises(ConfigError):
+            HLS1Config(num_cards=0)

@@ -1,0 +1,238 @@
+"""Unit tests for repro.hw.costmodel — including the Table 2 calibration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import (
+    CostModel,
+    DType,
+    EngineKind,
+    GaudiConfig,
+    MatmulDims,
+    OpClass,
+    WorkItem,
+    tpc_matmul_cycles,
+)
+from repro.hw.config import DMAConfig, HBMConfig, MMEConfig, TPCClusterConfig
+from repro.hw.costmodel import (
+    EAGER_DISPATCH_OVERHEAD_US,
+    DMAModel,
+    MMEModel,
+    TPCModel,
+)
+from repro.util.errors import ConfigError
+from repro.util.units import tflops
+
+# Paper Table 2: size -> (F_MME, F_TPC) achieved TFLOPS, batch 64.
+PAPER_TABLE2 = {
+    128: (2.35, 1.86),
+    256: (11.67, 2.05),
+    512: (14.37, 2.13),
+    1024: (14.56, 2.18),
+    2048: (14.59, 2.19),
+}
+
+
+@pytest.fixture(scope="module")
+def mme():
+    return MMEModel(MMEConfig(), HBMConfig())
+
+
+@pytest.fixture(scope="module")
+def tpc():
+    return TPCModel(TPCClusterConfig(), HBMConfig())
+
+
+class TestMatmulDims:
+    def test_flops(self):
+        assert MatmulDims(2, 3, 4, 5).flops == 2 * 2 * 3 * 4 * 5
+
+    @given(
+        st.integers(1, 64), st.integers(1, 512),
+        st.integers(1, 512), st.integers(1, 512),
+    )
+    def test_flops_positive(self, b, m, n, k):
+        assert MatmulDims(b, m, n, k).flops > 0
+
+
+def eager_mme_time_us(mme, dims):
+    """Duration of one eagerly dispatched bmm, as Table 2 measures it."""
+    return mme.matmul_time_us(dims) + EAGER_DISPATCH_OVERHEAD_US
+
+
+class TestMMECalibration:
+    @pytest.mark.parametrize("size", [512, 1024, 2048])
+    def test_saturated_sizes_within_10pct(self, mme, size):
+        dims = MatmulDims(64, size, size, size)
+        achieved = tflops(dims.flops, eager_mme_time_us(mme, dims))
+        assert achieved == pytest.approx(PAPER_TABLE2[size][0], rel=0.10)
+
+    def test_size_128_in_ramp_band(self, mme):
+        dims = MatmulDims(64, 128, 128, 128)
+        achieved = tflops(dims.flops, eager_mme_time_us(mme, dims))
+        # Paper: 2.35 TFLOPS; calibration target +-20%.
+        assert achieved == pytest.approx(2.35, rel=0.20)
+
+    def test_size_256_in_ramp_band(self, mme):
+        # The sharpest point of the measured ramp; shape (between the
+        # 128 and 512 rates) matters more than the absolute value here.
+        dims = MatmulDims(64, 256, 256, 256)
+        achieved = tflops(dims.flops, eager_mme_time_us(mme, dims))
+        assert achieved == pytest.approx(PAPER_TABLE2[256][0], rel=0.30)
+
+    def test_ramp_is_monotone(self, mme):
+        rates = [
+            tflops(
+                MatmulDims(64, s, s, s).flops,
+                eager_mme_time_us(mme, MatmulDims(64, s, s, s)),
+            )
+            for s in sorted(PAPER_TABLE2)
+        ]
+        assert rates == sorted(rates)
+
+    def test_never_exceeds_peak(self, mme):
+        dims = MatmulDims(64, 8192, 8192, 8192)
+        achieved = tflops(dims.flops, mme.matmul_time_us(dims))
+        assert achieved < mme.config.peak_tflops
+
+    def test_skinny_k_matmul_degrades_gracefully(self, mme):
+        # Attention's QK^T has K = head_dim = 64: the MME should still be
+        # fast (> 10 TFLOPS), unlike a naive "square size" calibration.
+        dims = MatmulDims(768, 2048, 2048, 64)
+        achieved = tflops(dims.flops, mme.matmul_time_us(dims))
+        assert 10.0 < achieved < mme.config.peak_tflops
+
+    def test_small_output_tile_spatial_penalty(self, mme):
+        # Linear attention's phi(K)^T V is 64x64 output on a 128x128
+        # array: at most 25% spatial utilization.
+        dims = MatmulDims(768, 64, 64, 2048)
+        achieved = tflops(dims.flops, mme.matmul_time_us(dims))
+        assert achieved <= mme.config.peak_tflops * 0.25 + 1e-6
+
+    def test_rejects_non_matmul(self, mme):
+        with pytest.raises(ConfigError, match="matmul"):
+            mme.time_us(WorkItem("relu", OpClass.ELEMENTWISE))
+
+
+class TestTPCMatmulCalibration:
+    @pytest.mark.parametrize("size", sorted(PAPER_TABLE2))
+    def test_within_10pct_of_paper(self, tpc, size):
+        dims = MatmulDims(64, size, size, size)
+        achieved = tflops(dims.flops, tpc.matmul_time_us(dims, DType.BF16))
+        assert achieved == pytest.approx(PAPER_TABLE2[size][1], rel=0.10)
+
+    @pytest.mark.parametrize("size", sorted(PAPER_TABLE2))
+    def test_speedup_shape(self, mme, tpc, size):
+        # Paper: MME/TPC speedup ramps from ~1.3 to ~6.7 and saturates.
+        dims = MatmulDims(64, size, size, size)
+        speedup = tpc.matmul_time_us(dims, DType.BF16) / eager_mme_time_us(
+            mme, dims
+        )
+        paper_speedup = PAPER_TABLE2[size][0] / PAPER_TABLE2[size][1]
+        assert speedup == pytest.approx(paper_speedup, rel=0.30)
+        if size >= 512:
+            assert speedup > 5.5
+
+    def test_cycles_scale_with_work(self):
+        cfg = TPCClusterConfig()
+        small = tpc_matmul_cycles(cfg, DType.BF16, MatmulDims(1, 128, 128, 128))
+        big = tpc_matmul_cycles(cfg, DType.BF16, MatmulDims(1, 256, 256, 256))
+        assert big > 4 * small  # cubic growth dominates
+
+    def test_more_cores_fewer_cycles(self):
+        dims = MatmulDims(8, 256, 256, 256)
+        c8 = tpc_matmul_cycles(TPCClusterConfig(num_cores=8), DType.BF16, dims)
+        c4 = tpc_matmul_cycles(TPCClusterConfig(num_cores=4), DType.BF16, dims)
+        assert c4 == pytest.approx(2 * c8)
+
+
+class TestTPCOpClasses:
+    def test_elementwise_is_memory_bound_at_scale(self, tpc):
+        nbytes = 1 << 30
+        item = WorkItem(
+            "add", OpClass.ELEMENTWISE, flops=nbytes // 2,
+            bytes_read=nbytes, bytes_written=nbytes // 2,
+        )
+        mem_us = (item.bytes_total / tpc.hbm.effective_bandwidth) * 1e6
+        assert tpc.time_us(item) == pytest.approx(
+            mem_us + tpc.config.launch_overhead_us
+        )
+
+    def test_reduction_much_slower_than_elementwise(self, tpc):
+        # Same FLOPs, compute-bound regime: reductions are SIMD-hostile
+        # (paper section 3.3), so the reduction must take far longer.
+        flops = 1e10
+        ew = WorkItem("mul", OpClass.ELEMENTWISE, flops=flops)
+        red = WorkItem("sum", OpClass.REDUCTION, flops=flops)
+        assert tpc.time_us(red) > 5 * tpc.time_us(ew)
+
+    def test_special_function_cost_uses_cycle_table(self, tpc):
+        n = 1 << 20
+        exp_item = WorkItem("exp", OpClass.SPECIAL, elements=n, special_fn="exp")
+        sqrt_item = WorkItem("sqrt", OpClass.SPECIAL, elements=n, special_fn="sqrt")
+        # exp costs 12 cycles/element vs sqrt 8 -> exp is slower.
+        assert tpc.time_us(exp_item) > tpc.time_us(sqrt_item)
+
+    def test_fixed_time_added(self, tpc):
+        base = WorkItem("glu", OpClass.ELEMENTWISE, flops=1e6)
+        penalized = WorkItem(
+            "glu", OpClass.ELEMENTWISE, flops=1e6, fixed_time_us=2500.0
+        )
+        assert tpc.time_us(penalized) == pytest.approx(
+            tpc.time_us(base) + 2500.0
+        )
+
+    def test_data_move_allowed_on_tpc(self, tpc):
+        item = WorkItem("copy", OpClass.DATA_MOVE, bytes_read=1 << 20,
+                        bytes_written=1 << 20)
+        assert tpc.time_us(item) > 0
+
+    def test_host_class_rejected(self, tpc):
+        with pytest.raises(ConfigError):
+            tpc.time_us(WorkItem("h", OpClass.HOST))
+
+
+class TestDMA:
+    def test_latency_plus_bandwidth(self):
+        model = DMAModel(DMAConfig(bandwidth_bytes_per_s=1e9, latency_us=5.0))
+        # 1e9 bytes at 1e9 B/s = 1 s = 1e6 us, plus 5 us latency.
+        assert model.transfer_time_us(10**9) == pytest.approx(1e6 + 5.0)
+
+    def test_zero_bytes_costs_latency(self):
+        model = DMAModel(DMAConfig(latency_us=3.0))
+        assert model.transfer_time_us(0) == pytest.approx(3.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            DMAModel(DMAConfig()).transfer_time_us(-1)
+
+    def test_rejects_compute_items(self):
+        with pytest.raises(ConfigError):
+            DMAModel(DMAConfig()).time_us(WorkItem("mm", OpClass.MATMUL))
+
+
+class TestCostModelFacade:
+    def test_dispatch(self):
+        cm = CostModel(GaudiConfig())
+        dims = MatmulDims(4, 512, 512, 512)
+        mm = WorkItem("mm", OpClass.MATMUL, flops=dims.flops, matmul=dims)
+        assert cm.time_us(EngineKind.MME, mm) > 0
+        assert cm.time_us(EngineKind.TPC, mm) > cm.time_us(EngineKind.MME, mm)
+        mv = WorkItem("cp", OpClass.DATA_MOVE, bytes_read=1024)
+        assert cm.time_us(EngineKind.DMA, mv) > 0
+
+    def test_host_items_use_fixed_time(self):
+        cm = CostModel(GaudiConfig())
+        item = WorkItem("compile", OpClass.HOST, fixed_time_us=42.0)
+        assert cm.time_us(EngineKind.HOST, item) == 42.0
+
+    @given(
+        st.integers(1, 16), st.integers(1, 1024),
+        st.integers(1, 1024), st.integers(1, 1024),
+    )
+    def test_mme_time_positive_and_finite(self, b, m, n, k):
+        cm = CostModel(GaudiConfig())
+        dims = MatmulDims(b, m, n, k)
+        item = WorkItem("mm", OpClass.MATMUL, flops=dims.flops, matmul=dims)
+        t = cm.time_us(EngineKind.MME, item)
+        assert 0 < t < 1e12

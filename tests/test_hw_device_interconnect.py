@@ -1,0 +1,151 @@
+"""Unit tests for repro.hw.device and repro.hw.interconnect."""
+
+import pytest
+
+from repro.hw import (
+    AllGather,
+    EngineKind,
+    GaudiConfig,
+    GaudiDevice,
+    HLS1Config,
+    HLS1System,
+    HostLink,
+    InterconnectConfig,
+    RingAllReduce,
+    data_parallel_step_time_us,
+    default_device,
+    scaling_efficiency,
+)
+from repro.hw.interconnect import log2_cards
+from repro.util.errors import ConfigError
+
+
+class TestGaudiDevice:
+    def test_fresh_device_clock_zero(self):
+        dev = default_device()
+        assert dev.now == 0.0
+
+    def test_clock_advances_with_reservations(self):
+        dev = default_device()
+        dev.timeline(EngineKind.MME).reserve(0.0, 100.0, "mm")
+        dev.timeline(EngineKind.TPC).reserve(0.0, 250.0, "softmax")
+        assert dev.now == 250.0
+        assert dev.utilization(EngineKind.MME) == pytest.approx(0.4)
+        assert dev.utilization(EngineKind.TPC) == pytest.approx(1.0)
+
+    def test_reset(self):
+        dev = default_device()
+        dev.timeline(EngineKind.MME).reserve(0.0, 10.0)
+        dev.hbm.alloc(1024)
+        dev.reset()
+        assert dev.now == 0.0
+        assert dev.hbm.live_bytes == 0
+
+    def test_describe_mentions_engines(self):
+        text = default_device().describe()
+        assert "MME" in text and "TPC" in text and "HBM" in text
+
+    def test_memory_enforcement_toggle(self):
+        dev = GaudiDevice(GaudiConfig(), enforce_memory=False)
+        dev.hbm.alloc(10**14)  # way past 32 GiB, allowed when not enforcing
+        assert dev.hbm.peak_bytes == 10**14
+
+
+class TestHLS1System:
+    def test_eight_cards(self):
+        box = HLS1System(HLS1Config())
+        assert len(box) == 8
+        assert box.card(0) is not box.card(1)
+
+    def test_reset_all(self):
+        box = HLS1System(HLS1Config(num_cards=2))
+        box.card(0).timeline(EngineKind.MME).reserve(0.0, 5.0)
+        box.reset()
+        assert box.card(0).now == 0.0
+
+
+class TestRingAllReduce:
+    def test_single_card_free(self):
+        cost = RingAllReduce(InterconnectConfig()).cost(1, 10**9)
+        assert cost.time_us == 0.0 and cost.steps == 0
+
+    def test_bandwidth_term_dominates_large_payload(self):
+        cfg = InterconnectConfig(roce_latency_us=0.0)
+        cost = RingAllReduce(cfg).cost(8, 10**9)
+        expected = 2 * 7 / 8 * 10**9 / cfg.roce_bandwidth_bytes_per_s * 1e6
+        assert cost.time_us == pytest.approx(expected)
+
+    def test_latency_term(self):
+        cfg = InterconnectConfig(roce_latency_us=3.0)
+        cost = RingAllReduce(cfg).cost(4, 0)
+        assert cost.time_us == pytest.approx(2 * 3 * 3.0)
+
+    def test_time_grows_slowly_with_cards(self):
+        # (p-1)/p factor: going 2 -> 8 cards less than doubles the
+        # bandwidth term.
+        ar = RingAllReduce(InterconnectConfig(roce_latency_us=0.0))
+        t2 = ar.cost(2, 10**9).time_us
+        t8 = ar.cost(8, 10**9).time_us
+        assert t2 < t8 < 2 * t2
+
+    def test_invalid_inputs(self):
+        ar = RingAllReduce(InterconnectConfig())
+        with pytest.raises(ConfigError):
+            ar.cost(0, 100)
+        with pytest.raises(ConfigError):
+            ar.cost(2, -1)
+
+
+class TestAllGatherHostLink:
+    def test_allgather_single_card_free(self):
+        assert AllGather(InterconnectConfig()).cost(1, 100).time_us == 0.0
+
+    def test_allgather_scales_with_cards(self):
+        ag = AllGather(InterconnectConfig(roce_latency_us=0.0))
+        assert ag.cost(4, 10**8).time_us == pytest.approx(
+            3 * 10**8 / InterconnectConfig().roce_bandwidth_bytes_per_s * 1e6
+        )
+
+    def test_host_link(self):
+        cfg = InterconnectConfig(pcie_bandwidth_bytes_per_s=1e9, pcie_latency_us=5.0)
+        assert HostLink(cfg).transfer_time_us(10**9) == pytest.approx(1e6 + 5.0)
+
+    def test_host_link_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            HostLink(InterconnectConfig()).transfer_time_us(-1)
+
+
+class TestDataParallelStep:
+    def test_no_overlap(self):
+        cfg = InterconnectConfig(roce_latency_us=0.0)
+        comm = RingAllReduce(cfg).cost(8, 10**8).time_us
+        total = data_parallel_step_time_us(1000.0, 10**8, 8, cfg)
+        assert total == pytest.approx(1000.0 + comm)
+
+    def test_full_overlap_hides_comm_under_compute(self):
+        cfg = InterconnectConfig(roce_latency_us=0.0)
+        total = data_parallel_step_time_us(
+            10_000.0, 10**6, 8, cfg, overlap_fraction=1.0
+        )
+        assert total == pytest.approx(10_000.0)
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ConfigError):
+            data_parallel_step_time_us(1.0, 1, 2, InterconnectConfig(),
+                                       overlap_fraction=1.5)
+
+    def test_scaling_efficiency(self):
+        assert scaling_efficiency(10.0, 12.5, 8) == pytest.approx(0.8)
+        with pytest.raises(ConfigError):
+            scaling_efficiency(0.0, 1.0, 2)
+
+
+class TestLog2Cards:
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (8, 3)])
+    def test_powers_of_two(self, n, expected):
+        assert log2_cards(n) == expected
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, -4])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ConfigError):
+            log2_cards(bad)

@@ -1,0 +1,132 @@
+"""Tests for the graph linter and the data-movement TPC kernels."""
+
+import numpy as np
+import pytest
+
+from repro import ht
+from repro.ht import functional as F
+from repro.hw.dtypes import DType
+from repro.synapse import lint_graph, render_warnings
+from repro.tpc import REGISTRY, TPCSimulator
+
+
+def rules(warnings):
+    return {w.rule for w in warnings}
+
+
+class TestLint:
+    def test_clean_graph(self):
+        with ht.record() as rec:
+            a = ht.tensor(np.zeros((64, 64), np.float32), name="a")
+            b = ht.tensor(np.zeros((64, 64), np.float32), name="b")
+            F.matmul(a, b)
+        warnings = lint_graph(rec.graph)
+        assert warnings == []
+        assert "clean" in render_warnings(warnings)
+
+    def test_mixed_dtype_flagged(self):
+        with ht.record(mode="symbolic") as rec:
+            a = ht.input_tensor((4, 4), dtype=DType.BF16, name="a")
+            b = ht.input_tensor((4, 4), dtype=DType.FP32, name="b")
+            F.add(a, b)
+        assert "mixed-dtype" in rules(lint_graph(rec.graph))
+
+    def test_recompile_flagged_for_glu(self):
+        with ht.record(mode="symbolic") as rec:
+            F.glu(ht.input_tensor((4, 8), name="x"))
+        assert "recompile" in rules(lint_graph(rec.graph))
+
+    def test_foldable_transpose(self):
+        with ht.record(mode="symbolic") as rec:
+            a = ht.input_tensor((4, 4), name="a")
+            at = F.transpose(a)
+            F.matmul(at, a)
+        assert "foldable-transpose" in rules(lint_graph(rec.graph))
+
+    def test_transpose_with_other_consumer_not_flagged(self):
+        with ht.record(mode="symbolic") as rec:
+            a = ht.input_tensor((4, 4), name="a")
+            at = F.transpose(a)
+            F.exp(at)
+        assert "foldable-transpose" not in rules(lint_graph(rec.graph))
+
+    def test_short_reduction(self):
+        with ht.record(mode="symbolic") as rec:
+            x = ht.input_tensor((1024, 8), name="x")
+            F.sum(x, axis=-1)
+        assert "short-reduction" in rules(lint_graph(rec.graph))
+
+    def test_long_reduction_ok(self):
+        with ht.record(mode="symbolic") as rec:
+            x = ht.input_tensor((8, 2048), name="x")
+            F.sum(x, axis=-1)
+        assert "short-reduction" not in rules(lint_graph(rec.graph))
+
+    def test_tpc_heavy_balance(self):
+        with ht.record(mode="symbolic") as rec:
+            x = ht.input_tensor((1 << 16,), name="x")
+            for _ in range(4):
+                x = F.exp(x)
+        assert "tpc-heavy" in rules(lint_graph(rec.graph))
+
+    def test_dead_value(self):
+        with ht.record(mode="symbolic") as rec:
+            x = ht.input_tensor((8,), name="x")
+            F.exp(x)       # used downstream
+            F.relu(x)      # dead
+            F.tanh(x)      # dead
+        warnings = [w for w in lint_graph(rec.graph) if w.rule == "dead-value"]
+        assert warnings
+
+    def test_render(self):
+        with ht.record(mode="symbolic") as rec:
+            F.glu(ht.input_tensor((4, 8), name="x"))
+        text = render_warnings(lint_graph(rec.graph))
+        assert "finding" in text and "recompile" in text
+
+
+class TestTransposeKernel:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return TPCSimulator()
+
+    def test_matches_numpy(self, sim):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(37, 53)).astype(np.float32)
+        r = sim.launch(REGISTRY.create("transpose2d"), {"x": x})
+        np.testing.assert_array_equal(r.outputs["y"], x.T)
+
+    def test_exact_tile_multiple(self, sim):
+        x = np.arange(128 * 64, dtype=np.float32).reshape(128, 64)
+        r = sim.launch(REGISTRY.create("transpose2d"), {"x": x})
+        np.testing.assert_array_equal(r.outputs["y"], x.T)
+
+    def test_costs_copy_order_via_local_staging(self, sim):
+        # staged through local memory, a tiled transpose costs the same
+        # order as a streaming copy (here: relu over the same bytes)
+        n = 1 << 10
+        t = sim.launch(REGISTRY.create("transpose2d"),
+                       shapes={"x": (n, n)}).time_us
+        c = sim.launch(REGISTRY.create("unary_relu"),
+                       shapes={"x": (n * n,)}).time_us
+        assert 0.3 * c < t < 3.0 * c
+
+
+class TestGatherKernel:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return TPCSimulator()
+
+    def test_matches_numpy(self, sim):
+        rng = np.random.default_rng(1)
+        table = rng.normal(size=(50, 16)).astype(np.float32)
+        idx = rng.integers(0, 50, size=23)
+        r = sim.launch(REGISTRY.create("gather_rows"),
+                       {"table": table, "idx": idx})
+        np.testing.assert_array_equal(r.outputs["y"], table[idx])
+
+    def test_timing_scales_with_lookups(self, sim):
+        k = REGISTRY.create("gather_rows")
+        small = sim.launch(k, shapes={"table": (1000, 512), "idx": (1024,)})
+        big = sim.launch(k, shapes={"table": (1000, 512), "idx": (8192,)})
+        assert big.time_us > 4 * small.time_us

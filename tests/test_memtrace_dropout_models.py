@@ -1,0 +1,139 @@
+"""Tests for the HBM occupancy timeline and model dropout plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import ht
+from repro.ht import functional as F
+from repro.hw.device import GaudiDevice
+from repro.models import AttentionConfig, LayerConfig, TransformerLayer
+from repro.synapse import (
+    GraphCompiler,
+    Runtime,
+    memory_timeline,
+)
+from repro.util.errors import ConfigError, ExecutionError
+
+
+def small_schedule():
+    with ht.record("mem", mode="symbolic") as rec:
+        a = ht.input_tensor((256, 256), name="a")
+        b = ht.input_tensor((256, 256), name="b")
+        s = F.softmax(F.matmul(a, b))
+        F.matmul(s, b)
+    return GraphCompiler().compile(rec.graph)
+
+
+class TestMemoryTimeline:
+    def test_peak_matches_planner(self):
+        """The reconstructed curve must agree with the compile-time plan."""
+        schedule = small_schedule()
+        tl = memory_timeline(schedule)
+        assert tl.peak_bytes == schedule.memory.peak_bytes
+
+    def test_peak_matches_planner_on_training_graph(self):
+        from repro.core import record_training_step
+
+        rec = record_training_step("bert")
+        schedule = GraphCompiler().compile(rec.graph)
+        tl = memory_timeline(schedule)
+        assert tl.peak_bytes == schedule.memory.peak_bytes
+
+    def test_with_real_completion_times(self):
+        schedule = small_schedule()
+        result = Runtime(GaudiDevice()).execute(schedule)
+        completion = [0.0] * len(schedule.ops)
+        for idx, ev in zip(result.issue_order, result.timeline.events):
+            completion[idx] = ev.end_us
+        tl = memory_timeline(schedule, completion)
+        times = [s.time_us for s in tl.samples]
+        assert max(times) <= result.timeline.total_time_us + 1e-6
+        assert tl.peak_bytes == schedule.memory.peak_bytes
+
+    def test_length_mismatch_rejected(self):
+        schedule = small_schedule()
+        with pytest.raises(ExecutionError, match="completion times"):
+            memory_timeline(schedule, [0.0])
+
+    def test_live_never_below_persistent(self):
+        schedule = small_schedule()
+        tl = memory_timeline(schedule)
+        assert all(s.live_bytes >= tl.persistent_bytes for s in tl.samples)
+
+    def test_sparkline(self):
+        schedule = small_schedule()
+        tl = memory_timeline(schedule)
+        art = tl.sparkline(width=40, capacity_bytes=1 << 30)
+        assert "HBM" in art and "peak" in art and "cap" in art
+
+    def test_utilization_of(self):
+        schedule = small_schedule()
+        tl = memory_timeline(schedule)
+        assert 0 < tl.utilization_of(1 << 40) < 1
+        with pytest.raises(ExecutionError):
+            tl.utilization_of(0)
+
+    def test_peak_sample_identifies_op(self):
+        schedule = small_schedule()
+        tl = memory_timeline(schedule)
+        peak = tl.peak_sample()
+        assert peak is not None
+        assert peak.live_bytes == tl.peak_bytes
+
+
+class TestModelDropout:
+    def make_layer(self, p):
+        cfg = LayerConfig(
+            attention=AttentionConfig(num_heads=2, head_dim=4),
+            ffn_mult=2, dropout_p=p,
+        )
+        return TransformerLayer(cfg, rng=np.random.default_rng(0))
+
+    def test_default_records_no_dropout(self):
+        layer = self.make_layer(0.0)
+        with ht.record() as rec:
+            layer(ht.randn(2, 4, 8))
+        assert not any(n.op == "dropout" for n in rec.graph.nodes)
+
+    def test_positive_p_records_dropout_ops(self):
+        layer = self.make_layer(0.1)
+        with ht.record() as rec:
+            layer(ht.randn(2, 4, 8))
+        drops = [n for n in rec.graph.nodes if n.op == "dropout"]
+        assert len(drops) == 2  # attn residual + ffn residual
+
+    def test_dropout_graph_still_differentiable(self):
+        layer = self.make_layer(0.2)
+        with ht.record():
+            x = ht.tensor(
+                np.random.default_rng(1).normal(size=(2, 4, 8)),
+                requires_grad=True,
+            )
+            loss = F.mean(F.square(layer(x)))
+            loss.backward()
+            assert x.grad is not None
+            assert np.isfinite(x.grad.numpy()).all()
+
+    def test_dropout_increases_profiled_tpc_work(self):
+        from repro.synapse import SynapseProfiler
+        from repro.hw.costmodel import EngineKind
+
+        def tpc_busy(p):
+            cfg = LayerConfig(
+                attention=AttentionConfig(num_heads=2, head_dim=32),
+                ffn_mult=2, dropout_p=p,
+            )
+            layer = TransformerLayer(cfg, materialize=False)
+            with ht.record(mode="symbolic") as rec:
+                layer(ht.input_tensor((8, 256, 64)))
+            res = SynapseProfiler().profile(rec.graph)
+            return res.timeline.busy_time_us(EngineKind.TPC)
+
+        assert tpc_busy(0.1) > tpc_busy(0.0)
+
+    def test_invalid_dropout_p_rejected(self):
+        with pytest.raises(ConfigError):
+            LayerConfig(
+                attention=AttentionConfig(num_heads=2, head_dim=4),
+                dropout_p=1.0,
+            )

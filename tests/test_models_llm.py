@@ -1,0 +1,222 @@
+"""Tests for feed-forward, transformer layers, BERT and GPT models."""
+
+import numpy as np
+import pytest
+
+from repro import ht
+from repro.ht import functional as F
+from repro.models import (
+    AttentionConfig,
+    BertForMaskedLM,
+    FeedForward,
+    GPT2LMHeadModel,
+    LayerConfig,
+    LLMConfig,
+    TransformerLayer,
+    TransformerStack,
+    paper_bert_config,
+    paper_gpt_config,
+    paper_layer_config,
+    tiny_bert_config,
+    tiny_gpt_config,
+)
+from repro.util.errors import ConfigError, ShapeError
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestFeedForward:
+    @pytest.mark.parametrize("act", ["relu", "leaky_relu", "gelu", "glu"])
+    def test_shapes(self, rng, act):
+        ffn = FeedForward(8, ffn_mult=2, activation=act, rng=rng)
+        with ht.record():
+            out = ffn(ht.randn(3, 5, 8))
+            assert out.shape == (3, 5, 8)
+
+    def test_glu_uses_double_width_first_projection(self, rng):
+        ffn = FeedForward(8, ffn_mult=2, activation="glu", rng=rng)
+        assert ffn.w1.out_features == 32  # 2 * (8 * 2)
+        assert ffn.w2.in_features == 16
+
+    def test_unknown_activation(self):
+        with pytest.raises(ConfigError):
+            FeedForward(8, activation="swish")
+
+    def test_relu_ffn_matches_numpy(self, rng):
+        ffn = FeedForward(4, ffn_mult=2, activation="relu", rng=rng)
+        x = rng.normal(size=(2, 3, 4))
+        with ht.record():
+            out = ffn(ht.tensor(x)).numpy()
+        h = np.maximum(x @ ffn.w1.weight.data + ffn.w1.bias.data, 0)
+        ref = h @ ffn.w2.weight.data + ffn.w2.bias.data
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+
+class TestTransformerLayer:
+    def test_paper_layer_config_defaults(self):
+        cfg = paper_layer_config("softmax")
+        assert cfg.attention.num_heads == 6
+        assert cfg.attention.head_dim == 64
+        assert cfg.d_model == 384
+        assert not cfg.include_ffn  # the 3.3 study profiles attention
+
+    def test_forward_shapes(self, rng):
+        cfg = LayerConfig(attention=AttentionConfig(num_heads=2, head_dim=4),
+                          ffn_mult=2)
+        layer = TransformerLayer(cfg, rng=rng)
+        with ht.record():
+            out = layer(ht.randn(2, 6, 8))
+            assert out.shape == (2, 6, 8)
+
+    def test_no_ffn_layer_has_no_ffn_params(self, rng):
+        cfg = paper_layer_config("softmax")
+        layer = TransformerLayer(cfg, rng=rng, materialize=False)
+        names = [n for n, _ in layer.named_parameters()]
+        assert not any("ffn" in n for n in names)
+
+    def test_post_norm_variant(self, rng):
+        cfg = LayerConfig(
+            attention=AttentionConfig(num_heads=2, head_dim=4),
+            ffn_mult=2, pre_norm=False,
+        )
+        layer = TransformerLayer(cfg, rng=rng)
+        with ht.record():
+            out = layer(ht.randn(2, 6, 8))
+            assert np.isfinite(out.numpy()).all()
+
+    def test_stack(self, rng):
+        cfg = LayerConfig(attention=AttentionConfig(num_heads=2, head_dim=4),
+                          ffn_mult=2)
+        stack = TransformerStack(cfg, 3, rng=rng)
+        assert len(stack) == 3
+        with ht.record():
+            out = stack(ht.randn(2, 4, 8))
+            assert out.shape == (2, 4, 8)
+
+    def test_layers_have_distinct_parameters(self, rng):
+        cfg = LayerConfig(attention=AttentionConfig(num_heads=2, head_dim=4))
+        stack = TransformerStack(cfg, 2, rng=rng)
+        w0 = stack.layers[0].attn.wq.weight.data
+        w1 = stack.layers[1].attn.wq.weight.data
+        assert not np.allclose(w0, w1)
+
+
+class TestConfigs:
+    def test_paper_bert(self):
+        cfg = paper_bert_config()
+        assert cfg.vocab_size == 30522
+        assert cfg.num_layers == 2
+        assert cfg.d_model == 512
+        assert not cfg.layer.attention.causal
+
+    def test_paper_gpt(self):
+        cfg = paper_gpt_config()
+        assert cfg.vocab_size == 50257
+        assert cfg.layer.attention.causal
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            AttentionConfig(kind="flash")
+        with pytest.raises(ConfigError):
+            AttentionConfig(num_heads=0)
+        with pytest.raises(ConfigError):
+            LayerConfig(activation="swish")
+        with pytest.raises(ConfigError):
+            LLMConfig(vocab_size=0)
+
+
+class TestBert:
+    def test_forward_logits_shape(self, rng):
+        cfg = tiny_bert_config(vocab_size=50)
+        model = BertForMaskedLM(cfg, rng=rng)
+        ids = rng.integers(0, 50, size=(2, 8))
+        with ht.record():
+            logits = model(ht.tensor(ids))
+            assert logits.shape == (2, 8, 50)
+
+    def test_loss_and_backward(self, rng):
+        cfg = tiny_bert_config(vocab_size=23)
+        model = BertForMaskedLM(cfg, rng=rng)
+        ids = rng.integers(0, 23, size=(2, 8))
+        onehot = np.eye(23, dtype=np.float32)[rng.integers(0, 23, size=(2, 8))]
+        with ht.record():
+            loss = model.loss(ht.tensor(ids), ht.tensor(onehot))
+            assert np.isfinite(loss.item())
+            loss.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert len(grads) > 10
+
+    def test_training_reduces_loss(self, rng):
+        cfg = tiny_bert_config(vocab_size=17)
+        model = BertForMaskedLM(cfg, rng=rng)
+        ids = rng.integers(0, 17, size=(4, 6))
+        onehot = np.eye(17, dtype=np.float32)[ids]  # identity reconstruction
+        opt = ht.SGD(model.parameters(), lr=0.5)
+        losses = []
+        for _ in range(8):
+            with ht.record():
+                loss = model.loss(ht.tensor(ids), ht.tensor(onehot))
+                loss.backward()
+                opt.step()
+                opt.zero_grad()
+                losses.append(loss.item())
+        assert losses[-1] < losses[0]
+
+    def test_seq_too_long_rejected(self, rng):
+        cfg = tiny_bert_config()
+        model = BertForMaskedLM(cfg, rng=rng)
+        with ht.record():
+            ids = ht.tensor(np.zeros((1, cfg.max_seq_len + 1)))
+            with pytest.raises(ShapeError, match="exceeds"):
+                model(ids)
+
+
+class TestGPT:
+    def test_forward_logits_shape(self, rng):
+        cfg = tiny_gpt_config(vocab_size=31)
+        model = GPT2LMHeadModel(cfg, rng=rng)
+        ids = rng.integers(0, 31, size=(2, 8))
+        with ht.record():
+            logits = model(ht.tensor(ids))
+            assert logits.shape == (2, 8, 31)
+
+    def test_causality_of_logits(self, rng):
+        cfg = tiny_gpt_config(vocab_size=19)
+        model = GPT2LMHeadModel(cfg, rng=rng)
+        ids = rng.integers(0, 19, size=(1, 8))
+        ids2 = ids.copy()
+        ids2[0, -1] = (ids2[0, -1] + 1) % 19
+        with ht.record():
+            a = model(ht.tensor(ids)).numpy()
+            b = model(ht.tensor(ids2)).numpy()
+        np.testing.assert_allclose(a[:, :-1], b[:, :-1], rtol=1e-4, atol=1e-5)
+
+    def test_requires_causal_config(self):
+        with pytest.raises(ConfigError, match="causal"):
+            GPT2LMHeadModel(tiny_bert_config(), materialize=False)
+
+    def test_training_step_records_forward_backward_update(self, rng):
+        cfg = tiny_gpt_config(vocab_size=13)
+        model = GPT2LMHeadModel(cfg, rng=rng)
+        opt = ht.SGD(model.parameters(), lr=0.1)
+        ids = rng.integers(0, 13, size=(2, 8))
+        onehot = np.eye(13, dtype=np.float32)[rng.integers(0, 13, size=(2, 8))]
+        with ht.record("gpt-step") as rec:
+            loss = model.loss(ht.tensor(ids), ht.tensor(onehot))
+            loss.backward()
+            opt.step()
+        scopes = {n.scope for n in rec.graph.nodes}
+        assert any("bwd" in s for s in scopes)
+        assert any("optimizer" in s for s in scopes)
+        assert any("loss" in s for s in scopes)
+
+    def test_symbolic_paper_scale_graph_builds(self):
+        model = GPT2LMHeadModel(paper_gpt_config(), materialize=False)
+        with ht.record("gpt", mode="symbolic") as rec:
+            ids = ht.input_tensor((8, 2048))
+            logits = model(ids)
+            assert logits.shape == (8, 2048, 50257)
+        assert len(rec.graph) > 50

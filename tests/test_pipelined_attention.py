@@ -1,0 +1,168 @@
+"""Tests for pipelined exact attention (A6) and compiler view elision."""
+
+import numpy as np
+import pytest
+
+from repro import ht
+from repro.ht import functional as F
+from repro.core import run_pipelined_attention_study
+from repro.models import AttentionConfig, SoftmaxAttention
+from repro.models.attention import PipelinedSoftmaxAttention
+from repro.synapse import CompilerOptions, GraphCompiler
+from repro.util.errors import ShapeError
+
+
+def paired_attentions(causal=False, chunk=4):
+    cfg = AttentionConfig(num_heads=2, head_dim=4, kind="pipelined",
+                          chunk_size=chunk, causal=causal)
+    rng_seed = 5
+    pl = PipelinedSoftmaxAttention(cfg, rng=np.random.default_rng(rng_seed))
+    sm = SoftmaxAttention(cfg, rng=np.random.default_rng(rng_seed))
+    return pl, sm
+
+
+class TestExactness:
+    """The extension's defining property: identical math to softmax."""
+
+    def test_matches_softmax_attention_exactly(self):
+        pl, sm = paired_attentions()
+        x = np.random.default_rng(0).normal(size=(2, 8, 8))
+        with ht.record():
+            a = pl(ht.tensor(x)).numpy()
+            b = sm(ht.tensor(x)).numpy()
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+
+    def test_causal_matches_too(self):
+        pl, sm = paired_attentions(causal=True)
+        x = np.random.default_rng(1).normal(size=(2, 8, 8))
+        with ht.record():
+            a = pl(ht.tensor(x)).numpy()
+            b = sm(ht.tensor(x)).numpy()
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+
+    def test_single_chunk_degenerates_gracefully(self):
+        pl, sm = paired_attentions(chunk=8)  # one chunk covers all rows
+        x = np.random.default_rng(2).normal(size=(1, 8, 8))
+        with ht.record():
+            a = pl(ht.tensor(x)).numpy()
+            b = sm(ht.tensor(x)).numpy()
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-6)
+
+    def test_indivisible_length_rejected(self):
+        pl, _ = paired_attentions(chunk=4)
+        with ht.record():
+            with pytest.raises(ShapeError, match="divisible"):
+                pl(ht.randn(1, 6, 8))
+
+    def test_gradients_flow(self):
+        pl, _ = paired_attentions()
+        with ht.record():
+            x = ht.tensor(
+                np.random.default_rng(3).normal(size=(2, 8, 8)),
+                requires_grad=True,
+            )
+            F.mean(F.square(pl(x))).backward()
+            assert x.grad is not None
+            assert np.isfinite(x.grad.numpy()).all()
+
+    def test_gradcheck_through_chunks(self):
+        pl, sm = paired_attentions()
+        x0 = np.random.default_rng(4).normal(size=(1, 8, 8))
+
+        def grad_of(module):
+            with ht.record():
+                x = ht.tensor(x0, requires_grad=True)
+                F.mean(F.square(module(x))).backward()
+                return x.grad.numpy().copy()
+
+        np.testing.assert_allclose(grad_of(pl), grad_of(sm), rtol=1e-4,
+                                   atol=1e-5)
+
+
+class TestViewElision:
+    def test_views_not_scheduled(self):
+        with ht.record("v", mode="symbolic") as rec:
+            x = ht.input_tensor((8, 16), name="x")
+            r = F.reshape(x, (4, 32))
+            s = F.slice_rows(r, 0, 2)
+            F.exp(s)
+        schedule = GraphCompiler().compile(rec.graph)
+        labels = [op.label for op in schedule.ops]
+        assert not any("reshape" in l or "slice_rows" in l for l in labels)
+
+    def test_elision_can_be_disabled(self):
+        with ht.record("v", mode="symbolic") as rec:
+            x = ht.input_tensor((8, 16), name="x")
+            F.exp(F.reshape(x, (128,)))
+        schedule = GraphCompiler(
+            options=CompilerOptions(elide_views=False)
+        ).compile(rec.graph)
+        assert any("reshape" in op.label for op in schedule.ops)
+
+    def test_dependencies_resolve_through_views(self):
+        with ht.record("v", mode="symbolic") as rec:
+            a = ht.input_tensor((4, 4), name="a")
+            h = F.exp(a)                      # producer (MME-crossing
+            v = F.reshape(h, (4, 4))          # view (elided)
+            F.matmul(v, a)                    # consumer on the MME
+        schedule = GraphCompiler().compile(rec.graph)
+        mm_op = next(op for op in schedule.ops if "matmul" in op.label)
+        exp_op = next(op for op in schedule.ops if "exp" in op.label)
+        # the matmul depends on exp through the elided view (via the
+        # inserted DMA staging op)
+        reachable = set(mm_op.deps)
+        frontier = list(mm_op.deps)
+        while frontier:
+            idx = frontier.pop()
+            for d in schedule.ops[idx].deps:
+                if d not in reachable:
+                    reachable.add(d)
+                    frontier.append(d)
+        assert exp_op.index in reachable
+
+    def test_elision_enables_fusion_through_views(self):
+        with ht.record("v", mode="symbolic") as rec:
+            a = ht.input_tensor((4, 4), name="a")
+            F.relu(F.reshape(F.exp(a), (16,)))
+        schedule = GraphCompiler().compile(rec.graph)
+        assert len(schedule.ops) == 1
+        assert schedule.ops[0].is_fused
+
+    def test_transpose_still_scheduled(self):
+        # transpose moves data; it must NOT be elided
+        with ht.record("v", mode="symbolic") as rec:
+            x = ht.input_tensor((8, 16), name="x")
+            F.exp(F.transpose(x))
+        schedule = GraphCompiler().compile(rec.graph)
+        assert any("transpose" in op.label for op in schedule.ops)
+
+    def test_semantics_preserved_with_elision(self):
+        from repro.synapse import execute_schedule
+
+        rng = np.random.default_rng(6)
+        arr = rng.normal(size=(6, 8)).astype(np.float32)
+        with ht.record(mode="concrete") as rec:
+            x = ht.tensor(arr, name="x")
+            out = F.relu(F.slice_rows(F.reshape(x, (8, 6)), 2, 6))
+            eager = out.numpy()
+        schedule = GraphCompiler().compile(rec.graph)
+        replay = execute_schedule(schedule, {"x": arr})
+        final = schedule.graph.nodes[-1].output
+        np.testing.assert_allclose(replay[final], eager, rtol=1e-6)
+
+
+class TestPipelinedStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_pipelined_attention_study()
+
+    def test_checks_pass(self, result):
+        failed = [str(c) for c in result.checks() if not c.passed]
+        assert not failed, failed
+
+    def test_meaningful_speedup(self, result):
+        assert result.speedup > 1.2
+
+    def test_render(self, result):
+        text = result.render()
+        assert "pipelined" in text and "monolithic" in text

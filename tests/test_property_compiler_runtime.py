@@ -1,0 +1,207 @@
+"""Property-based tests: compiler/runtime invariants on random graphs.
+
+A hypothesis strategy builds random-but-valid op DAGs through the ht
+frontend (mixing matmuls, elementwise chains, reductions, softmax);
+the properties assert the simulator's core contracts:
+
+* compiled schedules respect dependencies and program order;
+* engines never run two ops at once, in either issue mode;
+* reordered execution is never slower than in-order;
+* the functional executor agrees with the eager frontend for every
+  random graph, with fusion on or off;
+* the memory plan's peak is at least the persistent footprint and
+  never below any single live value.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ht
+from repro.ht import functional as F
+from repro.hw.device import GaudiDevice
+from repro.synapse import (
+    CompilerOptions,
+    GraphCompiler,
+    Runtime,
+    execute_graph,
+    validate_no_engine_overlap,
+)
+
+# -- random-graph construction ---------------------------------------------------
+
+UNARY = ("exp", "relu", "sqrtabs", "square", "neg", "sigmoid")
+BINARY = ("add", "sub", "mul", "maximum")
+
+
+def build_random_program(draw_ops, dims):
+    """Build a frontend program from a list of op codes; returns output."""
+    rows, inner, cols = dims
+    rng = np.random.default_rng(12345)
+    a = ht.tensor(rng.normal(size=(rows, inner)).astype(np.float32), name="a")
+    b = ht.tensor(rng.normal(size=(inner, cols)).astype(np.float32), name="b")
+    x = F.matmul(a, b)
+    pool = [x]
+    for code in draw_ops:
+        kind, idx = code
+        src = pool[idx % len(pool)]
+        if kind < len(UNARY):
+            name = UNARY[kind]
+            if name == "sqrtabs":
+                out = F.sqrt(F.add_scalar(F.abs(src), 0.1))
+            else:
+                out = getattr(F, name)(src)
+        elif kind < len(UNARY) + len(BINARY):
+            other = pool[(idx + 1) % len(pool)]
+            out = getattr(F, BINARY[kind - len(UNARY)])(src, other)
+        elif kind == len(UNARY) + len(BINARY):
+            out = F.softmax(src, axis=-1)
+        else:
+            out = F.mul_scalar(src, 0.5)
+        pool.append(out)
+    total = pool[0]
+    for t in pool[1:]:
+        total = F.add(total, t)
+    return F.mean(total)
+
+
+program_strategy = st.lists(
+    st.tuples(st.integers(0, len(UNARY) + len(BINARY) + 1),
+              st.integers(0, 31)),
+    min_size=1, max_size=12,
+)
+dims_strategy = st.tuples(
+    st.integers(2, 12), st.integers(2, 12), st.integers(2, 12)
+)
+
+
+def record_random(ops, dims):
+    with ht.record("random", mode="concrete") as rec:
+        out = build_random_program(ops, dims)
+        eager = out.numpy()
+    return rec.graph, eager
+
+
+class TestScheduleInvariants:
+    @given(program_strategy, dims_strategy, st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_deps_point_backwards_and_are_complete(self, ops, dims, fuse):
+        graph, _ = record_random(ops, dims)
+        schedule = GraphCompiler(
+            options=CompilerOptions(fuse_elementwise=fuse)
+        ).compile(graph)
+        produced_at = {}
+        for op in schedule.ops:
+            assert all(d < op.index for d in op.deps)
+            for vid in op.reads:
+                if vid in produced_at:
+                    # the producer (or a DMA of it) must be a dependency
+                    assert any(
+                        d >= produced_at[vid] for d in op.deps
+                    ), f"{op.label} misses dep on value {vid}"
+            for vid in op.writes:
+                produced_at[vid] = op.index
+
+    @given(program_strategy, dims_strategy, st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_no_engine_overlap_either_mode(self, ops, dims, reorder):
+        graph, _ = record_random(ops, dims)
+        schedule = GraphCompiler().compile(graph)
+        result = Runtime(GaudiDevice()).execute(schedule, reorder=reorder)
+        validate_no_engine_overlap(result.timeline)
+
+    @given(program_strategy, dims_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_reorder_never_slower(self, ops, dims):
+        graph, _ = record_random(ops, dims)
+        schedule = GraphCompiler().compile(graph)
+        t_in = Runtime(GaudiDevice()).execute(schedule).total_time_us
+        t_re = Runtime(GaudiDevice()).execute(
+            schedule, reorder=True
+        ).total_time_us
+        assert t_re <= t_in * 1.001
+
+    @given(program_strategy, dims_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_makespan_bounded_by_serial_sum(self, ops, dims):
+        """Parallel execution can't exceed the sum of op durations."""
+        from repro.synapse.runtime import op_duration_us
+
+        graph, _ = record_random(ops, dims)
+        schedule = GraphCompiler().compile(graph)
+        device = GaudiDevice()
+        serial = sum(
+            op_duration_us(device.cost_model, op) for op in schedule.ops
+        )
+        result = Runtime(device).execute(schedule)
+        assert result.total_time_us <= serial + 1e-6
+        # and it is at least the longest single op
+        longest = max(
+            op_duration_us(device.cost_model, op) for op in schedule.ops
+        )
+        assert result.total_time_us >= longest - 1e-6
+
+
+class TestExecutorEquivalence:
+    @given(program_strategy, dims_strategy, st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_executor_matches_eager(self, ops, dims, fuse):
+        graph, eager = record_random(ops, dims)
+        env = execute_graph(
+            graph,
+            {v.name: _input_array(v, dims) for v in graph.graph_inputs()},
+        )
+        final = graph.nodes[-1].output
+        np.testing.assert_allclose(env[final], eager, rtol=1e-4, atol=1e-5)
+
+
+def _input_array(value, dims):
+    rng = np.random.default_rng(12345)
+    rows, inner, cols = dims
+    a = rng.normal(size=(rows, inner)).astype(np.float32)
+    b = rng.normal(size=(inner, cols)).astype(np.float32)
+    return a if value.name == "a" else b
+
+
+class TestMemoryPlanInvariants:
+    @given(program_strategy, dims_strategy, st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_peak_bounds(self, ops, dims, fuse):
+        graph, _ = record_random(ops, dims)
+        schedule = GraphCompiler(
+            options=CompilerOptions(fuse_elementwise=fuse)
+        ).compile(graph)
+        plan = schedule.memory
+        assert plan.peak_bytes >= plan.persistent_bytes
+        lowered = schedule.graph  # compilation rewrites value ids
+        biggest = max(
+            (lowered.value(vid).nbytes
+             for op in schedule.ops for vid in op.writes),
+            default=0,
+        )
+        assert plan.peak_bytes >= biggest
+
+    @given(program_strategy, dims_strategy, st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_memory_timeline_agrees_with_planner(self, ops, dims, fuse):
+        from repro.synapse import memory_timeline
+
+        graph, _ = record_random(ops, dims)
+        schedule = GraphCompiler(
+            options=CompilerOptions(fuse_elementwise=fuse)
+        ).compile(graph)
+        tl = memory_timeline(schedule)
+        assert tl.peak_bytes == schedule.memory.peak_bytes
+        assert all(s.live_bytes >= tl.persistent_bytes for s in tl.samples)
+
+    @given(program_strategy, dims_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_fusion_never_increases_peak(self, ops, dims):
+        graph, _ = record_random(ops, dims)
+        fused = GraphCompiler(
+            options=CompilerOptions(fuse_elementwise=True)
+        ).compile(graph)
+        unfused = GraphCompiler(
+            options=CompilerOptions(fuse_elementwise=False)
+        ).compile(graph)
+        assert fused.memory.peak_bytes <= unfused.memory.peak_bytes

@@ -1,0 +1,138 @@
+"""Edge-case tests for trace rendering and timeline utilities."""
+
+import json
+
+import pytest
+
+from repro.hw.costmodel import EngineKind
+from repro.synapse import (
+    Timeline,
+    TraceEvent,
+    ascii_timeline,
+    gap_report,
+    validate_no_engine_overlap,
+)
+from repro.util.errors import ExecutionError
+
+
+def simple_timeline():
+    return Timeline([
+        TraceEvent("mm", EngineKind.MME, 0.0, 50.0, src="matmul"),
+        TraceEvent("sm", EngineKind.TPC, 50.0, 100.0, src="softmax"),
+        TraceEvent("cp", EngineKind.DMA, 45.0, 10.0, src="dma"),
+    ], name="t")
+
+
+class TestAsciiTimeline:
+    def test_empty_trace(self):
+        assert ascii_timeline(Timeline()) == "(empty trace)"
+
+    def test_zero_width(self):
+        assert ascii_timeline(simple_timeline(), width=0) == "(empty trace)"
+
+    def test_width_one(self):
+        art = ascii_timeline(simple_timeline(), width=1)
+        assert "MME" in art
+
+    def test_idle_columns_are_spaces(self):
+        tl = Timeline([
+            TraceEvent("a", EngineKind.MME, 0.0, 10.0),
+            TraceEvent("b", EngineKind.MME, 90.0, 10.0),
+        ])
+        art = ascii_timeline(tl, width=10, show_legend=False)
+        mme_row = next(l for l in art.splitlines() if l.startswith(" MME"))
+        body = mme_row.split("|")[1]
+        assert " " in body  # the long idle middle
+
+    def test_legend_toggle(self):
+        art = ascii_timeline(simple_timeline(), show_legend=False)
+        assert "legend" not in art
+
+    def test_host_lane_only_when_used(self):
+        art = ascii_timeline(simple_timeline())
+        assert "HOST" not in art
+        with_host = Timeline(list(simple_timeline().events) + [
+            TraceEvent("rc", EngineKind.HOST, 0.0, 5.0, src="recompile"),
+        ])
+        assert "HOST" in ascii_timeline(with_host)
+
+    def test_many_sources_cycle_glyphs(self):
+        events = [
+            TraceEvent(f"op{i}", EngineKind.TPC, i * 10.0, 10.0, src=f"s{i}")
+            for i in range(70)
+        ]
+        art = ascii_timeline(Timeline(events), width=70)
+        assert "legend" in art  # no crash with > 62 sources
+
+
+class TestGapReport:
+    def test_no_gaps(self):
+        tl = Timeline([TraceEvent("a", EngineKind.MME, 0.0, 10.0)])
+        text = gap_report(tl, EngineKind.MME, min_dur_us=1.0)
+        assert "no idle gaps" in text
+
+    def test_reports_largest_first(self):
+        tl = Timeline([
+            TraceEvent("a", EngineKind.MME, 0.0, 10.0),
+            TraceEvent("b", EngineKind.MME, 15.0, 5.0),
+            TraceEvent("c", EngineKind.MME, 100.0, 5.0),
+        ])
+        text = gap_report(tl, EngineKind.MME, min_dur_us=1.0, top=2)
+        lines = text.splitlines()
+        assert "80.00 us" in lines[1]  # the 20 -> 100 gap first
+
+
+class TestTimelineEdges:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ExecutionError):
+            Timeline([TraceEvent("a", EngineKind.MME, 0.0, -1.0)])
+
+    def test_total_time_empty(self):
+        assert Timeline().total_time_us == 0.0
+        assert Timeline().utilization(EngineKind.MME) == 0.0
+
+    def test_shifted(self):
+        tl = simple_timeline().shifted(100.0)
+        assert tl.events[0].start_us == 100.0
+        assert tl.total_time_us == simple_timeline().total_time_us + 100.0
+
+    def test_top_events(self):
+        top = simple_timeline().top_events(2)
+        assert [e.name for e in top] == ["sm", "mm"]
+
+    def test_busy_by_src_all_engines(self):
+        by = simple_timeline().busy_by_src()
+        assert by == {"matmul": 50.0, "softmax": 100.0, "dma": 10.0}
+
+    def test_src_share_zero_when_engine_idle(self):
+        assert simple_timeline().src_share("softmax", EngineKind.HOST) == 0.0
+
+    def test_overlap_validator_catches_violation(self):
+        bad = Timeline([
+            TraceEvent("a", EngineKind.MME, 0.0, 10.0),
+            TraceEvent("b", EngineKind.MME, 5.0, 10.0),
+        ])
+        with pytest.raises(ExecutionError, match="overlap"):
+            validate_no_engine_overlap(bad)
+
+    def test_overlap_on_different_engines_is_fine(self):
+        ok = Timeline([
+            TraceEvent("a", EngineKind.MME, 0.0, 10.0),
+            TraceEvent("b", EngineKind.TPC, 5.0, 10.0),
+        ])
+        validate_no_engine_overlap(ok)
+
+    def test_chrome_trace_fields(self):
+        data = json.loads(simple_timeline().to_chrome_trace())
+        ev = data["traceEvents"][0]
+        assert {"name", "ph", "ts", "dur", "tid"} <= set(ev)
+        assert data["displayTimeUnit"] == "ms"
+
+    def test_gaps_min_duration_filter(self):
+        tl = Timeline([
+            TraceEvent("a", EngineKind.MME, 0.0, 10.0),
+            TraceEvent("b", EngineKind.MME, 11.0, 10.0),
+            TraceEvent("c", EngineKind.MME, 100.0, 10.0),
+        ])
+        assert len(tl.gaps(EngineKind.MME)) == 2
+        assert len(tl.gaps(EngineKind.MME, min_dur_us=5.0)) == 1

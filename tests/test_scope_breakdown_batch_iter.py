@@ -1,0 +1,130 @@
+"""Tests for the profiler scope breakdown and the epoch batch iterator."""
+
+import numpy as np
+import pytest
+
+from repro.core import record_training_step
+from repro.data import (
+    CorpusConfig,
+    SyntheticBookCorpus,
+    WordTokenizer,
+    batch_iterator,
+)
+from repro.synapse import SynapseProfiler
+from repro.util.errors import DataError
+
+
+@pytest.fixture(scope="module")
+def gpt_profile():
+    return SynapseProfiler().profile(record_training_step("gpt").graph)
+
+
+class TestScopeBreakdown:
+    def test_shares_sum_to_one(self, gpt_profile):
+        rows = gpt_profile.scope_breakdown(depth=1)
+        assert rows
+        assert sum(share for _, _, share in rows) == pytest.approx(1.0)
+
+    def test_sorted_descending(self, gpt_profile):
+        rows = gpt_profile.scope_breakdown(depth=2)
+        times = [us for _, us, _ in rows]
+        assert times == sorted(times, reverse=True)
+
+    def test_training_phases_present(self, gpt_profile):
+        scopes = {scope for scope, _, _ in gpt_profile.scope_breakdown(depth=1)}
+        assert "bwd" in scopes
+        assert "gpt2" in scopes
+
+    def test_depth_controls_granularity(self, gpt_profile):
+        shallow = {s for s, _, _ in gpt_profile.scope_breakdown(depth=1)}
+        deep = {s for s, _, _ in gpt_profile.scope_breakdown(depth=3)}
+        assert len(deep) > len(shallow)
+
+    def test_empty_profile(self):
+        from repro import ht
+        from repro.ht import functional as F
+
+        with ht.record("tiny", mode="symbolic") as rec:
+            F.reshape(ht.input_tensor((4,), name="x"), (2, 2))
+        # everything elided -> no compute events
+        profile = SynapseProfiler().profile(rec.graph)
+        assert profile.scope_breakdown() == []
+
+
+@pytest.fixture(scope="module")
+def tokenizer_and_stream():
+    corpus = SyntheticBookCorpus(CorpusConfig(
+        vocab_words=100, num_books=1, sentences_per_book=60,
+    ))
+    tok = WordTokenizer.train(corpus, max_vocab=128)
+    return tok, tok.encode(" ".join(corpus.token_stream()))
+
+
+class TestBatchIterator:
+    def test_clm_batches_shaped(self, tokenizer_and_stream):
+        tok, stream = tokenizer_and_stream
+        batches = list(batch_iterator(
+            stream, tok, kind="clm", batch_size=4, seq_len=16,
+            rng=np.random.default_rng(0),
+        ))
+        assert batches
+        for b in batches:
+            assert b.input_ids.shape == (4, 16)
+            assert b.target_onehot.shape == (4, 16, tok.vocab_size)
+
+    def test_mlm_batches_masked(self, tokenizer_and_stream):
+        tok, stream = tokenizer_and_stream
+        batch = next(batch_iterator(
+            stream, tok, kind="mlm", batch_size=4, seq_len=32,
+            rng=np.random.default_rng(1),
+        ))
+        assert batch.masked_positions.any()
+
+    def test_epochs_multiply_batches(self, tokenizer_and_stream):
+        tok, stream = tokenizer_and_stream
+
+        def count(epochs):
+            return sum(1 for _ in batch_iterator(
+                stream, tok, kind="clm", batch_size=2, seq_len=16,
+                epochs=epochs, rng=np.random.default_rng(2),
+            ))
+
+        assert count(3) == 3 * count(1)
+
+    def test_epochs_differ(self, tokenizer_and_stream):
+        tok, stream = tokenizer_and_stream
+        it = batch_iterator(
+            stream, tok, kind="clm", batch_size=2, seq_len=16,
+            epochs=2, rng=np.random.default_rng(3),
+        )
+        per_epoch = sum(1 for _ in batch_iterator(
+            stream, tok, kind="clm", batch_size=2, seq_len=16,
+            rng=np.random.default_rng(3),
+        ))
+        batches = list(it)
+        first = batches[0].input_ids
+        second = batches[per_epoch].input_ids
+        assert not np.array_equal(first, second)
+
+    def test_reproducible_under_seed(self, tokenizer_and_stream):
+        tok, stream = tokenizer_and_stream
+
+        def first_batch(seed):
+            return next(batch_iterator(
+                stream, tok, kind="clm", batch_size=2, seq_len=8,
+                rng=np.random.default_rng(seed),
+            )).input_ids
+
+        np.testing.assert_array_equal(first_batch(7), first_batch(7))
+
+    def test_validation(self, tokenizer_and_stream):
+        tok, stream = tokenizer_and_stream
+        with pytest.raises(DataError, match="kind"):
+            next(batch_iterator(stream, tok, kind="rlhf",
+                                batch_size=2, seq_len=8))
+        with pytest.raises(DataError, match="epochs"):
+            next(batch_iterator(stream, tok, kind="clm",
+                                batch_size=2, seq_len=8, epochs=0))
+        with pytest.raises(DataError, match="empty"):
+            next(batch_iterator([], tok, kind="clm",
+                                batch_size=2, seq_len=8))

@@ -1,0 +1,104 @@
+"""Round-trip tests for graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro import ht
+from repro.ht import functional as F
+from repro.models import TransformerLayer, paper_layer_config
+from repro.synapse import (
+    GraphCompiler,
+    SynapseProfiler,
+    execute_outputs,
+    graph_from_json,
+    graph_to_json,
+    load_graph,
+    save_graph,
+)
+from repro.util.errors import GraphError
+
+
+def record_program():
+    rng = np.random.default_rng(0)
+    arrays = {
+        "a": rng.normal(size=(4, 6)).astype(np.float32),
+        "b": rng.normal(size=(6, 5)).astype(np.float32),
+    }
+    with ht.record("serialize-me", mode="concrete") as rec:
+        a = ht.tensor(arrays["a"], name="a")
+        b = ht.tensor(arrays["b"], name="b")
+        out = F.softmax(F.mul_scalar(F.matmul(a, b), 0.5))
+        eager = out.numpy()
+    return rec.graph, arrays, eager
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        graph, _, _ = record_program()
+        restored = graph_from_json(graph_to_json(graph))
+        assert restored.name == graph.name
+        assert len(restored) == len(graph)
+        assert [n.op for n in restored.nodes] == [n.op for n in graph.nodes]
+        for orig, new in zip(graph.nodes, restored.nodes):
+            assert orig.attrs == new.attrs
+            assert orig.src == new.src and orig.scope == new.scope
+
+    def test_functional_equivalence(self):
+        graph, arrays, eager = record_program()
+        restored = graph_from_json(graph_to_json(graph))
+        outs = execute_outputs(restored, arrays)
+        np.testing.assert_allclose(list(outs.values())[0], eager, rtol=1e-5)
+
+    def test_compile_equivalence(self):
+        graph, _, _ = record_program()
+        restored = graph_from_json(graph_to_json(graph))
+        s1 = GraphCompiler().compile(graph)
+        s2 = GraphCompiler().compile(restored)
+        assert len(s1) == len(s2)
+        assert [op.engine for op in s1.ops] == [op.engine for op in s2.ops]
+        assert s1.memory.peak_bytes == s2.memory.peak_bytes
+
+    def test_tuple_attrs_survive(self):
+        with ht.record("t", mode="symbolic") as rec:
+            x = ht.input_tensor((2, 3, 4), name="x")
+            F.transpose(x, (0, 2, 1))
+        restored = graph_from_json(graph_to_json(rec.graph))
+        assert restored.nodes[0].attrs["axes"] == (0, 2, 1)
+
+    def test_paper_scale_graph_round_trips(self):
+        cfg = paper_layer_config("softmax")
+        layer = TransformerLayer(cfg, materialize=False)
+        with ht.record("fig4", mode="symbolic") as rec:
+            layer(ht.input_tensor((128, 2048, cfg.d_model), name="x"))
+        restored = graph_from_json(graph_to_json(rec.graph))
+        t1 = SynapseProfiler().profile(rec.graph).total_time_us
+        t2 = SynapseProfiler().profile(restored).total_time_us
+        assert t1 == pytest.approx(t2, rel=1e-9)
+
+    def test_file_io(self, tmp_path):
+        graph, arrays, eager = record_program()
+        path = save_graph(graph, tmp_path / "g.json")
+        restored = load_graph(path)
+        outs = execute_outputs(restored, arrays)
+        np.testing.assert_allclose(list(outs.values())[0], eager, rtol=1e-5)
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(GraphError, match="not valid JSON"):
+            graph_from_json("{nope")
+
+    def test_wrong_format(self):
+        with pytest.raises(GraphError, match="not a serialized"):
+            graph_from_json('{"format": "pickle"}')
+
+    def test_wrong_version(self):
+        with pytest.raises(GraphError, match="version"):
+            graph_from_json(
+                '{"format": "repro-graph", "version": 999, '
+                '"values": [], "nodes": []}'
+            )
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(GraphError, match="cannot read"):
+            load_graph(tmp_path / "nope.json")

@@ -1,0 +1,170 @@
+"""Unit tests for the TPC VLIW ISA model and index spaces."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tpc import (
+    Bundle,
+    IndexSpace,
+    InstructionStream,
+    Slot,
+    SlotOp,
+    balance_ratio,
+    partition_members,
+    spu,
+    vload_global,
+    vload_global_streamed,
+    vload_local,
+    vpu,
+    vstore_global,
+)
+from repro.util.errors import KernelError
+
+
+class TestSlotOps:
+    def test_four_slots(self):
+        # Paper section 2.2: Load, SPU, VPU, Store slots.
+        assert {s.value for s in Slot} == {"load", "spu", "vpu", "store"}
+
+    def test_global_load_costs_four_cycles(self):
+        # "every four cycles can accommodate the loading or writing of
+        # a 2048-bit vector to the global memory"
+        b = Bundle((vload_global(),))
+        assert b.cycles == 4.0
+
+    def test_local_load_single_cycle(self):
+        # "unrestricted bandwidth when reading from or writing to the
+        # local memory in each cycle"
+        assert Bundle((vload_local(),)).cycles == 1.0
+
+    def test_streamed_load_free(self):
+        assert Bundle((vload_global_streamed(),)).cycles == 1.0
+
+    def test_negative_stall_rejected(self):
+        with pytest.raises(KernelError):
+            SlotOp(Slot.VPU, "bad", stall_cycles=-1.0)
+
+
+class TestBundle:
+    def test_parallel_slots_issue_together(self):
+        b = Bundle((vpu("mac"), vload_global_streamed(), spu("loop")))
+        assert b.cycles == 1.0
+
+    def test_slowest_slot_determines_retire(self):
+        b = Bundle((vpu("exp", stall_cycles=11.0), vstore_global()))
+        assert b.cycles == 12.0
+
+    def test_same_slot_twice_rejected(self):
+        with pytest.raises(KernelError, match="slot"):
+            Bundle((vpu("a"), vpu("b")))
+
+    def test_repeat(self):
+        b = Bundle((vpu("mac"),), repeat=10)
+        assert b.total_cycles == 10.0
+
+    def test_zero_repeat_rejected(self):
+        with pytest.raises(KernelError):
+            Bundle((), repeat=0)
+
+
+class TestInstructionStream:
+    def test_cycles_sum(self):
+        s = InstructionStream()
+        s.emit(vload_global())       # 4
+        s.emit(vpu("mac"), repeat=8)  # 8
+        assert s.cycles == 12.0
+
+    def test_slot_counts(self):
+        s = InstructionStream()
+        s.emit(vpu("mac"), vload_global_streamed(), repeat=5)
+        s.emit(spu("x"))
+        counts = s.slot_counts()
+        assert counts[Slot.VPU] == 5
+        assert counts[Slot.LOAD] == 5
+        assert counts[Slot.SPU] == 1
+        assert counts[Slot.STORE] == 0
+
+    def test_slot_utilization(self):
+        s = InstructionStream()
+        s.emit(vpu("a"), spu("b"))  # 2 of 4 slots
+        assert s.slot_utilization() == pytest.approx(0.5)
+
+    def test_empty_stream(self):
+        s = InstructionStream()
+        assert s.cycles == 0.0
+        assert s.slot_utilization() == 0.0
+
+
+class TestIndexSpace:
+    def test_size(self):
+        assert IndexSpace((4, 8)).size == 32
+
+    def test_rank_bounds(self):
+        IndexSpace((1,))
+        IndexSpace((1, 1, 1, 1, 1))
+        with pytest.raises(KernelError):
+            IndexSpace(())
+        with pytest.raises(KernelError):
+            IndexSpace((1,) * 6)
+
+    def test_positive_dims(self):
+        with pytest.raises(KernelError):
+            IndexSpace((0, 4))
+
+    def test_members_row_major(self):
+        assert list(IndexSpace((2, 2)).members()) == [
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        ]
+
+    def test_member_at_matches_iteration(self):
+        space = IndexSpace((3, 4, 2))
+        for flat, member in enumerate(space.members()):
+            assert space.member_at(flat) == member
+
+    def test_member_at_bounds(self):
+        with pytest.raises(KernelError):
+            IndexSpace((2,)).member_at(2)
+
+
+class TestPartition:
+    def test_even_partition(self):
+        parts = partition_members(IndexSpace((16,)), 8)
+        assert [len(p) for p in parts] == [2] * 8
+
+    def test_uneven_partition_balanced_within_one(self):
+        parts = partition_members(IndexSpace((10,)), 8)
+        sizes = [len(p) for p in parts]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_is_contiguous_and_complete(self):
+        parts = partition_members(IndexSpace((7, 3)), 4)
+        flat = [i for p in parts for i in p]
+        assert flat == list(range(21))
+
+    def test_bad_core_count(self):
+        with pytest.raises(KernelError):
+            partition_members(IndexSpace((4,)), 0)
+
+    @given(st.integers(1, 200), st.integers(1, 16))
+    def test_partition_properties(self, n, cores):
+        parts = partition_members(IndexSpace((n,)), cores)
+        assert len(parts) == cores
+        sizes = [len(p) for p in parts]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestBalanceRatio:
+    def test_perfect(self):
+        assert balance_ratio([5.0, 5.0]) == 1.0
+
+    def test_imbalanced(self):
+        assert balance_ratio([10.0, 0.0]) == pytest.approx(0.5)
+
+    def test_all_zero(self):
+        assert balance_ratio([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(KernelError):
+            balance_ratio([])

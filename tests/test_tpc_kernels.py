@@ -1,0 +1,255 @@
+"""Functional + timing tests for the TPC kernel library and simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.config import TPCClusterConfig
+from repro.hw.costmodel import MatmulDims, tpc_matmul_cycles
+from repro.hw.dtypes import DType
+from repro.tpc import REGISTRY, TPCSimulator
+from repro.tpc.kernels.elementwise import UNARY_SPECS
+from repro.util.errors import KernelError
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return TPCSimulator(TPCClusterConfig(), DType.BF16)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(42)
+
+
+def ref_softmax(x):
+    e = np.exp(x - x.max(-1, keepdims=True))
+    return e / e.sum(-1, keepdims=True)
+
+
+class TestRegistry:
+    def test_expected_kernels_present(self):
+        names = REGISTRY.names()
+        assert "bmm" in names and "softmax" in names and "glu" in names
+        for fn in ("relu", "leaky_relu", "gelu", "elu", "exp"):
+            assert f"unary_{fn}" in names
+        for fn in ("add", "mul"):
+            assert f"binary_{fn}" in names
+        assert "reduce_sum" in names and "reduce_max" in names
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KernelError, match="unknown kernel"):
+            REGISTRY.create("not_a_kernel")
+
+    def test_contains(self):
+        assert "bmm" in REGISTRY
+        assert "nope" not in REGISTRY
+
+
+class TestBmmKernel:
+    def test_matches_numpy(self, sim, rng):
+        a = rng.normal(size=(3, 37, 19)).astype(np.float32)
+        b = rng.normal(size=(3, 19, 45)).astype(np.float32)
+        r = sim.launch(REGISTRY.create("bmm"), {"a": a, "b": b})
+        np.testing.assert_allclose(r.outputs["c"], a @ b, rtol=1e-5)
+
+    def test_shape_validation(self, sim):
+        k = REGISTRY.create("bmm")
+        with pytest.raises(KernelError, match="batch mismatch"):
+            sim.launch(k, shapes={"a": (2, 4, 4), "b": (3, 4, 4)})
+        with pytest.raises(KernelError, match="contraction mismatch"):
+            sim.launch(k, shapes={"a": (2, 4, 5), "b": (2, 4, 4)})
+
+    def test_missing_input(self, sim):
+        with pytest.raises(KernelError, match="missing input"):
+            sim.launch(REGISTRY.create("bmm"), shapes={"a": (2, 4, 4)})
+
+    @pytest.mark.parametrize(
+        "size,paper_tflops",
+        [(128, 1.86), (256, 2.05), (512, 2.13), (1024, 2.18), (2048, 2.19)],
+    )
+    def test_table2_tpc_calibration(self, sim, size, paper_tflops):
+        r = sim.launch(
+            REGISTRY.create("bmm"),
+            shapes={"a": (64, size, size), "b": (64, size, size)},
+        )
+        assert r.achieved_tflops == pytest.approx(paper_tflops, rel=0.10)
+
+    def test_consistent_with_hw_aggregate_model(self, sim):
+        # The framework-level analytic (hw.tpc_matmul_cycles) and the
+        # kernel stream should agree within 20% — they model the same
+        # kernel at different granularity.
+        cfg = TPCClusterConfig()
+        for s in (256, 1024):
+            dims = MatmulDims(8, s, s, s)
+            agg = tpc_matmul_cycles(cfg, DType.BF16, dims)
+            r = sim.launch(
+                REGISTRY.create("bmm"), shapes={"a": (8, s, s), "b": (8, s, s)}
+            )
+            assert r.cycles == pytest.approx(agg, rel=0.20)
+
+    def test_load_balance_good_for_large_launch(self, sim):
+        r = sim.launch(
+            REGISTRY.create("bmm"), shapes={"a": (64, 512, 512), "b": (64, 512, 512)}
+        )
+        assert r.balance > 0.95
+
+    @given(
+        b=st.integers(1, 4), m=st.integers(1, 40),
+        k=st.integers(1, 40), n=st.integers(1, 40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bmm_random_shapes(self, sim, b, m, k, n):
+        rng = np.random.default_rng(b * 1000 + m * 100 + k * 10 + n)
+        a = rng.normal(size=(b, m, k)).astype(np.float32)
+        bb = rng.normal(size=(b, k, n)).astype(np.float32)
+        r = sim.launch(REGISTRY.create("bmm"), {"a": a, "b": bb})
+        np.testing.assert_allclose(r.outputs["c"], a @ bb, rtol=1e-4, atol=1e-5)
+
+
+class TestSoftmaxKernel:
+    def test_matches_reference(self, sim, rng):
+        x = rng.normal(size=(5, 7, 33)).astype(np.float32)
+        r = sim.launch(REGISTRY.create("softmax"), {"x": x})
+        np.testing.assert_allclose(r.outputs["y"], ref_softmax(x), rtol=1e-5)
+
+    def test_rows_sum_to_one(self, sim, rng):
+        x = (rng.normal(size=(64, 50)) * 10).astype(np.float32)
+        r = sim.launch(REGISTRY.create("softmax"), {"x": x})
+        np.testing.assert_allclose(r.outputs["y"].sum(-1), 1.0, rtol=1e-5)
+
+    def test_numerically_stable_for_large_logits(self, sim):
+        x = np.array([[1000.0, 1000.0, -1000.0]], dtype=np.float32)
+        r = sim.launch(REGISTRY.create("softmax"), {"x": x})
+        assert np.isfinite(r.outputs["y"]).all()
+        np.testing.assert_allclose(r.outputs["y"][0, :2], 0.5, rtol=1e-5)
+
+    def test_long_rows_cheaper_per_element(self, sim):
+        # Horizontal reductions are amortized over longer rows, so
+        # cycles/element must drop with row length — the flip side of
+        # the paper's "short reductions are SIMD-hostile" point.
+        k = REGISTRY.create("softmax")
+        short = sim.launch(k, shapes={"x": (4096, 128)})
+        long = sim.launch(k, shapes={"x": (256, 2048)})
+        per_el_short = short.cycles / (4096 * 128)
+        per_el_long = long.cycles / (256 * 2048)
+        assert per_el_long < per_el_short
+
+
+class TestUnaryKernels:
+    @pytest.mark.parametrize("fn", sorted(UNARY_SPECS))
+    def test_matches_reference(self, sim, rng, fn):
+        x = rng.normal(size=(513,)).astype(np.float32)
+        if fn in ("sqrt", "log"):
+            x = np.abs(x) + 0.1
+        r = sim.launch(REGISTRY.create(f"unary_{fn}"), {"x": x})
+        expected = UNARY_SPECS[fn].fn(x)
+        np.testing.assert_allclose(r.outputs["y"], expected, rtol=1e-5, atol=1e-6)
+
+    def test_relu_cheaper_than_gelu(self, sim):
+        shape = {"x": (1 << 20,)}
+        t_relu = sim.launch(REGISTRY.create("unary_relu"), shapes=shape).time_us
+        t_gelu = sim.launch(REGISTRY.create("unary_gelu"), shapes=shape).time_us
+        assert t_gelu > t_relu
+
+    def test_unknown_unary_rejected(self):
+        from repro.tpc.kernels.elementwise import UnaryElementwiseKernel
+
+        with pytest.raises(KernelError, match="unknown unary"):
+            UnaryElementwiseKernel("swish9000")
+
+
+class TestBinaryKernels:
+    @pytest.mark.parametrize("fn", ["add", "sub", "mul", "max"])
+    def test_matches_reference(self, sim, rng, fn):
+        x = rng.normal(size=(100,)).astype(np.float32)
+        y = rng.normal(size=(100,)).astype(np.float32)
+        r = sim.launch(REGISTRY.create(f"binary_{fn}"), {"x": x, "y": y})
+        from repro.tpc.kernels.elementwise import BINARY_SPECS
+
+        np.testing.assert_allclose(
+            r.outputs["z"], BINARY_SPECS[fn].fn(x, y), rtol=1e-6
+        )
+
+    def test_shape_mismatch_rejected(self, sim):
+        with pytest.raises(KernelError, match="shape mismatch"):
+            sim.launch(
+                REGISTRY.create("binary_add"),
+                shapes={"x": (3,), "y": (4,)},
+            )
+
+
+class TestGluKernel:
+    def test_matches_reference(self, sim, rng):
+        x = rng.normal(size=(6, 10)).astype(np.float32)
+        r = sim.launch(REGISTRY.create("glu"), {"x": x})
+        a, b = x[..., :5], x[..., 5:]
+        np.testing.assert_allclose(
+            r.outputs["y"], a / (1 + np.exp(-b)) * 1.0, rtol=1e-5
+        )
+
+    def test_odd_last_dim_rejected(self, sim):
+        with pytest.raises(KernelError, match="even"):
+            sim.launch(REGISTRY.create("glu"), shapes={"x": (4, 7)})
+
+    def test_glu_slower_than_relu_per_output(self, sim):
+        # Fig 7: GLU is the slowest activation even before the
+        # recompilation penalty.
+        n = 1 << 20
+        t_glu = sim.launch(REGISTRY.create("glu"), shapes={"x": (n, 2)}).time_us
+        t_relu = sim.launch(
+            REGISTRY.create("unary_relu"), shapes={"x": (n, 1)}
+        ).time_us
+        assert t_glu > t_relu
+
+
+class TestReduceKernels:
+    def test_sum_matches(self, sim, rng):
+        x = rng.normal(size=(17, 65)).astype(np.float32)
+        r = sim.launch(REGISTRY.create("reduce_sum"), {"x": x})
+        np.testing.assert_allclose(r.outputs["y"], x.sum(-1), rtol=1e-4)
+
+    def test_max_matches(self, sim, rng):
+        x = rng.normal(size=(8, 9, 33)).astype(np.float32)
+        r = sim.launch(REGISTRY.create("reduce_max"), {"x": x})
+        np.testing.assert_allclose(r.outputs["y"], x.max(-1))
+
+    def test_reduction_efficiency_poor_on_short_rows(self, sim):
+        # 8-element rows: the horizontal combine dominates entirely.
+        k = REGISTRY.create("reduce_sum")
+        short = sim.launch(k, shapes={"x": (8192, 8)})
+        long = sim.launch(k, shapes={"x": (32, 2048)})
+        assert short.cycles / (8192 * 8) > 10 * long.cycles / (32 * 2048)
+
+
+class TestSimulatorContract:
+    def test_requires_exactly_one_input_kind(self, sim):
+        k = REGISTRY.create("unary_relu")
+        with pytest.raises(KernelError, match="exactly one"):
+            sim.launch(k)
+        with pytest.raises(KernelError, match="exactly one"):
+            sim.launch(k, {"x": np.ones(3, np.float32)}, shapes={"x": (3,)})
+
+    def test_functional_limit_guards_paper_scale(self, sim):
+        k = REGISTRY.create("unary_relu")
+        huge = np.lib.stride_tricks.as_strided(
+            np.zeros(1, np.float32), shape=(10**9,), strides=(0,)
+        )
+        with pytest.raises(KernelError, match="timing-only"):
+            sim.launch(k, {"x": huge})
+
+    def test_timing_only_launch_has_no_outputs(self, sim):
+        r = sim.launch(REGISTRY.create("unary_relu"), shapes={"x": (10**9,)})
+        assert r.outputs is None
+        assert r.time_us > 0
+        assert r.output_shapes == {"y": (10**9,)}
+
+    def test_more_cores_faster(self):
+        shapes = {"a": (8, 256, 256), "b": (8, 256, 256)}
+        t8 = TPCSimulator(TPCClusterConfig(num_cores=8)).launch(
+            REGISTRY.create("bmm"), shapes=shapes
+        ).time_us
+        t2 = TPCSimulator(TPCClusterConfig(num_cores=2)).launch(
+            REGISTRY.create("bmm"), shapes=shapes
+        ).time_us
+        assert t2 > 3 * t8

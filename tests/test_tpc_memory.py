@@ -1,0 +1,105 @@
+"""Tests for TPC local-memory accounting and dtype-aware tiling."""
+
+import pytest
+
+from repro.hw.config import TPCClusterConfig
+from repro.hw.dtypes import DType
+from repro.tpc import REGISTRY, TPCSimulator
+from repro.tpc.memory import (
+    LocalMemory,
+    from_config,
+    max_k_chunk,
+    max_k_chunk_for_lanes,
+)
+from repro.util.errors import KernelError
+
+
+class TestLocalMemory:
+    def test_paper_capacities(self):
+        mem = from_config(TPCClusterConfig())
+        assert mem.scalar_capacity == 1024       # 1 KB (paper 2.2)
+        assert mem.vector_capacity == 80 * 1024  # 80 KB
+
+    def test_alloc_free_cycle(self):
+        mem = LocalMemory()
+        mem.alloc("a", 1000)
+        assert mem.vector_free_bytes() == 80 * 1024 - 1000
+        mem.free("a")
+        assert mem.vector_free_bytes() == 80 * 1024
+
+    def test_vector_overflow_rejected(self):
+        mem = LocalMemory()
+        mem.alloc("big", 80 * 1024)
+        with pytest.raises(KernelError, match="exhausted"):
+            mem.alloc("one_more", 1)
+
+    def test_scalar_bank_separate(self):
+        mem = LocalMemory()
+        mem.alloc("s", 1024, bank="scalar")
+        assert mem.scalar_free_bytes() == 0
+        # vector bank unaffected
+        mem.alloc("v", 80 * 1024)
+
+    def test_double_alloc_rejected(self):
+        mem = LocalMemory()
+        mem.alloc("x", 10)
+        with pytest.raises(KernelError, match="already allocated"):
+            mem.alloc("x", 10)
+
+    def test_unknown_free_rejected(self):
+        with pytest.raises(KernelError, match="unknown buffer"):
+            LocalMemory().free("ghost")
+
+    def test_bad_bank(self):
+        with pytest.raises(KernelError, match="bank"):
+            LocalMemory().alloc("x", 1, bank="l3")
+
+    def test_negative_rejected(self):
+        with pytest.raises(KernelError):
+            LocalMemory().alloc("x", -1)
+
+
+class TestMaxKChunk:
+    def test_bf16_reference_tile(self):
+        # 256 * (128 lanes + 32 rows) * 2 B = exactly the 80 KB bank
+        assert max_k_chunk_for_lanes(128, 32) == 256
+
+    def test_fp32_shrinks(self):
+        assert max_k_chunk_for_lanes(64, 32) == 192
+        assert max_k_chunk(DType.FP32, 64, 32) == 192
+
+    def test_int8_wider_lanes_offset_thinner_elements(self):
+        # int8 doubles the lane count AND halves the element size: the
+        # B-tile bytes stay put, so the tile depth barely moves
+        assert max_k_chunk(DType.INT8, 256, 32) == 256
+
+    def test_alignment(self):
+        k = max_k_chunk_for_lanes(128, 32, alignment=32)
+        assert k % 32 == 0
+
+    def test_invalid_lanes(self):
+        with pytest.raises(KernelError, match="lane count"):
+            max_k_chunk_for_lanes(100, 32)
+
+    def test_impossible_budget(self):
+        with pytest.raises(KernelError):
+            max_k_chunk_for_lanes(128, 32, vector_capacity=64)
+
+
+class TestDtypeAwareBmm:
+    def test_fp32_kernel_slower_per_flop(self):
+        # fewer lanes and a smaller tile: fp32 must sustain well under
+        # half the bf16 rate
+        shapes = {"a": (8, 512, 512), "b": (8, 512, 512)}
+        kernel = REGISTRY.create("bmm")
+        bf16 = TPCSimulator(dtype=DType.BF16).launch(kernel, shapes=shapes)
+        fp32 = TPCSimulator(dtype=DType.FP32).launch(kernel, shapes=shapes)
+        assert fp32.achieved_tflops < 0.6 * bf16.achieved_tflops
+
+    def test_calibration_unchanged_for_bf16(self):
+        # the tiling refactor must not move the Table 2 numbers
+        kernel = REGISTRY.create("bmm")
+        r = TPCSimulator(dtype=DType.BF16).launch(
+            kernel, shapes={"a": (64, 512, 512), "b": (64, 512, 512)}
+        )
+        assert r.achieved_tflops == pytest.approx(2.13, rel=0.10)

@@ -1,0 +1,71 @@
+"""Unit tests for repro.util.units."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import units
+
+
+class TestConversions:
+    def test_us_to_ms(self):
+        assert units.us_to_ms(1500.0) == 1.5
+
+    def test_ms_to_us(self):
+        assert units.ms_to_us(2.5) == 2500.0
+
+    def test_s_to_us(self):
+        assert units.s_to_us(0.001) == 1000.0
+
+    def test_us_to_s(self):
+        assert units.us_to_s(1_000_000.0) == 1.0
+
+    @given(st.floats(min_value=1e-9, max_value=1e9, allow_nan=False))
+    def test_ms_round_trip(self, value):
+        assert math.isclose(units.us_to_ms(units.ms_to_us(value)), value)
+
+    @given(st.floats(min_value=1e-9, max_value=1e9, allow_nan=False))
+    def test_s_round_trip(self, value):
+        assert math.isclose(units.us_to_s(units.s_to_us(value)), value)
+
+
+class TestTflops:
+    def test_basic(self):
+        # 1e12 FLOPs in one second is exactly 1 TFLOP/s.
+        assert units.tflops(1e12, units.s_to_us(1.0)) == pytest.approx(1.0)
+
+    def test_zero_duration_is_zero_not_error(self):
+        assert units.tflops(1e9, 0.0) == 0.0
+
+    def test_scales_linearly_with_flops(self):
+        t = units.s_to_us(2.0)
+        assert units.tflops(2e12, t) == pytest.approx(2 * units.tflops(1e12, t))
+
+
+class TestFormatting:
+    def test_fmt_time_us_microseconds(self):
+        assert units.fmt_time_us(12.345) == "12.35 us"
+
+    def test_fmt_time_us_milliseconds(self):
+        assert units.fmt_time_us(30_100.0) == "30.10 ms"
+
+    def test_fmt_time_us_seconds(self):
+        assert units.fmt_time_us(2_500_000.0) == "2.500 s"
+
+    def test_fmt_time_negative(self):
+        assert units.fmt_time_us(-1500.0) == "-1.50 ms"
+
+    def test_fmt_bytes_scales(self):
+        assert units.fmt_bytes(512) == "512 B"
+        assert units.fmt_bytes(2048) == "2.00 KiB"
+        assert units.fmt_bytes(3 * units.MIB) == "3.00 MiB"
+        assert units.fmt_bytes(32 * units.GIB) == "32.00 GiB"
+
+    def test_fmt_flops(self):
+        assert units.fmt_flops(2.5e12) == "2.50 TFLOP"
+        assert units.fmt_flops(3.0e9) == "3.00 GFLOP"
+        assert units.fmt_flops(10.0) == "10 FLOP"
+
+    def test_fmt_rate(self):
+        assert units.fmt_rate(14.59) == "14.59 TFLOPS"
