@@ -24,6 +24,7 @@ from .core import (
     run_generation_comparison,
     run_mme_vs_tpc,
     run_op_mapping,
+    run_pass_toggle_ablation,
     run_pipelined_attention_study,
     run_reorder_ablation,
     run_scaling_study,
@@ -32,6 +33,12 @@ from .core import (
 )
 from .core.reference import ShapeCheck
 from .hw.device import default_device
+from .synapse import (
+    PASS_OPTION_FLAGS,
+    default_compiler_options,
+    disable_passes,
+    set_default_compiler_options,
+)
 
 
 def _simple(run: Callable[[], object]) -> tuple[str, list[ShapeCheck]]:
@@ -72,7 +79,42 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] =
                lambda: _simple(run_energy_study)),
     "decode": ("A9: KV-cached decode extension",
                lambda: _simple(run_decode_study)),
+    "ablation-passes": ("A10: per-pass toggle ablation",
+                        lambda: _simple(run_pass_toggle_ablation)),
 }
+
+
+def _lint_gate() -> int:
+    """Compile the Fig-4 layer and Fig-8 GPT graphs and lint both.
+
+    The CI gate: a non-zero exit means a representative paper graph no
+    longer compiles. Lint warnings are informational.
+    """
+    from . import ht
+    from .core.e2e_llm import record_training_step
+    from .models import TransformerLayer, paper_layer_config
+    from .synapse import GraphCompiler, lint_graph, render_warnings
+
+    layer_cfg = paper_layer_config("softmax")
+    layer = TransformerLayer(layer_cfg, materialize=False)
+    with ht.record("fig4-layer", mode="symbolic") as rec:
+        layer(ht.input_tensor((8, 256, layer_cfg.d_model)))
+    graphs = [rec.graph, record_training_step("gpt", batch=2,
+                                              seq_len=128).graph]
+    compiler = GraphCompiler(options=default_compiler_options())
+    for graph in graphs:
+        schedule = compiler.compile(graph)
+        warnings = lint_graph(graph)
+        print(f"== lint {graph.name!r}: {len(schedule)} scheduled ops, "
+              f"{len(warnings)} warning(s) ==")
+        if warnings:
+            print(render_warnings(warnings))
+        for entry in schedule.stats.get("passes", []):
+            print(f"  pass {entry['pass']:<20} "
+                  f"{'on ' if entry['enabled'] else 'off'} "
+                  f"units {entry['units_in']}->{entry['units_out']} "
+                  f"transforms {entry['transforms']}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce 'Benchmarking and In-depth Performance "
                     "Study of LLMs on Habana Gaudi Processors' (SC-W 2023) "
                     "on a calibrated simulator.",
+    )
+    parser.add_argument(
+        "--disable-pass", action="append", default=[],
+        choices=sorted(PASS_OPTION_FLAGS), metavar="PASS",
+        help="disable a GraphCompiler pass for every compile "
+             f"(choices: {', '.join(sorted(PASS_OPTION_FLAGS))}; "
+             "repeatable)",
+    )
+    parser.add_argument(
+        "--no-recipe-cache", action="store_true",
+        help="recompile every graph instead of reusing cached recipes",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -96,12 +149,26 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_parser(name, help=title)
 
     sub.add_parser("describe", help="print the simulated-device summary")
+    sub.add_parser("lint-gate",
+                   help="compile + lint the Fig-4 and Fig-8 graphs (CI)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+
+    options = default_compiler_options()
+    if args.disable_pass:
+        options = disable_passes(options, *args.disable_pass)
+    if args.no_recipe_cache:
+        import dataclasses
+
+        options = dataclasses.replace(options, use_recipe_cache=False)
+    set_default_compiler_options(options)
+
+    if args.command == "lint-gate":
+        return _lint_gate()
 
     if args.command == "describe":
         print(default_device().describe())

@@ -10,10 +10,12 @@ from .ablations import (
     ChunkedAttentionResult,
     PipelinedAttentionResult,
     FusionAblationResult,
+    PassToggleAblationResult,
     ReorderAblationResult,
     TpcCoreSweepResult,
     run_chunked_attention_study,
     run_fusion_ablation,
+    run_pass_toggle_ablation,
     run_pipelined_attention_study,
     run_reorder_ablation,
     run_tpc_core_sweep,
@@ -68,11 +70,13 @@ __all__ = [
     "ChunkedAttentionResult",
     "PipelinedAttentionResult",
     "FusionAblationResult",
+    "PassToggleAblationResult",
     "ReorderAblationResult",
     "TpcCoreSweepResult",
     "run_chunked_attention_study",
     "run_pipelined_attention_study",
     "run_fusion_ablation",
+    "run_pass_toggle_ablation",
     "run_reorder_ablation",
     "run_tpc_core_sweep",
     "save_profile",

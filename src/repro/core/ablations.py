@@ -7,6 +7,9 @@
   cluster width.
 * A5 — the §5 future-work extension: chunked (local) attention vs the
   softmax baseline across sequence lengths.
+* A10 — per-pass toggles: compile the same layer with each disableable
+  GraphCompiler pass turned off in isolation and compare against the
+  full pipeline (the inspectability the pass refactor exists for).
 """
 
 from __future__ import annotations
@@ -198,6 +201,111 @@ def run_tpc_core_sweep(
         result.core_counts.append(cores)
         result.total_ms.append(res.total_time_ms)
         result.softmax_share.append(res.softmax_tpc_share)
+    return result
+
+
+# -- A10: per-pass toggles -----------------------------------------------------
+
+
+@dataclass
+class PassToggleAblationResult:
+    """One layer compiled with each pipeline pass disabled in turn."""
+
+    kind: str
+    feature_map: str
+    baseline: ProfileResult
+    #: pass name -> profile with (only) that pass disabled
+    toggled: dict[str, ProfileResult] = field(default_factory=dict)
+
+    def checks(self) -> list[ShapeCheck]:
+        """Each toggle moves the schedule the way its pass promises."""
+        base = self.baseline
+        fusion_off = self.toggled["elementwise_fusion"]
+        views_off = self.toggled["view_elision"]
+        dma_off = self.toggled["dma_staging"]
+        rec_off = self.toggled["recompile_injection"]
+        return [
+            ShapeCheck(
+                "ablation-passes: fusion off is never faster",
+                base.total_time_us <= fusion_off.total_time_us * 1.001,
+                f"{base.total_time_ms:.2f} ms vs "
+                f"{fusion_off.total_time_ms:.2f} ms",
+                "baseline <= fusion-off",
+            ),
+            ShapeCheck(
+                "ablation-passes: view elision off schedules more ops",
+                len(views_off.schedule) > len(base.schedule),
+                f"{len(views_off.schedule)} vs {len(base.schedule)}",
+                "views-off > baseline",
+            ),
+            ShapeCheck(
+                "ablation-passes: DMA staging off removes all transfers",
+                dma_off.schedule.stats.get("dma_transfers") == 0
+                and base.schedule.stats.get("dma_transfers", 0) > 0,
+                f"{dma_off.schedule.stats.get('dma_transfers')} vs "
+                f"{base.schedule.stats.get('dma_transfers')}",
+                "0 after toggle, > 0 before",
+            ),
+            ShapeCheck(
+                "ablation-passes: recompile injection off removes stalls",
+                rec_off.schedule.stats.get("recompilations") == 0
+                and base.schedule.stats.get("recompilations", 0) > 0,
+                f"{rec_off.schedule.stats.get('recompilations')} vs "
+                f"{base.schedule.stats.get('recompilations')}",
+                "0 after toggle, > 0 before",
+            ),
+        ]
+
+    def render(self) -> str:
+        """Per-toggle comparison table."""
+        rows = [(
+            "(none)", self.baseline.total_time_ms,
+            len(self.baseline.schedule),
+            self.baseline.schedule.stats.get("dma_transfers", 0),
+            self.baseline.schedule.stats.get("recompilations", 0),
+        )]
+        for name, res in sorted(self.toggled.items()):
+            rows.append((
+                name, res.total_time_ms, len(res.schedule),
+                res.schedule.stats.get("dma_transfers", 0),
+                res.schedule.stats.get("recompilations", 0),
+            ))
+        return render_table(
+            ["disabled pass", "total (ms)", "ops", "DMA", "recompiles"],
+            rows,
+            title=f"A10: per-pass toggle ablation ({self.kind} attention, "
+                  f"{self.feature_map} feature map)",
+        )
+
+
+def run_pass_toggle_ablation(
+    kind: str = "linear",
+    *,
+    feature_map: str = "glu",
+    config: GaudiConfig | None = None,
+) -> PassToggleAblationResult:
+    """Profile one layer with each disableable pass off in isolation.
+
+    The default workload (linear attention with the GLU feature map) is
+    the §3.3 worst case: it exercises fusion, view elision, DMA staging
+    *and* the GLU recompilation stall, so every toggle has something to
+    change. Lowering/validation/memory-planning toggles are structural
+    (lowering off rejects composites outright) and are exercised by the
+    pass-pipeline tests instead.
+    """
+    shapes = dict(batch=8, seq_len=256)
+    result = PassToggleAblationResult(
+        kind=kind,
+        feature_map=feature_map,
+        baseline=profile_layer(kind, feature_map=feature_map,
+                               config=config, **shapes),
+    )
+    for name in ("elementwise_fusion", "view_elision", "dma_staging",
+                 "recompile_injection"):
+        result.toggled[name] = profile_layer(
+            kind, feature_map=feature_map, config=config,
+            disable_passes=(name,), **shapes,
+        )
     return result
 
 

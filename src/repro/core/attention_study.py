@@ -24,7 +24,9 @@ from ..synapse import (
     ProfileResult,
     SynapseProfiler,
     ascii_timeline,
+    default_compiler_options,
 )
+from ..synapse import disable_passes as _disable_passes
 from .insights import describe_insights, gap_overlap_fraction
 from .reference import (
     FIG4_SOFTMAX_TPC_SHARE_MIN,
@@ -48,11 +50,21 @@ def profile_layer(
     batch: int | None = None,
     seq_len: int | None = None,
     include_backward: bool = False,
+    disable_passes: tuple[str, ...] = (),
 ) -> ProfileResult:
-    """Profile one Transformer layer at the paper's §3.3 shapes."""
+    """Profile one Transformer layer at the paper's §3.3 shapes.
+
+    ``disable_passes`` names compiler passes to turn off (see
+    :data:`~repro.synapse.PASS_OPTION_FLAGS`) — the per-pass ablation
+    hook used by ``run_pass_toggle_ablation``.
+    """
     shapes = LAYER_STUDY_SHAPES
     batch = batch or shapes["batch"]
     seq_len = seq_len or shapes["seq_len"]
+    if disable_passes:
+        options = _disable_passes(
+            options or default_compiler_options(), *disable_passes
+        )
     layer_cfg = paper_layer_config(kind, feature_map=feature_map)
     layer = TransformerLayer(layer_cfg, materialize=False)
     with ht.record(f"layer-{kind}-{feature_map}", mode="symbolic") as rec:

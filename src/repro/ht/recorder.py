@@ -85,6 +85,17 @@ class Recorder:
             )
         return self._param_values[key]
 
+    def graph_signature(self) -> str:
+        """Canonical signature of the recorded graph so far.
+
+        Re-recording the same program yields the same signature — the
+        key the compiler's recipe cache uses to skip recompilation of
+        repeated training steps (see :mod:`repro.synapse.recipe`).
+        """
+        from ..synapse.recipe import graph_signature
+
+        return graph_signature(self.graph)
+
 
 _STACK: list[Recorder] = []
 

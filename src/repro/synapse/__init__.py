@@ -6,7 +6,13 @@ memory planning) -> Runtime (in-order or reordered issue) ->
 SynapseProfiler (hardware trace events + the paper's derived metrics).
 """
 
-from .compiler import CompilerOptions, GraphCompiler
+from .compiler import (
+    CompilerOptions,
+    GraphCompiler,
+    default_compiler_options,
+    disable_passes,
+    set_default_compiler_options,
+)
 from .critical_path import CriticalPathResult, critical_path
 from .dot import graph_to_dot, schedule_to_dot
 from .executor import execute_graph, execute_outputs, execute_schedule
@@ -22,7 +28,9 @@ from .ops import (
     op_names,
     work_item_for,
 )
+from .passes import PASS_OPTION_FLAGS, CompilerPass, PassManager, default_passes
 from .profiler import ProfileResult, SynapseProfiler
+from .recipe import RecipeCache, graph_signature, recipe_key
 from .render import ascii_timeline, gap_report
 from .runtime import ExecutionResult, Runtime, op_duration_us
 from .schedule import MemoryPlan, Schedule, ScheduledOp
@@ -37,6 +45,16 @@ from .trace import Timeline, TraceEvent, validate_no_engine_overlap
 __all__ = [
     "CompilerOptions",
     "GraphCompiler",
+    "default_compiler_options",
+    "disable_passes",
+    "set_default_compiler_options",
+    "PASS_OPTION_FLAGS",
+    "CompilerPass",
+    "PassManager",
+    "default_passes",
+    "RecipeCache",
+    "graph_signature",
+    "recipe_key",
     "CriticalPathResult",
     "critical_path",
     "graph_to_dot",

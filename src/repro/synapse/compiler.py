@@ -1,50 +1,60 @@
-"""The GraphCompiler: lower, fuse, map, stage, and plan memory.
+"""The GraphCompiler: an ordered pass pipeline with a recipe cache.
 
 This is the stand-in for SynapseAI's Graph Compiler, whose behaviour
-drives most of the paper's findings:
+drives most of the paper's findings. Compilation is an explicit
+sequence of named passes (see :mod:`repro.synapse.passes`) over a
+shared :class:`~repro.synapse.passes.state.CompilationState`:
 
-* **Engine mapping** follows Table 1 via the op registry — matmul to
-  the MME, everything else to the TPC.
-* **Per-engine in-order issue**: the schedule preserves program order
-  inside each engine queue, which is what turns a serial
-  matmul->softmax->matmul chain into MME idle gaps (Fig. 4) and the
-  FAVOR q'/k' exponentials into a serialized TPC stretch with a blank
-  MME (Fig. 6 — "Graph Compiler does not detect this independence").
-  The ``reorder`` option gives the runtime license to pick any ready op
-  (the ablation the paper wishes for).
-* **Elementwise fusion** merges same-source TPC chains so intermediates
-  stay on-chip (toggleable for the fusion ablation).
-* **Unsupported ops** (GLU, §3.3) insert a host recompilation event
-  that stalls everything behind it.
-* **DMA staging** transfers values crossing the MME/TPC boundary
+* ``validate`` — structural graph checks.
+* ``lower_composites`` — composite ops (softmax, layernorm, ...)
+  rewritten into primitives.
+* ``view_elision`` — pure-view ops (reshape, broadcast, contiguous
+  row slices) become aliases instead of engine slots.
+* ``elementwise_fusion`` — same-source TPC chains merge so
+  intermediates stay on-chip (toggleable for the fusion ablation).
+* ``recompile_injection`` — unsupported ops (GLU, §3.3) get a host
+  recompilation event that stalls everything behind it.
+* ``dma_staging`` — values crossing the MME/TPC boundary transfer
   through shared memory (mostly pipelined; see
   :class:`~repro.hw.config.DMAConfig`).
-* **Memory planning** computes the peak HBM footprint by liveness over
-  the schedule and rejects graphs that exceed the 32 GB budget — the
-  constraint that pushed the paper's end-to-end batch size down to 8.
+* ``emit`` — assemble ScheduledOps; engine mapping follows Table 1
+  via the op registry (matmul to the MME, everything else to the TPC)
+  and per-engine issue preserves program order, which is what turns a
+  serial matmul->softmax->matmul chain into MME idle gaps (Fig. 4).
+  The ``reorder`` option gives the runtime license to pick any ready
+  op (the ablation the paper wishes for).
+* ``memory_planning`` — peak HBM footprint by liveness; schedules over
+  the 32 GB budget are rejected — the constraint that pushed the
+  paper's end-to-end batch size down to 8.
+
+Each pass reports nodes in/out, wall-clock, and transform counts into
+``Schedule.stats["passes"]``. Compiled schedules are memoized in a
+per-compiler :class:`~repro.synapse.recipe.RecipeCache` keyed by the
+canonical graph/config/options signature — SynapseAI's recipe
+mechanism, which is why iteration 1 of a training loop pays a
+compilation penalty and steady-state iterations do not.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 
 from ..hw.config import GaudiConfig
-from ..hw.costmodel import EngineKind, OpClass, WorkItem
-from ..util.errors import CompileError, DeviceMemoryError
-from ..util.units import fmt_bytes
-from .graph import Graph, Node
-from .lowering import lower_graph
-from .ops import op as op_def
-from .ops import work_item_for
-from .schedule import MemoryPlan, Schedule, ScheduledOp
-
-#: op classes eligible for elementwise fusion
-_FUSABLE = (OpClass.ELEMENTWISE, OpClass.SPECIAL)
+from .graph import Graph
+from .passes import PASS_OPTION_FLAGS, PassManager, default_passes
+from .recipe import RecipeCache, recipe_key
+from .schedule import Schedule
 
 
 @dataclass(frozen=True)
 class CompilerOptions:
-    """Knobs of the graph compiler (defaults mimic SynapseAI)."""
+    """Knobs of the graph compiler (defaults mimic SynapseAI).
+
+    Every boolean toggle maps onto one pipeline pass (see
+    :data:`~repro.synapse.passes.PASS_OPTION_FLAGS`); use
+    :func:`disable_passes` to turn passes off by name.
+    """
 
     lower_composites: bool = True
     fuse_elementwise: bool = True
@@ -62,21 +72,50 @@ class CompilerOptions:
     recompile_once: bool = True
     #: reject schedules whose peak footprint exceeds HBM capacity
     enforce_memory: bool = True
+    #: run structural graph validation before compiling
+    validate_graph: bool = True
+    #: emit host recompilation stalls for unsupported ops
+    inject_recompiles: bool = True
+    #: compute the liveness/footprint plan (enforcement still gated by
+    #: ``enforce_memory``)
+    plan_memory: bool = True
+    #: memoize compiled schedules by graph/config/options signature
+    use_recipe_cache: bool = True
 
 
-@dataclass
-class _PendingOp:
-    """A compute op being assembled (possibly absorbing fused nodes)."""
+def disable_passes(
+    options: CompilerOptions, *names: str
+) -> CompilerOptions:
+    """A copy of ``options`` with the named pipeline passes turned off.
 
-    nodes: list[Node]
-    engine: EngineKind
-    items: list[WorkItem]
-    reads: set[int] = field(default_factory=set)
-    internal: set[int] = field(default_factory=set)
+    Names are pass names (``"elementwise_fusion"``, ``"dma_staging"``,
+    ...); see :data:`~repro.synapse.passes.PASS_OPTION_FLAGS`.
+    """
+    flags = {}
+    for name in names:
+        flag = PASS_OPTION_FLAGS.get(name)
+        if flag is None:
+            known = ", ".join(sorted(PASS_OPTION_FLAGS))
+            raise ValueError(
+                f"unknown or non-disableable pass {name!r} (known: {known})"
+            )
+        flags[flag] = False
+    return dataclasses.replace(options, **flags)
 
-    @property
-    def output_vid(self) -> int:
-        return self.nodes[-1].output
+
+#: process-wide default options; overridable by the CLI flags
+_DEFAULT_OPTIONS = CompilerOptions()
+
+
+def default_compiler_options() -> CompilerOptions:
+    """The options used when a compiler/profiler is built without any."""
+    return _DEFAULT_OPTIONS
+
+
+def set_default_compiler_options(options: CompilerOptions) -> None:
+    """Override the process-wide default options (CLI ``--disable-pass``)."""
+    global _DEFAULT_OPTIONS
+    _DEFAULT_OPTIONS = options
 
 
 class GraphCompiler:
@@ -86,258 +125,37 @@ class GraphCompiler:
         self,
         config: GaudiConfig | None = None,
         options: CompilerOptions | None = None,
+        *,
+        cache: RecipeCache | None = None,
     ):
         self.config = config or GaudiConfig()
-        self.options = options or CompilerOptions()
+        self.options = options or default_compiler_options()
+        self.passes = default_passes()
+        self.cache = cache if cache is not None else RecipeCache()
+        #: whether the most recent :meth:`compile` hit the recipe cache
+        self.last_cache_hit = False
 
     # -- public ------------------------------------------------------------
 
     def compile(self, graph: Graph) -> Schedule:
-        """Run the full pipeline; raises on invalid graphs / OOM."""
-        graph.validate()
-        if self.options.lower_composites:
-            graph = lower_graph(graph)
-        else:
-            for node in graph.nodes:
-                if op_def(node.op).composite:
-                    raise CompileError(
-                        f"composite op {node.op!r} present but lowering "
-                        "is disabled"
-                    )
-        pendings = self._fuse(graph)
-        schedule = self._emit(graph, pendings)
-        schedule.memory = self._plan_memory(graph, schedule)
-        if self.options.enforce_memory and not schedule.memory.fits(
-            self.config.hbm.capacity_bytes
-        ):
-            raise DeviceMemoryError(
-                schedule.memory.peak_bytes,
-                self.config.hbm.capacity_bytes,
-                detail=f"graph {graph.name!r} peak "
-                f"{fmt_bytes(schedule.memory.peak_bytes)}",
-            )
+        """Run the pass pipeline; raises on invalid graphs / OOM.
+
+        With ``use_recipe_cache`` (the default) an identical
+        graph/config/options triple returns the cached schedule without
+        re-running the pipeline; ``last_cache_hit`` records which case
+        this call was.
+        """
+        self.last_cache_hit = False
+        key = None
+        if self.options.use_recipe_cache:
+            key = recipe_key(graph, self.config, self.options)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.last_cache_hit = True
+                return cached
+        schedule = PassManager(self.config, self.options, self.passes).run(
+            graph
+        )
+        if key is not None:
+            self.cache.put(key, schedule)
         return schedule
-
-    # -- fusion ------------------------------------------------------------
-
-    def _node_item(self, graph: Graph, node: Node) -> WorkItem:
-        in_shapes = [graph.value(v).shape for v in node.inputs]
-        out = graph.value(node.output)
-        return work_item_for(
-            node.op, in_shapes, out.shape, out.dtype, node.attrs,
-            label=node.label(),
-        )
-
-    def _fuse(self, graph: Graph) -> list[_PendingOp]:
-        consumers = graph.consumers()
-        pendings: list[_PendingOp] = []
-        open_chain: _PendingOp | None = None
-        #: view-output vid -> the underlying storage's vid
-        alias: dict[int, int] = {}
-
-        def close() -> None:
-            nonlocal open_chain
-            if open_chain is not None:
-                pendings.append(open_chain)
-                open_chain = None
-
-        for node in graph.nodes:
-            opdef = op_def(node.op)
-            engine = opdef.engine
-            if (
-                self.options.elide_views
-                and opdef.op_class is OpClass.DATA_MOVE
-                and not opdef.reads_inputs
-                and not opdef.writes_output
-            ):
-                src_vid = node.inputs[0]
-                alias[node.output] = alias.get(src_vid, src_vid)
-                continue
-            # dependencies point at real storage producers; the work
-            # item keeps the node's declared (view-level) shapes
-            resolved = tuple(alias.get(v, v) for v in node.inputs)
-            item = self._node_item(graph, node)
-            fusable = (
-                self.options.fuse_elementwise
-                and engine is EngineKind.TPC
-                and opdef.op_class in _FUSABLE
-                and opdef.supported
-            )
-            last = open_chain.nodes[-1] if open_chain is not None else None
-            # Fuse within one lowered composite (same src, e.g. the
-            # sub+exp of a softmax) or across plain elementwise ops;
-            # never across composites — attribution stays truthful.
-            src_compatible = last is not None and (
-                node.src == last.src
-                or (node.src == node.op and last.src == last.op)
-            )
-            if (
-                fusable
-                and open_chain is not None
-                and open_chain.output_vid in resolved
-                and len(consumers[open_chain.output_vid]) == 1
-                and src_compatible
-                and node.scope == last.scope
-            ):
-                open_chain.internal.add(open_chain.output_vid)
-                open_chain.reads.update(
-                    v for v in resolved if v not in open_chain.internal
-                )
-                open_chain.nodes.append(node)
-                open_chain.items.append(item)
-                continue
-            close()
-            pending = _PendingOp(
-                [node], engine, [item], reads=set(resolved)
-            )
-            if fusable:
-                open_chain = pending
-            else:
-                pendings.append(pending)
-        close()
-        pendings.sort(key=lambda p: p.nodes[0].nid)
-        return pendings
-
-    # -- emission ----------------------------------------------------------
-
-    def _emit(self, graph: Graph, pendings: list[_PendingOp]) -> Schedule:
-        ops: list[ScheduledOp] = []
-        producer_of: dict[int, int] = {}  # value id -> schedule index
-        dma_cache: dict[tuple[int, EngineKind], int] = {}
-        recompiled: set[str] = set()
-        n_dma = 0
-        n_recompile = 0
-
-        for pending in pendings:
-            first = pending.nodes[0]
-            deps: list[int] = []
-
-            # Host recompilation for poorly supported ops (GLU, §3.3).
-            if not op_def(first.op).supported and (
-                first.op not in recompiled or not self.options.recompile_once
-            ):
-                recompiled.add(first.op)
-                host = ScheduledOp(
-                    index=len(ops),
-                    label=f"recompile:{first.op}",
-                    engine=EngineKind.HOST,
-                    items=[WorkItem(
-                        f"recompile:{first.op}", OpClass.HOST,
-                        fixed_time_us=self.options.recompile_penalty_us,
-                    )],
-                    deps=[],
-                    src=first.src, scope=first.scope,
-                )
-                ops.append(host)
-                deps.append(host.index)
-                n_recompile += 1
-
-            # DMA staging for values crossing the engine boundary.
-            for vid in sorted(pending.reads):
-                prod_idx = producer_of.get(vid)
-                if prod_idx is None:
-                    continue  # graph input: already resident in HBM
-                prod_engine = ops[prod_idx].engine
-                if (
-                    not self.options.insert_dma
-                    or prod_engine is pending.engine
-                    or prod_engine in (EngineKind.DMA, EngineKind.HOST)
-                    or pending.engine in (EngineKind.DMA, EngineKind.HOST)
-                ):
-                    deps.append(prod_idx)
-                    continue
-                key = (vid, pending.engine)
-                if key not in dma_cache:
-                    value = graph.value(vid)
-                    dma = ScheduledOp(
-                        index=len(ops),
-                        label=f"dma:{value.name or vid}",
-                        engine=EngineKind.DMA,
-                        items=[WorkItem(
-                            f"dma:{vid}", OpClass.DATA_MOVE,
-                            bytes_read=value.nbytes, pipelined=True,
-                        )],
-                        deps=[prod_idx],
-                        src="dma", scope=pending.nodes[0].scope,
-                        reads=[vid],
-                    )
-                    ops.append(dma)
-                    dma_cache[key] = dma.index
-                    n_dma += 1
-                deps.append(dma_cache[key])
-
-            sched = ScheduledOp(
-                index=len(ops),
-                label=pending.nodes[-1].label()
-                if len(pending.nodes) == 1
-                else f"fused[{'+'.join(n.op for n in pending.nodes)}]",
-                engine=pending.engine,
-                items=pending.items,
-                deps=sorted(set(deps)),
-                src=pending.nodes[0].src,
-                scope=pending.nodes[0].scope,
-                reads=sorted(pending.reads),
-                writes=[pending.output_vid],
-                node_ids=[n.nid for n in pending.nodes],
-            )
-            ops.append(sched)
-            producer_of[pending.output_vid] = sched.index
-
-        stats = {
-            "nodes": len(graph.nodes),
-            "scheduled_ops": len(ops),
-            "fused_chains": sum(1 for o in ops if o.is_fused),
-            "dma_transfers": n_dma,
-            "recompilations": n_recompile,
-        }
-        return Schedule(graph=graph, ops=ops,
-                        memory=MemoryPlan(0, 0, {}), stats=stats)
-
-    # -- memory ------------------------------------------------------------
-
-    def _plan_memory(self, graph: Graph, schedule: Schedule) -> MemoryPlan:
-        persistent = sum(v.nbytes for v in graph.graph_inputs())
-        # Values internal to fused chains never materialize in HBM.
-        internal = self._fused_internal_values(graph, schedule)
-
-        last_use: dict[int, int] = {}
-        alloc_at: dict[int, int] = {}
-        for sched in schedule.ops:
-            for vid in sched.reads:
-                last_use[vid] = sched.index
-            for vid in sched.writes:
-                alloc_at[vid] = sched.index
-
-        graph_input_ids = {v.vid for v in graph.graph_inputs()}
-        live = persistent
-        peak = persistent
-        free_after: dict[int, int] = {}
-        frees_at: dict[int, list[int]] = {}
-        for vid, idx in last_use.items():
-            if vid in graph_input_ids or vid in internal:
-                continue
-            if vid in alloc_at:
-                free_after[vid] = idx
-                frees_at.setdefault(idx, []).append(vid)
-        for sched in schedule.ops:
-            for vid in sched.writes:
-                if vid in internal or vid in graph_input_ids:
-                    continue
-                live += graph.value(vid).nbytes
-            peak = max(peak, live)
-            for vid in frees_at.get(sched.index, ()):
-                live -= graph.value(vid).nbytes
-        return MemoryPlan(
-            persistent_bytes=persistent, peak_bytes=peak, free_after=free_after
-        )
-
-    @staticmethod
-    def _fused_internal_values(graph: Graph, schedule: Schedule) -> set[int]:
-        node_by_id = {n.nid: n for n in graph.nodes}
-        internal: set[int] = set()
-        for sched in schedule.ops:
-            if not sched.is_fused:
-                continue
-            outs = [node_by_id[nid].output for nid in sched.node_ids]
-            internal.update(outs[:-1])  # all but the chain's final output
-        return internal

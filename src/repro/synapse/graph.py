@@ -78,6 +78,8 @@ class Graph:
         self.nodes: list[Node] = []
         self._next_vid = 0
         self._next_nid = 0
+        #: value ids some node already produces (O(1) SSA checking)
+        self._produced: set[int] = set()
 
     # -- construction ----------------------------------------------------
 
@@ -115,7 +117,7 @@ class Graph:
                 raise GraphError(f"node {op!r} consumes unknown value {vid}")
         if output.vid not in self.values:
             raise GraphError(f"node {op!r} produces unregistered value")
-        if any(n.output == output.vid for n in self.nodes):
+        if output.vid in self._produced:
             raise GraphError(
                 f"value {output.vid} already has a producer (single "
                 f"static assignment violated by {op!r})"
@@ -126,6 +128,7 @@ class Graph:
         )
         self._next_nid += 1
         self.nodes.append(node)
+        self._produced.add(output.vid)
         return node
 
     # -- queries -----------------------------------------------------------

@@ -238,9 +238,15 @@ def work_item_for(
     attrs: dict,
     *,
     label: str = "",
+    opdef: OpDef | None = None,
 ) -> WorkItem:
-    """Build the cost-model :class:`WorkItem` for one node."""
-    opdef = op(name)
+    """Build the cost-model :class:`WorkItem` for one node.
+
+    Callers that already hold the :class:`OpDef` (the compiler memoizes
+    one lookup per op kind) pass it via ``opdef`` to skip the registry.
+    """
+    if opdef is None:
+        opdef = op(name)
     isz = itemsize(dtype)
     out_numel = _numel(out_shape)
     bytes_read = (

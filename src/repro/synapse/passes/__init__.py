@@ -1,0 +1,71 @@
+"""The GraphCompiler's pass pipeline.
+
+One module per transformation, each a named
+:class:`~repro.synapse.passes.base.CompilerPass` over a shared
+:class:`~repro.synapse.passes.state.CompilationState`:
+
+``validate`` -> ``lower_composites`` -> ``view_elision`` ->
+``elementwise_fusion`` -> ``recompile_injection`` -> ``dma_staging``
+-> ``emit`` -> ``memory_planning``
+
+Every pass reports nodes in/out, wall-clock, and transform counts into
+``Schedule.stats["passes"]``, and (except emission) can be disabled
+through :class:`~repro.synapse.compiler.CompilerOptions` — the
+per-stage toggling and attribution the paper wishes SynapseAI's black
+box offered (§4).
+"""
+
+from .base import CompilerPass, PassManager
+from .dma import DmaStagingPass
+from .emit import EmitSchedulePass
+from .fusion import ElementwiseFusionPass
+from .lower import LowerCompositesPass
+from .memory import MemoryPlanningPass
+from .recompile import RecompileInjectionPass
+from .state import CompilationState, PendingOp
+from .validate import ValidatePass
+from .views import ViewElisionPass
+
+#: pass name -> the CompilerOptions flag that enables it (the ``emit``
+#: assembly stage has no flag and cannot be disabled)
+PASS_OPTION_FLAGS: dict[str, str] = {
+    ValidatePass.name: ValidatePass.option_flag,
+    LowerCompositesPass.name: LowerCompositesPass.option_flag,
+    ViewElisionPass.name: ViewElisionPass.option_flag,
+    ElementwiseFusionPass.name: ElementwiseFusionPass.option_flag,
+    RecompileInjectionPass.name: RecompileInjectionPass.option_flag,
+    DmaStagingPass.name: DmaStagingPass.option_flag,
+    MemoryPlanningPass.name: MemoryPlanningPass.option_flag,
+}
+
+
+def default_passes() -> list[CompilerPass]:
+    """The standard pipeline, in order (fresh instances)."""
+    return [
+        ValidatePass(),
+        LowerCompositesPass(),
+        ViewElisionPass(),
+        ElementwiseFusionPass(),
+        RecompileInjectionPass(),
+        DmaStagingPass(),
+        EmitSchedulePass(),
+        MemoryPlanningPass(),
+    ]
+
+
+__all__ = [
+    "CompilationState",
+    "CompilerPass",
+    "DmaStagingPass",
+    "ElementwiseFusionPass",
+    "EmitSchedulePass",
+    "LowerCompositesPass",
+    "MemoryPlanningPass",
+    "PASS_OPTION_FLAGS",
+    "PassManager",
+    "PendingOp",
+    "RecompileInjectionPass",
+    "ValidatePass",
+    "ViewElisionPass",
+    "default_passes",
+]

@@ -1,0 +1,98 @@
+"""Pass protocol and the PassManager that drives the pipeline.
+
+The GraphCompiler is an ordered list of named passes over a shared
+:class:`~repro.synapse.passes.state.CompilationState`. The manager
+times every pass, records nodes in/out and transform counts into
+``Schedule.stats["passes"]``, and honours the per-pass enable flags on
+:class:`~repro.synapse.compiler.CompilerOptions` — which is what makes
+single-pass ablations (`--disable-pass`) possible.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from ...hw.config import GaudiConfig
+from ..graph import Graph
+from ..schedule import MemoryPlan, Schedule
+from .state import CompilationState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..compiler import CompilerOptions
+
+
+class CompilerPass:
+    """One named transformation in the compilation pipeline.
+
+    Subclasses set ``name`` (stable, used by stats/CLI) and optionally
+    ``option_flag`` — the :class:`CompilerOptions` boolean that gates
+    the pass. A pass without a flag always runs (e.g. emission).
+    """
+
+    #: stable pass name (stats entries, ``--disable-pass`` argument)
+    name: str = "pass"
+    #: CompilerOptions field enabling this pass; ``None`` = always on
+    option_flag: str | None = None
+
+    def enabled(self, options: "CompilerOptions") -> bool:
+        """Whether the pass is enabled under ``options``."""
+        if self.option_flag is None:
+            return True
+        return bool(getattr(options, self.option_flag))
+
+    def run(self, state: CompilationState) -> dict:
+        """Apply the transformation; returns pass-specific stats."""
+        raise NotImplementedError
+
+    def run_disabled(self, state: CompilationState) -> dict:
+        """Keep the pipeline well-formed when the pass is toggled off.
+
+        Most passes simply do nothing; structural passes (grouping)
+        still build their output representation without transforming.
+        """
+        return {}
+
+
+class PassManager:
+    """Runs an ordered pass list and assembles the final Schedule."""
+
+    def __init__(
+        self,
+        config: GaudiConfig,
+        options: "CompilerOptions",
+        passes: list[CompilerPass],
+    ):
+        self.config = config
+        self.options = options
+        self.passes = passes
+
+    def run(self, graph: Graph) -> Schedule:
+        """Compile ``graph`` through every pass; raises on OOM/invalid."""
+        state = CompilationState(graph=graph, config=self.config,
+                                 options=self.options)
+        for compiler_pass in self.passes:
+            enabled = compiler_pass.enabled(self.options)
+            units_in = state.unit_count()
+            t0 = time.perf_counter()
+            extra = (
+                compiler_pass.run(state) if enabled
+                else compiler_pass.run_disabled(state)
+            ) or {}
+            wall_us = (time.perf_counter() - t0) * 1e6
+            entry = {
+                "pass": compiler_pass.name,
+                "enabled": enabled,
+                "units_in": units_in,
+                "units_out": state.unit_count(),
+                "wall_us": wall_us,
+                "transforms": extra.pop("transforms", 0),
+            }
+            entry.update(extra)
+            state.stats["passes"].append(entry)
+        return Schedule(
+            graph=state.graph,
+            ops=state.ops if state.ops is not None else [],
+            memory=state.memory or MemoryPlan(0, 0, {}),
+            stats=state.stats,
+        )

@@ -1,0 +1,44 @@
+"""DmaStagingPass: stage values crossing the MME/TPC boundary.
+
+Values produced on one compute engine and consumed on the other
+transfer through shared memory; the pass decides, per pending op,
+which reads need a DMA op in front of them. Transfers are pipelined
+(see :class:`~repro.hw.config.DMAConfig`) and deduplicated per
+(value, consumer-engine) pair at emission. Disabling the pass is the
+"free interconnect" ablation: producers feed consumers directly.
+"""
+
+from __future__ import annotations
+
+from ...hw.costmodel import EngineKind
+from .base import CompilerPass
+from .state import CompilationState
+
+_NON_STAGED = (EngineKind.DMA, EngineKind.HOST)
+
+
+class DmaStagingPass(CompilerPass):
+    """Plan DMA transfers for engine-boundary crossings."""
+
+    name = "dma_staging"
+    option_flag = "insert_dma"
+
+    def run(self, state: CompilationState) -> dict:
+        """Mark reads needing staging; transforms = distinct DMA ops."""
+        assert state.pending is not None, "grouping must run before DMA"
+        producer_engine: dict[int, EngineKind] = {}
+        planned: set[tuple[int, EngineKind]] = set()
+        for pending in state.pending:
+            for vid in pending.reads:
+                prod = producer_engine.get(vid)
+                if (
+                    prod is None  # graph input: already resident in HBM
+                    or prod is pending.engine
+                    or prod in _NON_STAGED
+                    or pending.engine in _NON_STAGED
+                ):
+                    continue
+                pending.dma_reads.add(vid)
+                planned.add((vid, pending.engine))
+            producer_engine[pending.output_vid] = pending.engine
+        return {"transforms": len(planned)}

@@ -1,0 +1,113 @@
+"""ElementwiseFusionPass: group nodes into engine-tagged pending ops.
+
+This is the grouping stage: every non-elided node becomes (part of) a
+:class:`~repro.synapse.passes.state.PendingOp` carrying its Table-1
+engine and cost-model work items. With fusion enabled, single-consumer
+TPC chains — within one lowered composite (e.g. the sub+exp of a
+softmax) or across plain elementwise ops — merge into one pending op
+so intermediates stay on-chip and HBM traffic is charged only at the
+chain edges. Disabled, the pass still runs structurally and produces
+one pending op per node (the fusion-off ablation).
+"""
+
+from __future__ import annotations
+
+from ...hw.costmodel import EngineKind, OpClass
+from ..graph import Graph, Node
+from ..ops import work_item_for
+from .base import CompilerPass
+from .state import CompilationState, PendingOp
+
+#: op classes eligible for elementwise fusion
+FUSABLE_CLASSES = (OpClass.ELEMENTWISE, OpClass.SPECIAL)
+
+
+def _node_item(state: CompilationState, graph: Graph, node: Node):
+    in_shapes = [graph.value(v).shape for v in node.inputs]
+    out = graph.value(node.output)
+    return work_item_for(
+        node.op, in_shapes, out.shape, out.dtype, node.attrs,
+        label=node.label(), opdef=state.opdef(node.op),
+    )
+
+
+def group_nodes(state: CompilationState, *, fuse: bool) -> list[PendingOp]:
+    """Build the pending-op list; merge fusable chains when ``fuse``."""
+    graph = state.graph
+    consumers = graph.consumers()
+    alias = state.alias
+    pendings: list[PendingOp] = []
+    open_chain: PendingOp | None = None
+
+    def close() -> None:
+        nonlocal open_chain
+        if open_chain is not None:
+            pendings.append(open_chain)
+            open_chain = None
+
+    for node in graph.nodes:
+        if node.nid in state.elided:
+            continue
+        opdef = state.opdef(node.op)
+        engine = opdef.engine
+        # dependencies point at real storage producers; the work
+        # item keeps the node's declared (view-level) shapes
+        resolved = tuple(alias.get(v, v) for v in node.inputs)
+        item = _node_item(state, graph, node)
+        fusable = (
+            fuse
+            and engine is EngineKind.TPC
+            and opdef.op_class in FUSABLE_CLASSES
+            and opdef.supported
+        )
+        last = open_chain.nodes[-1] if open_chain is not None else None
+        # Fuse within one lowered composite (same src, e.g. the
+        # sub+exp of a softmax) or across plain elementwise ops;
+        # never across composites — attribution stays truthful.
+        src_compatible = last is not None and (
+            node.src == last.src
+            or (node.src == node.op and last.src == last.op)
+        )
+        if (
+            fusable
+            and open_chain is not None
+            and open_chain.output_vid in resolved
+            and len(consumers[open_chain.output_vid]) == 1
+            and src_compatible
+            and node.scope == last.scope
+        ):
+            open_chain.internal.add(open_chain.output_vid)
+            open_chain.reads.update(
+                v for v in resolved if v not in open_chain.internal
+            )
+            open_chain.nodes.append(node)
+            open_chain.items.append(item)
+            continue
+        close()
+        pending = PendingOp([node], engine, [item], reads=set(resolved))
+        if fusable:
+            open_chain = pending
+        else:
+            pendings.append(pending)
+    close()
+    pendings.sort(key=lambda p: p.nodes[0].nid)
+    return pendings
+
+
+class ElementwiseFusionPass(CompilerPass):
+    """Group nodes into pending ops, fusing elementwise TPC chains."""
+
+    name = "elementwise_fusion"
+    option_flag = "fuse_elementwise"
+
+    def run(self, state: CompilationState) -> dict:
+        """Group with fusion; transforms = nodes absorbed into chains."""
+        state.pending = group_nodes(state, fuse=True)
+        absorbed = sum(len(p.nodes) - 1 for p in state.pending)
+        chains = sum(1 for p in state.pending if len(p.nodes) > 1)
+        return {"transforms": absorbed, "chains": chains}
+
+    def run_disabled(self, state: CompilationState) -> dict:
+        """Grouping still happens — one pending op per node."""
+        state.pending = group_nodes(state, fuse=False)
+        return {}

@@ -1,0 +1,50 @@
+"""LowerCompositesPass: expand composite ops into TPC primitives.
+
+Wraps :func:`repro.synapse.lowering.lower_graph` as a pipeline stage.
+Softmax becoming max/sub/exp/sum/div (all ``src="softmax"``) is what
+lets the profiler attribute Fig 4's ">80% of TPC busy time" back to
+the composite. When the pass is disabled, composite ops are a compile
+error — nothing downstream knows how to schedule them.
+
+Graphs that contain no composites skip the rewrite entirely (the seed
+compiler copied the whole graph regardless), which is one of the wins
+of making the stage explicit.
+"""
+
+from __future__ import annotations
+
+from ...util.errors import CompileError
+from ..lowering import lower_graph
+from .base import CompilerPass
+from .state import CompilationState
+
+
+class LowerCompositesPass(CompilerPass):
+    """Expand composite ops (softmax, log_softmax) into primitives."""
+
+    name = "lower_composites"
+    option_flag = "lower_composites"
+
+    @staticmethod
+    def _composites(state: CompilationState) -> list[str]:
+        return [
+            node.op for node in state.graph.nodes
+            if state.opdef(node.op).composite
+        ]
+
+    def run(self, state: CompilationState) -> dict:
+        """Rewrite the graph if it holds composites; no-op otherwise."""
+        composites = self._composites(state)
+        if composites:
+            state.graph = lower_graph(state.graph)
+        return {"transforms": len(composites)}
+
+    def run_disabled(self, state: CompilationState) -> dict:
+        """With lowering off, any composite op is unschedulable."""
+        composites = self._composites(state)
+        if composites:
+            raise CompileError(
+                f"composite op {composites[0]!r} present but lowering "
+                "is disabled"
+            )
+        return {}

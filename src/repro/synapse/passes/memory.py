@@ -1,0 +1,89 @@
+"""MemoryPlanningPass: liveness over the schedule, HBM enforcement.
+
+Computes the peak HBM footprint by walking the emitted schedule in
+order: params and inputs are persistent, activations free after their
+last consumer, fused-chain internals never materialize. Schedules
+whose peak exceeds the 32 GB budget are rejected at compile time when
+``enforce_memory`` is set — reproducing why the paper's end-to-end
+runs used batch 8 ("due to limited GAUDI memory", §3.4).
+"""
+
+from __future__ import annotations
+
+from ...util.errors import DeviceMemoryError
+from ...util.units import fmt_bytes
+from ..schedule import MemoryPlan
+from .base import CompilerPass
+from .state import CompilationState
+
+
+class MemoryPlanningPass(CompilerPass):
+    """Plan the HBM footprint and enforce the capacity budget."""
+
+    name = "memory_planning"
+    option_flag = "plan_memory"
+
+    def run(self, state: CompilationState) -> dict:
+        """Fill ``state.memory``; raise on over-budget schedules."""
+        assert state.ops is not None, "emission must run before memory"
+        graph = state.graph
+        persistent = sum(v.nbytes for v in graph.graph_inputs())
+        # Values internal to fused chains never materialize in HBM.
+        internal = self._fused_internal_values(state)
+
+        last_use: dict[int, int] = {}
+        alloc_at: dict[int, int] = {}
+        for sched in state.ops:
+            for vid in sched.reads:
+                last_use[vid] = sched.index
+            for vid in sched.writes:
+                alloc_at[vid] = sched.index
+
+        graph_input_ids = {v.vid for v in graph.graph_inputs()}
+        live = persistent
+        peak = persistent
+        free_after: dict[int, int] = {}
+        frees_at: dict[int, list[int]] = {}
+        for vid, idx in last_use.items():
+            if vid in graph_input_ids or vid in internal:
+                continue
+            if vid in alloc_at:
+                free_after[vid] = idx
+                frees_at.setdefault(idx, []).append(vid)
+        for sched in state.ops:
+            for vid in sched.writes:
+                if vid in internal or vid in graph_input_ids:
+                    continue
+                live += graph.value(vid).nbytes
+            peak = max(peak, live)
+            for vid in frees_at.get(sched.index, ()):
+                live -= graph.value(vid).nbytes
+
+        state.memory = MemoryPlan(
+            persistent_bytes=persistent, peak_bytes=peak,
+            free_after=free_after,
+        )
+        if state.options.enforce_memory and not state.memory.fits(
+            state.config.hbm.capacity_bytes
+        ):
+            raise DeviceMemoryError(
+                peak,
+                state.config.hbm.capacity_bytes,
+                detail=f"graph {graph.name!r} peak {fmt_bytes(peak)}",
+            )
+        return {
+            "transforms": len(free_after),
+            "peak_bytes": peak,
+            "persistent_bytes": persistent,
+        }
+
+    @staticmethod
+    def _fused_internal_values(state: CompilationState) -> set[int]:
+        node_by_id = {n.nid: n for n in state.graph.nodes}
+        internal: set[int] = set()
+        for sched in state.ops or []:
+            if not sched.is_fused:
+                continue
+            outs = [node_by_id[nid].output for nid in sched.node_ids]
+            internal.update(outs[:-1])  # all but the chain's final output
+        return internal

@@ -1,0 +1,38 @@
+"""RecompileInjectionPass: host stalls for poorly supported ops.
+
+The paper's GLU finding (§3.3): SynapseAI meets an op it supports
+badly and performs "extra compilation during the execution" — a host
+event that stalls everything behind it (Fig 7's GLU bubble). The pass
+marks which pending ops must be preceded by such an event, honouring
+``recompile_once`` (charge only the first occurrence of each op kind).
+Emission materializes the HOST ops; disabling the pass models a
+runtime with full kernel coverage.
+"""
+
+from __future__ import annotations
+
+from .base import CompilerPass
+from .state import CompilationState
+
+
+class RecompileInjectionPass(CompilerPass):
+    """Mark pending ops that trigger a host recompilation stall."""
+
+    name = "recompile_injection"
+    option_flag = "inject_recompiles"
+
+    def run(self, state: CompilationState) -> dict:
+        """Flag unsupported ops per the ``recompile_once`` policy."""
+        assert state.pending is not None, "grouping must run before recompile"
+        recompiled: set[str] = set()
+        marked = 0
+        for pending in state.pending:
+            first = pending.nodes[0]
+            if state.opdef(first.op).supported:
+                continue
+            if first.op in recompiled and state.options.recompile_once:
+                continue
+            recompiled.add(first.op)
+            pending.needs_recompile = True
+            marked += 1
+        return {"transforms": marked}

@@ -1,0 +1,24 @@
+"""ValidatePass: SSA + program-order invariants before anything runs.
+
+The IR contract (see :meth:`repro.synapse.graph.Graph.validate`) is
+what every later pass assumes: single static assignment and values
+produced before use. Catching violations here gives one clear error
+instead of a corrupted schedule three passes later.
+"""
+
+from __future__ import annotations
+
+from .base import CompilerPass
+from .state import CompilationState
+
+
+class ValidatePass(CompilerPass):
+    """Check the input graph's SSA/program-order invariants."""
+
+    name = "validate"
+    option_flag = "validate_graph"
+
+    def run(self, state: CompilationState) -> dict:
+        """Raise :class:`~repro.util.errors.GraphError` on a bad graph."""
+        state.graph.validate()
+        return {"values": len(state.graph.values)}

@@ -1,0 +1,39 @@
+"""ViewElisionPass: alias pure-view ops instead of scheduling them.
+
+Reshape, broadcast, and contiguous row slices move no bytes; on an
+in-order engine a scheduled zero-cost view still occupies a queue slot
+and serializes software pipelines (this single issue is what initially
+broke the A6 pipelined-attention extension). The pass records an alias
+map (view output -> underlying storage) and the set of elided node
+ids; downstream passes resolve reads through the map so dependencies
+point at real storage producers while work items keep the node's
+declared (view-level) shapes.
+"""
+
+from __future__ import annotations
+
+from ...hw.costmodel import OpClass
+from .base import CompilerPass
+from .state import CompilationState
+
+
+class ViewElisionPass(CompilerPass):
+    """Turn zero-cost view ops into aliases of their source value."""
+
+    name = "view_elision"
+    option_flag = "elide_views"
+
+    def run(self, state: CompilationState) -> dict:
+        """Populate ``state.alias`` / ``state.elided`` in program order."""
+        alias = state.alias
+        for node in state.graph.nodes:
+            opdef = state.opdef(node.op)
+            if (
+                opdef.op_class is OpClass.DATA_MOVE
+                and not opdef.reads_inputs
+                and not opdef.writes_output
+            ):
+                src_vid = node.inputs[0]
+                alias[node.output] = alias.get(src_vid, src_vid)
+                state.elided.add(node.nid)
+        return {"transforms": len(state.elided)}

@@ -16,7 +16,11 @@ from ..hw.costmodel import EngineKind
 from ..hw.device import GaudiDevice
 from ..util.tabulate import render_kv
 from ..util.units import fmt_bytes, fmt_time_us, us_to_ms
-from .compiler import CompilerOptions, GraphCompiler
+from .compiler import (
+    CompilerOptions,
+    GraphCompiler,
+    default_compiler_options,
+)
 from .graph import Graph
 from .runtime import Runtime
 from .schedule import Schedule
@@ -31,6 +35,8 @@ class ProfileResult:
     timeline: Timeline
     schedule: Schedule
     total_time_us: float
+    #: whether compilation was served from the recipe cache
+    cache_hit: bool = False
 
     # -- the paper's headline metrics ----------------------------------------
 
@@ -120,7 +126,7 @@ class SynapseProfiler:
         options: CompilerOptions | None = None,
     ):
         self.config = config or GaudiConfig()
-        self.options = options or CompilerOptions()
+        self.options = options or default_compiler_options()
         self.compiler = GraphCompiler(self.config, self.options)
 
     def compile(self, graph: Graph) -> Schedule:
@@ -141,6 +147,7 @@ class SynapseProfiler:
             timeline=timeline,
             schedule=schedule,
             total_time_us=result.total_time_us,
+            cache_hit=self.compiler.last_cache_hit,
         )
 
     def profile_repeated(
@@ -153,20 +160,27 @@ class SynapseProfiler:
     ) -> list[ProfileResult]:
         """Profile ``iterations`` back-to-back executions.
 
-        The first iteration is preceded by a host graph-compilation
-        event (SynapseAI compiles a graph once and replays it), sized
-        proportionally to the schedule; subsequent iterations replay
-        the compiled recipe and are steady-state. Each returned result
-        is normalized to its own start.
+        Every iteration compiles through the recipe cache: the first
+        compile misses and is preceded by a host graph-compilation
+        event sized proportionally to the schedule; subsequent
+        iterations hit the cache and replay the compiled recipe with no
+        compilation cost (SynapseAI compiles a graph once and replays
+        it). With ``use_recipe_cache`` off, only iteration 1 is charged
+        — matching the pre-cache behaviour. Each returned result is
+        normalized to its own start.
         """
         if iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
-        schedule = self.compiler.compile(graph)
         device = device or GaudiDevice(self.config)
         runtime = Runtime(device)
         results: list[ProfileResult] = []
         for i in range(iterations):
-            if i == 0 and compile_us_per_op > 0:
+            schedule = self.compiler.compile(graph)
+            if self.options.use_recipe_cache:
+                fresh_compile = not self.compiler.last_cache_hit
+            else:
+                fresh_compile = i == 0
+            if fresh_compile and compile_us_per_op > 0:
                 compile_us = compile_us_per_op * len(schedule)
                 interval = device.timeline(EngineKind.HOST).reserve(
                     device.now, compile_us, "graph_compile"
@@ -200,5 +214,6 @@ class SynapseProfiler:
                 timeline=timeline,
                 schedule=schedule,
                 total_time_us=timeline.total_time_us,
+                cache_hit=self.compiler.last_cache_hit,
             ))
         return results

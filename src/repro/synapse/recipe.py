@@ -1,0 +1,126 @@
+"""Recipe cache: compiled schedules keyed by canonical graph signatures.
+
+SynapseAI compiles a graph into a *recipe* once and replays it on
+every subsequent iteration — which is why the paper's training loops
+pay a first-iteration compilation penalty and then run steady-state.
+This module is that mechanism's analog: a canonical signature over
+everything compilation reads (op kinds, shapes, dtypes, attrs,
+provenance, device config, compiler options) keys an LRU cache of
+:class:`~repro.synapse.schedule.Schedule` objects, so recompiling an
+identical workload returns the cached recipe instead of re-running the
+pass pipeline. First-compile vs. cached-iteration becomes a measured
+phenomenon rather than a modeled constant.
+
+Runtime-only options (``reorder``, ``use_recipe_cache``) are excluded
+from the key: they do not change the compiled schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from .graph import Graph
+from .schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..hw.config import GaudiConfig
+    from .compiler import CompilerOptions
+
+#: CompilerOptions fields that do not affect the compiled schedule
+_RUNTIME_ONLY_OPTIONS = ("reorder", "use_recipe_cache")
+
+
+def graph_signature(graph: Graph) -> str:
+    """Canonical content hash of a graph (structure, shapes, dtypes).
+
+    Two graphs built by identical frontend programs — e.g. the same
+    training step re-recorded every iteration — produce the same
+    signature; any change to an op kind, shape, dtype, attribute,
+    value kind, or provenance changes it.
+    """
+    h = hashlib.sha256()
+    h.update(f"graph:{graph.name}\n".encode())
+    for vid, v in sorted(graph.values.items()):
+        h.update(
+            f"v:{vid}:{v.shape}:{v.dtype.value}:{v.kind}:{v.name}\n".encode()
+        )
+    for n in graph.nodes:
+        attrs = repr(sorted(n.attrs.items()))
+        h.update(
+            f"n:{n.nid}:{n.op}:{n.inputs}:{n.output}:{attrs}:"
+            f"{n.src}:{n.scope}\n".encode()
+        )
+    return h.hexdigest()
+
+
+def options_signature(options: "CompilerOptions") -> str:
+    """Stable signature of the compile-relevant option fields."""
+    fields = {
+        k: v for k, v in dataclasses.asdict(options).items()
+        if k not in _RUNTIME_ONLY_OPTIONS
+    }
+    return repr(sorted(fields.items()))
+
+
+def recipe_key(
+    graph: Graph, config: "GaudiConfig", options: "CompilerOptions"
+) -> str:
+    """Full cache key: graph signature x device config x options."""
+    h = hashlib.sha256()
+    h.update(graph_signature(graph).encode())
+    h.update(repr(config).encode())
+    h.update(options_signature(options).encode())
+    return h.hexdigest()
+
+
+class RecipeCache:
+    """A bounded LRU cache of compiled schedules with hit/miss counters."""
+
+    def __init__(self, maxsize: int = 32):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, Schedule]" = OrderedDict()
+
+    def get(self, key: str) -> Schedule | None:
+        """The cached schedule for ``key``, or None (counts hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, schedule: Schedule) -> None:
+        """Insert a compiled schedule, evicting the LRU entry if full."""
+        self._entries[key] = schedule
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> dict:
+        """Counters snapshot: hits, misses, current size, capacity."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries

@@ -83,9 +83,7 @@ class Runtime:
             events, order = self._execute_reorder(schedule, durations, start_offset)
         else:
             events, order = self._execute_in_order(schedule, durations, start_offset)
-        timeline = Timeline(
-            [ev for ev in events], name=schedule.graph.name
-        )
+        timeline = Timeline(events, name=schedule.graph.name)
         total = max((ev.end_us for ev in events), default=start_offset)
         return ExecutionResult(
             timeline=timeline,
@@ -130,13 +128,20 @@ class Runtime:
         self, schedule: Schedule, durations: list[float], t0: float
     ) -> tuple[list[TraceEvent], list[int]]:
         n = len(schedule.ops)
-        remaining = set(range(n))
         finish: dict[int, float] = {}
-        pending_deps = {op.index: set(op.deps) for op in schedule.ops}
-        ready_time = {op.index: t0 for op in schedule.ops if not op.deps}
+        # Consumer index: completing op i only touches the ops that
+        # actually depend on i, instead of scanning every remaining op.
+        consumers_of: list[list[int]] = [[] for _ in range(n)]
+        blocked_by = [0] * n
+        for op in schedule.ops:
+            deps = set(op.deps)
+            blocked_by[op.index] = len(deps)
+            for dep in deps:
+                consumers_of[dep].append(op.index)
+        ready_time = {i: t0 for i in range(n) if blocked_by[i] == 0}
         events: list[TraceEvent] = []
         order: list[int] = []
-        while remaining:
+        while len(order) < n:
             # Among ready ops, greedily pick the one that can *start*
             # earliest on its engine; break ties by program order.
             best: tuple[float, int] | None = None
@@ -157,14 +162,11 @@ class Runtime:
             finish[idx] = event.end_us
             events.append(event)
             order.append(idx)
-            remaining.discard(idx)
-            for other in remaining:
-                deps = pending_deps[other]
-                if idx in deps:
-                    deps.discard(idx)
-                    if not deps:
-                        ready_time[other] = max(
-                            (finish[d] for d in schedule.ops[other].deps),
-                            default=t0,
-                        )
+            for consumer in consumers_of[idx]:
+                blocked_by[consumer] -= 1
+                if blocked_by[consumer] == 0:
+                    ready_time[consumer] = max(
+                        (finish[d] for d in schedule.ops[consumer].deps),
+                        default=t0,
+                    )
         return events, order

@@ -1,0 +1,167 @@
+"""The recipe cache: signature keying, hits/misses, and e2e reuse.
+
+SynapseAI compiles a graph once and replays the recipe; the cache
+reproduces that. These tests pin the keying contract (structure,
+shapes, dtypes, attrs, and compile-relevant options change the key;
+runtime-only options do not), the LRU behaviour, and the end-to-end
+consequence: iteration 1 of a training loop pays the compile penalty,
+steady-state iterations do not, and a cached compile yields a timeline
+identical to a fresh one.
+"""
+
+import numpy as np
+
+from repro import ht
+from repro.core.e2e_llm import record_training_step
+from repro.ht import functional as F
+from repro.hw.config import GaudiConfig
+from repro.synapse import (
+    CompilerOptions,
+    GraphCompiler,
+    RecipeCache,
+    SynapseProfiler,
+    graph_signature,
+    recipe_key,
+)
+
+
+def record_program(scale=1.0, rows=4, name="prog"):
+    with ht.record(name, mode="concrete") as rec:
+        a = ht.tensor(np.ones((rows, 6), dtype=np.float32), name="a")
+        b = ht.tensor(np.ones((6, 8), dtype=np.float32), name="b")
+        x = F.matmul(a, b)
+        x = F.softmax(F.mul_scalar(x, scale), axis=-1)
+        F.mean(x)
+    return rec
+
+
+class TestGraphSignature:
+    def test_same_program_same_signature(self):
+        assert (record_program().graph_signature()
+                == record_program().graph_signature())
+
+    def test_shape_changes_signature(self):
+        assert (record_program(rows=4).graph_signature()
+                != record_program(rows=5).graph_signature())
+
+    def test_attr_changes_signature(self):
+        assert (record_program(scale=1.0).graph_signature()
+                != record_program(scale=2.0).graph_signature())
+
+    def test_name_changes_signature(self):
+        assert (record_program(name="x").graph_signature()
+                != record_program(name="y").graph_signature())
+
+    def test_recorder_method_matches_function(self):
+        rec = record_program()
+        assert rec.graph_signature() == graph_signature(rec.graph)
+
+
+class TestRecipeKey:
+    def test_compile_option_changes_key(self):
+        graph = record_program().graph
+        config = GaudiConfig()
+        assert (
+            recipe_key(graph, config, CompilerOptions())
+            != recipe_key(graph, config,
+                          CompilerOptions(fuse_elementwise=False))
+        )
+
+    def test_runtime_only_options_do_not_change_key(self):
+        graph = record_program().graph
+        config = GaudiConfig()
+        base = recipe_key(graph, config, CompilerOptions())
+        assert base == recipe_key(graph, config,
+                                  CompilerOptions(reorder=True))
+        assert base == recipe_key(graph, config,
+                                  CompilerOptions(use_recipe_cache=False))
+
+
+class TestCompilerCaching:
+    def test_recompile_same_graph_hits(self):
+        compiler = GraphCompiler()
+        first = compiler.compile(record_program().graph)
+        assert compiler.last_cache_hit is False
+        second = compiler.compile(record_program().graph)
+        assert compiler.last_cache_hit is True
+        assert second is first  # the cached schedule object itself
+        assert compiler.cache.hits == 1 and compiler.cache.misses == 1
+
+    def test_changed_graph_misses(self):
+        compiler = GraphCompiler()
+        compiler.compile(record_program(rows=4).graph)
+        compiler.compile(record_program(rows=5).graph)
+        assert compiler.last_cache_hit is False
+        assert len(compiler.cache) == 2
+
+    def test_cache_disabled_never_hits(self):
+        compiler = GraphCompiler(
+            options=CompilerOptions(use_recipe_cache=False)
+        )
+        compiler.compile(record_program().graph)
+        compiler.compile(record_program().graph)
+        assert compiler.last_cache_hit is False
+        assert len(compiler.cache) == 0
+
+    def test_caches_are_per_compiler(self):
+        """A fresh compiler re-pays compilation (recipes are per
+        process in SynapseAI, per compiler instance here)."""
+        GraphCompiler().compile(record_program().graph)
+        fresh = GraphCompiler()
+        fresh.compile(record_program().graph)
+        assert fresh.last_cache_hit is False
+
+    def test_lru_eviction(self):
+        compiler = GraphCompiler(cache=RecipeCache(maxsize=2))
+        g1, g2, g3 = (record_program(rows=r).graph for r in (3, 4, 5))
+        compiler.compile(g1)
+        compiler.compile(g2)
+        compiler.compile(g3)  # evicts g1
+        assert len(compiler.cache) == 2
+        compiler.compile(g1)
+        assert compiler.last_cache_hit is False  # was evicted
+        compiler.compile(g2)  # evicted by g1's re-insert
+        assert compiler.last_cache_hit is False
+
+    def test_cache_info_counters(self):
+        cache = RecipeCache(maxsize=4)
+        compiler = GraphCompiler(cache=cache)
+        compiler.compile(record_program().graph)
+        compiler.compile(record_program().graph)
+        info = cache.info()
+        assert info == {"hits": 1, "misses": 1, "size": 1, "maxsize": 4}
+        cache.clear()
+        assert cache.info() == {"hits": 0, "misses": 0, "size": 0,
+                                "maxsize": 4}
+
+
+class TestProfilerIntegration:
+    def test_profile_repeated_hits_after_first(self):
+        profiler = SynapseProfiler()
+        results = profiler.profile_repeated(record_program().graph, 3)
+        assert results[0].cache_hit is False
+        assert all(r.cache_hit for r in results[1:])
+        assert profiler.compiler.cache.hits == 2
+
+    def test_cached_e2e_gpt_step_timeline_identical(self):
+        """Compiling the same GPT step from cache changes nothing."""
+        profiler = SynapseProfiler()
+        graph_a = record_training_step("gpt", batch=2, seq_len=128).graph
+        graph_b = record_training_step("gpt", batch=2, seq_len=128).graph
+        fresh = profiler.profile(graph_a)
+        assert fresh.cache_hit is False
+        cached = profiler.profile(graph_b)
+        assert cached.cache_hit is True
+        assert cached.total_time_us == fresh.total_time_us
+        assert len(cached.timeline.events) == len(fresh.timeline.events)
+        for ea, eb in zip(fresh.timeline.events, cached.timeline.events):
+            assert (ea.name, ea.engine, ea.start_us, ea.dur_us) == (
+                eb.name, eb.engine, eb.start_us, eb.dur_us)
+
+    def test_per_pass_stats_survive_cached_compile(self):
+        profiler = SynapseProfiler()
+        graph = record_program().graph
+        first = profiler.profile(graph)
+        second = profiler.profile(graph)
+        assert second.schedule.stats["passes"] is first.schedule.stats["passes"]
+        assert [e["pass"] for e in second.schedule.stats["passes"]]
