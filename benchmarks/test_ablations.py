@@ -4,6 +4,7 @@ from conftest import assert_checks
 
 from repro.core import (
     run_fusion_ablation,
+    run_hbm_contention_ablation,
     run_reorder_ablation,
     run_tpc_core_sweep,
 )
@@ -32,6 +33,24 @@ def test_ablation_fusion(benchmark, record_info):
         fused_ms=round(result.fused.total_time_ms, 2),
         unfused_ms=round(result.unfused.total_time_ms, 2),
         speedup=round(result.speedup, 3),
+    )
+    print()
+    print(result.render())
+
+
+def test_ablation_hbm_contention(benchmark, record_info):
+    """A11: shared-HBM bandwidth arbitration on/off."""
+    result = benchmark(run_hbm_contention_ablation)
+    assert_checks(result.checks())
+    worst = max(result.rows, key=lambda r: r.slowdown)
+    record_info(
+        benchmark,
+        worst_workload=worst.name,
+        worst_slowdown=round(worst.slowdown, 4),
+        gpt_stall_us=round(
+            result.row("GPT train step (fig8)")
+            .contended.contention_stall_us, 1,
+        ),
     )
     print()
     print(result.render())

@@ -22,6 +22,7 @@ from .core import (
     run_full_study,
     run_fusion_ablation,
     run_generation_comparison,
+    run_hbm_contention_ablation,
     run_mme_vs_tpc,
     run_op_mapping,
     run_pass_toggle_ablation,
@@ -81,6 +82,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] =
                lambda: _simple(run_decode_study)),
     "ablation-passes": ("A10: per-pass toggle ablation",
                         lambda: _simple(run_pass_toggle_ablation)),
+    "ablation-hbm": ("A11: HBM contention ablation",
+                     lambda: _simple(run_hbm_contention_ablation)),
 }
 
 
@@ -136,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-recipe-cache", action="store_true",
         help="recompile every graph instead of reusing cached recipes",
     )
+    parser.add_argument(
+        "--no-hbm-contention", action="store_true",
+        help="time every op at full HBM bandwidth instead of sharing "
+             "it across concurrent engines (the pre-contention model)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     study = sub.add_parser("study", help="run every experiment")
@@ -165,6 +173,10 @@ def main(argv: list[str] | None = None) -> int:
         import dataclasses
 
         options = dataclasses.replace(options, use_recipe_cache=False)
+    if args.no_hbm_contention:
+        import dataclasses
+
+        options = dataclasses.replace(options, hbm_contention=False)
     set_default_compiler_options(options)
 
     if args.command == "lint-gate":

@@ -8,6 +8,8 @@ scaling extension, and the :func:`run_full_study` orchestrator.
 
 from .ablations import (
     ChunkedAttentionResult,
+    ContentionRow,
+    HbmContentionAblationResult,
     PipelinedAttentionResult,
     FusionAblationResult,
     PassToggleAblationResult,
@@ -15,6 +17,7 @@ from .ablations import (
     TpcCoreSweepResult,
     run_chunked_attention_study,
     run_fusion_ablation,
+    run_hbm_contention_ablation,
     run_pass_toggle_ablation,
     run_pipelined_attention_study,
     run_reorder_ablation,
@@ -68,12 +71,15 @@ from .study import StudyReport, run_full_study
 
 __all__ = [
     "ChunkedAttentionResult",
+    "ContentionRow",
+    "HbmContentionAblationResult",
     "PipelinedAttentionResult",
     "FusionAblationResult",
     "PassToggleAblationResult",
     "ReorderAblationResult",
     "TpcCoreSweepResult",
     "run_chunked_attention_study",
+    "run_hbm_contention_ablation",
     "run_pipelined_attention_study",
     "run_fusion_ablation",
     "run_pass_toggle_ablation",

@@ -21,7 +21,11 @@ from ..hw.costmodel import EngineKind
 from ..synapse import CompilerOptions, ProfileResult
 from ..util.tabulate import render_table
 from .attention_study import profile_layer
-from .reference import ShapeCheck, threshold_check
+from .reference import (
+    FIG4_SOFTMAX_TPC_SHARE_MIN,
+    ShapeCheck,
+    threshold_check,
+)
 
 
 # -- A1: reorder -----------------------------------------------------------------
@@ -407,6 +411,180 @@ class PipelinedAttentionResult:
             title="A6: software-pipelined exact softmax attention "
                   f"({self.speedup:.2f}x)",
         )
+
+
+# -- A11: HBM bandwidth contention on/off -------------------------------------
+
+
+@dataclass
+class ContentionRow:
+    """One workload timed under both memory models."""
+
+    name: str
+    contended: ProfileResult
+    uncontended: ProfileResult
+
+    @property
+    def slowdown(self) -> float:
+        """Contended / uncontended makespan (>= 1 by construction)."""
+        return (
+            self.contended.total_time_us / self.uncontended.total_time_us
+        )
+
+
+@dataclass
+class HbmContentionAblationResult:
+    """The shared-HBM model's effect across the paper's workloads.
+
+    Re-times the Fig 4-9 workloads plus the overlap-heavy extensions
+    (A1's reordered Performer, A6's pipelined attention) with HBM
+    contention on and off. The compiled schedule is identical in both
+    runs — only the runtime's memory model changes — so every delta is
+    attributable to bandwidth sharing.
+    """
+
+    rows: list[ContentionRow] = field(default_factory=list)
+
+    def row(self, name: str) -> ContentionRow:
+        """Look up one workload's pair by name."""
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(f"no contention row named {name!r}")
+
+    def checks(self) -> list[ShapeCheck]:
+        """Contention can only stretch, must bite where phases overlap,
+        and must not break the paper-shape claims."""
+        worst = max(self.rows, key=lambda r: r.slowdown)
+        overlap_heavy = [
+            self.row(n) for n in ("pipelined attention (A6)",
+                                  "performer + reorder (A1)",
+                                  "GPT train step (fig8)")
+        ]
+        softmax = self.row("softmax layer (fig4)")
+        return [
+            ShapeCheck(
+                "ablation-hbm: contention never speeds a workload up",
+                all(r.slowdown >= 1.0 - 1e-9 for r in self.rows),
+                f"min slowdown {min(r.slowdown for r in self.rows):.4f}x",
+                ">= 1.0x on every workload",
+            ),
+            ShapeCheck(
+                "ablation-hbm: overlap-heavy workloads stall on shared HBM",
+                all(r.contended.contention_stall_us > 0
+                    for r in overlap_heavy),
+                ", ".join(
+                    f"{r.name}: {r.contended.contention_stall_us:.0f} us"
+                    for r in overlap_heavy
+                ),
+                "> 0 us stall each",
+            ),
+            ShapeCheck(
+                "ablation-hbm: slowdown stays bounded",
+                worst.slowdown <= 1.5,
+                f"worst {worst.slowdown:.3f}x ({worst.name})",
+                "<= 1.5x (sharing, not serialization)",
+            ),
+            threshold_check(
+                "ablation-hbm: Fig 4 softmax TPC share survives contention",
+                softmax.contended.softmax_tpc_share,
+                FIG4_SOFTMAX_TPC_SHARE_MIN,
+            ),
+        ]
+
+    def render(self) -> str:
+        """Per-workload comparison table."""
+        return render_table(
+            ["workload", "no contention (ms)", "contended (ms)",
+             "slowdown", "stall (us)", "ops stalled"],
+            [
+                (
+                    r.name,
+                    f"{r.uncontended.total_time_ms:.2f}",
+                    f"{r.contended.total_time_ms:.2f}",
+                    f"{r.slowdown:.3f}x",
+                    f"{r.contended.contention_stall_us:.1f}",
+                    r.contended.contended_op_count,
+                )
+                for r in self.rows
+            ],
+            title="A11: shared-HBM bandwidth contention on/off",
+        )
+
+
+def _contention_pair(
+    graph, config: GaudiConfig, *, reorder: bool = False
+) -> tuple[ProfileResult, ProfileResult]:
+    """Compile once, execute under both memory models.
+
+    ``hbm_contention`` is runtime-only, so the two runs share one
+    compiled schedule (and one compile cost); each executes on a fresh
+    device so the timelines are independent.
+    """
+    from ..hw.device import GaudiDevice
+    from ..synapse import Runtime, SynapseProfiler
+
+    schedule = SynapseProfiler(config).compile(graph)
+    out = []
+    for contention in (True, False):
+        result = Runtime(GaudiDevice(config)).execute(
+            schedule, reorder=reorder, hbm_contention=contention
+        )
+        timeline = result.timeline.shifted(-result.start_offset_us)
+        out.append(ProfileResult(
+            graph_name=graph.name,
+            timeline=timeline,
+            schedule=schedule,
+            total_time_us=result.total_time_us,
+        ))
+    return out[0], out[1]
+
+
+def _layer_graph(kind: str, *, feature_map: str = "elu1",
+                 batch: int | None = None, seq_len: int | None = None):
+    """Record one §3.3 Transformer-layer graph at the study shapes."""
+    from .. import ht
+    from ..models import TransformerLayer, paper_layer_config
+    from .reference import LAYER_STUDY_SHAPES
+
+    batch = batch or LAYER_STUDY_SHAPES["batch"]
+    seq_len = seq_len or LAYER_STUDY_SHAPES["seq_len"]
+    layer_cfg = paper_layer_config(kind, feature_map=feature_map)
+    layer = TransformerLayer(layer_cfg, materialize=False)
+    with ht.record(f"layer-{kind}-{feature_map}", mode="symbolic") as rec:
+        layer(ht.input_tensor((batch, seq_len, layer_cfg.d_model), name="x"))
+    return rec.graph
+
+
+def run_hbm_contention_ablation(
+    *, config: GaudiConfig | None = None
+) -> HbmContentionAblationResult:
+    """Re-run the Fig 4-9 + A1/A6 workloads with contention on/off."""
+    from .e2e_llm import record_training_step
+
+    config = config or GaudiConfig()
+    result = HbmContentionAblationResult()
+
+    workloads: list[tuple[str, object, bool]] = [
+        ("softmax layer (fig4)", _layer_graph("softmax"), False),
+        ("linear layer (fig5)", _layer_graph("linear"), False),
+        ("performer layer (fig6)", _layer_graph("performer"), False),
+        ("GLU activation layer (fig7)",
+         _layer_graph("linear", feature_map="glu", batch=8, seq_len=256),
+         False),
+        ("GPT train step (fig8)",
+         record_training_step("gpt").graph, False),
+        ("BERT train step (fig9)",
+         record_training_step("bert").graph, False),
+        ("performer + reorder (A1)", _layer_graph("performer"), True),
+        ("pipelined attention (A6)", _layer_graph("pipelined"), False),
+    ]
+    for name, graph, reorder in workloads:
+        contended, uncontended = _contention_pair(
+            graph, config, reorder=reorder
+        )
+        result.rows.append(ContentionRow(name, contended, uncontended))
+    return result
 
 
 def run_pipelined_attention_study(

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from ..hw.config import GaudiConfig
 from .ablations import (
     run_chunked_attention_study,
+    run_hbm_contention_ablation,
     run_pipelined_attention_study,
     run_fusion_ablation,
     run_reorder_ablation,
@@ -131,5 +132,9 @@ def run_full_study(
         a9 = run_decode_study(config=config)
         report.add("A9: KV-cached decode extension", a9.render(),
                    a9.checks())
+
+        a11 = run_hbm_contention_ablation(config=config)
+        report.add("A11: HBM contention ablation", a11.render(),
+                   a11.checks())
 
     return report

@@ -18,9 +18,11 @@ from .config import (
     SharedMemoryConfig,
     TPCClusterConfig,
 )
+from .bandwidth import BandwidthArbiter, DRAIN_EPS_BYTES, RateSegment
 from .costmodel import (
     EAGER_DISPATCH_OVERHEAD_US,
     CostModel,
+    CostParts,
     DMAModel,
     EngineKind,
     MatmulDims,
@@ -67,7 +69,11 @@ __all__ = [
     "MMEConfig",
     "SharedMemoryConfig",
     "TPCClusterConfig",
+    "BandwidthArbiter",
+    "DRAIN_EPS_BYTES",
+    "RateSegment",
     "CostModel",
+    "CostParts",
     "EAGER_DISPATCH_OVERHEAD_US",
     "DMAModel",
     "EngineKind",

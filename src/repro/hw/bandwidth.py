@@ -1,0 +1,209 @@
+"""Processor-sharing arbitration of the shared HBM bandwidth.
+
+On silicon every engine (MME, TPC cluster, DMA) drains its HBM traffic
+through the *same* memory controllers, so truly concurrent phases share
+the effective bandwidth instead of each seeing all of it (DESIGN.md §7
+used to list this as the simulator's biggest known bias; GFormer's
+Gaudi measurements, arXiv:2412.19829, show MME/TPC co-execution is
+bandwidth-arbitrated on hardware).
+
+:class:`BandwidthArbiter` is the fluid (processor-sharing) model of
+that controller: each *drainer* — one executing op with outstanding
+HBM traffic — receives an equal share of the effective bandwidth,
+water-filled against per-drainer rate caps (a DMA channel cannot pull
+more than its own link rate, so its unused share flows back to the
+uncapped engines). The contended runtime advances the arbiter between
+discrete events; the arbiter integrates every drainer's remaining
+bytes under piecewise-constant rates and reports completions.
+
+The aggregate allocation never exceeds the effective bandwidth and is
+work-conserving (adding drainers never reduces total drain rate), so
+contention can stretch a schedule but never beats the uncontended
+timing — invariants the property suite checks via :attr:`rate_log`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..util.errors import ExecutionError
+
+#: residual bytes treated as fully drained (floating-point dust from
+#: integrating rate * dt across events)
+DRAIN_EPS_BYTES = 1e-6
+
+#: residual drain *time* treated as complete — a remaining-time below
+#: the clock's resolution can never advance the clock (us)
+DRAIN_EPS_TIME_US = 1e-9
+
+
+@dataclass
+class _Drainer:
+    """One op's outstanding HBM traffic."""
+
+    key: int
+    remaining_bytes: float
+    total_bytes: float
+    rate_cap: float = math.inf  # bytes/s this drainer alone can pull
+    started_us: float = 0.0
+    #: current allocated rate in bytes/s (set by _reallocate)
+    rate: float = 0.0
+    #: when the last byte drained (set on completion)
+    drained_us: float | None = None
+
+
+@dataclass(frozen=True)
+class RateSegment:
+    """One piecewise-constant allocation interval (for invariant checks)."""
+
+    start_us: float
+    end_us: float
+    total_rate: float  # aggregate bytes/s granted over the segment
+    drainers: int
+
+
+class BandwidthArbiter:
+    """Fair-share (processor-sharing) allocator of one bandwidth pool.
+
+    ``shared=False`` disables the sharing entirely — every drainer gets
+    ``min(rate_cap, bandwidth)`` regardless of concurrency — which
+    reproduces the pre-contention timing model through the same event
+    machinery (used by equivalence tests and ``hbm_contention=False``
+    sanity checks).
+    """
+
+    def __init__(self, bandwidth_bytes_per_s: float, *, shared: bool = True):
+        if bandwidth_bytes_per_s <= 0:
+            raise ExecutionError(
+                f"arbiter bandwidth must be > 0, got {bandwidth_bytes_per_s}"
+            )
+        self.bandwidth = float(bandwidth_bytes_per_s)
+        self.shared = shared
+        self._clock = 0.0
+        self._drainers: dict[int, _Drainer] = {}
+        #: closed allocation segments, for the aggregate-rate invariant
+        self.rate_log: list[RateSegment] = []
+        #: completed drainers by key (achieved-bandwidth queries)
+        self.completed: dict[int, _Drainer] = {}
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def clock_us(self) -> float:
+        """Time the arbiter has integrated up to."""
+        return self._clock
+
+    @property
+    def active(self) -> int:
+        """Number of drainers with outstanding bytes."""
+        return len(self._drainers)
+
+    def allocation(self, key: int) -> float:
+        """Current rate (bytes/s) granted to ``key``."""
+        return self._drainers[key].rate
+
+    def total_rate(self) -> float:
+        """Aggregate granted rate (bytes/s) right now."""
+        return sum(d.rate for d in self._drainers.values())
+
+    def next_completion_us(self) -> float | None:
+        """Earliest time any active drainer finishes, or ``None``."""
+        best: float | None = None
+        for d in self._drainers.values():
+            if d.rate <= 0:
+                continue
+            t = self._clock + (d.remaining_bytes / d.rate) * 1e6
+            if best is None or t < best:
+                best = t
+        return best
+
+    # -- mutation ------------------------------------------------------------
+
+    def admit(
+        self, key: int, num_bytes: float, now_us: float,
+        rate_cap: float = math.inf,
+    ) -> None:
+        """Register ``num_bytes`` of traffic for op ``key`` starting now."""
+        if num_bytes <= 0:
+            raise ExecutionError(
+                f"arbiter admit needs positive bytes, got {num_bytes}"
+            )
+        if key in self._drainers:
+            raise ExecutionError(f"drainer {key} already active")
+        self.advance(now_us)
+        self._drainers[key] = _Drainer(
+            key, float(num_bytes), float(num_bytes), rate_cap, now_us
+        )
+        self._reallocate()
+
+    def advance(self, to_us: float) -> list[int]:
+        """Integrate drains up to ``to_us``; return keys that completed."""
+        if to_us < self._clock - 1e-9:
+            raise ExecutionError(
+                f"arbiter cannot rewind from {self._clock} to {to_us}"
+            )
+        dt_us = max(0.0, to_us - self._clock)
+        if dt_us > 0 and self._drainers:
+            self.rate_log.append(RateSegment(
+                self._clock, to_us, self.total_rate(), len(self._drainers)
+            ))
+            for d in self._drainers.values():
+                d.remaining_bytes -= d.rate * (dt_us * 1e-6)
+        self._clock = max(self._clock, to_us)
+        # A drainer is done when its residual bytes are fp dust, or when
+        # the time needed to drain them falls below the clock's own
+        # resolution (it could then never advance the event loop).
+        time_eps = max(DRAIN_EPS_TIME_US, 4 * math.ulp(self._clock))
+        done = [
+            key for key, d in self._drainers.items()
+            if d.remaining_bytes <= max(DRAIN_EPS_BYTES, 1e-12 * d.total_bytes)
+            or (
+                d.rate > 0
+                and (d.remaining_bytes / d.rate) * 1e6 <= time_eps
+            )
+        ]
+        for key in done:
+            d = self._drainers.pop(key)
+            d.remaining_bytes = 0.0
+            d.drained_us = self._clock
+            self.completed[key] = d
+        if done:
+            self._reallocate()
+        return done
+
+    def _reallocate(self) -> None:
+        """Water-fill the pool across active drainers.
+
+        Equal shares, except drainers whose own rate cap is below their
+        share take only the cap; the freed bandwidth redistributes to
+        the rest. Total granted rate is min(bandwidth, sum of caps).
+        """
+        if not self.shared:
+            for d in self._drainers.values():
+                d.rate = min(d.rate_cap, self.bandwidth)
+            return
+        pool = set(self._drainers)
+        remaining = self.bandwidth
+        while pool:
+            share = remaining / len(pool)
+            capped = [k for k in pool if self._drainers[k].rate_cap <= share]
+            if not capped:
+                for k in pool:
+                    self._drainers[k].rate = share
+                break
+            for k in capped:
+                d = self._drainers[k]
+                d.rate = d.rate_cap
+                remaining = max(0.0, remaining - d.rate_cap)
+                pool.discard(k)
+
+    # -- post-hoc accounting --------------------------------------------------
+
+    def achieved_bandwidth(self, key: int) -> float:
+        """Mean achieved bytes/s over a completed drainer's lifetime."""
+        d = self.completed[key]
+        span_us = (d.drained_us or d.started_us) - d.started_us
+        if span_us <= 0:
+            return 0.0
+        return d.total_bytes / (span_us * 1e-6)

@@ -79,9 +79,12 @@ class TPCClusterConfig:
     vector_bits: int = TPC_VECTOR_BITS
     elementwise_eff: float = 0.90
     reduction_eff: float = 0.10
+    # exp is calibrated against Fig 4's ">80% of TPC time is softmax"
+    # under the shared-HBM timing model (the compute floor of the
+    # fused sub+exp chain sets softmax's TPC busy time).
     special_cycles: dict[str, int] = field(
         default_factory=lambda: {
-            "exp": 12,
+            "exp": 15,
             "log": 14,
             "sqrt": 8,
             "rsqrt": 8,

@@ -111,6 +111,50 @@ class WorkItem:
         return self.bytes_read + self.bytes_written
 
 
+@dataclass(frozen=True)
+class CostParts:
+    """One op's duration, decomposed for the contended runtime.
+
+    ``time_us`` folds compute and memory into ``max(compute, mem) +
+    serial``; this is the unfolded form. ``compute_us`` is the engine's
+    arithmetic floor (overlaps memory traffic), ``hbm_bytes`` the HBM
+    traffic the op must drain, ``rate_cap`` the fastest the op alone
+    can drain it (bytes/s — finite only for DMA, whose channel is
+    narrower than HBM), and ``launch_us``/``fixed_us`` serial overheads
+    paid after the overlapped phase. Recomposing with the full
+    effective bandwidth reproduces ``time_us`` exactly:
+
+        max(compute_us, s_to_us(hbm_bytes / min(rate_cap, bw)))
+            + launch_us + fixed_us
+    """
+
+    compute_us: float = 0.0
+    hbm_bytes: float = 0.0
+    rate_cap: float = math.inf
+    launch_us: float = 0.0
+    fixed_us: float = 0.0
+
+    @property
+    def serial_us(self) -> float:
+        """Serial tail paid outside the compute/memory overlap."""
+        return self.launch_us + self.fixed_us
+
+    def uncontended_mem_us(self, bandwidth_bytes_per_s: float) -> float:
+        """Drain time at the full (unshared) bandwidth, in us."""
+        if self.hbm_bytes <= 0:
+            return 0.0
+        rate = min(self.rate_cap, bandwidth_bytes_per_s)
+        return s_to_us(self.hbm_bytes / rate)
+
+    def uncontended_time_us(self, bandwidth_bytes_per_s: float) -> float:
+        """Recomposed duration assuming no bandwidth sharing."""
+        return (
+            max(self.compute_us, self.uncontended_mem_us(bandwidth_bytes_per_s))
+            + self.launch_us
+            + self.fixed_us
+        )
+
+
 #: Per-call host dispatch cost (us) of launching a single op eagerly
 #: through PyTorch + SynapseAI, as the paper's Table 2 microbenchmark
 #: does with ``torch.bmm``. Calibrated so a 128-sized batch-64 bmm
@@ -153,18 +197,28 @@ class MMEModel:
         compute_us = s_to_us(dims.flops / rate)
         return compute_us + self.config.launch_overhead_us
 
-    def time_us(self, item: WorkItem) -> float:
-        """Duration of ``item``; only MATMUL items run on the MME."""
+    def cost_parts(self, item: WorkItem) -> CostParts:
+        """Decomposed cost; only MATMUL items run on the MME.
+
+        Launch overhead sits inside ``matmul_time_us`` (it pipelines
+        into the array fill), so it lands in ``compute_us`` here.
+        """
         if item.op_class is not OpClass.MATMUL or item.matmul is None:
             raise ConfigError(
                 f"MME can only execute matmul work, got {item.op_class} "
                 f"for op {item.name!r}"
             )
-        mem_us = s_to_us(item.bytes_total / self.hbm.effective_bandwidth)
-        return (
-            max(self.matmul_time_us(item.matmul, item.dtype), mem_us)
-            + item.fixed_time_us
+        return CostParts(
+            compute_us=self.matmul_time_us(item.matmul, item.dtype),
+            hbm_bytes=float(item.bytes_total),
+            fixed_us=item.fixed_time_us,
         )
+
+    def time_us(self, item: WorkItem) -> float:
+        """Duration of ``item``; only MATMUL items run on the MME."""
+        parts = self.cost_parts(item)
+        mem_us = s_to_us(parts.hbm_bytes / self.hbm.effective_bandwidth)
+        return max(parts.compute_us, mem_us) + parts.launch_us + parts.fixed_us
 
 
 # Calibrated constants of the tiled TPC matmul kernel cycle model (see
@@ -224,38 +278,54 @@ class TPCModel:
         compute_us = cycles / (self.config.freq_ghz * 1e3)
         return compute_us + self.config.launch_overhead_us
 
-    def time_us(self, item: WorkItem) -> float:
-        """Duration of ``item`` on the TPC cluster."""
+    def cost_parts(self, item: WorkItem) -> CostParts:
+        """Decomposed cost of ``item`` on the TPC cluster.
+
+        Matmuls fold launch into ``compute_us`` (same as the MME path);
+        every other class pays it as a serial tail. DATA_MOVE items are
+        pure traffic (``compute_us`` 0).
+        """
         cfg = self.config
         launch = cfg.launch_overhead_us
-        mem_us = self._mem_time_us(item)
+        bytes_total = float(item.bytes_total)
         if item.op_class is OpClass.MATMUL:
             if item.matmul is None:
                 raise ConfigError(f"matmul op {item.name!r} missing dims")
-            return (
-                max(self.matmul_time_us(item.matmul, item.dtype), mem_us)
-                + item.fixed_time_us
+            return CostParts(
+                compute_us=self.matmul_time_us(item.matmul, item.dtype),
+                hbm_bytes=bytes_total,
+                fixed_us=item.fixed_time_us,
             )
         if item.op_class is OpClass.ELEMENTWISE:
             rate = cfg.peak_tflops(item.dtype) * 1e12 * cfg.elementwise_eff
             compute_us = s_to_us(item.flops / rate) if item.flops else 0.0
-            return max(compute_us, mem_us) + launch + item.fixed_time_us
-        if item.op_class is OpClass.REDUCTION:
+        elif item.op_class is OpClass.REDUCTION:
             rate = cfg.peak_tflops(item.dtype) * 1e12 * cfg.reduction_eff
             compute_us = s_to_us(item.flops / rate) if item.flops else 0.0
-            return max(compute_us, mem_us) + launch + item.fixed_time_us
-        if item.op_class is OpClass.SPECIAL:
+        elif item.op_class is OpClass.SPECIAL:
             fn = item.special_fn or "generic"
             cycles_per_el = cfg.special_cost(fn)
             lanes = cfg.lanes(item.dtype)
             cycles = item.elements * cycles_per_el / (lanes * cfg.num_cores)
             compute_us = cycles / (cfg.freq_ghz * 1e3)
-            return max(compute_us, mem_us) + launch + item.fixed_time_us
-        if item.op_class is OpClass.DATA_MOVE:
-            return mem_us + launch + item.fixed_time_us
-        raise ConfigError(
-            f"TPC cannot execute op class {item.op_class} for {item.name!r}"
+        elif item.op_class is OpClass.DATA_MOVE:
+            compute_us = 0.0
+        else:
+            raise ConfigError(
+                f"TPC cannot execute op class {item.op_class} for {item.name!r}"
+            )
+        return CostParts(
+            compute_us=compute_us,
+            hbm_bytes=bytes_total,
+            launch_us=launch,
+            fixed_us=item.fixed_time_us,
         )
+
+    def time_us(self, item: WorkItem) -> float:
+        """Duration of ``item`` on the TPC cluster."""
+        parts = self.cost_parts(item)
+        mem_us = self._mem_time_us(item)
+        return max(parts.compute_us, mem_us) + parts.launch_us + parts.fixed_us
 
 
 class DMAModel:
@@ -280,6 +350,28 @@ class DMAModel:
         )
         return self.config.latency_us + s_to_us(
             effective / self.config.bandwidth_bytes_per_s
+        )
+
+    def cost_parts(self, item: WorkItem) -> CostParts:
+        """Decomposed cost of a DATA_MOVE work item.
+
+        Pure traffic behind a fixed channel latency; the exposed bytes
+        (after pipelining) drain at most at the DMA link rate, which is
+        the only finite ``rate_cap`` in the model.
+        """
+        if item.op_class is not OpClass.DATA_MOVE:
+            raise ConfigError(
+                f"DMA can only execute data moves, got {item.op_class} "
+                f"for op {item.name!r}"
+            )
+        exposed = item.bytes_total * (
+            self.config.pipelined_exposure if item.pipelined else 1.0
+        )
+        return CostParts(
+            hbm_bytes=exposed,
+            rate_cap=self.config.bandwidth_bytes_per_s,
+            launch_us=self.config.latency_us,
+            fixed_us=item.fixed_time_us,
         )
 
     def time_us(self, item: WorkItem) -> float:
@@ -319,4 +411,16 @@ class CostModel:
             return self.dma.time_us(item)
         if engine is EngineKind.HOST:
             return item.fixed_time_us
+        raise ConfigError(f"unknown engine {engine!r}")
+
+    def cost_parts(self, engine: EngineKind, item: WorkItem) -> CostParts:
+        """Decomposed cost of ``item`` on ``engine``."""
+        if engine is EngineKind.MME:
+            return self.mme.cost_parts(item)
+        if engine is EngineKind.TPC:
+            return self.tpc.cost_parts(item)
+        if engine is EngineKind.DMA:
+            return self.dma.cost_parts(item)
+        if engine is EngineKind.HOST:
+            return CostParts(fixed_us=item.fixed_time_us)
         raise ConfigError(f"unknown engine {engine!r}")

@@ -32,7 +32,13 @@ from .passes import PASS_OPTION_FLAGS, CompilerPass, PassManager, default_passes
 from .profiler import ProfileResult, SynapseProfiler
 from .recipe import RecipeCache, graph_signature, recipe_key
 from .render import ascii_timeline, gap_report
-from .runtime import ExecutionResult, Runtime, op_duration_us
+from .runtime import (
+    ExecutionResult,
+    Runtime,
+    fused_chain_traffic_bytes,
+    op_cost_parts,
+    op_duration_us,
+)
 from .schedule import MemoryPlan, Schedule, ScheduledOp
 from .serialize import (
     graph_from_json,
@@ -84,6 +90,8 @@ __all__ = [
     "gap_report",
     "ExecutionResult",
     "Runtime",
+    "fused_chain_traffic_bytes",
+    "op_cost_parts",
     "op_duration_us",
     "MemoryPlan",
     "Schedule",

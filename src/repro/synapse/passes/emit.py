@@ -93,6 +93,7 @@ class EmitSchedulePass(CompilerPass):
                 reads=sorted(pending.reads),
                 writes=[pending.output_vid],
                 node_ids=[n.nid for n in pending.nodes],
+                external_read_bytes=pending.external_read_bytes,
             )
             ops.append(sched)
             producer_of[pending.output_vid] = sched.index

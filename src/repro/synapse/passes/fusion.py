@@ -12,7 +12,10 @@ one pending op per node (the fusion-off ablation).
 
 from __future__ import annotations
 
+import math
+
 from ...hw.costmodel import EngineKind, OpClass
+from ...hw.dtypes import itemsize
 from ..graph import Graph, Node
 from ..ops import work_item_for
 from .base import CompilerPass
@@ -29,6 +32,24 @@ def _node_item(state: CompilationState, graph: Graph, node: Node):
         node.op, in_shapes, out.shape, out.dtype, node.attrs,
         label=node.label(), opdef=state.opdef(node.op),
     )
+
+
+def _external_read_bytes(
+    graph: Graph, node: Node, resolved: tuple[int, ...], internal: set[int]
+) -> int:
+    """HBM bytes this chain member reads from outside the chain.
+
+    Same accounting as ``WorkItem.bytes_read`` (input numel at the
+    output dtype's width), restricted to inputs whose storage is not an
+    intermediate of the chain being assembled.
+    """
+    width = itemsize(graph.value(node.output).dtype)
+    total = 0
+    for vid, storage in zip(node.inputs, resolved):
+        if storage in internal:
+            continue
+        total += math.prod(graph.value(vid).shape) * width
+    return total
 
 
 def group_nodes(state: CompilationState, *, fuse: bool) -> list[PendingOp]:
@@ -80,11 +101,17 @@ def group_nodes(state: CompilationState, *, fuse: bool) -> list[PendingOp]:
             open_chain.reads.update(
                 v for v in resolved if v not in open_chain.internal
             )
+            open_chain.external_read_bytes += _external_read_bytes(
+                graph, node, resolved, open_chain.internal
+            )
             open_chain.nodes.append(node)
             open_chain.items.append(item)
             continue
         close()
-        pending = PendingOp([node], engine, [item], reads=set(resolved))
+        pending = PendingOp(
+            [node], engine, [item], reads=set(resolved),
+            external_read_bytes=item.bytes_read,
+        )
         if fusable:
             open_chain = pending
         else:

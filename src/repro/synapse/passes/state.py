@@ -40,6 +40,9 @@ class PendingOp:
     reads: set[int] = field(default_factory=set)
     #: value ids internal to the fused chain (never materialized)
     internal: set[int] = field(default_factory=set)
+    #: HBM bytes of every member's chain-external reads (per read, not
+    #: deduplicated — mirrors ``WorkItem.bytes_read`` accounting)
+    external_read_bytes: int = 0
     #: set by RecompileInjectionPass: emit a host stall before this op
     needs_recompile: bool = False
     #: set by DmaStagingPass: reads that must be staged through a DMA op

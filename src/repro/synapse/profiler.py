@@ -72,6 +72,29 @@ class ProfileResult:
         """Planned peak HBM footprint."""
         return self.schedule.memory.peak_bytes
 
+    # -- HBM contention metrics ----------------------------------------------
+
+    @property
+    def contention_stall_us(self) -> float:
+        """Total time ops waited on the shared HBM beyond their
+        uncontended drain (0.0 when profiled with contention off)."""
+        return sum(ev.contention_stall_us for ev in self.timeline.events)
+
+    @property
+    def contended_op_count(self) -> int:
+        """Number of ops that lost measurable time to HBM sharing."""
+        return sum(
+            1 for ev in self.timeline.events
+            if ev.contention_stall_us > 1e-9
+        )
+
+    @property
+    def contention_stall_fraction(self) -> float:
+        """Aggregate stall as a fraction of the makespan."""
+        if self.total_time_us <= 0:
+            return 0.0
+        return self.contention_stall_us / self.total_time_us
+
     def scope_breakdown(self, *, depth: int = 2) -> list[tuple[str, float, float]]:
         """Busy time per scope prefix: (scope, busy_us, share).
 
@@ -106,6 +129,8 @@ class ProfileResult:
             ("TPC utilization", f"{self.utilization(EngineKind.TPC):.1%}"),
             ("DMA utilization", f"{self.utilization(EngineKind.DMA):.1%}"),
             ("peak HBM", fmt_bytes(self.peak_hbm_bytes)),
+            ("HBM contention stall", fmt_time_us(self.contention_stall_us)),
+            ("ops stalled by contention", self.contended_op_count),
         ]
         shares = sorted(
             self.timeline.busy_by_src(EngineKind.TPC).items(),
@@ -140,7 +165,11 @@ class SynapseProfiler:
         schedule = self.compiler.compile(graph)
         device = device or GaudiDevice(self.config)
         runtime = Runtime(device)
-        result = runtime.execute(schedule, reorder=self.options.reorder)
+        result = runtime.execute(
+            schedule,
+            reorder=self.options.reorder,
+            hbm_contention=self.options.hbm_contention,
+        )
         timeline = result.timeline.shifted(-result.start_offset_us)
         return ProfileResult(
             graph_name=graph.name,
@@ -197,7 +226,11 @@ class SynapseProfiler:
                                                     "compile_barrier")
             else:
                 compile_event = None
-            result = runtime.execute(schedule, reorder=self.options.reorder)
+            result = runtime.execute(
+                schedule,
+                reorder=self.options.reorder,
+                hbm_contention=self.options.hbm_contention,
+            )
             start = (
                 compile_event.start_us if compile_event is not None
                 else result.start_offset_us

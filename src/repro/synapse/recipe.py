@@ -11,8 +11,14 @@ identical workload returns the cached recipe instead of re-running the
 pass pipeline. First-compile vs. cached-iteration becomes a measured
 phenomenon rather than a modeled constant.
 
-Runtime-only options (``reorder``, ``use_recipe_cache``) are excluded
-from the key: they do not change the compiled schedule.
+Runtime-only options (``reorder``, ``hbm_contention``,
+``use_recipe_cache``) are excluded from the key: they do not change
+the compiled schedule.
+
+The cache clones on both put and get, so hits are isolated: a caller
+mutating a returned schedule (its ``stats``, ``memory`` plan, or ops)
+cannot poison later hits, and the compiler mutating the schedule it
+just stored cannot either.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from .compiler import CompilerOptions
 
 #: CompilerOptions fields that do not affect the compiled schedule
-_RUNTIME_ONLY_OPTIONS = ("reorder", "use_recipe_cache")
+_RUNTIME_ONLY_OPTIONS = ("reorder", "hbm_contention", "use_recipe_cache")
 
 
 def graph_signature(graph: Graph) -> str:
@@ -88,18 +94,26 @@ class RecipeCache:
         self._entries: "OrderedDict[str, Schedule]" = OrderedDict()
 
     def get(self, key: str) -> Schedule | None:
-        """The cached schedule for ``key``, or None (counts hit/miss)."""
+        """A private copy of the cached schedule, or None.
+
+        Returns a clone so callers can mutate their schedule without
+        corrupting the cached recipe (counts hit/miss).
+        """
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
-        return entry
+        return entry.clone()
 
     def put(self, key: str, schedule: Schedule) -> None:
-        """Insert a compiled schedule, evicting the LRU entry if full."""
-        self._entries[key] = schedule
+        """Insert a compiled schedule, evicting the LRU entry if full.
+
+        Stores a clone: the caller keeps exclusive ownership of the
+        object it passed in.
+        """
+        self._entries[key] = schedule.clone()
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)

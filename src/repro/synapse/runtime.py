@@ -11,26 +11,67 @@ Two issue disciplines, selected by
 * **reorder** (the ablation): an engine may start any *ready* op,
   earliest-ready first (ties by program order) — a greedy list
   scheduler standing in for a compiler that "detect[s] independence"
-  (§3.3's Performer discussion).
+  (§3.3's Performer discussion). Issue order is planned once from the
+  uncontended durations (a lazy min-heap keyed on (earliest start,
+  program order)), then executed under whichever memory model is
+  active.
+
+Two memory models, selected by
+:attr:`~repro.synapse.compiler.CompilerOptions.hbm_contention`:
+
+* **contended** (default): HBM bandwidth is one shared resource. Each
+  op's cost decomposes (:func:`op_cost_parts`) into a compute floor
+  that runs at full speed regardless of traffic, HBM bytes that drain
+  through the device-wide :class:`~repro.hw.bandwidth.BandwidthArbiter`
+  at whatever share the arbiter grants, and a serial launch/fixed
+  tail. The op finishes at ``max(compute done, bytes drained) +
+  serial``; overlapping memory-bound phases stretch each other exactly
+  as co-executing engines do on silicon.
+* **uncontended** (``hbm_contention=False``, the pre-contention model):
+  every engine sees the full effective bandwidth; op durations are the
+  closed-form :func:`op_duration_us` and the timeline is reproduced
+  event for event.
 
 Durations come from the device's calibrated cost models; fused chains
-sum member compute time and pay HBM traffic only at the chain edges.
+sum member compute time and pay HBM traffic only for chain-external
+reads (all members') plus the final write.
 """
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
 
-from ..hw.costmodel import CostModel, EngineKind, WorkItem
+from ..hw.bandwidth import BandwidthArbiter
+from ..hw.costmodel import CostModel, CostParts, EngineKind, WorkItem
 from ..hw.device import GaudiDevice
 from ..util.errors import ExecutionError
 from ..util.units import s_to_us
 from .schedule import Schedule, ScheduledOp
 from .trace import Timeline, TraceEvent
 
+#: slack when deciding an event time has been reached (us)
+_TIME_EPS_US = 1e-9
+
+
+def fused_chain_traffic_bytes(op: ScheduledOp) -> int:
+    """HBM bytes a fused chain moves: all external reads + final write.
+
+    Every member's chain-external reads count (the compiler records
+    them in ``external_read_bytes``) — a middle op reading a graph
+    input is real traffic even though its predecessor's output stayed
+    on-chip. For chains built without that annotation, fall back to the
+    first member's reads (the historical approximation).
+    """
+    reads = op.external_read_bytes
+    if reads is None:
+        reads = op.items[0].bytes_read
+    return reads + op.items[-1].bytes_written
+
 
 def op_duration_us(cost: CostModel, op: ScheduledOp) -> float:
-    """Duration of a scheduled op (single or fused chain)."""
+    """Uncontended duration of a scheduled op (single or fused chain)."""
     if not op.items:
         raise ExecutionError(f"scheduled op {op.label!r} has no work items")
     if len(op.items) == 1:
@@ -47,11 +88,38 @@ def op_duration_us(cost: CostModel, op: ScheduledOp) -> float:
             dtype=item.dtype, special_fn=item.special_fn,
         )
         compute += cost.time_us(op.engine, bare) - launch
-    first, last = op.items[0], op.items[-1]
-    traffic = first.bytes_read + last.bytes_written
+    traffic = fused_chain_traffic_bytes(op)
     mem = s_to_us(traffic / cost.config.hbm.effective_bandwidth)
     fixed = sum(item.fixed_time_us for item in op.items)
     return max(compute, mem) + launch + fixed
+
+
+def op_cost_parts(cost: CostModel, op: ScheduledOp) -> CostParts:
+    """Decomposed cost of a scheduled op, for the contended runtime.
+
+    Mirrors :func:`op_duration_us`: recomposing these parts at the full
+    effective bandwidth reproduces the uncontended duration.
+    """
+    if not op.items:
+        raise ExecutionError(f"scheduled op {op.label!r} has no work items")
+    if len(op.items) == 1:
+        return cost.cost_parts(op.engine, op.items[0])
+    if op.engine is not EngineKind.TPC:
+        raise ExecutionError(f"fused op {op.label!r} must be on TPC")
+    launch = cost.config.tpc.launch_overhead_us
+    compute = 0.0
+    for item in op.items:
+        bare = WorkItem(
+            item.name, item.op_class, flops=item.flops, elements=item.elements,
+            dtype=item.dtype, special_fn=item.special_fn,
+        )
+        compute += cost.time_us(op.engine, bare) - launch
+    return CostParts(
+        compute_us=compute,
+        hbm_bytes=float(fused_chain_traffic_bytes(op)),
+        launch_us=launch,
+        fixed_us=sum(item.fixed_time_us for item in op.items),
+    )
 
 
 @dataclass
@@ -64,6 +132,9 @@ class ExecutionResult:
     schedule: Schedule
     peak_hbm_bytes: int = 0
     issue_order: list[int] = field(default_factory=list)
+    #: time ops spent waiting on HBM beyond their uncontended drain
+    #: (always 0.0 when executed with ``hbm_contention=False``)
+    contention_stall_us: float = 0.0
 
 
 class Runtime:
@@ -73,16 +144,27 @@ class Runtime:
         self.device = device or GaudiDevice()
 
     def execute(
-        self, schedule: Schedule, *, reorder: bool = False
+        self,
+        schedule: Schedule,
+        *,
+        reorder: bool = False,
+        hbm_contention: bool = True,
     ) -> ExecutionResult:
         """Run ``schedule``; the device clock keeps advancing across calls."""
         start_offset = self.device.now
         cost = self.device.cost_model
         durations = [op_duration_us(cost, op) for op in schedule.ops]
         if reorder:
-            events, order = self._execute_reorder(schedule, durations, start_offset)
+            order = self._plan_reorder(schedule, durations, start_offset)
         else:
-            events, order = self._execute_in_order(schedule, durations, start_offset)
+            order = [op.index for op in schedule.ops]
+        if hbm_contention:
+            events, stall_total = self._execute_contended(
+                schedule, order, start_offset
+            )
+        else:
+            events = self._replay(schedule, order, durations, start_offset)
+            stall_total = 0.0
         timeline = Timeline(events, name=schedule.graph.name)
         total = max((ev.end_us for ev in events), default=start_offset)
         return ExecutionResult(
@@ -92,9 +174,10 @@ class Runtime:
             schedule=schedule,
             peak_hbm_bytes=schedule.memory.peak_bytes,
             issue_order=order,
+            contention_stall_us=stall_total,
         )
 
-    # -- helpers -------------------------------------------------------------
+    # -- uncontended execution ------------------------------------------------
 
     def _record(
         self, op: ScheduledOp, ready: float, duration: float
@@ -112,25 +195,38 @@ class Runtime:
             flops=op.flops,
         )
 
-    def _execute_in_order(
-        self, schedule: Schedule, durations: list[float], t0: float
-    ) -> tuple[list[TraceEvent], list[int]]:
+    def _replay(
+        self,
+        schedule: Schedule,
+        order: list[int],
+        durations: list[float],
+        t0: float,
+    ) -> list[TraceEvent]:
+        """Issue ops in ``order`` with closed-form durations.
+
+        With ``order`` equal to program order this is the in-order
+        discipline; with a planned order it replays the reorder
+        schedule. Either way each op starts at
+        ``max(producers done, engine free)``.
+        """
         finish: dict[int, float] = {}
         events: list[TraceEvent] = []
-        for op in schedule.ops:
+        for idx in order:
+            op = schedule.ops[idx]
             ready = max((finish[d] for d in op.deps), default=t0)
-            event = self._record(op, ready, durations[op.index])
-            finish[op.index] = event.end_us
+            event = self._record(op, ready, durations[idx])
+            finish[idx] = event.end_us
             events.append(event)
-        return events, [op.index for op in schedule.ops]
+        return events
 
-    def _execute_reorder(
-        self, schedule: Schedule, durations: list[float], t0: float
-    ) -> tuple[list[TraceEvent], list[int]]:
+    # -- reorder planning -----------------------------------------------------
+
+    @staticmethod
+    def _dep_graph(
+        schedule: Schedule,
+    ) -> tuple[list[list[int]], list[int]]:
+        """(consumers per op, number of distinct deps per op)."""
         n = len(schedule.ops)
-        finish: dict[int, float] = {}
-        # Consumer index: completing op i only touches the ops that
-        # actually depend on i, instead of scanning every remaining op.
         consumers_of: list[list[int]] = [[] for _ in range(n)]
         blocked_by = [0] * n
         for op in schedule.ops:
@@ -138,17 +234,86 @@ class Runtime:
             blocked_by[op.index] = len(deps)
             for dep in deps:
                 consumers_of[dep].append(op.index)
-        ready_time = {i: t0 for i in range(n) if blocked_by[i] == 0}
-        events: list[TraceEvent] = []
+        return consumers_of, blocked_by
+
+    def _plan_reorder(
+        self, schedule: Schedule, durations: list[float], t0: float
+    ) -> list[int]:
+        """Greedy earliest-start issue order (ties by program order).
+
+        A lazy min-heap keyed on ``(earliest start, index)``: an entry's
+        key is computed against its engine's free time at push, which
+        only grows, so stored keys are lower bounds. Popping the min
+        and re-pushing when stale selects exactly the op the former
+        O(n²) ready-set scan selected, in O(n log n).
+        """
+        n = len(schedule.ops)
+        consumers_of, blocked_by = self._dep_graph(schedule)
+        free = {
+            op.engine: self.device.timeline(op.engine).free_at
+            for op in schedule.ops
+        }
+        finish: dict[int, float] = {}
+        ready_time: dict[int, float] = {}
+        heap: list[tuple[float, int]] = []
+        for i in range(n):
+            if blocked_by[i] == 0:
+                ready_time[i] = t0
+                heapq.heappush(
+                    heap, (max(t0, free[schedule.ops[i].engine]), i)
+                )
         order: list[int] = []
         while len(order) < n:
-            # Among ready ops, greedily pick the one that can *start*
-            # earliest on its engine; break ties by program order.
+            if not heap:
+                raise ExecutionError(
+                    "deadlock: no ready ops but schedule incomplete "
+                    "(cyclic dependencies?)"
+                )
+            start, idx = heapq.heappop(heap)
+            op = schedule.ops[idx]
+            current = max(ready_time[idx], free[op.engine])
+            if current > start:
+                # the engine moved on since this key was computed
+                heapq.heappush(heap, (current, idx))
+                continue
+            ready_time.pop(idx)
+            finish[idx] = current + durations[idx]
+            free[op.engine] = finish[idx]
+            order.append(idx)
+            for consumer in consumers_of[idx]:
+                blocked_by[consumer] -= 1
+                if blocked_by[consumer] == 0:
+                    r = max(
+                        (finish[d] for d in schedule.ops[consumer].deps),
+                        default=t0,
+                    )
+                    ready_time[consumer] = r
+                    eng = schedule.ops[consumer].engine
+                    heapq.heappush(heap, (max(r, free[eng]), consumer))
+        return order
+
+    def _plan_reorder_scan(
+        self, schedule: Schedule, durations: list[float], t0: float
+    ) -> list[int]:
+        """Reference O(n²) planner (the pre-heap implementation).
+
+        Kept only so tests can assert the heap planner reproduces its
+        selection byte for byte on benchmark workloads.
+        """
+        n = len(schedule.ops)
+        consumers_of, blocked_by = self._dep_graph(schedule)
+        free = {
+            op.engine: self.device.timeline(op.engine).free_at
+            for op in schedule.ops
+        }
+        finish: dict[int, float] = {}
+        ready_time = {i: t0 for i in range(n) if blocked_by[i] == 0}
+        order: list[int] = []
+        while len(order) < n:
             best: tuple[float, int] | None = None
             for idx, r in ready_time.items():
                 op = schedule.ops[idx]
-                start = max(r, self.device.timeline(op.engine).free_at)
-                key = (start, idx)
+                key = (max(r, free[op.engine]), idx)
                 if best is None or key < best:
                     best = key
             if best is None:
@@ -158,9 +323,9 @@ class Runtime:
                 )
             _, idx = best
             op = schedule.ops[idx]
-            event = self._record(op, ready_time.pop(idx), durations[idx])
-            finish[idx] = event.end_us
-            events.append(event)
+            start = max(ready_time.pop(idx), free[op.engine])
+            finish[idx] = start + durations[idx]
+            free[op.engine] = finish[idx]
             order.append(idx)
             for consumer in consumers_of[idx]:
                 blocked_by[consumer] -= 1
@@ -169,4 +334,134 @@ class Runtime:
                         (finish[d] for d in schedule.ops[consumer].deps),
                         default=t0,
                     )
-        return events, order
+        return order
+
+    # -- contended execution --------------------------------------------------
+
+    def _execute_contended(
+        self,
+        schedule: Schedule,
+        order: list[int],
+        t0: float,
+        *,
+        shared: bool = True,
+    ) -> tuple[list[TraceEvent], float]:
+        """Fluid discrete-event execution against the shared HBM.
+
+        Per-engine queues issue in ``order``; a running op's traffic
+        drains through the arbiter at its granted share while its
+        compute floor runs in parallel; the op occupies its engine
+        until ``max(compute, drain) + serial tail``. ``shared=False``
+        grants every drainer its full uncontended rate — same event
+        machinery, pre-contention timings (used by equivalence tests).
+        """
+        cost = self.device.cost_model
+        bandwidth = cost.config.hbm.effective_bandwidth
+        parts = [op_cost_parts(cost, op) for op in schedule.ops]
+        arbiter = BandwidthArbiter(bandwidth, shared=shared)
+        n = len(schedule.ops)
+        consumers_of, blocked_by = self._dep_graph(schedule)
+
+        queues: dict[EngineKind, deque[int]] = {}
+        for idx in order:
+            queues.setdefault(schedule.ops[idx].engine, deque()).append(idx)
+        engine_busy = {engine: False for engine in queues}
+
+        start_of: dict[int, float] = {}
+        compute_end: dict[int, float] = {}
+        bytes_end: dict[int, float] = {}
+        finish: dict[int, float] = {}
+        pending_finish: list[tuple[float, int]] = []
+        events: list[TraceEvent] = []
+        stall_total = 0.0
+        now = t0
+
+        def start(idx: int) -> None:
+            op = schedule.ops[idx]
+            p = parts[idx]
+            engine_busy[op.engine] = True
+            start_of[idx] = now
+            compute_end[idx] = now + p.compute_us
+            if p.hbm_bytes > 0:
+                arbiter.admit(idx, p.hbm_bytes, now, rate_cap=p.rate_cap)
+            else:
+                bytes_end[idx] = now
+                heapq.heappush(
+                    pending_finish, (compute_end[idx] + p.serial_us, idx)
+                )
+
+        def finish_op(idx: int, t: float) -> None:
+            nonlocal stall_total
+            op = schedule.ops[idx]
+            p = parts[idx]
+            engine_busy[op.engine] = False
+            finish[idx] = t
+            for consumer in consumers_of[idx]:
+                blocked_by[consumer] -= 1
+            begun = start_of[idx]
+            duration = t - begun
+            active = max(compute_end[idx], bytes_end[idx]) - begun
+            nominal = max(p.compute_us, p.uncontended_mem_us(bandwidth))
+            stall = max(0.0, active - nominal)
+            stall_total += stall
+            achieved_gbps = 0.0
+            if p.hbm_bytes > 0:
+                span_us = bytes_end[idx] - begun
+                if span_us > 0:
+                    achieved_gbps = p.hbm_bytes / (span_us * 1e-6) / 1e9
+            interval = self.device.timeline(op.engine).reserve(
+                begun, duration, op.label
+            )
+            events.append(TraceEvent(
+                name=op.label,
+                engine=op.engine,
+                start_us=interval.start,
+                dur_us=duration,
+                src=op.src,
+                scope=op.scope,
+                flops=op.flops,
+                hbm_bytes=p.hbm_bytes,
+                hbm_gbps=achieved_gbps,
+                contention_stall_us=stall,
+            ))
+
+        done = 0
+        while done < n:
+            progress = True
+            while progress:
+                progress = False
+                while (
+                    pending_finish
+                    and pending_finish[0][0] <= now + _TIME_EPS_US
+                ):
+                    t, idx = heapq.heappop(pending_finish)
+                    finish_op(idx, t)
+                    done += 1
+                    progress = True
+                for engine, queue in queues.items():
+                    if engine_busy[engine] or not queue:
+                        continue
+                    if blocked_by[queue[0]] == 0:
+                        start(queue.popleft())
+                        progress = True
+            if done == n:
+                break
+            candidates = []
+            next_drain = arbiter.next_completion_us()
+            if next_drain is not None:
+                candidates.append(next_drain)
+            if pending_finish:
+                candidates.append(pending_finish[0][0])
+            if not candidates:
+                raise ExecutionError(
+                    "deadlock: no ready ops but schedule incomplete "
+                    "(cyclic dependencies?)"
+                )
+            now = max(now, min(candidates))
+            for idx in sorted(arbiter.advance(now)):
+                bytes_end[idx] = now
+                heapq.heappush(
+                    pending_finish,
+                    (max(compute_end[idx], now) + parts[idx].serial_us, idx),
+                )
+        return events, stall_total

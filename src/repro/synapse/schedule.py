@@ -9,7 +9,8 @@ compiler inserted. The runtime only sees this structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass, field, replace
 
 from ..hw.costmodel import EngineKind, WorkItem
 from .graph import Graph
@@ -34,6 +35,12 @@ class ScheduledOp:
     writes: list[int] = field(default_factory=list)
     #: node ids of the graph nodes folded into this op
     node_ids: list[int] = field(default_factory=list)
+    #: HBM bytes read from outside the op across *all* members — for a
+    #: fused chain this includes external inputs feeding middle members,
+    #: which the first member's ``bytes_read`` alone misses. ``None``
+    #: for ops built outside the compiler (runtime falls back to the
+    #: first member's declared reads).
+    external_read_bytes: int | None = None
 
     @property
     def is_fused(self) -> bool:
@@ -44,6 +51,17 @@ class ScheduledOp:
     def flops(self) -> float:
         """Total arithmetic work."""
         return sum(item.flops for item in self.items)
+
+    def clone(self) -> "ScheduledOp":
+        """Copy with fresh mutable containers (items are frozen)."""
+        return replace(
+            self,
+            items=list(self.items),
+            deps=list(self.deps),
+            reads=list(self.reads),
+            writes=list(self.writes),
+            node_ids=list(self.node_ids),
+        )
 
 
 @dataclass
@@ -79,6 +97,25 @@ class Schedule:
     def total_flops(self) -> float:
         """Arithmetic work across all ops."""
         return sum(op.flops for op in self.ops)
+
+    def clone(self) -> "Schedule":
+        """A cache-isolation copy: every mutable layer is duplicated.
+
+        The graph is shared (compilation and execution treat it as
+        immutable); ops, the memory plan, and stats are copied so a
+        caller mutating one compile's output cannot poison another
+        (the recipe cache relies on this).
+        """
+        return Schedule(
+            graph=self.graph,
+            ops=[op.clone() for op in self.ops],
+            memory=MemoryPlan(
+                persistent_bytes=self.memory.persistent_bytes,
+                peak_bytes=self.memory.peak_bytes,
+                free_after=dict(self.memory.free_after),
+            ),
+            stats=copy.deepcopy(self.stats),
+        )
 
     def __len__(self) -> int:
         return len(self.ops)

@@ -30,6 +30,14 @@ class TraceEvent:
     src: str = ""
     scope: str = ""
     flops: float = 0.0
+    #: HBM traffic the op drained (bytes); populated by the contended
+    #: runtime, 0.0 under ``hbm_contention=False``
+    hbm_bytes: float = 0.0
+    #: mean achieved HBM bandwidth over the op's drain phase (GB/s)
+    hbm_gbps: float = 0.0
+    #: active time beyond the uncontended ``max(compute, traffic/bw)``
+    #: — what sharing the HBM with concurrent ops cost this op
+    contention_stall_us: float = 0.0
 
     @property
     def end_us(self) -> float:
@@ -142,7 +150,9 @@ class Timeline:
             hi = min(ev.end_us, t1_us)
             if hi > lo:
                 out.add(TraceEvent(ev.name, ev.engine, lo, hi - lo,
-                                   ev.src, ev.scope, ev.flops))
+                                   ev.src, ev.scope, ev.flops,
+                                   ev.hbm_bytes, ev.hbm_gbps,
+                                   ev.contention_stall_us))
         return out
 
     def filter(
@@ -184,6 +194,7 @@ class Timeline:
                 TraceEvent(
                     ev.name, ev.engine, ev.start_us + offset_us, ev.dur_us,
                     ev.src, ev.scope, ev.flops,
+                    ev.hbm_bytes, ev.hbm_gbps, ev.contention_stall_us,
                 )
                 for ev in self.events
             ],
@@ -201,7 +212,13 @@ class Timeline:
                 "dur": ev.dur_us,
                 "pid": 0,
                 "tid": ev.engine.value,
-                "args": {"scope": ev.scope, "flops": ev.flops},
+                "args": {
+                    "scope": ev.scope,
+                    "flops": ev.flops,
+                    "hbm_bytes": ev.hbm_bytes,
+                    "hbm_gbps": ev.hbm_gbps,
+                    "contention_stall_us": ev.contention_stall_us,
+                },
             }
             for ev in self.events
         ]

@@ -85,7 +85,7 @@ class TestTPCConfig:
 
     def test_special_cost_fallback(self):
         cfg = TPCClusterConfig()
-        assert cfg.special_cost("exp") == 12
+        assert cfg.special_cost("exp") == 15
         assert cfg.special_cost("nonexistent") == cfg.default_special_cycles
 
     def test_rejects_bad_efficiency(self):

@@ -170,7 +170,7 @@ class TestTPCOpClasses:
         n = 1 << 20
         exp_item = WorkItem("exp", OpClass.SPECIAL, elements=n, special_fn="exp")
         sqrt_item = WorkItem("sqrt", OpClass.SPECIAL, elements=n, special_fn="sqrt")
-        # exp costs 12 cycles/element vs sqrt 8 -> exp is slower.
+        # exp costs 15 cycles/element vs sqrt 8 -> exp is slower.
         assert tpc.time_us(exp_item) > tpc.time_us(sqrt_item)
 
     def test_fixed_time_added(self, tpc):

@@ -142,6 +142,79 @@ class TestScheduleInvariants:
         assert result.total_time_us >= longest - 1e-6
 
 
+class TestContentionInvariants:
+    @given(program_strategy, dims_strategy, st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_contended_never_faster(self, ops, dims, reorder):
+        """Sharing bandwidth can stretch a schedule, never beat it."""
+        graph, _ = record_random(ops, dims)
+        schedule = GraphCompiler().compile(graph)
+        on = Runtime(GaudiDevice()).execute(
+            schedule, reorder=reorder, hbm_contention=True
+        )
+        off = Runtime(GaudiDevice()).execute(
+            schedule, reorder=reorder, hbm_contention=False
+        )
+        assert on.total_time_us >= off.total_time_us * (1 - 1e-9) - 1e-6
+        assert on.contention_stall_us >= 0.0
+
+    @given(program_strategy, dims_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_unshared_fluid_reproduces_replay(self, ops, dims):
+        """The fluid event loop with sharing off agrees with the
+        closed-form replay on every random graph (same events, ulp-level
+        timing agreement) — the two memory models share one truth."""
+        graph, _ = record_random(ops, dims)
+        schedule = GraphCompiler().compile(graph)
+        legacy = Runtime(GaudiDevice()).execute(
+            schedule, hbm_contention=False
+        )
+        rt = Runtime(GaudiDevice())
+        events, stall = rt._execute_contended(
+            schedule, list(legacy.issue_order), rt.device.now, shared=False
+        )
+        assert stall == pytest.approx(0.0, abs=1e-6)
+        got = sorted(
+            (ev.name, ev.engine.value, ev.start_us, ev.dur_us)
+            for ev in events
+        )
+        want = sorted(
+            (ev.name, ev.engine.value, ev.start_us, ev.dur_us)
+            for ev in legacy.timeline.events
+        )
+        assert len(got) == len(want)
+        for (gn, ge, gs, gd), (wn, we, ws, wd) in zip(got, want):
+            assert gn == wn and ge == we
+            assert gs == pytest.approx(ws, rel=1e-9, abs=1e-6)
+            assert gd == pytest.approx(wd, rel=1e-9, abs=1e-6)
+
+    @given(program_strategy, dims_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_aggregate_drain_rate_bounded(self, ops, dims):
+        """No instant grants more than the effective HBM bandwidth."""
+        from repro.hw import BandwidthArbiter
+
+        graph, _ = record_random(ops, dims)
+        schedule = GraphCompiler().compile(graph)
+        device = GaudiDevice()
+        bandwidth = device.cost_model.config.hbm.effective_bandwidth
+        captured: list[BandwidthArbiter] = []
+        original = BandwidthArbiter.__init__
+
+        def spy(self, *args, **kwargs):
+            original(self, *args, **kwargs)
+            captured.append(self)
+
+        BandwidthArbiter.__init__ = spy
+        try:
+            Runtime(device).execute(schedule, hbm_contention=True)
+        finally:
+            BandwidthArbiter.__init__ = original
+        assert captured
+        for seg in captured[0].rate_log:
+            assert seg.total_rate <= bandwidth * (1 + 1e-12)
+
+
 class TestExecutorEquivalence:
     @given(program_strategy, dims_strategy, st.booleans())
     @settings(max_examples=30, deadline=None)

@@ -84,7 +84,11 @@ class TestCompilerCaching:
         assert compiler.last_cache_hit is False
         second = compiler.compile(record_program().graph)
         assert compiler.last_cache_hit is True
-        assert second is first  # the cached schedule object itself
+        # a hit replays the recipe as a private clone, never the cached
+        # object itself (callers may mutate what they get back)
+        assert second is not first
+        assert [op.label for op in second.ops] == [op.label for op in first.ops]
+        assert second.stats["passes"] == first.stats["passes"]
         assert compiler.cache.hits == 1 and compiler.cache.misses == 1
 
     def test_changed_graph_misses(self):
@@ -122,6 +126,37 @@ class TestCompilerCaching:
         assert compiler.last_cache_hit is False  # was evicted
         compiler.compile(g2)  # evicted by g1's re-insert
         assert compiler.last_cache_hit is False
+
+    def test_hits_are_mutation_isolated(self):
+        """Regression: the cache used to hand every hit the same
+        Schedule object, so one caller mutating its schedule (stats,
+        memory plan, op lists) silently poisoned every later hit."""
+        compiler = GraphCompiler()
+        graph = record_program().graph
+        first = compiler.compile(graph)
+        first.stats["passes"].append({"pass": "poisoned"})
+        first.stats["poison"] = True
+        first.memory.free_after[-1] = 123456
+        first.ops[0].deps.append(999)
+        dropped = first.ops.pop()
+        second = compiler.compile(graph)
+        assert compiler.last_cache_hit is True
+        assert {"pass": "poisoned"} not in second.stats["passes"]
+        assert "poison" not in second.stats
+        assert -1 not in second.memory.free_after
+        assert 999 not in second.ops[0].deps
+        assert second.ops[-1].label == dropped.label
+
+    def test_stored_schedule_not_aliased_by_compiler(self):
+        """The object the compiler returns on a miss is the one it just
+        stored — mutating it must not corrupt the cached recipe."""
+        compiler = GraphCompiler()
+        graph = record_program().graph
+        miss = compiler.compile(graph)
+        miss.ops.clear()
+        hit = compiler.compile(graph)
+        assert compiler.last_cache_hit is True
+        assert len(hit.ops) > 0
 
     def test_cache_info_counters(self):
         cache = RecipeCache(maxsize=4)
@@ -163,5 +198,5 @@ class TestProfilerIntegration:
         graph = record_program().graph
         first = profiler.profile(graph)
         second = profiler.profile(graph)
-        assert second.schedule.stats["passes"] is first.schedule.stats["passes"]
+        assert second.schedule.stats["passes"] == first.schedule.stats["passes"]
         assert [e["pass"] for e in second.schedule.stats["passes"]]
