@@ -28,6 +28,7 @@ from .core import (
     run_pass_toggle_ablation,
     run_pipelined_attention_study,
     run_reorder_ablation,
+    run_comm_overlap_ablation,
     run_scaling_study,
     run_seq_sweep,
     run_tpc_core_sweep,
@@ -45,6 +46,23 @@ from .synapse import (
 def _simple(run: Callable[[], object]) -> tuple[str, list[ShapeCheck]]:
     result = run()
     return result.render(), result.checks()
+
+
+#: CLI-selected HLS-1 population for the multi-card experiments
+#: (``--cards``); ``None`` means each experiment's default sweep
+_CLI_CARDS: int | None = None
+
+
+def _scaling() -> tuple[str, list[ShapeCheck]]:
+    if _CLI_CARDS is None:
+        return _simple(run_scaling_study)
+    counts = tuple(p for p in (1, 2, 4, 8) if p <= _CLI_CARDS)
+    return _simple(lambda: run_scaling_study(card_counts=counts))
+
+
+def _comm_ablation() -> tuple[str, list[ShapeCheck]]:
+    cards = _CLI_CARDS if _CLI_CARDS is not None else 8
+    return _simple(lambda: run_comm_overlap_ablation(num_cards=cards))
 
 
 EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] = {
@@ -69,7 +87,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] =
     "ablation-tpc-cores": ("A3: TPC core-count sweep",
                            lambda: _simple(run_tpc_core_sweep)),
     "scaling": ("A4: HLS-1 multi-card scaling extension",
-                lambda: _simple(run_scaling_study)),
+                _scaling),
     "chunked": ("A5: chunked-attention extension",
                 lambda: _simple(run_chunked_attention_study)),
     "pipelined": ("A6: pipelined exact-attention extension",
@@ -84,6 +102,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] =
                         lambda: _simple(run_pass_toggle_ablation)),
     "ablation-hbm": ("A11: HBM contention ablation",
                      lambda: _simple(run_hbm_contention_ablation)),
+    "ablation-comm": ("A12: communication-overlap ablation",
+                      _comm_ablation),
 }
 
 
@@ -144,6 +164,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="time every op at full HBM bandwidth instead of sharing "
              "it across concurrent engines (the pre-contention model)",
     )
+    parser.add_argument(
+        "--cards", type=int, default=None, metavar="N",
+        help="HLS-1 population for multi-card experiments "
+             "(power of two <= 8; caps the A4 sweep, sets A12's box)",
+    )
+    parser.add_argument(
+        "--bucket-mb", type=float, default=None, metavar="MB",
+        help="gradient-bucket size for collective injection "
+             "(default 25)",
+    )
+    parser.add_argument(
+        "--no-comm-overlap", action="store_true",
+        help="emit one monolithic gradient all-reduce behind the last "
+             "gradient instead of bucketed overlapped all-reduces",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     study = sub.add_parser("study", help="run every experiment")
@@ -177,7 +212,18 @@ def main(argv: list[str] | None = None) -> int:
         import dataclasses
 
         options = dataclasses.replace(options, hbm_contention=False)
+    if args.bucket_mb is not None:
+        import dataclasses
+
+        options = dataclasses.replace(options, bucket_mb=args.bucket_mb)
+    if args.no_comm_overlap:
+        import dataclasses
+
+        options = dataclasses.replace(options, comm_overlap=False)
     set_default_compiler_options(options)
+    if args.cards is not None:
+        global _CLI_CARDS
+        _CLI_CARDS = args.cards
 
     if args.command == "lint-gate":
         return _lint_gate()

@@ -65,7 +65,14 @@ from .reference import (
     within_band,
 )
 from .roofline import RooflinePoint, RooflineReport, roofline_of_schedule
-from .scaling_study import ScalingRow, ScalingStudyResult, run_scaling_study
+from .scaling_study import (
+    CommOverlapAblationResult,
+    OverlapRow,
+    ScalingRow,
+    ScalingStudyResult,
+    run_comm_overlap_ablation,
+    run_scaling_study,
+)
 from .seq_sweep import SeqSweepResult, run_seq_sweep
 from .study import StudyReport, run_full_study
 
@@ -127,8 +134,11 @@ __all__ = [
     "RooflinePoint",
     "RooflineReport",
     "roofline_of_schedule",
+    "CommOverlapAblationResult",
+    "OverlapRow",
     "ScalingRow",
     "ScalingStudyResult",
+    "run_comm_overlap_ablation",
     "run_scaling_study",
     "SeqSweepResult",
     "run_seq_sweep",

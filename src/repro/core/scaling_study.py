@@ -1,24 +1,36 @@
-"""Extension A4: multi-card HLS-1 scaling of LLM training.
+"""Extensions A4 + A12: multi-card HLS-1 scaling of LLM training.
 
 §2.1 advertises "exceptional scalability in both expanding and
 multiplying setups" over the on-chip RoCE fabric; the paper itself
-profiles a single card. This extension models weak-scaling
-data-parallel training across 1..8 Gaudis of an HLS-1: each card runs
-the profiled per-card step, then ring-all-reduces the gradients.
+profiles a single card. Extension A4 weak-scales a data-parallel
+training step across 1..8 Gaudis of an HLS-1 on the *event-driven*
+multi-card runtime: one compiled recipe (card-count independent, so
+the sweep keeps hitting the recipe cache) replayed per card with
+bucketed gradient all-reduce draining through the shared fabric. The
+closed-form :func:`~repro.hw.interconnect.data_parallel_step_time_us`
+is retained as an analytic cross-check column — see its docstring for
+why the two diverge.
+
+Extension A12 holds the box at 8 cards and sweeps the communication
+schedule itself: overlap off (one monolithic all-reduce behind the
+last gradient) versus bucketed overlap at decreasing bucket sizes.
+The headline is the exposed-communication time — NIC busy microseconds
+not hidden under backward compute — collapsing as buckets shrink.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from ..hw.config import HLS1Config
-from ..hw.dtypes import itemsize
+from ..hw.device import HLS1Device
 from ..hw.interconnect import RingAllReduce, data_parallel_step_time_us
-from ..models import paper_bert_config, paper_gpt_config
-from ..synapse import SynapseProfiler
+from ..synapse import GraphCompiler, default_compiler_options
+from ..synapse.runtime import HLS1Runtime
 from ..util.tabulate import render_table
 from ..util.units import us_to_ms
-from .e2e_llm import MODEL_BUILDERS, record_training_step
+from .e2e_llm import E2E_SHAPES, record_training_step
 from .reference import ShapeCheck, threshold_check
 
 
@@ -31,6 +43,10 @@ class ScalingRow:
     allreduce_ms: float
     efficiency: float
     aggregate_samples_per_s: float
+    #: NIC time not hidden under compute (card 0), from the trace
+    exposed_comm_ms: float = 0.0
+    #: the closed-form analytic reference for the same step
+    analytic_step_ms: float = 0.0
 
 
 @dataclass
@@ -44,12 +60,22 @@ class ScalingStudyResult:
 
     def checks(self) -> list[ShapeCheck]:
         """Scaling sanity claims for the extension."""
-        eff8 = next(r.efficiency for r in self.rows if r.num_cards == 8)
+        top = max(self.rows, key=lambda r: r.num_cards)
         thr = [r.aggregate_samples_per_s for r in self.rows]
+        multi = [r for r in self.rows if r.num_cards > 1]
+        # The bucketed-overlap simulation must never be slower than
+        # serializing compute then the whole all-reduce (the analytic
+        # worst case); small slack for per-bucket latency terms.
+        bounded = all(
+            r.step_time_ms
+            <= 1.05 * (self.rows[0].step_time_ms + r.allreduce_ms)
+            for r in multi
+        )
         return [
             threshold_check(
-                f"scaling [{self.model_name}]: 8-card weak-scaling efficiency",
-                eff8, 0.80,
+                f"scaling [{self.model_name}]: {top.num_cards}-card "
+                "weak-scaling efficiency",
+                top.efficiency, 0.80,
             ),
             ShapeCheck(
                 f"scaling [{self.model_name}]: throughput grows with cards",
@@ -57,18 +83,26 @@ class ScalingStudyResult:
                 "monotone" if thr == sorted(thr) else "non-monotone",
                 "monotone",
             ),
+            ShapeCheck(
+                f"scaling [{self.model_name}]: simulated step bounded by "
+                "compute + serial all-reduce",
+                bounded,
+                "bounded" if bounded else "exceeds serial analytic",
+                "bounded",
+            ),
         ]
 
     def render(self) -> str:
-        """Scaling table."""
+        """Scaling table (simulated next to the analytic reference)."""
         return render_table(
-            ["Cards", "Step (ms)", "All-reduce (ms)", "Efficiency",
-             "Samples/s"],
-            [(r.num_cards, r.step_time_ms, r.allreduce_ms,
+            ["Cards", "Step (ms)", "Analytic (ms)", "All-reduce (ms)",
+             "Exposed comm (ms)", "Efficiency", "Samples/s"],
+            [(r.num_cards, r.step_time_ms, r.analytic_step_ms,
+              r.allreduce_ms, r.exposed_comm_ms,
               f"{r.efficiency:.1%}", r.aggregate_samples_per_s)
              for r in self.rows],
             title=f"HLS-1 weak scaling, {self.model_name} "
-                  f"(per-card batch {self.per_card_batch})",
+                  f"(per-card batch {self.per_card_batch}, event-driven)",
         )
 
 
@@ -79,31 +113,194 @@ def run_scaling_study(
     card_counts: tuple[int, ...] = (1, 2, 4, 8),
     overlap_fraction: float = 0.5,
 ) -> ScalingStudyResult:
-    """Weak-scale a training step across the box."""
+    """Weak-scale a training step across the box, event-driven.
+
+    One graph is recorded and compiled once (collective injection on);
+    the same schedule then executes on an :class:`HLS1Runtime` per card
+    count. ``overlap_fraction`` only parameterizes the analytic
+    reference column.
+    """
     hls1 = hls1 or HLS1Config()
     rec = record_training_step(model_name)
-    profile = SynapseProfiler(hls1.card).profile(rec.graph)
-    compute_us = profile.total_time_us
-
-    model_cls, config_fn = MODEL_BUILDERS[model_name]
-    cfg = config_fn()
-    model = model_cls(cfg, materialize=False)
-    grad_bytes = sum(
-        p.numel * itemsize(p.dtype) for p in model.parameters()
+    options = dataclasses.replace(
+        default_compiler_options(), inject_collectives=True
     )
-    batch = 8
+    compiler = GraphCompiler(hls1.card, options)
+    schedule = compiler.compile(rec.graph)
+    grad_bytes = int(schedule.stats.get("gradient_bytes", 0))
+
+    batch = E2E_SHAPES["batch"]
     result = ScalingStudyResult(model_name, batch, grad_bytes)
     ar = RingAllReduce(hls1.interconnect)
+
+    base = HLS1Runtime(
+        HLS1Device(dataclasses.replace(hls1, num_cards=1))
+    ).execute(schedule)
+    base_us = base.total_time_us
     for p in card_counts:
-        step_us = data_parallel_step_time_us(
-            compute_us, grad_bytes, p, hls1.interconnect,
-            overlap_fraction=overlap_fraction,
-        )
+        if p == 1:
+            res = base
+        else:
+            system = HLS1Device(dataclasses.replace(hls1, num_cards=p))
+            res = HLS1Runtime(system).execute(schedule)
+        step_us = res.total_time_us
         result.rows.append(ScalingRow(
             num_cards=p,
             step_time_ms=us_to_ms(step_us),
             allreduce_ms=us_to_ms(ar.cost(p, grad_bytes).time_us),
-            efficiency=compute_us / step_us,
+            efficiency=base_us / step_us,
             aggregate_samples_per_s=p * batch / (step_us / 1e6),
+            exposed_comm_ms=us_to_ms(res.exposed_comm_us),
+            analytic_step_ms=us_to_ms(data_parallel_step_time_us(
+                base_us, grad_bytes, p, hls1.interconnect,
+                overlap_fraction=overlap_fraction,
+            )),
         ))
+    return result
+
+
+# -- A12: communication-overlap ablation ------------------------------------
+
+
+@dataclass(frozen=True)
+class OverlapRow:
+    """One communication schedule at a fixed card count."""
+
+    label: str
+    comm_overlap: bool
+    bucket_mb: float
+    num_buckets: int
+    step_time_ms: float
+    efficiency: float
+    exposed_comm_ms: float
+    fabric_utilization: float
+
+
+@dataclass
+class CommOverlapAblationResult:
+    """A12: overlap on/off x bucket size on a fixed HLS-1 population."""
+
+    model_name: str
+    num_cards: int
+    gradient_bytes: int
+    base_step_ms: float
+    rows: list[OverlapRow] = field(default_factory=list)
+
+    def checks(self) -> list[ShapeCheck]:
+        """Overlap claims: monotone improvement, shrinking exposure."""
+        effs = [r.efficiency for r in self.rows]
+        monotone = all(b >= a - 1e-9 for a, b in zip(effs, effs[1:]))
+        improved = self.rows[-1].efficiency > self.rows[0].efficiency
+        exposed_drops = (
+            self.rows[-1].exposed_comm_ms < self.rows[0].exposed_comm_ms
+        )
+        return [
+            ShapeCheck(
+                f"overlap [{self.model_name}]: efficiency improves "
+                "monotonically along the sweep",
+                monotone,
+                "monotone" if monotone else f"non-monotone {effs}",
+                "monotone",
+            ),
+            ShapeCheck(
+                f"overlap [{self.model_name}]: bucketed overlap beats "
+                "the monolithic all-reduce",
+                improved,
+                f"{self.rows[0].efficiency:.1%} -> "
+                f"{self.rows[-1].efficiency:.1%}",
+                "improved",
+            ),
+            ShapeCheck(
+                f"overlap [{self.model_name}]: exposed communication "
+                "shrinks with overlap",
+                exposed_drops,
+                f"{self.rows[0].exposed_comm_ms:.2f} -> "
+                f"{self.rows[-1].exposed_comm_ms:.2f} ms",
+                "shrinks",
+            ),
+        ]
+
+    def render(self) -> str:
+        """Ablation table, one row per communication schedule."""
+        return render_table(
+            ["Schedule", "Buckets", "Step (ms)", "Efficiency",
+             "Exposed comm (ms)", "Fabric util"],
+            [(r.label, r.num_buckets, r.step_time_ms,
+              f"{r.efficiency:.1%}", r.exposed_comm_ms,
+              f"{r.fabric_utilization:.1%}")
+             for r in self.rows],
+            title=f"A12 comm-overlap ablation, {self.model_name} on "
+                  f"{self.num_cards} cards "
+                  f"(single-card step {self.base_step_ms:.2f} ms)",
+        )
+
+
+def run_comm_overlap_ablation(
+    model_name: str = "gpt",
+    *,
+    hls1: HLS1Config | None = None,
+    num_cards: int = 8,
+    bucket_sizes_mb: tuple[float, ...] = (100.0, 25.0, 4.0),
+) -> CommOverlapAblationResult:
+    """Sweep the DDP communication schedule on a fixed population.
+
+    Rows run overlap-off first (one all-reduce behind the final
+    gradient — the analytic model's world), then bucketed overlap at
+    each of ``bucket_sizes_mb``, coarsest to finest. Each setting is a
+    distinct compile (the bucket structure lives in the schedule), each
+    keyed separately in the recipe cache.
+    """
+    hls1 = hls1 or HLS1Config()
+    rec = record_training_step(model_name)
+    base_options = dataclasses.replace(
+        default_compiler_options(), inject_collectives=True
+    )
+    settings: list[tuple[str, bool, float]] = [
+        ("no overlap", False, float("inf"))
+    ]
+    for mb in bucket_sizes_mb:
+        settings.append((f"overlap {mb:g} MB", True, mb))
+
+    result: CommOverlapAblationResult | None = None
+    base_us = 0.0
+    for label, overlap, mb in settings:
+        options = dataclasses.replace(
+            base_options,
+            comm_overlap=overlap,
+            bucket_mb=mb if overlap else base_options.bucket_mb,
+        )
+        schedule = GraphCompiler(hls1.card, options).compile(rec.graph)
+        if result is None:
+            base = HLS1Runtime(
+                HLS1Device(dataclasses.replace(hls1, num_cards=1))
+            ).execute(schedule)
+            base_us = base.total_time_us
+            result = CommOverlapAblationResult(
+                model_name=model_name,
+                num_cards=num_cards,
+                gradient_bytes=int(schedule.stats.get("gradient_bytes", 0)),
+                base_step_ms=us_to_ms(base_us),
+            )
+        system = HLS1Device(
+            dataclasses.replace(hls1, num_cards=num_cards)
+        )
+        res = HLS1Runtime(system).execute(schedule)
+        buckets = sum(
+            1 for op in schedule.ops if op.src == "all_reduce"
+        )
+        fabric_util = (
+            res.fabric_busy_us / res.total_time_us
+            if res.total_time_us > 0 else 0.0
+        )
+        result.rows.append(OverlapRow(
+            label=label,
+            comm_overlap=overlap,
+            bucket_mb=mb,
+            num_buckets=buckets,
+            step_time_ms=us_to_ms(res.total_time_us),
+            efficiency=base_us / res.total_time_us,
+            exposed_comm_ms=us_to_ms(res.exposed_comm_us),
+            fabric_utilization=fabric_util,
+        ))
+    assert result is not None
     return result

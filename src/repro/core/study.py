@@ -28,7 +28,7 @@ from .generations import run_generation_comparison
 from .mme_vs_tpc import run_mme_vs_tpc
 from .opmapping import run_op_mapping
 from .reference import ShapeCheck
-from .scaling_study import run_scaling_study
+from .scaling_study import run_comm_overlap_ablation, run_scaling_study
 from .seq_sweep import run_seq_sweep
 
 
@@ -136,5 +136,9 @@ def run_full_study(
         a11 = run_hbm_contention_ablation(config=config)
         report.add("A11: HBM contention ablation", a11.render(),
                    a11.checks())
+
+        a12 = run_comm_overlap_ablation("gpt")
+        report.add("A12: comm-overlap ablation", a12.render(),
+                   a12.checks())
 
     return report

@@ -54,6 +54,7 @@ class SGD:
                         f"gradient shape {p.grad.shape} != parameter "
                         f"shape {p.shape} for {p.name!r}"
                     )
+                rec.mark_gradient(p.grad, p.name)
                 new_value = F.sub(
                     p.as_tensor(), F.mul_scalar(p.grad, self.lr)
                 )
@@ -107,6 +108,7 @@ class AdamLike:
                 if p.grad is None:
                     continue
                 g = p.grad
+                rec.mark_gradient(g, p.name)
                 # m and v recomputed from g each step in-graph; host-side
                 # state is intentionally not modeled — the *device work*
                 # per step is what the trace needs to show.

@@ -85,6 +85,15 @@ class Recorder:
             )
         return self._param_values[key]
 
+    def mark_gradient(self, grad: "Tensor", param_name: str = "") -> None:
+        """Tag a tensor as a parameter gradient for DDP all-reduce.
+
+        The optimizer marks every ``p.grad`` it reads; the compiler's
+        ``collective_injection`` pass buckets the marked values into
+        all-reduce ops for multi-card runs. Harmless on 1 card.
+        """
+        self.graph.mark_gradient(grad.vid, param_name)
+
     def graph_signature(self) -> str:
         """Canonical signature of the recorded graph so far.
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..util.errors import ConfigError
 from ..util.units import GIB, MIB, KIB
 from ..util.validation import (
     check_fraction,
@@ -256,3 +257,12 @@ class HLS1Config:
 
     def __post_init__(self) -> None:
         check_positive_int("HLS1Config.num_cards", self.num_cards)
+        # Ring collectives split the payload into num_cards chunks, so
+        # the box only supports power-of-two populations (1, 2, 4, 8).
+        # Same predicate as interconnect.log2_cards, inlined because
+        # interconnect imports this module.
+        if self.num_cards & (self.num_cards - 1):
+            raise ConfigError(
+                "HLS1Config.num_cards must be a power of two, "
+                f"got {self.num_cards}"
+            )

@@ -48,6 +48,9 @@ class EngineKind(enum.Enum):
     TPC = "TPC"
     DMA = "DMA"
     HOST = "HOST"
+    #: the on-chip RoCE NIC driving the HLS-1 fabric (§2.1); occupied
+    #: for the duration of a collective, timed by the fabric model
+    NIC = "NIC"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
@@ -62,6 +65,9 @@ class OpClass(enum.Enum):
     SPECIAL = "special"
     DATA_MOVE = "data_move"
     HOST = "host"
+    #: multi-card communication (all_reduce / all_gather / broadcast);
+    #: free on a single card, timed by the fabric model across cards
+    COLLECTIVE = "collective"
 
 
 @dataclass(frozen=True)
@@ -411,6 +417,11 @@ class CostModel:
             return self.dma.time_us(item)
         if engine is EngineKind.HOST:
             return item.fixed_time_us
+        if engine is EngineKind.NIC:
+            # Single-card view: a collective with no peers is a no-op.
+            # Across cards the runtime times it from the fabric plan
+            # (per-ring-step events), not from this closed form.
+            return item.fixed_time_us
         raise ConfigError(f"unknown engine {engine!r}")
 
     def cost_parts(self, engine: EngineKind, item: WorkItem) -> CostParts:
@@ -421,6 +432,6 @@ class CostModel:
             return self.tpc.cost_parts(item)
         if engine is EngineKind.DMA:
             return self.dma.cost_parts(item)
-        if engine is EngineKind.HOST:
+        if engine in (EngineKind.HOST, EngineKind.NIC):
             return CostParts(fixed_us=item.fixed_time_us)
         raise ConfigError(f"unknown engine {engine!r}")

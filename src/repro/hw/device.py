@@ -28,6 +28,7 @@ class GaudiDevice:
             EngineKind.TPC: EngineTimeline("TPC"),
             EngineKind.DMA: EngineTimeline("DMA"),
             EngineKind.HOST: EngineTimeline("HOST"),
+            EngineKind.NIC: EngineTimeline("NIC"),
         }
         self.hbm = MemoryTracker(
             self.config.hbm.capacity_bytes, enforce=enforce_memory
@@ -93,6 +94,73 @@ class HLS1System:
         """Reset every card."""
         for card in self.cards:
             card.reset()
+
+
+class HLS1Device:
+    """N Gaudi cards plus the shared RoCE fabric, as one device.
+
+    Unlike :class:`HLS1System` (a bag of independent cards used for
+    cost accounting), an ``HLS1Device`` is what the multi-card runtime
+    executes onto: every card replays the same data-parallel schedule
+    on its own clock, and collective ops synchronize the clocks through
+    the fabric. The fabric itself is a bandwidth pool of
+    ``num_cards`` ring links arbitrated by the runtime.
+    """
+
+    def __init__(
+        self,
+        config: HLS1Config | None = None,
+        *,
+        enforce_memory: bool = True,
+    ):
+        self.config = config or HLS1Config()
+        self.cards = [
+            GaudiDevice(self.config.card, enforce_memory=enforce_memory)
+            for _ in range(self.config.num_cards)
+        ]
+
+    @property
+    def num_cards(self) -> int:
+        """Cards in the box."""
+        return len(self.cards)
+
+    @property
+    def interconnect(self):
+        """The fabric configuration."""
+        return self.config.interconnect
+
+    @property
+    def fabric_bandwidth(self) -> float:
+        """Aggregate fabric capacity in bytes/s (num_cards ring links)."""
+        from .interconnect import fabric_bandwidth
+
+        return fabric_bandwidth(self.config.interconnect, self.num_cards)
+
+    @property
+    def now(self) -> float:
+        """System clock: the latest completion time across all cards."""
+        return max(card.now for card in self.cards)
+
+    def __len__(self) -> int:
+        return len(self.cards)
+
+    def card(self, index: int) -> GaudiDevice:
+        """The ``index``-th Gaudi in the box."""
+        return self.cards[index]
+
+    def reset(self) -> None:
+        """Reset every card."""
+        for card in self.cards:
+            card.reset()
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        ic = self.config.interconnect
+        return (
+            f"HLS-1: {self.num_cards}x [{self.cards[0].describe()}], "
+            f"RoCE {ic.roce_bandwidth_bytes_per_s / 1e9:.1f} GB/s/link @ "
+            f"{ic.roce_latency_us:.1f} us"
+        )
 
 
 def default_device() -> GaudiDevice:

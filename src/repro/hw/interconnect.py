@@ -4,8 +4,19 @@ Gaudi integrates RoCE v2 NICs on chip; inside an HLS-1 the eight cards
 form an all-to-all fabric, which data-parallel training uses for
 gradient all-reduce (§2.1: "GAUDI ... delivers exceptional scalability
 in both expanding and multiplying setups"). The paper itself profiles a
-single card; this module powers the scaling *extension* experiment
-(DESIGN.md exp A4).
+single card; this module powers the scaling extension experiments
+(DESIGN.md exps A4, A12).
+
+Two views of the same algorithms live here:
+
+* closed-form costs (:class:`RingAllReduce`, :class:`AllGather`) — the
+  analytic reference used for cross-checks and documentation;
+* per-ring-step :class:`CollectivePlan` objects
+  (:func:`collective_plan`) — the event-driven decomposition the
+  multi-card runtime replays, step by step, through a fabric-level
+  :class:`~repro.hw.bandwidth.BandwidthArbiter` so that concurrent
+  collectives contend for wire time instead of each seeing an idle
+  fabric.
 """
 
 from __future__ import annotations
@@ -52,8 +63,14 @@ class RingAllReduce:
             return CollectiveCost("ring-allreduce", 1, payload_bytes, 0.0, 0)
         p = num_cards
         steps = 2 * (p - 1)
-        bw_term = 2.0 * (p - 1) / p * payload_bytes / self.config.roce_bandwidth_bytes_per_s
         lat_term = steps * self.config.roce_latency_us
+        if payload_bytes < p:
+            # Sub-chunk payload: the ring cannot even split the buffer
+            # into p chunks, so each step moves (at most) a byte and the
+            # collective is purely latency-bound. Charging the bw term
+            # here would bill near-zero-byte wire steps.
+            return CollectiveCost("ring-allreduce", p, payload_bytes, lat_term, steps)
+        bw_term = 2.0 * (p - 1) / p * payload_bytes / self.config.roce_bandwidth_bytes_per_s
         return CollectiveCost(
             "ring-allreduce", p, payload_bytes, s_to_us(bw_term) + lat_term, steps
         )
@@ -75,11 +92,124 @@ class AllGather:
             return CollectiveCost("ring-allgather", 1, payload_bytes, 0.0, 0)
         p = num_cards
         steps = p - 1
-        bw_term = (p - 1) * payload_bytes / self.config.roce_bandwidth_bytes_per_s
         lat_term = steps * self.config.roce_latency_us
+        if payload_bytes < p:
+            # Latency-bound floor, mirroring RingAllReduce: sub-chunk
+            # contributions make every ring step a near-empty message.
+            return CollectiveCost("ring-allgather", p, payload_bytes, lat_term, steps)
+        bw_term = (p - 1) * payload_bytes / self.config.roce_bandwidth_bytes_per_s
         return CollectiveCost(
             "ring-allgather", p, payload_bytes, s_to_us(bw_term) + lat_term, steps
         )
+
+
+@dataclass(frozen=True)
+class RingStep:
+    """One synchronous step of a ring collective, as a fabric event.
+
+    ``wire_bytes`` is the *aggregate* traffic the step puts on the
+    fabric (all p ring links send concurrently, so one all-reduce step
+    moving payload/p per link totals the full payload). A zero-wire
+    step models a latency-bound hop: the step still takes
+    ``latency_us`` but drains nothing through the fabric arbiter.
+    """
+
+    wire_bytes: float
+    latency_us: float
+
+
+@dataclass(frozen=True)
+class CollectivePlan:
+    """Event-driven decomposition of one collective.
+
+    The runtime replays ``steps`` in order: wait ``latency_us``, then
+    drain ``wire_bytes`` through the fabric arbiter at up to
+    ``rate_cap`` bytes/s. A lone collective on an idle fabric
+    reproduces ``analytic_time_us`` exactly; concurrent collectives
+    share the fabric pool and come out slower — that is the contention
+    the closed forms cannot see.
+    """
+
+    algorithm: str
+    num_cards: int
+    payload_bytes: int
+    steps: tuple[RingStep, ...]
+    rate_cap: float
+    analytic_time_us: float
+
+    @property
+    def wire_bytes(self) -> float:
+        """Total fabric traffic across all steps."""
+        return sum(step.wire_bytes for step in self.steps)
+
+
+def fabric_bandwidth(config: InterconnectConfig, num_cards: int) -> float:
+    """Aggregate fabric capacity of ``num_cards`` ring links, bytes/s.
+
+    In the all-to-all HLS-1 wiring each card owns a dedicated link to
+    its ring neighbour, so the fabric pool is ``num_cards`` links wide.
+    """
+    if num_cards < 1:
+        raise ConfigError(f"num_cards must be >= 1, got {num_cards}")
+    return num_cards * config.roce_bandwidth_bytes_per_s
+
+
+def collective_plan(
+    op_name: str,
+    num_cards: int,
+    payload_bytes: int,
+    config: InterconnectConfig,
+) -> CollectivePlan:
+    """Build the per-ring-step fabric plan for one collective node.
+
+    ``op_name`` is the graph-level op (``all_reduce``, ``all_gather``
+    or ``broadcast``); ``payload_bytes`` is the per-card buffer size.
+    With one card every plan is empty (zero steps, zero time) so a
+    1-card HLS-1 replay stays byte-identical to the single-card path.
+    """
+    if payload_bytes < 0:
+        raise ConfigError(f"payload_bytes must be >= 0, got {payload_bytes}")
+    p = num_cards
+    log2_cards(p)  # validate the population
+    link_bw = config.roce_bandwidth_bytes_per_s
+    latency = config.roce_latency_us
+
+    if op_name == "all_reduce":
+        analytic = RingAllReduce(config).cost(p, payload_bytes)
+        if p == 1:
+            return CollectivePlan("ring-allreduce", 1, payload_bytes, (), link_bw, 0.0)
+        # 2(p-1) steps; each moves payload/p per link on p concurrent
+        # links = payload aggregate. Sub-chunk payloads degenerate to
+        # latency-only hops (see RingAllReduce.cost).
+        wire = float(payload_bytes) if payload_bytes >= p else 0.0
+        steps = tuple(RingStep(wire, latency) for _ in range(2 * (p - 1)))
+        return CollectivePlan(
+            "ring-allreduce", p, payload_bytes, steps, p * link_bw, analytic.time_us
+        )
+
+    if op_name == "all_gather":
+        analytic = AllGather(config).cost(p, payload_bytes)
+        if p == 1:
+            return CollectivePlan("ring-allgather", 1, payload_bytes, (), link_bw, 0.0)
+        wire = float(p * payload_bytes) if payload_bytes >= p else 0.0
+        steps = tuple(RingStep(wire, latency) for _ in range(p - 1))
+        return CollectivePlan(
+            "ring-allgather", p, payload_bytes, steps, p * link_bw, analytic.time_us
+        )
+
+    if op_name == "broadcast":
+        # Chain broadcast: the root forwards the buffer around the
+        # ring, one link active per step, p-1 hops.
+        if p == 1:
+            return CollectivePlan("chain-broadcast", 1, payload_bytes, (), link_bw, 0.0)
+        wire = float(payload_bytes) if payload_bytes >= p else 0.0
+        steps = tuple(RingStep(wire, latency) for _ in range(p - 1))
+        analytic_us = (p - 1) * latency + (p - 1) * s_to_us(wire / link_bw)
+        return CollectivePlan(
+            "chain-broadcast", p, payload_bytes, steps, link_bw, analytic_us
+        )
+
+    raise ConfigError(f"unknown collective op {op_name!r}")
 
 
 class HostLink:
@@ -107,9 +237,23 @@ def data_parallel_step_time_us(
 ) -> float:
     """One data-parallel training step: per-card compute + allreduce.
 
-    ``overlap_fraction`` is how much of the all-reduce hides under
-    backward compute (bucketed gradient reduction); 0 models the naive
+    **Analytic reference only.** The event-driven multi-card runtime
+    (``synapse.runtime.HLS1Runtime``) is what A4/A12 report; this
+    closed form is kept as the cross-check both studies print next to
+    the simulated number. ``overlap_fraction`` is how much of the
+    all-reduce hides under backward compute; 0 models the naive
     sequential step.
+
+    The two views agree when overlap is off (one bucket, issued after
+    the last backward op) up to per-bucket launch overhead. Once
+    per-bucket readiness is modeled they diverge, because the analytic
+    form assumes a single monolithic all-reduce over ``gradient_bytes``
+    at a hand-tuned ``overlap_fraction``, while the simulated runtime
+    (a) starts each bucket the moment its producing backward ops
+    retire, so the hidden fraction is an *outcome*, not an input;
+    (b) pays 2(p-1) link latencies per bucket, which the monolithic
+    form amortizes once; and (c) shares fabric bandwidth between
+    buckets that are in flight simultaneously.
     """
     if not 0.0 <= overlap_fraction <= 1.0:
         raise ConfigError(

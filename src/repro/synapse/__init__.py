@@ -28,13 +28,21 @@ from .ops import (
     op_names,
     work_item_for,
 )
-from .passes import PASS_OPTION_FLAGS, CompilerPass, PassManager, default_passes
-from .profiler import ProfileResult, SynapseProfiler
+from .passes import (
+    PASS_OPTION_FLAGS,
+    CollectiveInjectionPass,
+    CompilerPass,
+    PassManager,
+    default_passes,
+)
+from .profiler import HLS1Profiler, ProfileResult, SynapseProfiler
 from .recipe import RecipeCache, graph_signature, recipe_key
 from .render import ascii_timeline, gap_report
 from .runtime import (
     ExecutionResult,
+    HLS1Runtime,
     Runtime,
+    collective_plans,
     fused_chain_traffic_bytes,
     op_cost_parts,
     op_duration_us,
@@ -55,6 +63,7 @@ __all__ = [
     "disable_passes",
     "set_default_compiler_options",
     "PASS_OPTION_FLAGS",
+    "CollectiveInjectionPass",
     "CompilerPass",
     "PassManager",
     "default_passes",
@@ -84,12 +93,15 @@ __all__ = [
     "op",
     "op_names",
     "work_item_for",
+    "HLS1Profiler",
     "ProfileResult",
     "SynapseProfiler",
     "ascii_timeline",
     "gap_report",
     "ExecutionResult",
+    "HLS1Runtime",
     "Runtime",
+    "collective_plans",
     "fused_chain_traffic_bytes",
     "op_cost_parts",
     "op_duration_us",

@@ -23,6 +23,9 @@ shared :class:`~repro.synapse.passes.state.CompilationState`:
   serial matmul->softmax->matmul chain into MME idle gaps (Fig. 4).
   The ``reorder`` option gives the runtime license to pick any ready
   op (the ablation the paper wishes for).
+* ``collective_injection`` — marked parameter gradients are bucketed
+  into all-reduce NIC ops anchored to their producing backward ops
+  (the multi-card DDP path; off by default).
 * ``memory_planning`` — peak HBM footprint by liveness; schedules over
   the 32 GB budget are rejected — the constraint that pushed the
   paper's end-to-end batch size down to 8.
@@ -88,6 +91,16 @@ class CompilerOptions:
     plan_memory: bool = True
     #: memoize compiled schedules by graph/config/options signature
     use_recipe_cache: bool = True
+    #: bucket marked parameter gradients into all-reduce NIC ops (the
+    #: multi-card DDP path; harmless but off by default for single-card
+    #: experiments)
+    inject_collectives: bool = False
+    #: gradient-bucket size for collective injection (``--bucket-mb``)
+    bucket_mb: float = 25.0
+    #: overlap gradient all-reduce with backward compute by bucketing;
+    #: off = one monolithic all-reduce after the last gradient
+    #: (``--no-comm-overlap``)
+    comm_overlap: bool = True
 
 
 def disable_passes(

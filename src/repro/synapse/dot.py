@@ -17,6 +17,7 @@ _ENGINE_COLORS = {
     EngineKind.MME: "#8ecae6",   # blue: the matmul engine
     EngineKind.TPC: "#ffb703",   # amber: everything else
     EngineKind.DMA: "#cdeac0",
+    EngineKind.NIC: "#bdb2ff",   # violet: the RoCE collective engine
     EngineKind.HOST: "#ffafcc",
 }
 

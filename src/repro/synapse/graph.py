@@ -80,6 +80,10 @@ class Graph:
         self._next_nid = 0
         #: value ids some node already produces (O(1) SSA checking)
         self._produced: set[int] = set()
+        #: structured side-channel annotations that survive compilation,
+        #: e.g. ``metadata["gradients"]``: ordered (vid, param_name)
+        #: pairs the optimizer marked for data-parallel all-reduce.
+        self.metadata: dict = {}
 
     # -- construction ----------------------------------------------------
 
@@ -130,6 +134,23 @@ class Graph:
         self.nodes.append(node)
         self._produced.add(output.vid)
         return node
+
+    def mark_gradient(self, vid: int, param_name: str = "") -> None:
+        """Tag ``vid`` as a parameter gradient (DDP-style marking).
+
+        The optimizer calls this for every ``p.grad`` it consumes; the
+        ``collective_injection`` pass buckets the marked values and
+        emits all-reduce ops over them. Re-marking a vid is a no-op.
+        """
+        if vid not in self.values:
+            raise GraphError(f"mark_gradient: unknown value id {vid}")
+        grads: list = self.metadata.setdefault("gradients", [])
+        if all(existing != vid for existing, _ in grads):
+            grads.append((vid, param_name))
+
+    def gradients(self) -> list[tuple[int, str]]:
+        """Marked (gradient vid, param name) pairs, in marking order."""
+        return list(self.metadata.get("gradients", []))
 
     # -- queries -----------------------------------------------------------
 

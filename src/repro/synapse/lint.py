@@ -67,6 +67,41 @@ def lint_graph(graph: Graph) -> list[LintWarning]:
                 node.nid,
             ))
 
+        if opdef.op_class is OpClass.COLLECTIVE:
+            coll_dtypes = {v.dtype for v in in_values}
+            if len(coll_dtypes) > 1:
+                warnings.append(LintWarning(
+                    "collective-dtype",
+                    f"{node.op} inputs mix dtypes "
+                    f"{sorted(d.value for d in coll_dtypes)}: a collective "
+                    "reduces one homogeneous buffer on every card",
+                    node.nid,
+                ))
+            counts = {v.numel for v in in_values}
+            if len(counts) > 1:
+                warnings.append(LintWarning(
+                    "collective-payload",
+                    f"{node.op} inputs disagree on element count "
+                    f"{sorted(counts)}: every card must contribute the "
+                    "same payload",
+                    node.nid,
+                ))
+            num_cards = node.attrs.get("num_cards")
+            if (
+                node.op == "all_gather"
+                and isinstance(num_cards, int)
+                and num_cards >= 1
+                and in_values
+                and out_value.numel != num_cards * in_values[0].numel
+            ):
+                warnings.append(LintWarning(
+                    "collective-payload",
+                    f"all_gather output has {out_value.numel} elements, "
+                    f"expected num_cards ({num_cards}) x per-card "
+                    f"{in_values[0].numel}",
+                    node.nid,
+                ))
+
         if node.op == "transpose":
             consumers = [
                 n for n in graph.nodes if node.output in n.inputs

@@ -128,5 +128,12 @@ def lower_graph(graph: Graph) -> Graph:
         # Downstream consumers of the composite's output now read the
         # lowered result.
         rw.vmap[node.output] = out.vid
+    # Gradient marks survive the rewrite (remapped to the new ids);
+    # a marked value that lowering dropped entirely has no producer
+    # and nothing to all-reduce.
+    for vid, param_name in graph.gradients():
+        new_vid = rw.vmap.get(vid)
+        if new_vid is not None:
+            rw.new.mark_gradient(new_vid, param_name)
     rw.new.validate()
     return rw.new

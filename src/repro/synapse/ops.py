@@ -324,6 +324,15 @@ def work_item_for(
             bytes_read=bytes_read, bytes_written=bytes_written,
             elements=out_numel, dtype=dtype,
         )
+    if opdef.op_class is OpClass.COLLECTIVE:
+        # The NIC moves the payload; reduction math rides along on the
+        # wire (ring all-reduce adds in transit), so flops stay 0 and
+        # the fabric plan — not the per-card cost model — prices it.
+        return WorkItem(
+            label or name, OpClass.COLLECTIVE, flops=0.0,
+            bytes_read=bytes_read, bytes_written=bytes_written,
+            elements=out_numel, dtype=dtype,
+        )
     return WorkItem(
         label or name, OpClass.ELEMENTWISE,
         flops=out_numel * opdef.flops_per_element,
@@ -547,6 +556,39 @@ def _scatter_add_rows(grad: np.ndarray, idx: np.ndarray, shape: Shape) -> np.nda
     np.add.at(out, flat_idx, grad.reshape(-1, grad.shape[-1]))
     return out
 
+
+# -- collectives (NIC; multi-card data parallelism, §2.1) -------------------
+# Per-card view: each card holds one replica of the buffer; the op's
+# eager semantics are what a *symmetric* data-parallel run observes
+# (every replica identical), so all_reduce/broadcast are identities and
+# all_gather stacks num_cards copies. Cross-card timing comes from the
+# fabric plan replayed by the multi-card runtime, never from here.
+
+
+def _all_gather_shape(shapes: list[Shape], attrs: dict) -> Shape:
+    p = int(attrs.get("num_cards", 1))
+    if p < 1:
+        raise ShapeError(f"all_gather num_cards must be >= 1, got {p}")
+    return (p,) + shapes[0]
+
+
+register(OpDef(
+    "all_reduce", OpClass.COLLECTIVE, EngineKind.NIC, _same_shape_unary,
+    lambda i, a: i[0].copy(),
+    doc="ring all-reduce across cards (sum of symmetric replicas)",
+))
+register(OpDef(
+    "all_gather", OpClass.COLLECTIVE, EngineKind.NIC, _all_gather_shape,
+    lambda i, a: np.broadcast_to(
+        i[0][None], (int(a.get("num_cards", 1)),) + i[0].shape
+    ).copy(),
+    doc="ring all-gather: stack each card's shard along a new axis",
+))
+register(OpDef(
+    "broadcast", OpClass.COLLECTIVE, EngineKind.NIC, _same_shape_unary,
+    lambda i, a: i[0].copy(),
+    doc="chain broadcast of the root card's buffer",
+))
 
 # -- composite ops (lowered by the GraphCompiler) ----------------------------
 register(OpDef(

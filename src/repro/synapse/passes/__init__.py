@@ -6,7 +6,7 @@ One module per transformation, each a named
 
 ``validate`` -> ``lower_composites`` -> ``view_elision`` ->
 ``elementwise_fusion`` -> ``recompile_injection`` -> ``dma_staging``
--> ``emit`` -> ``memory_planning``
+-> ``emit`` -> ``collective_injection`` -> ``memory_planning``
 
 Every pass reports nodes in/out, wall-clock, and transform counts into
 ``Schedule.stats["passes"]``, and (except emission) can be disabled
@@ -16,6 +16,7 @@ box offered (§4).
 """
 
 from .base import CompilerPass, PassManager
+from .collective import CollectiveInjectionPass
 from .dma import DmaStagingPass
 from .emit import EmitSchedulePass
 from .fusion import ElementwiseFusionPass
@@ -35,6 +36,7 @@ PASS_OPTION_FLAGS: dict[str, str] = {
     ElementwiseFusionPass.name: ElementwiseFusionPass.option_flag,
     RecompileInjectionPass.name: RecompileInjectionPass.option_flag,
     DmaStagingPass.name: DmaStagingPass.option_flag,
+    CollectiveInjectionPass.name: CollectiveInjectionPass.option_flag,
     MemoryPlanningPass.name: MemoryPlanningPass.option_flag,
 }
 
@@ -49,11 +51,13 @@ def default_passes() -> list[CompilerPass]:
         RecompileInjectionPass(),
         DmaStagingPass(),
         EmitSchedulePass(),
+        CollectiveInjectionPass(),
         MemoryPlanningPass(),
     ]
 
 
 __all__ = [
+    "CollectiveInjectionPass",
     "CompilationState",
     "CompilerPass",
     "DmaStagingPass",

@@ -14,7 +14,7 @@ from ...hw.costmodel import EngineKind
 from .base import CompilerPass
 from .state import CompilationState
 
-_NON_STAGED = (EngineKind.DMA, EngineKind.HOST)
+_NON_STAGED = (EngineKind.DMA, EngineKind.HOST, EngineKind.NIC)
 
 
 class DmaStagingPass(CompilerPass):

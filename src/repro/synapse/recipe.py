@@ -59,6 +59,11 @@ def graph_signature(graph: Graph) -> str:
             f"n:{n.nid}:{n.op}:{n.inputs}:{n.output}:{attrs}:"
             f"{n.src}:{n.scope}\n".encode()
         )
+    if graph.metadata:
+        # Gradient markings (and any future annotations) feed compiler
+        # passes — collective_injection buckets by them — so they are
+        # part of what compilation reads.
+        h.update(f"m:{sorted(graph.metadata.items())!r}\n".encode())
     return h.hexdigest()
 
 

@@ -14,7 +14,8 @@ from ..util.units import fmt_time_us
 from .trace import Timeline
 
 #: engines shown, top to bottom, matching the paper's figures
-LANES = (EngineKind.MME, EngineKind.TPC, EngineKind.DMA, EngineKind.HOST)
+LANES = (EngineKind.MME, EngineKind.TPC, EngineKind.DMA, EngineKind.NIC,
+         EngineKind.HOST)
 
 _GLYPHS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
 
@@ -52,7 +53,8 @@ def ascii_timeline(
     ]
     for engine in lanes:
         events = timeline.engine_events(engine)
-        if not events and engine in (EngineKind.DMA, EngineKind.HOST):
+        if not events and engine in (EngineKind.DMA, EngineKind.NIC,
+                                     EngineKind.HOST):
             continue
         occupancy = [0.0] * width
         owner = [" "] * width

@@ -39,13 +39,15 @@ reads (all members') plus the final write.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
 
 from ..hw.bandwidth import BandwidthArbiter
 from ..hw.costmodel import CostModel, CostParts, EngineKind, WorkItem
-from ..hw.device import GaudiDevice
+from ..hw.device import GaudiDevice, HLS1Device
+from ..hw.interconnect import CollectivePlan, collective_plan
 from ..util.errors import ExecutionError
 from ..util.units import s_to_us
 from .schedule import Schedule, ScheduledOp
@@ -135,6 +137,13 @@ class ExecutionResult:
     #: time ops spent waiting on HBM beyond their uncontended drain
     #: (always 0.0 when executed with ``hbm_contention=False``)
     contention_stall_us: float = 0.0
+    #: cards that executed the schedule (1 for a plain Runtime)
+    num_cards: int = 1
+    #: NIC busy time not hidden under MME/TPC compute on card 0 — the
+    #: communication the step actually *waits* for
+    exposed_comm_us: float = 0.0
+    #: time the fabric arbiter had wire traffic draining
+    fabric_busy_us: float = 0.0
 
 
 class Runtime:
@@ -348,120 +357,344 @@ class Runtime:
     ) -> tuple[list[TraceEvent], float]:
         """Fluid discrete-event execution against the shared HBM.
 
-        Per-engine queues issue in ``order``; a running op's traffic
-        drains through the arbiter at its granted share while its
-        compute floor runs in parallel; the op occupies its engine
-        until ``max(compute, drain) + serial tail``. ``shared=False``
-        grants every drainer its full uncontended rate — same event
-        machinery, pre-contention timings (used by equivalence tests).
+        Single-card entry point: the shared :func:`_fluid_execute` loop
+        with one card and no fabric. ``shared=False`` grants every
+        drainer its full uncontended rate — same event machinery,
+        pre-contention timings (used by equivalence tests).
         """
-        cost = self.device.cost_model
-        bandwidth = cost.config.hbm.effective_bandwidth
-        parts = [op_cost_parts(cost, op) for op in schedule.ops]
-        arbiter = BandwidthArbiter(bandwidth, shared=shared)
-        n = len(schedule.ops)
-        consumers_of, blocked_by = self._dep_graph(schedule)
+        return _fluid_execute(
+            [self.device], schedule, order, t0, shared=shared
+        )
 
-        queues: dict[EngineKind, deque[int]] = {}
+
+def _fluid_execute(
+    cards: list[GaudiDevice],
+    schedule: Schedule,
+    order: list[int],
+    t0: float,
+    *,
+    shared: bool = True,
+    fabric: BandwidthArbiter | None = None,
+    plans: dict[int, CollectivePlan] | None = None,
+) -> tuple[list[TraceEvent], float]:
+    """The fluid event loop, generalized to N cards + a shared fabric.
+
+    Every card replays the same schedule in the same issue ``order`` on
+    its own clock; per-card HBM traffic drains through that card's own
+    arbiter. Ops with an entry in ``plans`` (non-empty step list) are
+    collectives: each card *joins* when its NIC reaches the op, the
+    collective starts when the last card joins, and its ring steps then
+    replay as fabric events — per-step link latency followed by the
+    step's aggregate wire bytes draining through the fabric arbiter at
+    up to the plan's rate cap. All cards finish the collective at the
+    same instant, which is what makes collectives cross-card
+    synchronization points. With one card and no fabric this reduces
+    exactly (float for float) to the single-card contended loop.
+    """
+    ncards = len(cards)
+    cost = cards[0].cost_model
+    bandwidth = cost.config.hbm.effective_bandwidth
+    parts = [op_cost_parts(cost, op) for op in schedule.ops]
+    arbiters = [BandwidthArbiter(bandwidth, shared=shared) for _ in cards]
+    plans = plans or {}
+    n = len(schedule.ops)
+    consumers_of, blocked_by_proto = Runtime._dep_graph(schedule)
+    blocked_by = [list(blocked_by_proto) for _ in cards]
+
+    queues: dict[tuple[int, EngineKind], deque[int]] = {}
+    for c in range(ncards):
         for idx in order:
-            queues.setdefault(schedule.ops[idx].engine, deque()).append(idx)
-        engine_busy = {engine: False for engine in queues}
+            queues.setdefault(
+                (c, schedule.ops[idx].engine), deque()
+            ).append(idx)
+    engine_busy = {key: False for key in queues}
 
-        start_of: dict[int, float] = {}
-        compute_end: dict[int, float] = {}
-        bytes_end: dict[int, float] = {}
-        finish: dict[int, float] = {}
-        pending_finish: list[tuple[float, int]] = []
-        events: list[TraceEvent] = []
-        stall_total = 0.0
-        now = t0
+    start_of: dict[tuple[int, int], float] = {}
+    compute_end: dict[tuple[int, int], float] = {}
+    bytes_end: dict[tuple[int, int], float] = {}
+    finish: dict[tuple[int, int], float] = {}
+    pending_finish: list[tuple[float, int, int]] = []
+    #: collective idx -> card -> time the card's NIC joined
+    coll_join: dict[int, dict[int, float]] = {}
+    #: collective idx -> current ring-step number
+    coll_step: dict[int, int] = {}
+    #: (latency-expiry time, collective idx): the step's wire may drain
+    timers: list[tuple[float, int]] = []
+    events: list[TraceEvent] = []
+    stall_total = 0.0
+    done = 0
+    now = t0
 
-        def start(idx: int) -> None:
-            op = schedule.ops[idx]
-            p = parts[idx]
-            engine_busy[op.engine] = True
-            start_of[idx] = now
-            compute_end[idx] = now + p.compute_us
-            if p.hbm_bytes > 0:
-                arbiter.admit(idx, p.hbm_bytes, now, rate_cap=p.rate_cap)
-            else:
-                bytes_end[idx] = now
+    def start(c: int, idx: int) -> None:
+        op = schedule.ops[idx]
+        plan = plans.get(idx)
+        if plan is not None and plan.steps:
+            engine_busy[(c, op.engine)] = True
+            joined = coll_join.setdefault(idx, {})
+            joined[c] = now
+            if len(joined) == ncards:
+                coll_step[idx] = 0
                 heapq.heappush(
-                    pending_finish, (compute_end[idx] + p.serial_us, idx)
+                    timers, (now + plan.steps[0].latency_us, idx)
                 )
-
-        def finish_op(idx: int, t: float) -> None:
-            nonlocal stall_total
-            op = schedule.ops[idx]
-            p = parts[idx]
-            engine_busy[op.engine] = False
-            finish[idx] = t
-            for consumer in consumers_of[idx]:
-                blocked_by[consumer] -= 1
-            begun = start_of[idx]
-            duration = t - begun
-            active = max(compute_end[idx], bytes_end[idx]) - begun
-            nominal = max(p.compute_us, p.uncontended_mem_us(bandwidth))
-            stall = max(0.0, active - nominal)
-            stall_total += stall
-            achieved_gbps = 0.0
-            if p.hbm_bytes > 0:
-                span_us = bytes_end[idx] - begun
-                if span_us > 0:
-                    achieved_gbps = p.hbm_bytes / (span_us * 1e-6) / 1e9
-            interval = self.device.timeline(op.engine).reserve(
-                begun, duration, op.label
+            return
+        p = parts[idx]
+        engine_busy[(c, op.engine)] = True
+        start_of[(c, idx)] = now
+        compute_end[(c, idx)] = now + p.compute_us
+        if p.hbm_bytes > 0:
+            arbiters[c].admit(idx, p.hbm_bytes, now, rate_cap=p.rate_cap)
+        else:
+            bytes_end[(c, idx)] = now
+            heapq.heappush(
+                pending_finish, (compute_end[(c, idx)] + p.serial_us, idx, c)
             )
+
+    def finish_op(c: int, idx: int, t: float) -> None:
+        nonlocal stall_total
+        op = schedule.ops[idx]
+        p = parts[idx]
+        engine_busy[(c, op.engine)] = False
+        finish[(c, idx)] = t
+        for consumer in consumers_of[idx]:
+            blocked_by[c][consumer] -= 1
+        begun = start_of[(c, idx)]
+        duration = t - begun
+        active = max(compute_end[(c, idx)], bytes_end[(c, idx)]) - begun
+        nominal = max(p.compute_us, p.uncontended_mem_us(bandwidth))
+        stall = max(0.0, active - nominal)
+        stall_total += stall
+        achieved_gbps = 0.0
+        if p.hbm_bytes > 0:
+            span_us = bytes_end[(c, idx)] - begun
+            if span_us > 0:
+                achieved_gbps = p.hbm_bytes / (span_us * 1e-6) / 1e9
+        interval = cards[c].timeline(op.engine).reserve(
+            begun, duration, op.label
+        )
+        events.append(TraceEvent(
+            name=op.label,
+            engine=op.engine,
+            start_us=interval.start,
+            dur_us=duration,
+            src=op.src,
+            scope=op.scope,
+            flops=op.flops,
+            hbm_bytes=p.hbm_bytes,
+            hbm_gbps=achieved_gbps,
+            contention_stall_us=stall,
+            card=c,
+        ))
+
+    def begin_drain(idx: int) -> None:
+        """A step's link latency expired; put its wire on the fabric."""
+        plan = plans[idx]
+        step = plan.steps[coll_step[idx]]
+        if step.wire_bytes > 0:
+            assert fabric is not None, "collective steps need a fabric"
+            fabric.admit(idx, step.wire_bytes, now, rate_cap=plan.rate_cap)
+        else:
+            step_complete(idx, now)
+
+    def step_complete(idx: int, t: float) -> None:
+        plan = plans[idx]
+        coll_step[idx] += 1
+        if coll_step[idx] < len(plan.steps):
+            heapq.heappush(
+                timers, (t + plan.steps[coll_step[idx]].latency_us, idx)
+            )
+        else:
+            finish_collective(idx, t)
+
+    def finish_collective(idx: int, t: float) -> None:
+        nonlocal stall_total, done
+        op = schedule.ops[idx]
+        plan = plans[idx]
+        started = max(coll_join[idx].values())
+        stall = max(0.0, (t - started) - plan.analytic_time_us)
+        stall_total += stall
+        for c in range(ncards):
+            engine_busy[(c, op.engine)] = False
+            begun = coll_join[idx][c]
+            cards[c].timeline(op.engine).reserve(begun, t - begun, op.label)
             events.append(TraceEvent(
                 name=op.label,
                 engine=op.engine,
-                start_us=interval.start,
-                dur_us=duration,
+                start_us=begun,
+                dur_us=t - begun,
                 src=op.src,
                 scope=op.scope,
-                flops=op.flops,
-                hbm_bytes=p.hbm_bytes,
-                hbm_gbps=achieved_gbps,
-                contention_stall_us=stall,
+                contention_stall_us=stall if c == 0 else 0.0,
+                card=c,
             ))
+            finish[(c, idx)] = t
+            for consumer in consumers_of[idx]:
+                blocked_by[c][consumer] -= 1
+            done += 1
 
-        done = 0
-        while done < n:
-            progress = True
-            while progress:
-                progress = False
-                while (
-                    pending_finish
-                    and pending_finish[0][0] <= now + _TIME_EPS_US
-                ):
-                    t, idx = heapq.heappop(pending_finish)
-                    finish_op(idx, t)
-                    done += 1
+    target = n * ncards
+    while done < target:
+        progress = True
+        while progress:
+            progress = False
+            while (
+                pending_finish
+                and pending_finish[0][0] <= now + _TIME_EPS_US
+            ):
+                t, idx, c = heapq.heappop(pending_finish)
+                finish_op(c, idx, t)
+                done += 1
+                progress = True
+            while timers and timers[0][0] <= now + _TIME_EPS_US:
+                _, idx = heapq.heappop(timers)
+                begin_drain(idx)
+                progress = True
+            for (c, engine), queue in queues.items():
+                if engine_busy[(c, engine)] or not queue:
+                    continue
+                if blocked_by[c][queue[0]] == 0:
+                    start(c, queue.popleft())
                     progress = True
-                for engine, queue in queues.items():
-                    if engine_busy[engine] or not queue:
-                        continue
-                    if blocked_by[queue[0]] == 0:
-                        start(queue.popleft())
-                        progress = True
-            if done == n:
-                break
-            candidates = []
+        if done == target:
+            break
+        candidates = []
+        for arbiter in arbiters:
             next_drain = arbiter.next_completion_us()
             if next_drain is not None:
                 candidates.append(next_drain)
-            if pending_finish:
-                candidates.append(pending_finish[0][0])
-            if not candidates:
-                raise ExecutionError(
-                    "deadlock: no ready ops but schedule incomplete "
-                    "(cyclic dependencies?)"
-                )
-            now = max(now, min(candidates))
+        if fabric is not None:
+            next_wire = fabric.next_completion_us()
+            if next_wire is not None:
+                candidates.append(next_wire)
+        if pending_finish:
+            candidates.append(pending_finish[0][0])
+        if timers:
+            candidates.append(timers[0][0])
+        if not candidates:
+            raise ExecutionError(
+                "deadlock: no ready ops but schedule incomplete "
+                "(cyclic dependencies?)"
+            )
+        now = max(now, min(candidates))
+        for c, arbiter in enumerate(arbiters):
             for idx in sorted(arbiter.advance(now)):
-                bytes_end[idx] = now
+                bytes_end[(c, idx)] = now
                 heapq.heappush(
                     pending_finish,
-                    (max(compute_end[idx], now) + parts[idx].serial_us, idx),
+                    (
+                        max(compute_end[(c, idx)], now)
+                        + parts[idx].serial_us,
+                        idx,
+                        c,
+                    ),
                 )
-        return events, stall_total
+        if fabric is not None:
+            for idx in sorted(fabric.advance(now)):
+                step_complete(idx, now)
+    return events, stall_total
+
+
+def collective_plans(
+    schedule: Schedule, num_cards: int, interconnect
+) -> dict[int, CollectivePlan]:
+    """Fabric plans for every collective op in ``schedule``.
+
+    Keyed by schedule index. The payload is the per-card buffer size
+    the compiler recorded on the op's work item, so plans depend only
+    on the schedule and the box — the schedule itself stays
+    card-count independent (one recipe serves every population).
+    """
+    plans: dict[int, CollectivePlan] = {}
+    for op in schedule.ops:
+        if op.engine is not EngineKind.NIC:
+            continue
+        if op.src not in ("all_reduce", "all_gather", "broadcast"):
+            continue
+        payload = int(op.items[0].bytes_read)
+        plans[op.index] = collective_plan(
+            op.src, num_cards, payload, interconnect
+        )
+    return plans
+
+
+class HLS1Runtime:
+    """Executes one data-parallel schedule on every card of an HLS-1.
+
+    Each card replays the same compiled schedule (same issue order) on
+    its own clock and its own HBM arbiter; collective ops synchronize
+    the cards through the shared fabric. With ``num_cards=1`` the run
+    is byte-identical to :class:`Runtime` on a single
+    :class:`~repro.hw.device.GaudiDevice` — every collective plan is
+    empty, so the same code path executes the same arithmetic.
+    """
+
+    def __init__(self, system: HLS1Device | None = None):
+        self.system = system or HLS1Device()
+
+    def execute(
+        self,
+        schedule: Schedule,
+        *,
+        reorder: bool = False,
+        hbm_contention: bool = True,
+    ) -> ExecutionResult:
+        """Run ``schedule`` on all cards; clocks keep advancing."""
+        cards = self.system.cards
+        t0 = max(card.now for card in cards)
+        cost = cards[0].cost_model
+        plans = collective_plans(
+            schedule, self.system.num_cards, self.system.interconnect
+        )
+        durations = [
+            plans[op.index].analytic_time_us
+            if op.index in plans and plans[op.index].steps
+            else op_duration_us(cost, op)
+            for op in schedule.ops
+        ]
+        if reorder:
+            order = Runtime(cards[0])._plan_reorder(schedule, durations, t0)
+        else:
+            order = [op.index for op in schedule.ops]
+
+        fabric_busy = 0.0
+        if hbm_contention:
+            fabric = BandwidthArbiter(
+                self.system.fabric_bandwidth, shared=True
+            )
+            events, stall_total = _fluid_execute(
+                cards, schedule, order, t0,
+                shared=True, fabric=fabric, plans=plans,
+            )
+            fabric_busy = sum(
+                seg.end_us - seg.start_us
+                for seg in fabric.rate_log
+                if seg.total_rate > 0
+            )
+        else:
+            # Uncontended reference: per-card closed-form replay with
+            # collectives at their analytic duration. Cards are
+            # symmetric (same schedule, same config), so independent
+            # replays produce the synchronized timing directly.
+            events = []
+            stall_total = 0.0
+            for c, card in enumerate(cards):
+                replayed = Runtime(card)._replay(
+                    schedule, order, durations, t0
+                )
+                events.extend(
+                    dataclasses.replace(ev, card=c) for ev in replayed
+                )
+        timeline = Timeline(events, name=schedule.graph.name)
+        total = max((ev.end_us for ev in events), default=t0)
+        return ExecutionResult(
+            timeline=timeline,
+            total_time_us=total - t0,
+            start_offset_us=t0,
+            schedule=schedule,
+            peak_hbm_bytes=schedule.memory.peak_bytes,
+            issue_order=order,
+            contention_stall_us=stall_total,
+            num_cards=self.system.num_cards,
+            exposed_comm_us=timeline.exposed_comm_us(card=0),
+            fabric_busy_us=fabric_busy,
+        )

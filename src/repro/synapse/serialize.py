@@ -48,6 +48,11 @@ def graph_to_json(graph: Graph) -> str:
             for n in graph.nodes
         ],
     }
+    gradients = graph.gradients()
+    if gradients:
+        payload["gradients"] = [
+            {"vid": vid, "param": name} for vid, name in gradients
+        ]
     return json.dumps(payload, indent=1)
 
 
@@ -100,6 +105,8 @@ def graph_from_json(text: str) -> Graph:
             src=spec.get("src", ""),
             scope=spec.get("scope", ""),
         )
+    for spec in payload.get("gradients", []):
+        graph.mark_gradient(vid_map[spec["vid"]], spec.get("param", ""))
     graph.validate()
     return graph
 

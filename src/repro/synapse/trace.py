@@ -38,6 +38,9 @@ class TraceEvent:
     #: active time beyond the uncontended ``max(compute, traffic/bw)``
     #: — what sharing the HBM with concurrent ops cost this op
     contention_stall_us: float = 0.0
+    #: HLS-1 card the event executed on (0 on a single-card run); maps
+    #: to the Chrome-trace pid so Perfetto shows one row per card
+    card: int = 0
 
     @property
     def end_us(self) -> float:
@@ -68,17 +71,47 @@ class Timeline:
         """Makespan: last completion time (0 for an empty trace)."""
         return max((ev.end_us for ev in self.events), default=0.0)
 
-    def engine_events(self, engine: EngineKind) -> list[TraceEvent]:
-        """Events of one engine, ordered by start time."""
+    def engine_events(
+        self, engine: EngineKind, *, card: int | None = None
+    ) -> list[TraceEvent]:
+        """Events of one engine (optionally one card), by start time."""
         return sorted(
-            (ev for ev in self.events if ev.engine is engine),
+            (
+                ev for ev in self.events
+                if ev.engine is engine and (card is None or ev.card == card)
+            ),
             key=lambda ev: (ev.start_us, ev.end_us),
         )
 
     def busy_time_us(self, engine: EngineKind) -> float:
         """Total busy microseconds of ``engine`` (events never overlap
-        on one engine, so a plain sum is exact)."""
+        on one engine *of one card*, so a plain sum is exact; on a
+        multi-card trace this aggregates across cards)."""
         return sum(ev.dur_us for ev in self.events if ev.engine is engine)
+
+    def cards(self) -> list[int]:
+        """Distinct card ids present in the trace, sorted."""
+        return sorted({ev.card for ev in self.events})
+
+    def exposed_comm_us(self, *, card: int = 0) -> float:
+        """NIC busy time on ``card`` not hidden under MME/TPC compute.
+
+        The communication the training step actually waits for: union
+        of the card's NIC intervals minus its compute-engine busy
+        union. Perfect overlap drives this to ~0 even when collectives
+        move gigabytes.
+        """
+        nic = _merge_intervals([
+            (ev.start_us, ev.end_us) for ev in self.events
+            if ev.card == card and ev.engine is EngineKind.NIC
+        ])
+        compute = _merge_intervals([
+            (ev.start_us, ev.end_us) for ev in self.events
+            if ev.card == card
+            and ev.engine in (EngineKind.MME, EngineKind.TPC)
+        ])
+        total = sum(hi - lo for lo, hi in nic)
+        return total - _overlap_us(nic, compute)
 
     def utilization(self, engine: EngineKind) -> float:
         """busy / makespan for ``engine``."""
@@ -152,7 +185,7 @@ class Timeline:
                 out.add(TraceEvent(ev.name, ev.engine, lo, hi - lo,
                                    ev.src, ev.scope, ev.flops,
                                    ev.hbm_bytes, ev.hbm_gbps,
-                                   ev.contention_stall_us))
+                                   ev.contention_stall_us, ev.card))
         return out
 
     def filter(
@@ -195,6 +228,7 @@ class Timeline:
                     ev.name, ev.engine, ev.start_us + offset_us, ev.dur_us,
                     ev.src, ev.scope, ev.flops,
                     ev.hbm_bytes, ev.hbm_gbps, ev.contention_stall_us,
+                    ev.card,
                 )
                 for ev in self.events
             ],
@@ -210,7 +244,7 @@ class Timeline:
                 "ph": "X",
                 "ts": ev.start_us,
                 "dur": ev.dur_us,
-                "pid": 0,
+                "pid": ev.card,
                 "tid": ev.engine.value,
                 "args": {
                     "scope": ev.scope,
@@ -228,17 +262,52 @@ class Timeline:
         return len(self.events)
 
 
+def _merge_intervals(
+    pairs: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Sorted union of half-open intervals."""
+    out: list[tuple[float, float]] = []
+    for lo, hi in sorted(pairs):
+        if out and lo <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def _overlap_us(
+    a: list[tuple[float, float]], b: list[tuple[float, float]]
+) -> float:
+    """Total intersection length of two sorted disjoint interval lists."""
+    total = 0.0
+    i = j = 0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
 def validate_no_engine_overlap(timeline: Timeline) -> None:
     """Assert the hardware invariant: one op at a time per engine.
 
-    Raises :class:`ExecutionError` on violation — used by tests and by
-    the runtime's self-check mode.
+    Checked per (card, engine) — on a multi-card trace the same engine
+    legitimately runs concurrently on different cards. Raises
+    :class:`ExecutionError` on violation — used by tests and by the
+    runtime's self-check mode.
     """
-    for engine in EngineKind:
-        events = timeline.engine_events(engine)
-        for prev, nxt in zip(events, events[1:]):
-            if nxt.start_us < prev.end_us - 1e-9:
-                raise ExecutionError(
-                    f"{engine.value}: events {prev.name!r} and {nxt.name!r} "
-                    f"overlap ({prev.end_us} > {nxt.start_us})"
-                )
+    for card in timeline.cards():
+        for engine in EngineKind:
+            events = timeline.engine_events(engine, card=card)
+            for prev, nxt in zip(events, events[1:]):
+                if nxt.start_us < prev.end_us - 1e-9:
+                    raise ExecutionError(
+                        f"card {card} {engine.value}: events {prev.name!r} "
+                        f"and {nxt.name!r} overlap "
+                        f"({prev.end_us} > {nxt.start_us})"
+                    )

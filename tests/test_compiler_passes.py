@@ -29,7 +29,8 @@ from repro.util.errors import CompileError
 
 PASS_ORDER = [
     "validate", "lower_composites", "view_elision", "elementwise_fusion",
-    "recompile_injection", "dma_staging", "emit", "memory_planning",
+    "recompile_injection", "dma_staging", "emit", "collective_injection",
+    "memory_planning",
 ]
 
 
@@ -59,7 +60,10 @@ class TestPipelineStructure:
         entries = schedule.stats["passes"]
         assert [e["pass"] for e in entries] == PASS_ORDER
         for e in entries:
-            assert e["enabled"] is True
+            # collective injection is the one pass that defaults off
+            # (single-card experiments have no gradients to all-reduce)
+            expected = e["pass"] != "collective_injection"
+            assert e["enabled"] is expected
             assert e["wall_us"] >= 0.0
             assert e["units_in"] >= 0 and e["units_out"] >= 0
             assert e["transforms"] >= 0

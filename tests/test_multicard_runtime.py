@@ -1,0 +1,186 @@
+"""HLS1Runtime: byte-identity, analytic cross-checks, A4/A12 studies."""
+
+import dataclasses
+
+import pytest
+
+from repro import ht
+from repro.ht import functional as F
+from repro.hw.config import HLS1Config
+from repro.hw.costmodel import EngineKind
+from repro.hw.device import GaudiDevice, HLS1Device
+from repro.hw.interconnect import RingAllReduce
+from repro.core.scaling_study import (
+    run_comm_overlap_ablation,
+    run_scaling_study,
+)
+from repro.synapse import (
+    GraphCompiler,
+    HLS1Runtime,
+    Runtime,
+    default_compiler_options,
+    validate_no_engine_overlap,
+)
+from repro.synapse.runtime import collective_plans
+
+
+def record_tiny_step(d: int = 16, layers: int = 2, batch: int = 4):
+    lins = [ht.Linear(d, d, materialize=False) for _ in range(layers)]
+    with ht.record("tiny-train", mode="symbolic") as rec:
+        h = ht.input_tensor((batch, d), name="x")
+        for lin in lins:
+            h = F.relu(lin(h))
+        loss = F.mean(h)
+        loss.backward()
+        params = [p for lin in lins for p in lin.parameters()]
+        ht.SGD(params, lr=0.01).step()
+    return rec.graph
+
+
+def compile_step(graph, **overrides):
+    options = dataclasses.replace(
+        default_compiler_options(), inject_collectives=True, **overrides
+    )
+    return GraphCompiler(options=options).compile(graph)
+
+
+def event_key(ev):
+    return (ev.name, ev.engine.value, ev.start_us, ev.dur_us, ev.card)
+
+
+class TestSingleCardByteIdentity:
+    def test_contended_trace_identical_to_runtime(self):
+        graph = record_tiny_step()
+        schedule = compile_step(graph)
+        hls = HLS1Runtime(HLS1Device(HLS1Config(num_cards=1)))
+        single = Runtime(GaudiDevice())
+        r_hls = hls.execute(schedule)
+        r_one = single.execute(schedule)
+        assert r_hls.total_time_us == r_one.total_time_us
+        assert (
+            sorted(map(event_key, r_hls.timeline.events))
+            == sorted(map(event_key, r_one.timeline.events))
+        )
+        assert r_hls.num_cards == 1
+        assert r_hls.fabric_busy_us == 0.0
+
+    def test_uncontended_trace_identical_to_runtime(self):
+        graph = record_tiny_step()
+        schedule = compile_step(graph)
+        r_hls = HLS1Runtime(HLS1Device(HLS1Config(num_cards=1))).execute(
+            schedule, hbm_contention=False
+        )
+        r_one = Runtime(GaudiDevice()).execute(
+            schedule, hbm_contention=False
+        )
+        assert (
+            sorted(map(event_key, r_hls.timeline.events))
+            == sorted(map(event_key, r_one.timeline.events))
+        )
+
+    def test_single_card_plans_are_empty(self):
+        graph = record_tiny_step()
+        schedule = compile_step(graph)
+        plans = collective_plans(schedule, 1, HLS1Config().interconnect)
+        assert plans
+        assert all(not plan.steps for plan in plans.values())
+
+
+class TestMultiCardExecution:
+    def setup_method(self):
+        self.graph = record_tiny_step()
+
+    def _run(self, num_cards, **compile_overrides):
+        schedule = compile_step(self.graph, **compile_overrides)
+        system = HLS1Device(HLS1Config(num_cards=num_cards))
+        return HLS1Runtime(system).execute(schedule), schedule
+
+    def test_no_overlap_equals_compute_plus_analytic_allreduce(self):
+        result, schedule = self._run(4, comm_overlap=False)
+        single = Runtime(GaudiDevice()).execute(schedule).total_time_us
+        grad_bytes = schedule.stats["gradient_bytes"]
+        allreduce = RingAllReduce(
+            HLS1Config().interconnect
+        ).cost(4, grad_bytes).time_us
+        assert result.total_time_us == pytest.approx(
+            single + allreduce, rel=1e-9
+        )
+
+    def test_bucketing_starts_communication_earlier(self):
+        # On a toy graph the per-bucket latency terms outweigh the
+        # hidden bytes (the win at real scale is asserted by the A12
+        # test below), but the *mechanism* must hold: a fine-bucketed
+        # schedule puts its first all-reduce on the wire before the
+        # monolithic schedule's single collective becomes ready.
+        r_fine, _ = self._run(4, bucket_mb=0.001)
+        r_mono, _ = self._run(4, comm_overlap=False)
+        first_nic = lambda r: min(
+            ev.start_us for ev in r.timeline.events
+            if ev.engine is EngineKind.NIC
+        )
+        assert first_nic(r_fine) < first_nic(r_mono)
+
+    def test_every_card_traces_every_op(self):
+        result, schedule = self._run(4)
+        assert result.num_cards == 4
+        cards = result.timeline.cards()
+        assert cards == [0, 1, 2, 3]
+        for c in cards:
+            on_card = [ev for ev in result.timeline.events if ev.card == c]
+            assert len(on_card) == len(schedule.ops)
+        validate_no_engine_overlap(result.timeline)
+
+    def test_collectives_synchronize_cards(self):
+        result, _ = self._run(4)
+        nic = [
+            ev for ev in result.timeline.events
+            if ev.engine is EngineKind.NIC
+        ]
+        assert nic
+        by_name = {}
+        for ev in nic:
+            by_name.setdefault(ev.name, []).append(ev)
+        for name, evs in by_name.items():
+            ends = {ev.start_us + ev.dur_us for ev in evs}
+            assert len(evs) == 4
+            assert len(ends) == 1, f"{name} finished at {ends}"
+
+    def test_exposed_comm_reported(self):
+        r4, _ = self._run(4)
+        r_mono, _ = self._run(4, comm_overlap=False)
+        assert r4.exposed_comm_us > 0
+        assert r_mono.exposed_comm_us > 0
+        assert r4.fabric_busy_us > 0
+
+    def test_multi_card_never_faster_than_single(self):
+        result, schedule = self._run(8)
+        single = Runtime(GaudiDevice()).execute(schedule).total_time_us
+        assert result.total_time_us >= single
+
+
+class TestScalingStudy:
+    def test_a4_runs_on_event_driven_runtime(self):
+        result = run_scaling_study("gpt", card_counts=(1, 2))
+        assert result.rows[0].efficiency == pytest.approx(1.0)
+        assert result.rows[0].allreduce_ms == 0.0
+        assert result.rows[0].exposed_comm_ms == 0.0
+        row2 = result.rows[1]
+        assert row2.exposed_comm_ms > 0
+        assert row2.analytic_step_ms > 0
+        # simulated and analytic agree to first order (divergence is
+        # documented on data_parallel_step_time_us)
+        assert row2.step_time_ms == pytest.approx(
+            row2.analytic_step_ms, rel=0.05
+        )
+
+    def test_a12_overlap_ablation(self):
+        result = run_comm_overlap_ablation("gpt", num_cards=8)
+        effs = [r.efficiency for r in result.rows]
+        assert effs == sorted(effs)
+        assert result.rows[-1].efficiency > result.rows[0].efficiency
+        assert all(r.exposed_comm_ms >= 0 for r in result.rows)
+        assert (
+            result.rows[-1].exposed_comm_ms < result.rows[0].exposed_comm_ms
+        )
+        failed = [str(c) for c in result.checks() if not c.passed]
+        assert not failed, failed

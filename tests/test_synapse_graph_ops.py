@@ -80,8 +80,13 @@ class TestTable1Mapping:
 
     def test_only_matmul_on_mme(self):
         assert engine_for("matmul") is EngineKind.MME
+        collectives = ("all_reduce", "all_gather", "broadcast")
         for name in op_names():
-            if name != "matmul":
+            if name == "matmul":
+                continue
+            if name in collectives:
+                assert engine_for(name) is EngineKind.NIC, name
+            else:
                 assert engine_for(name) is EngineKind.TPC, name
 
     @pytest.mark.parametrize(
