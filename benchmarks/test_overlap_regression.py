@@ -1,0 +1,54 @@
+"""Bench A13: overlap-scheduler regression gate.
+
+Profiles the Fig. 4 softmax layer with the full overlap machinery
+(lookahead scheduler + TPC slicing) and the Fig. 6 Performer layer
+under plain lookahead, then holds both against the checked-in bounds
+in ``overlap_thresholds.json``. A scheduler or slicing regression that
+reopens the MME bubble fails this gate in CI.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import assert_checks
+
+from repro.core import run_overlap_scheduler_ablation
+from repro.core.overlap_study import exposed_tpc_us
+from repro.hw.costmodel import EngineKind
+
+THRESHOLDS = json.loads(
+    (Path(__file__).parent / "overlap_thresholds.json").read_text()
+)
+
+
+def test_overlap_regression(benchmark, record_info):
+    study = benchmark.pedantic(
+        run_overlap_scheduler_ablation, rounds=1, iterations=1
+    )
+    assert_checks(study.checks())
+
+    bounds = THRESHOLDS["softmax_lookahead_slicing"]
+    sliced = study.profiles["softmax"]["lookahead+slicing"]
+    idle_ms = study.mme_idle_us("softmax", "lookahead+slicing") / 1000.0
+    idle_frac = sliced.idle_fraction(EngineKind.MME, until="last_compute")
+    assert sliced.total_time_ms <= bounds["max_total_ms"]
+    assert idle_ms <= bounds["max_mme_idle_ms"]
+    assert idle_frac <= bounds["max_mme_idle_fraction"]
+    assert study.idle_reduction >= bounds["min_idle_reduction_vs_reorder"]
+
+    perf_bounds = THRESHOLDS["performer_lookahead"]
+    exposed_ms = exposed_tpc_us(
+        study.profiles["performer"]["lookahead"], "exp"
+    ) / 1000.0
+    assert exposed_ms <= perf_bounds["max_exposed_exp_ms"]
+
+    record_info(
+        benchmark,
+        softmax_total_ms=round(sliced.total_time_ms, 2),
+        softmax_mme_idle_ms=round(idle_ms, 2),
+        softmax_mme_idle_fraction=round(idle_frac, 3),
+        idle_reduction_vs_reorder=round(study.idle_reduction, 3),
+        performer_exposed_exp_ms=round(exposed_ms, 3),
+    )
+    print()
+    print(study.render())

@@ -25,6 +25,7 @@ from .core import (
     run_hbm_contention_ablation,
     run_mme_vs_tpc,
     run_op_mapping,
+    run_overlap_scheduler_ablation,
     run_pass_toggle_ablation,
     run_pipelined_attention_study,
     run_reorder_ablation,
@@ -36,10 +37,12 @@ from .core import (
 from .core.reference import ShapeCheck
 from .hw.device import default_device
 from .synapse import (
+    DEFAULT_RECIPE_CACHE_DIR,
     PASS_OPTION_FLAGS,
     default_compiler_options,
     disable_passes,
     set_default_compiler_options,
+    set_default_recipe_cache_dir,
 )
 
 
@@ -52,17 +55,25 @@ def _simple(run: Callable[[], object]) -> tuple[str, list[ShapeCheck]]:
 #: (``--cards``); ``None`` means each experiment's default sweep
 _CLI_CARDS: int | None = None
 
+#: CLI-selected process-pool width (``--jobs``) for the simulations
+#: that can fan out; 1 keeps everything in-process
+_CLI_JOBS: int = 1
+
 
 def _scaling() -> tuple[str, list[ShapeCheck]]:
     if _CLI_CARDS is None:
-        return _simple(run_scaling_study)
+        return _simple(lambda: run_scaling_study(jobs=_CLI_JOBS))
     counts = tuple(p for p in (1, 2, 4, 8) if p <= _CLI_CARDS)
-    return _simple(lambda: run_scaling_study(card_counts=counts))
+    return _simple(
+        lambda: run_scaling_study(card_counts=counts, jobs=_CLI_JOBS)
+    )
 
 
 def _comm_ablation() -> tuple[str, list[ShapeCheck]]:
     cards = _CLI_CARDS if _CLI_CARDS is not None else 8
-    return _simple(lambda: run_comm_overlap_ablation(num_cards=cards))
+    return _simple(
+        lambda: run_comm_overlap_ablation(num_cards=cards, jobs=_CLI_JOBS)
+    )
 
 
 EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] = {
@@ -104,6 +115,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] =
                      lambda: _simple(run_hbm_contention_ablation)),
     "ablation-comm": ("A12: communication-overlap ablation",
                       _comm_ablation),
+    "ablation-overlap": ("A13: overlap scheduler ablation",
+                         lambda: _simple(run_overlap_scheduler_ablation)),
 }
 
 
@@ -179,6 +192,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit one monolithic gradient all-reduce behind the last "
              "gradient instead of bucketed overlapped all-reduces",
     )
+    parser.add_argument(
+        "--scheduler", choices=("inorder", "reorder", "lookahead"),
+        default=None,
+        help="out-of-order issue policy when reordering is on: "
+             "'reorder' is the legacy greedy earliest-ready scheduler, "
+             "'lookahead' (default) adds critical-path priorities and "
+             "an MME-starvation lookahead",
+    )
+    parser.add_argument(
+        "--tpc-slice-ops", action="store_true",
+        help="slice large batch-parallel TPC ops into row slices so "
+             "they overlap with MME compute (the A13 machinery)",
+    )
+    parser.add_argument(
+        "--recipe-cache-dir", nargs="?", const=DEFAULT_RECIPE_CACHE_DIR,
+        default=None, metavar="DIR",
+        help="persist compiled recipes to DIR and reuse them across "
+             f"runs (default {DEFAULT_RECIPE_CACHE_DIR} when the flag "
+             "is given without a value)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool width for the multi-card simulations "
+             "(A4/A12); results are identical at any width",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     study = sub.add_parser("study", help="run every experiment")
@@ -220,10 +258,23 @@ def main(argv: list[str] | None = None) -> int:
         import dataclasses
 
         options = dataclasses.replace(options, comm_overlap=False)
+    if args.scheduler is not None:
+        import dataclasses
+
+        options = dataclasses.replace(options, scheduler=args.scheduler)
+    if args.tpc_slice_ops:
+        import dataclasses
+
+        options = dataclasses.replace(options, tpc_slice_ops=True)
     set_default_compiler_options(options)
+    if args.recipe_cache_dir is not None:
+        set_default_recipe_cache_dir(args.recipe_cache_dir)
     if args.cards is not None:
         global _CLI_CARDS
         _CLI_CARDS = args.cards
+    if args.jobs != 1:
+        global _CLI_JOBS
+        _CLI_JOBS = max(1, args.jobs)
 
     if args.command == "lint-gate":
         return _lint_gate()
@@ -234,7 +285,7 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "study":
         report = run_full_study(
-            include_extensions=not args.no_extensions
+            include_extensions=not args.no_extensions, jobs=_CLI_JOBS
         )
         text = report.render()
         print(text)

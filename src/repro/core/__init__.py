@@ -52,6 +52,10 @@ from .insights import (
     overlap_fraction,
 )
 from .mme_vs_tpc import MmeVsTpcResult, MmeVsTpcRow, run_mme_vs_tpc
+from .overlap_study import (
+    OverlapStudyResult,
+    run_overlap_scheduler_ablation,
+)
 from .opmapping import OpMappingResult, OpMappingRow, run_op_mapping
 from .reference import (
     E2E_SHAPES,
@@ -116,6 +120,8 @@ __all__ = [
     "gap_overlap_fraction",
     "imbalance_index",
     "overlap_fraction",
+    "OverlapStudyResult",
+    "run_overlap_scheduler_ablation",
     "MmeVsTpcResult",
     "MmeVsTpcRow",
     "run_mme_vs_tpc",

@@ -26,12 +26,38 @@ from dataclasses import dataclass, field
 from ..hw.config import HLS1Config
 from ..hw.device import HLS1Device
 from ..hw.interconnect import RingAllReduce, data_parallel_step_time_us
-from ..synapse import GraphCompiler, default_compiler_options
+from ..synapse import (
+    GraphCompiler,
+    default_compiler_options,
+    schedule_from_json,
+    schedule_to_json,
+)
 from ..synapse.runtime import HLS1Runtime
 from ..util.tabulate import render_table
 from ..util.units import us_to_ms
 from .e2e_llm import E2E_SHAPES, record_training_step
 from .reference import ShapeCheck, threshold_check
+
+
+def _exec_schedule(
+    schedule, hls1: HLS1Config, num_cards: int
+) -> tuple[float, float, float]:
+    """Execute one compiled schedule on an HLS-1 population; returns
+    (total_time_us, exposed_comm_us, fabric_busy_us)."""
+    system = HLS1Device(dataclasses.replace(hls1, num_cards=num_cards))
+    res = HLS1Runtime(system).execute(schedule)
+    return res.total_time_us, res.exposed_comm_us, res.fabric_busy_us
+
+
+def _exec_payload(payload) -> tuple[float, float, float]:
+    """Worker for ``--jobs`` parallelism: module-level so
+    :class:`~concurrent.futures.ProcessPoolExecutor` can pickle it. The
+    schedule crosses the process boundary as its recipe JSON (the same
+    format the on-disk recipe store uses), so workers never re-run the
+    compiler. The event-driven runtime is deterministic, so results are
+    byte-identical to the serial path regardless of worker count."""
+    schedule_text, hls1, num_cards = payload
+    return _exec_schedule(schedule_from_json(schedule_text), hls1, num_cards)
 
 
 @dataclass(frozen=True)
@@ -112,13 +138,16 @@ def run_scaling_study(
     hls1: HLS1Config | None = None,
     card_counts: tuple[int, ...] = (1, 2, 4, 8),
     overlap_fraction: float = 0.5,
+    jobs: int = 1,
 ) -> ScalingStudyResult:
     """Weak-scale a training step across the box, event-driven.
 
     One graph is recorded and compiled once (collective injection on);
     the same schedule then executes on an :class:`HLS1Runtime` per card
     count. ``overlap_fraction`` only parameterizes the analytic
-    reference column.
+    reference column. ``jobs > 1`` fans the per-card-count executions
+    out over a process pool (the compile stays in this process); the
+    simulation is deterministic, so the rows are identical either way.
     """
     hls1 = hls1 or HLS1Config()
     rec = record_training_step(model_name)
@@ -133,24 +162,28 @@ def run_scaling_study(
     result = ScalingStudyResult(model_name, batch, grad_bytes)
     ar = RingAllReduce(hls1.interconnect)
 
-    base = HLS1Runtime(
-        HLS1Device(dataclasses.replace(hls1, num_cards=1))
-    ).execute(schedule)
-    base_us = base.total_time_us
+    counts = list(dict.fromkeys((1, *card_counts)))
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        text = schedule_to_json(schedule)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            timings = dict(zip(counts, pool.map(
+                _exec_payload, [(text, hls1, p) for p in counts]
+            )))
+    else:
+        timings = {p: _exec_schedule(schedule, hls1, p) for p in counts}
+
+    base_us = timings[1][0]
     for p in card_counts:
-        if p == 1:
-            res = base
-        else:
-            system = HLS1Device(dataclasses.replace(hls1, num_cards=p))
-            res = HLS1Runtime(system).execute(schedule)
-        step_us = res.total_time_us
+        step_us, exposed_us, _ = timings[p]
         result.rows.append(ScalingRow(
             num_cards=p,
             step_time_ms=us_to_ms(step_us),
             allreduce_ms=us_to_ms(ar.cost(p, grad_bytes).time_us),
             efficiency=base_us / step_us,
             aggregate_samples_per_s=p * batch / (step_us / 1e6),
-            exposed_comm_ms=us_to_ms(res.exposed_comm_us),
+            exposed_comm_ms=us_to_ms(exposed_us),
             analytic_step_ms=us_to_ms(data_parallel_step_time_us(
                 base_us, grad_bytes, p, hls1.interconnect,
                 overlap_fraction=overlap_fraction,
@@ -241,6 +274,7 @@ def run_comm_overlap_ablation(
     hls1: HLS1Config | None = None,
     num_cards: int = 8,
     bucket_sizes_mb: tuple[float, ...] = (100.0, 25.0, 4.0),
+    jobs: int = 1,
 ) -> CommOverlapAblationResult:
     """Sweep the DDP communication schedule on a fixed population.
 
@@ -248,7 +282,8 @@ def run_comm_overlap_ablation(
     gradient — the analytic model's world), then bucketed overlap at
     each of ``bucket_sizes_mb``, coarsest to finest. Each setting is a
     distinct compile (the bucket structure lives in the schedule), each
-    keyed separately in the recipe cache.
+    keyed separately in the recipe cache. ``jobs > 1`` runs the
+    executions on a process pool after all settings compile serially.
     """
     hls1 = hls1 or HLS1Config()
     rec = record_training_step(model_name)
@@ -261,46 +296,54 @@ def run_comm_overlap_ablation(
     for mb in bucket_sizes_mb:
         settings.append((f"overlap {mb:g} MB", True, mb))
 
-    result: CommOverlapAblationResult | None = None
-    base_us = 0.0
+    schedules = []
     for label, overlap, mb in settings:
         options = dataclasses.replace(
             base_options,
             comm_overlap=overlap,
             bucket_mb=mb if overlap else base_options.bucket_mb,
         )
-        schedule = GraphCompiler(hls1.card, options).compile(rec.graph)
-        if result is None:
-            base = HLS1Runtime(
-                HLS1Device(dataclasses.replace(hls1, num_cards=1))
-            ).execute(schedule)
-            base_us = base.total_time_us
-            result = CommOverlapAblationResult(
-                model_name=model_name,
-                num_cards=num_cards,
-                gradient_bytes=int(schedule.stats.get("gradient_bytes", 0)),
-                base_step_ms=us_to_ms(base_us),
-            )
-        system = HLS1Device(
-            dataclasses.replace(hls1, num_cards=num_cards)
+        schedules.append(
+            GraphCompiler(hls1.card, options).compile(rec.graph)
         )
-        res = HLS1Runtime(system).execute(schedule)
+
+    # slot 0 is the single-card compute baseline; the rest are the
+    # sweep's rows on the full population
+    work = [(schedules[0], 1)]
+    work.extend((s, num_cards) for s in schedules)
+    if jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            timings = list(pool.map(
+                _exec_payload,
+                [(schedule_to_json(s), hls1, p) for s, p in work],
+            ))
+    else:
+        timings = [_exec_schedule(s, hls1, p) for s, p in work]
+
+    base_us = timings[0][0]
+    result = CommOverlapAblationResult(
+        model_name=model_name,
+        num_cards=num_cards,
+        gradient_bytes=int(schedules[0].stats.get("gradient_bytes", 0)),
+        base_step_ms=us_to_ms(base_us),
+    )
+    for (label, overlap, mb), schedule, timing in zip(
+        settings, schedules, timings[1:]
+    ):
+        step_us, exposed_us, fabric_us = timing
         buckets = sum(
             1 for op in schedule.ops if op.src == "all_reduce"
-        )
-        fabric_util = (
-            res.fabric_busy_us / res.total_time_us
-            if res.total_time_us > 0 else 0.0
         )
         result.rows.append(OverlapRow(
             label=label,
             comm_overlap=overlap,
             bucket_mb=mb,
             num_buckets=buckets,
-            step_time_ms=us_to_ms(res.total_time_us),
-            efficiency=base_us / res.total_time_us,
-            exposed_comm_ms=us_to_ms(res.exposed_comm_us),
-            fabric_utilization=fabric_util,
+            step_time_ms=us_to_ms(step_us),
+            efficiency=base_us / step_us,
+            exposed_comm_ms=us_to_ms(exposed_us),
+            fabric_utilization=fabric_us / step_us if step_us > 0 else 0.0,
         ))
-    assert result is not None
     return result

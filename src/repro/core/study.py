@@ -27,6 +27,7 @@ from .energy_study import run_energy_study
 from .generations import run_generation_comparison
 from .mme_vs_tpc import run_mme_vs_tpc
 from .opmapping import run_op_mapping
+from .overlap_study import run_overlap_scheduler_ablation
 from .reference import ShapeCheck
 from .scaling_study import run_comm_overlap_ablation, run_scaling_study
 from .seq_sweep import run_seq_sweep
@@ -75,9 +76,17 @@ class StudyReport:
 
 
 def run_full_study(
-    config: GaudiConfig | None = None, *, include_extensions: bool = True
+    config: GaudiConfig | None = None,
+    *,
+    include_extensions: bool = True,
+    jobs: int = 1,
 ) -> StudyReport:
-    """Run every experiment in DESIGN.md's index."""
+    """Run every experiment in DESIGN.md's index.
+
+    ``jobs > 1`` parallelizes the multi-card simulations (A4/A12)
+    across a process pool; every measurement is identical to the
+    serial run.
+    """
     config = config or GaudiConfig()
     report = StudyReport()
 
@@ -113,7 +122,7 @@ def run_full_study(
         a3 = run_tpc_core_sweep(config=config)
         report.add("A3: TPC core sweep", a3.render(), a3.checks())
 
-        a4 = run_scaling_study("gpt", hls1=None)
+        a4 = run_scaling_study("gpt", hls1=None, jobs=jobs)
         report.add("A4: HLS-1 scaling extension", a4.render(), a4.checks())
 
         a5 = run_chunked_attention_study(config=config)
@@ -137,8 +146,21 @@ def run_full_study(
         report.add("A11: HBM contention ablation", a11.render(),
                    a11.checks())
 
-        a12 = run_comm_overlap_ablation("gpt")
+        a12 = run_comm_overlap_ablation("gpt", jobs=jobs)
         report.add("A12: comm-overlap ablation", a12.render(),
                    a12.checks())
+
+        a13 = run_overlap_scheduler_ablation(config=config)
+        report.add("A13: overlap scheduler ablation", a13.render(),
+                   a13.checks())
+
+    from ..synapse import recipe_cache_stats
+
+    cache = recipe_cache_stats()
+    report.sections.append((
+        "recipe cache",
+        f"hits: {cache['hits']}  misses: {cache['misses']}  "
+        f"disk hits: {cache['disk_hits']}",
+    ))
 
     return report

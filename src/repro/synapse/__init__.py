@@ -36,7 +36,16 @@ from .passes import (
     default_passes,
 )
 from .profiler import HLS1Profiler, ProfileResult, SynapseProfiler
-from .recipe import RecipeCache, graph_signature, recipe_key
+from .recipe import (
+    DEFAULT_RECIPE_CACHE_DIR,
+    RecipeCache,
+    default_recipe_cache_dir,
+    graph_signature,
+    recipe_cache_stats,
+    recipe_key,
+    reset_recipe_cache_stats,
+    set_default_recipe_cache_dir,
+)
 from .render import ascii_timeline, gap_report
 from .runtime import (
     ExecutionResult,
@@ -53,6 +62,8 @@ from .serialize import (
     graph_to_json,
     load_graph,
     save_graph,
+    schedule_from_json,
+    schedule_to_json,
 )
 from .trace import Timeline, TraceEvent, validate_no_engine_overlap
 
@@ -67,9 +78,14 @@ __all__ = [
     "CompilerPass",
     "PassManager",
     "default_passes",
+    "DEFAULT_RECIPE_CACHE_DIR",
     "RecipeCache",
+    "default_recipe_cache_dir",
     "graph_signature",
+    "recipe_cache_stats",
     "recipe_key",
+    "reset_recipe_cache_stats",
+    "set_default_recipe_cache_dir",
     "CriticalPathResult",
     "critical_path",
     "graph_to_dot",
@@ -112,6 +128,8 @@ __all__ = [
     "graph_to_json",
     "load_graph",
     "save_graph",
+    "schedule_from_json",
+    "schedule_to_json",
     "Timeline",
     "TraceEvent",
     "validate_no_engine_overlap",

@@ -101,6 +101,21 @@ class CompilerOptions:
     #: off = one monolithic all-reduce after the last gradient
     #: (``--no-comm-overlap``)
     comm_overlap: bool = True
+    #: out-of-order issue policy used when ``reorder`` is on:
+    #: ``"lookahead"`` (critical-path list scheduler with an
+    #: MME-starvation tiebreak, the default) or ``"reorder"`` (the
+    #: legacy greedy earliest-ready scheduler, ``--scheduler=reorder``).
+    #: Runtime-only: selects how the runtime orders ready ops.
+    scheduler: str = "lookahead"
+    #: split large batch-parallel TPC ops (softmax, feature-map exp,
+    #: activations) into row slices that pipeline against pending MME
+    #: work (the ``tpc_slicing`` pass; off by default — it changes the
+    #: schedule shape, so every default-behaviour figure stays intact)
+    tpc_slice_ops: bool = False
+    #: minimum estimated TPC time (us) of a chain's anchor op before
+    #: the slicing pass will split it; small ops aren't worth the
+    #: per-slice launch overhead
+    tpc_slice_min_us: float = 200.0
 
 
 def disable_passes(

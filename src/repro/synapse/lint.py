@@ -9,7 +9,9 @@ flags what a Gaudi performance engineer would circle in review:
 * TPC-heavy FLOP balance (most arithmetic *not* reaching the MME),
 * physical transposes that could often be folded into matmul flags,
 * reductions over short axes (worst-case SIMD efficiency, §3.3),
-* values produced and never consumed (dead compute).
+* values produced and never consumed (dead compute),
+* row-sliced subgraphs (``tpc_slicing`` pass) whose ``assemble_rows``
+  does not stitch the slices back into the original tensor.
 """
 
 from __future__ import annotations
@@ -37,11 +39,86 @@ class LintWarning:
         return f"[{self.rule}]{where} {self.message}"
 
 
+def _check_slice_reassembly(graph, node, producer_of) -> list[LintWarning]:
+    """Verify an ``assemble_rows`` node reconstitutes one whole tensor.
+
+    Each branch feeding the reassembly is walked upstream (stopping at
+    graph inputs and at other ``assemble_rows`` nodes, which reset
+    slice bounds) to the ``slice_rows`` nodes that carved its rows.
+    A correct slicing leaves exactly one ``[lo, hi)`` window per
+    branch, the windows tile ``[0, rows)`` contiguously in ascending
+    order, and every branch output carries exactly its window's rows.
+    """
+    warnings: list[LintWarning] = []
+
+    def bounds_of(vid) -> set[tuple[int, int]]:
+        found: set[tuple[int, int]] = set()
+        stack, seen = [vid], set()
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            producer = producer_of.get(v)
+            if producer is None or producer.op == "assemble_rows":
+                continue
+            if producer.op == "slice_rows":
+                found.add((producer.attrs["lo"], producer.attrs["hi"]))
+                continue
+            stack.extend(producer.inputs)
+        return found
+
+    windows: list[tuple[int, int]] = []
+    for vid in node.inputs:
+        branch = bounds_of(vid)
+        if len(branch) != 1:
+            warnings.append(LintWarning(
+                "slice-reassembly",
+                f"assemble_rows branch (value {vid}) traces to "
+                f"{sorted(branch) or 'no'} slice_rows windows, expected "
+                "exactly one",
+                node.nid,
+            ))
+            return warnings
+        (window,) = branch
+        rows = graph.value(vid).shape[-2]
+        if rows != window[1] - window[0]:
+            warnings.append(LintWarning(
+                "slice-reassembly",
+                f"assemble_rows branch (value {vid}) has {rows} rows but "
+                f"its slice window {window} spans {window[1] - window[0]}",
+                node.nid,
+            ))
+        windows.append(window)
+
+    expect_lo = 0
+    for lo, hi in windows:
+        if lo != expect_lo:
+            warnings.append(LintWarning(
+                "slice-reassembly",
+                f"assemble_rows windows {windows} do not tile rows "
+                f"contiguously from 0 (gap or overlap at {lo})",
+                node.nid,
+            ))
+            return warnings
+        expect_lo = hi
+    out_rows = graph.value(node.output).shape[-2]
+    if expect_lo != out_rows:
+        warnings.append(LintWarning(
+            "slice-reassembly",
+            f"assemble_rows windows cover [0, {expect_lo}) but the "
+            f"output declares {out_rows} rows",
+            node.nid,
+        ))
+    return warnings
+
+
 def lint_graph(graph: Graph) -> list[LintWarning]:
     """Run every rule; returns warnings in graph order."""
     graph.validate()
     warnings: list[LintWarning] = []
     consumed = {vid for node in graph.nodes for vid in node.inputs}
+    producer_of = {node.output: node for node in graph.nodes}
 
     mme_flops = 0.0
     tpc_flops = 0.0
@@ -101,6 +178,11 @@ def lint_graph(graph: Graph) -> list[LintWarning]:
                     f"{in_values[0].numel}",
                     node.nid,
                 ))
+
+        if node.op == "assemble_rows":
+            warnings.extend(
+                _check_slice_reassembly(graph, node, producer_of)
+            )
 
         if node.op == "transpose":
             consumers = [

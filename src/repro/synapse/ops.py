@@ -521,6 +521,20 @@ def _concat_rows_shape(shapes: list[Shape], attrs: dict) -> Shape:
     return a[:-2] + (a[-2] + b[-2], a[-1])
 
 
+def _assemble_rows_shape(shapes: list[Shape], attrs: dict) -> Shape:
+    if not shapes:
+        raise ShapeError("assemble_rows needs at least one input")
+    first = shapes[0]
+    if len(first) < 2:
+        raise ShapeError(f"assemble_rows needs rank >= 2 inputs, got {first}")
+    rows = 0
+    for s in shapes:
+        if len(s) != len(first) or s[:-2] != first[:-2] or s[-1] != first[-1]:
+            raise ShapeError(f"assemble_rows: incompatible {s} vs {first}")
+        rows += s[-2]
+    return first[:-2] + (rows, first[-1])
+
+
 register(OpDef(
     "slice_last", OpClass.DATA_MOVE, EngineKind.TPC, _slice_last_shape,
     lambda i, a: i[0][..., int(a["lo"]): int(a["hi"])].copy(),
@@ -536,6 +550,16 @@ register(OpDef(
     "concat_rows", OpClass.DATA_MOVE, EngineKind.TPC, _concat_rows_shape,
     lambda i, a: np.concatenate([i[0], i[1]], axis=-2),
     doc="row-block concatenation along dim -2",
+))
+register(OpDef(
+    "assemble_rows", OpClass.DATA_MOVE, EngineKind.TPC,
+    _assemble_rows_shape,
+    lambda i, a: np.concatenate(list(i), axis=-2),
+    # Zero traffic: the tpc_slicing pass's slices compute directly into
+    # disjoint row blocks of the output buffer; this node only restores
+    # the dataflow (one launch, no bytes).
+    reads_inputs=False, writes_output=False,
+    doc="n-ary row-slice reassembly along dim -2 (tpc_slicing pass)",
 ))
 register(OpDef(
     "concat_last", OpClass.DATA_MOVE, EngineKind.TPC, _concat_last_shape,

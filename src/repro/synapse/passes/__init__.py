@@ -4,9 +4,10 @@ One module per transformation, each a named
 :class:`~repro.synapse.passes.base.CompilerPass` over a shared
 :class:`~repro.synapse.passes.state.CompilationState`:
 
-``validate`` -> ``lower_composites`` -> ``view_elision`` ->
-``elementwise_fusion`` -> ``recompile_injection`` -> ``dma_staging``
--> ``emit`` -> ``collective_injection`` -> ``memory_planning``
+``validate`` -> ``tpc_slicing`` -> ``lower_composites`` ->
+``view_elision`` -> ``elementwise_fusion`` -> ``recompile_injection``
+-> ``dma_staging`` -> ``emit`` -> ``collective_injection`` ->
+``memory_planning``
 
 Every pass reports nodes in/out, wall-clock, and transform counts into
 ``Schedule.stats["passes"]``, and (except emission) can be disabled
@@ -23,6 +24,7 @@ from .fusion import ElementwiseFusionPass
 from .lower import LowerCompositesPass
 from .memory import MemoryPlanningPass
 from .recompile import RecompileInjectionPass
+from .slicing import TpcSlicingPass
 from .state import CompilationState, PendingOp
 from .validate import ValidatePass
 from .views import ViewElisionPass
@@ -31,6 +33,7 @@ from .views import ViewElisionPass
 #: assembly stage has no flag and cannot be disabled)
 PASS_OPTION_FLAGS: dict[str, str] = {
     ValidatePass.name: ValidatePass.option_flag,
+    TpcSlicingPass.name: TpcSlicingPass.option_flag,
     LowerCompositesPass.name: LowerCompositesPass.option_flag,
     ViewElisionPass.name: ViewElisionPass.option_flag,
     ElementwiseFusionPass.name: ElementwiseFusionPass.option_flag,
@@ -45,6 +48,7 @@ def default_passes() -> list[CompilerPass]:
     """The standard pipeline, in order (fresh instances)."""
     return [
         ValidatePass(),
+        TpcSlicingPass(),
         LowerCompositesPass(),
         ViewElisionPass(),
         ElementwiseFusionPass(),
@@ -69,6 +73,7 @@ __all__ = [
     "PassManager",
     "PendingOp",
     "RecompileInjectionPass",
+    "TpcSlicingPass",
     "ValidatePass",
     "ViewElisionPass",
     "default_passes",

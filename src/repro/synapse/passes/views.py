@@ -32,6 +32,10 @@ class ViewElisionPass(CompilerPass):
                 opdef.op_class is OpClass.DATA_MOVE
                 and not opdef.reads_inputs
                 and not opdef.writes_output
+                # n-ary reassembly (assemble_rows) is traffic-free but
+                # not a view of any single input — it must keep its
+                # engine slot so slice dataflow re-joins correctly
+                and len(node.inputs) == 1
             ):
                 src_vid = node.inputs[0]
                 alias[node.output] = alias.get(src_vid, src_vid)

@@ -57,14 +57,30 @@ class ProfileResult:
         """Busy fraction of ``engine`` over the makespan."""
         return self.timeline.utilization(engine)
 
-    def idle_fraction(self, engine: EngineKind) -> float:
-        """The 'blank areas' fraction of ``engine``."""
-        return self.timeline.idle_fraction(engine)
+    def idle_fraction(
+        self, engine: EngineKind, *, until: str = "makespan"
+    ) -> float:
+        """The 'blank areas' fraction of ``engine``.
+
+        ``until="last_compute"`` measures against the last MME/TPC
+        completion instead of the trailing DMA drain.
+        """
+        return self.timeline.idle_fraction(engine, until=until)
+
+    def idle_us(self, engine: EngineKind, *, until: str = "makespan") -> float:
+        """Idle microseconds of ``engine`` (see :meth:`Timeline.idle_us`)."""
+        return self.timeline.idle_us(engine, until=until)
 
     @property
     def mme_idle_fraction(self) -> float:
         """Idle fraction of the MME — Fig 4/6/8/9's observation."""
         return self.idle_fraction(EngineKind.MME)
+
+    @property
+    def overlap_stats(self) -> dict:
+        """The ``tpc_slicing`` pass's per-schedule overlap statistics
+        (empty when the pass did not run or sliced nothing)."""
+        return dict(self.schedule.stats.get("overlap", {}))
 
     def src_share(self, src: str, engine: EngineKind = EngineKind.TPC) -> float:
         """Share of ``engine`` busy time attributed to source op ``src``."""
@@ -188,6 +204,11 @@ class SynapseProfiler:
         """Compile only (exposed for schedule inspection in tests)."""
         return self.compiler.compile(graph)
 
+    def _scheduler(self) -> str | None:
+        """Issue policy for the runtime: the configured out-of-order
+        scheduler when ``reorder`` is on, else the legacy default."""
+        return self.options.scheduler if self.options.reorder else None
+
     def profile(
         self, graph: Graph, *, device: GaudiDevice | None = None
     ) -> ProfileResult:
@@ -199,6 +220,7 @@ class SynapseProfiler:
             schedule,
             reorder=self.options.reorder,
             hbm_contention=self.options.hbm_contention,
+            scheduler=self._scheduler(),
         )
         timeline = result.timeline.shifted(-result.start_offset_us)
         return ProfileResult(
@@ -260,6 +282,7 @@ class SynapseProfiler:
                 schedule,
                 reorder=self.options.reorder,
                 hbm_contention=self.options.hbm_contention,
+                scheduler=self._scheduler(),
             )
             start = (
                 compile_event.start_us if compile_event is not None
@@ -320,6 +343,9 @@ class HLS1Profiler:
             schedule,
             reorder=self.options.reorder,
             hbm_contention=self.options.hbm_contention,
+            scheduler=(
+                self.options.scheduler if self.options.reorder else None
+            ),
         )
         timeline = result.timeline.shifted(-result.start_offset_us)
         return ProfileResult(

@@ -11,9 +11,16 @@ identical workload returns the cached recipe instead of re-running the
 pass pipeline. First-compile vs. cached-iteration becomes a measured
 phenomenon rather than a modeled constant.
 
-Runtime-only options (``reorder``, ``hbm_contention``,
+Runtime-only options (``reorder``, ``scheduler``, ``hbm_contention``,
 ``use_recipe_cache``) are excluded from the key: they do not change
 the compiled schedule.
+
+The cache can also persist recipes to disk (``save_dir`` /
+``--recipe-cache-dir``): every put writes a signature-keyed JSON blob,
+and a memory miss falls back to loading the blob — so repeated study
+or CLI invocations skip recompilation across processes, the way
+SynapseAI's on-disk recipe store does. Corrupt or unreadable blobs
+degrade to a plain miss.
 
 The cache clones on both put and get, so hits are isolated: a caller
 mutating a returned schedule (its ``stats``, ``memory`` plan, or ops)
@@ -25,18 +32,61 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import os
 from collections import OrderedDict
+from pathlib import Path
 from typing import TYPE_CHECKING
 
+from ..util.errors import GraphError
 from .graph import Graph
 from .schedule import Schedule
+from .serialize import schedule_from_json, schedule_to_json
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..hw.config import GaudiConfig
     from .compiler import CompilerOptions
 
 #: CompilerOptions fields that do not affect the compiled schedule
-_RUNTIME_ONLY_OPTIONS = ("reorder", "hbm_contention", "use_recipe_cache")
+_RUNTIME_ONLY_OPTIONS = (
+    "reorder", "scheduler", "hbm_contention", "use_recipe_cache"
+)
+
+#: default on-disk recipe directory when persistence is requested
+#: without an explicit path (``--recipe-cache-dir`` with no argument)
+DEFAULT_RECIPE_CACHE_DIR = "~/.cache/repro-recipes"
+
+#: process-wide default save dir; ``None`` keeps caches memory-only
+_default_save_dir: Path | None = None
+
+#: process-wide counters across every RecipeCache instance — the
+#: ``study`` report's hit/miss line aggregates these
+_global_stats = {"hits": 0, "misses": 0, "disk_hits": 0}
+
+
+def set_default_recipe_cache_dir(path: "str | Path | None") -> None:
+    """Set (or clear, with ``None``) the process-wide recipe directory.
+
+    Caches constructed without an explicit ``save_dir`` persist here;
+    the CLI's ``--recipe-cache-dir`` flag routes through this.
+    """
+    global _default_save_dir
+    _default_save_dir = Path(path).expanduser() if path else None
+
+
+def default_recipe_cache_dir() -> Path | None:
+    """The process-wide recipe directory (None = memory-only)."""
+    return _default_save_dir
+
+
+def recipe_cache_stats() -> dict:
+    """Process-wide hit/miss/disk-hit counters across every cache."""
+    return dict(_global_stats)
+
+
+def reset_recipe_cache_stats() -> None:
+    """Zero the process-wide counters (test isolation)."""
+    for key in _global_stats:
+        _global_stats[key] = 0
 
 
 def graph_signature(graph: Graph) -> str:
@@ -88,54 +138,120 @@ def recipe_key(
 
 
 class RecipeCache:
-    """A bounded LRU cache of compiled schedules with hit/miss counters."""
+    """A bounded LRU cache of compiled schedules with hit/miss counters.
 
-    def __init__(self, maxsize: int = 32):
+    With a ``save_dir`` (explicit, or the process default set through
+    :func:`set_default_recipe_cache_dir`), every put also writes a
+    signature-keyed JSON blob and a memory miss falls back to loading
+    it — recipes survive across processes. Disk I/O is best-effort:
+    unreadable or corrupt blobs degrade to a plain miss, and write
+    failures leave the in-memory cache intact.
+    """
+
+    def __init__(
+        self, maxsize: int = 32, save_dir: "str | Path | None" = None
+    ):
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self._explicit_save_dir = (
+            Path(save_dir).expanduser() if save_dir else None
+        )
         self._entries: "OrderedDict[str, Schedule]" = OrderedDict()
+
+    @property
+    def save_dir(self) -> Path | None:
+        """Effective persistence directory (explicit beats process
+        default; resolved per access so the CLI can set the default
+        after caches exist)."""
+        return self._explicit_save_dir or _default_save_dir
+
+    def _blob_path(self, key: str) -> Path:
+        return self.save_dir / f"{key}.json"
+
+    def _load_from_disk(self, key: str) -> Schedule | None:
+        if self.save_dir is None:
+            return None
+        try:
+            text = self._blob_path(key).read_text()
+        except OSError:
+            return None
+        try:
+            return schedule_from_json(text)
+        except GraphError:
+            return None  # corrupt blob -> plain miss
+
+    def _save_to_disk(self, key: str, schedule: Schedule) -> None:
+        if self.save_dir is None:
+            return
+        try:
+            self.save_dir.mkdir(parents=True, exist_ok=True)
+            path = self._blob_path(key)
+            # atomic publish: readers only ever see complete blobs
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            tmp.write_text(schedule_to_json(schedule))
+            tmp.replace(path)
+        except OSError:
+            pass  # persistence is best-effort
 
     def get(self, key: str) -> Schedule | None:
         """A private copy of the cached schedule, or None.
 
         Returns a clone so callers can mutate their schedule without
-        corrupting the cached recipe (counts hit/miss).
+        corrupting the cached recipe (counts hit/miss). A memory miss
+        checks the on-disk store (when configured) before giving up;
+        a disk hit repopulates the memory tier.
         """
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
-            return None
+            entry = self._load_from_disk(key)
+            if entry is None:
+                self.misses += 1
+                _global_stats["misses"] += 1
+                return None
+            self.disk_hits += 1
+            _global_stats["disk_hits"] += 1
+            self._entries[key] = entry
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
         self._entries.move_to_end(key)
         self.hits += 1
+        _global_stats["hits"] += 1
         return entry.clone()
 
     def put(self, key: str, schedule: Schedule) -> None:
         """Insert a compiled schedule, evicting the LRU entry if full.
 
         Stores a clone: the caller keeps exclusive ownership of the
-        object it passed in.
+        object it passed in. With persistence on, also writes the
+        signature-keyed blob (atomically: write-temp + rename).
         """
         self._entries[key] = schedule.clone()
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+        self._save_to_disk(key, schedule)
 
     def clear(self) -> None:
-        """Drop every entry and reset the counters."""
+        """Drop every in-memory entry and reset the counters (the
+        on-disk store, if any, is left in place)."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
 
     def info(self) -> dict:
         """Counters snapshot: hits, misses, current size, capacity."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "disk_hits": self.disk_hits,
             "size": len(self._entries),
             "maxsize": self.maxsize,
+            "save_dir": str(self.save_dir) if self.save_dir else None,
         }
 
     def __len__(self) -> int:

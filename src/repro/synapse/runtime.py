@@ -1,20 +1,32 @@
 """Runtime: execute a compiled schedule on a simulated device.
 
-Two issue disciplines, selected by
-:attr:`~repro.synapse.compiler.CompilerOptions.reorder`:
+Three issue disciplines, selected by
+:attr:`~repro.synapse.compiler.CompilerOptions.reorder` and
+:attr:`~repro.synapse.compiler.CompilerOptions.scheduler`:
 
 * **in-order** (default, what SynapseAI does): each engine issues its
   queue strictly in program order; an op starts when its engine is free
   AND its producers are done. Engines still overlap *across* queues —
   this is what produces both the good overlap of Fig 5 and the MME idle
   gaps of Figs 4/6/8/9.
-* **reorder** (the ablation): an engine may start any *ready* op,
-  earliest-ready first (ties by program order) — a greedy list
-  scheduler standing in for a compiler that "detect[s] independence"
-  (§3.3's Performer discussion). Issue order is planned once from the
-  uncontended durations (a lazy min-heap keyed on (earliest start,
-  program order)), then executed under whichever memory model is
-  active.
+* **reorder** (``--scheduler=reorder``): an engine may start any
+  *ready* op, earliest-ready first (ties by program order) — a greedy
+  list scheduler standing in for a compiler that "detect[s]
+  independence" (§3.3's Performer discussion). Issue order is planned
+  once from the uncontended durations (a lazy min-heap keyed on
+  (earliest start, program order)), then executed under whichever
+  memory model is active.
+* **lookahead** (the default out-of-order policy): a critical-path
+  list scheduler. Ops are prioritized by *bottom level* (the longest
+  uncontended dependency chain hanging off them), with an
+  MME-starvation tiebreak: while the MME sits idle with nothing ready,
+  other engines prefer ops whose downstream consumers feed the MME.
+  This is what lets independent TPC chains (Performer's
+  ``q_prime``/``k_prime``) and the ``tpc_slicing`` pass's row slices
+  genuinely overlap with pending MME work.
+
+All planned orders are topological, so any of them replays deadlock-
+free under both memory models below.
 
 Two memory models, selected by
 :attr:`~repro.synapse.compiler.CompilerOptions.hbm_contention`:
@@ -41,6 +53,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import math
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -158,15 +171,22 @@ class Runtime:
         *,
         reorder: bool = False,
         hbm_contention: bool = True,
+        scheduler: str | None = None,
     ) -> ExecutionResult:
-        """Run ``schedule``; the device clock keeps advancing across calls."""
+        """Run ``schedule``; the device clock keeps advancing across calls.
+
+        ``scheduler`` names the issue policy explicitly (``"inorder"``,
+        ``"reorder"``, ``"lookahead"``) and wins over the ``reorder``
+        boolean; when ``None`` the legacy mapping applies (``reorder``
+        selects the greedy planner, otherwise program order).
+        """
         start_offset = self.device.now
         cost = self.device.cost_model
         durations = [op_duration_us(cost, op) for op in schedule.ops]
-        if reorder:
-            order = self._plan_reorder(schedule, durations, start_offset)
-        else:
-            order = [op.index for op in schedule.ops]
+        order = self._plan_order(
+            schedule, durations, start_offset,
+            reorder=reorder, scheduler=scheduler,
+        )
         if hbm_contention:
             events, stall_total = self._execute_contended(
                 schedule, order, start_offset
@@ -228,7 +248,31 @@ class Runtime:
             events.append(event)
         return events
 
-    # -- reorder planning -----------------------------------------------------
+    # -- issue-order planning -------------------------------------------------
+
+    def _plan_order(
+        self,
+        schedule: Schedule,
+        durations: list[float],
+        t0: float,
+        *,
+        reorder: bool,
+        scheduler: str | None,
+    ) -> list[int]:
+        """Resolve the issue policy and plan the order it prescribes."""
+        policy = scheduler
+        if policy is None:
+            policy = "reorder" if reorder else "inorder"
+        if policy == "inorder":
+            return [op.index for op in schedule.ops]
+        if policy == "reorder":
+            return self._plan_reorder(schedule, durations, t0)
+        if policy == "lookahead":
+            return self._plan_lookahead(schedule, durations, t0)
+        raise ExecutionError(
+            f"unknown scheduler {policy!r} "
+            "(expected 'inorder', 'reorder' or 'lookahead')"
+        )
 
     @staticmethod
     def _dep_graph(
@@ -340,6 +384,118 @@ class Runtime:
                 blocked_by[consumer] -= 1
                 if blocked_by[consumer] == 0:
                     ready_time[consumer] = max(
+                        (finish[d] for d in schedule.ops[consumer].deps),
+                        default=t0,
+                    )
+        return order
+
+    def _plan_lookahead(
+        self, schedule: Schedule, durations: list[float], t0: float
+    ) -> list[int]:
+        """Critical-path list scheduler with an MME-starvation tiebreak.
+
+        Priorities are *bottom levels* over the uncontended durations:
+        ``bottom[i] = dur[i] + max(bottom[consumer])`` — the length of
+        the longest chain still hanging off op ``i``. At each issue
+        decision the planner takes the earliest instant any engine can
+        start a ready op and, among the ops startable then, picks the
+        largest bottom level — except under *MME starvation*: when no
+        MME op is ready and the MME would run dry before a candidate
+        finished, other engines boost ops that feed the MME, cheapest
+        lead first. An op's *MME lead* is the minimum remaining
+        non-MME work (its own duration plus the cheapest downstream
+        path) before some MME op can start. The time-based lead
+        matters: on a row-sliced softmax pipeline every scale, exp,
+        and normalization slice transitively feeds the score@V
+        matmuls, but finishing ``sum``+``div`` of the oldest slice
+        (~4us of work) releases a matmul *now*, while another ``exp``
+        slice is three ops away — pure bottom-level priority drains
+        whole stages in lockstep and parks the MME for the duration.
+        The emitted order is topological (an op is issued only after
+        every producer), so it replays deadlock-free under both memory
+        models.
+        """
+        n = len(schedule.ops)
+        consumers_of, blocked_by = self._dep_graph(schedule)
+        bottom = [0.0] * n
+        # cheapest remaining non-MME work before op i's completion can
+        # release some MME op (0.0 for MME work itself); inf marks
+        # "never reaches one"
+        no_path = math.inf
+        mme_lead = [no_path] * n
+        # schedule indices are topological, so one reverse sweep fills
+        # both the bottom levels and the lead-to-the-MME closure
+        for i in reversed(range(n)):
+            tail = max((bottom[c] for c in consumers_of[i]), default=0.0)
+            bottom[i] = durations[i] + tail
+            if schedule.ops[i].engine is EngineKind.MME:
+                mme_lead[i] = 0.0
+            else:
+                for c in consumers_of[i]:
+                    d = (
+                        0.0
+                        if schedule.ops[c].engine is EngineKind.MME
+                        else durations[c] + mme_lead[c]
+                    )
+                    if d < mme_lead[i]:
+                        mme_lead[i] = d
+        free = {
+            op.engine: self.device.timeline(op.engine).free_at
+            for op in schedule.ops
+        }
+        finish: dict[int, float] = {}
+        ready: dict[int, float] = {
+            i: t0 for i in range(n) if blocked_by[i] == 0
+        }
+        order: list[int] = []
+        while len(order) < n:
+            if not ready:
+                raise ExecutionError(
+                    "deadlock: no ready ops but schedule incomplete "
+                    "(cyclic dependencies?)"
+                )
+            t = min(
+                max(r, free[schedule.ops[i].engine])
+                for i, r in ready.items()
+            )
+            mme_free = free.get(EngineKind.MME, t0)
+            no_ready_mme = not any(
+                schedule.ops[i].engine is EngineKind.MME
+                and r <= t + _TIME_EPS_US
+                for i, r in ready.items()
+            )
+            best: int | None = None
+            best_key: tuple[int, float, float, int] | None = None
+            for i, r in ready.items():
+                op = schedule.ops[i]
+                if max(r, free[op.engine]) > t + _TIME_EPS_US:
+                    continue
+                # anticipatory starvation: boost when the MME would go
+                # (or stay) dry before this candidate could finish
+                boost = int(
+                    no_ready_mme
+                    and op.engine is not EngineKind.MME
+                    and mme_lead[i] < no_path
+                    and mme_free <= t + durations[i] + _TIME_EPS_US
+                )
+                key = (
+                    boost,
+                    -(durations[i] + mme_lead[i]) if boost else 0.0,
+                    bottom[i],
+                    -i,
+                )
+                if best_key is None or key > best_key:
+                    best, best_key = i, key
+            assert best is not None  # t came from the ready set
+            op = schedule.ops[best]
+            start = max(ready.pop(best), free[op.engine])
+            finish[best] = start + durations[best]
+            free[op.engine] = finish[best]
+            order.append(best)
+            for consumer in consumers_of[best]:
+                blocked_by[consumer] -= 1
+                if blocked_by[consumer] == 0:
+                    ready[consumer] = max(
                         (finish[d] for d in schedule.ops[consumer].deps),
                         default=t0,
                     )
@@ -637,8 +793,12 @@ class HLS1Runtime:
         *,
         reorder: bool = False,
         hbm_contention: bool = True,
+        scheduler: str | None = None,
     ) -> ExecutionResult:
-        """Run ``schedule`` on all cards; clocks keep advancing."""
+        """Run ``schedule`` on all cards; clocks keep advancing.
+
+        ``scheduler`` resolves exactly as in :meth:`Runtime.execute`.
+        """
         cards = self.system.cards
         t0 = max(card.now for card in cards)
         cost = cards[0].cost_model
@@ -651,10 +811,9 @@ class HLS1Runtime:
             else op_duration_us(cost, op)
             for op in schedule.ops
         ]
-        if reorder:
-            order = Runtime(cards[0])._plan_reorder(schedule, durations, t0)
-        else:
-            order = [op.index for op in schedule.ops]
+        order = Runtime(cards[0])._plan_order(
+            schedule, durations, t0, reorder=reorder, scheduler=scheduler
+        )
 
         fabric_busy = 0.0
         if hbm_contention:

@@ -120,9 +120,64 @@ class Timeline:
             return 0.0
         return self.busy_time_us(engine) / total
 
-    def idle_fraction(self, engine: EngineKind) -> float:
-        """1 - utilization: the paper's 'blank areas' metric."""
-        return 1.0 - self.utilization(engine)
+    def last_compute_end_us(self) -> float:
+        """Completion time of the last MME/TPC event.
+
+        The natural horizon for overlap metrics: after the final
+        compute op only the DMA drain (and collectives) remain, so
+        idle measured against the full makespan dilutes the numbers
+        with time no scheduler could possibly fill. Falls back to the
+        makespan when the trace has no compute events.
+        """
+        end = max(
+            (ev.end_us for ev in self.events
+             if ev.engine in (EngineKind.MME, EngineKind.TPC)),
+            default=0.0,
+        )
+        return end if end > 0 else self.total_time_us
+
+    def _horizon_us(self, until: str) -> float:
+        if until == "makespan":
+            return self.total_time_us
+        if until == "last_compute":
+            return self.last_compute_end_us()
+        raise ExecutionError(
+            f"unknown idle horizon {until!r} "
+            "(expected 'makespan' or 'last_compute')"
+        )
+
+    def idle_us(self, engine: EngineKind, *, until: str = "makespan") -> float:
+        """Idle microseconds of ``engine`` within [0, horizon).
+
+        ``until="last_compute"`` stops the clock at the final MME/TPC
+        completion instead of the trailing DMA drain — the horizon the
+        overlap scheduler can actually influence. Busy time is clipped
+        to the horizon, so the result is never negative.
+        """
+        horizon = self._horizon_us(until)
+        if horizon <= 0:
+            return 0.0
+        busy = sum(
+            min(ev.end_us, horizon) - min(ev.start_us, horizon)
+            for ev in self.events
+            if ev.engine is engine
+        )
+        return max(0.0, horizon - busy)
+
+    def idle_fraction(
+        self, engine: EngineKind, *, until: str = "makespan"
+    ) -> float:
+        """1 - utilization: the paper's 'blank areas' metric.
+
+        By default measured over the full makespan (what the paper's
+        figures show); ``until="last_compute"`` measures against the
+        last compute finish so the trailing DMA drain does not dilute
+        overlap comparisons.
+        """
+        horizon = self._horizon_us(until)
+        if horizon <= 0:
+            return 1.0 - self.utilization(engine)
+        return self.idle_us(engine, until=until) / horizon
 
     def gaps(self, engine: EngineKind, *, min_dur_us: float = 0.0) -> list[Interval]:
         """Idle intervals of ``engine`` within [0, makespan)."""

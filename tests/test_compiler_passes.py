@@ -28,10 +28,14 @@ from repro.synapse import (
 from repro.util.errors import CompileError
 
 PASS_ORDER = [
-    "validate", "lower_composites", "view_elision", "elementwise_fusion",
-    "recompile_injection", "dma_staging", "emit", "collective_injection",
-    "memory_planning",
+    "validate", "tpc_slicing", "lower_composites", "view_elision",
+    "elementwise_fusion", "recompile_injection", "dma_staging", "emit",
+    "collective_injection", "memory_planning",
 ]
+
+#: passes that default off (single-card experiments have no gradients
+#: to all-reduce; op slicing is the opt-in overlap optimization)
+DEFAULT_OFF = {"collective_injection", "tpc_slicing"}
 
 
 def small_graph(*, with_softmax=True, with_glu=False):
@@ -60,9 +64,7 @@ class TestPipelineStructure:
         entries = schedule.stats["passes"]
         assert [e["pass"] for e in entries] == PASS_ORDER
         for e in entries:
-            # collective injection is the one pass that defaults off
-            # (single-card experiments have no gradients to all-reduce)
-            expected = e["pass"] != "collective_injection"
+            expected = e["pass"] not in DEFAULT_OFF
             assert e["enabled"] is expected
             assert e["wall_us"] >= 0.0
             assert e["units_in"] >= 0 and e["units_out"] >= 0

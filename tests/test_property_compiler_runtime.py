@@ -25,6 +25,7 @@ from repro.synapse import (
     GraphCompiler,
     Runtime,
     execute_graph,
+    execute_schedule,
     validate_no_engine_overlap,
 )
 
@@ -234,6 +235,63 @@ def _input_array(value, dims):
     a = rng.normal(size=(rows, inner)).astype(np.float32)
     b = rng.normal(size=(inner, cols)).astype(np.float32)
     return a if value.name == "a" else b
+
+
+class TestSchedulerPolicyInvariants:
+    @given(program_strategy, dims_strategy,
+           st.sampled_from(["inorder", "reorder", "lookahead"]),
+           st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_every_policy_emits_a_valid_order(self, ops, dims, policy,
+                                              sliced):
+        """All three issue policies emit a dependency-respecting
+        permutation, with or without TPC slicing, and never overlap an
+        engine with itself."""
+        graph, _ = record_random(ops, dims)
+        options = (CompilerOptions(tpc_slice_ops=True, tpc_slice_min_us=0.0)
+                   if sliced else CompilerOptions())
+        schedule = GraphCompiler(options=options).compile(graph)
+        result = Runtime(GaudiDevice()).execute(schedule, scheduler=policy)
+        order = list(result.issue_order)
+        assert sorted(order) == list(range(len(schedule.ops)))
+        position = {idx: pos for pos, idx in enumerate(order)}
+        for op in schedule.ops:
+            assert all(position[d] < position[op.index] for d in op.deps)
+        validate_no_engine_overlap(result.timeline)
+
+    @given(program_strategy, dims_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_explicit_policies_match_legacy_bools(self, ops, dims):
+        """``scheduler=`` names reproduce the legacy ``reorder`` bool."""
+        graph, _ = record_random(ops, dims)
+        schedule = GraphCompiler().compile(graph)
+        for policy, legacy in (("inorder", False), ("reorder", True)):
+            named = Runtime(GaudiDevice()).execute(
+                schedule, scheduler=policy
+            )
+            boolean = Runtime(GaudiDevice()).execute(
+                schedule, reorder=legacy
+            )
+            assert list(named.issue_order) == list(boolean.issue_order)
+            assert named.total_time_us == pytest.approx(
+                boolean.total_time_us
+            )
+
+    @given(program_strategy, dims_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_sliced_numerics_match_eager(self, ops, dims):
+        """TPC slicing is a pure scheduling transform: the sliced
+        schedule reproduces the eager frontend on every random graph."""
+        graph, eager = record_random(ops, dims)
+        schedule = GraphCompiler(options=CompilerOptions(
+            tpc_slice_ops=True, tpc_slice_min_us=0.0
+        )).compile(graph)
+        env = execute_schedule(
+            schedule,
+            {v.name: _input_array(v, dims) for v in graph.graph_inputs()},
+        )
+        out = env[schedule.graph.nodes[-1].output]
+        np.testing.assert_allclose(out, eager, rtol=1e-4, atol=1e-5)
 
 
 class TestMemoryPlanInvariants:

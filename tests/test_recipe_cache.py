@@ -164,10 +164,11 @@ class TestCompilerCaching:
         compiler.compile(record_program().graph)
         compiler.compile(record_program().graph)
         info = cache.info()
-        assert info == {"hits": 1, "misses": 1, "size": 1, "maxsize": 4}
+        assert info == {"hits": 1, "misses": 1, "disk_hits": 0,
+                        "size": 1, "maxsize": 4, "save_dir": None}
         cache.clear()
-        assert cache.info() == {"hits": 0, "misses": 0, "size": 0,
-                                "maxsize": 4}
+        assert cache.info() == {"hits": 0, "misses": 0, "disk_hits": 0,
+                                "size": 0, "maxsize": 4, "save_dir": None}
 
 
 class TestProfilerIntegration:
@@ -200,3 +201,100 @@ class TestProfilerIntegration:
         second = profiler.profile(graph)
         assert second.schedule.stats["passes"] == first.schedule.stats["passes"]
         assert [e["pass"] for e in second.schedule.stats["passes"]]
+
+
+class TestDiskPersistence:
+    """The on-disk recipe store: cross-process reuse, corruption, stats."""
+
+    def _compile(self, cache):
+        graph = record_program().graph
+        compiler = GraphCompiler(cache=cache)
+        schedule = compiler.compile(graph)
+        return compiler, schedule
+
+    def test_blob_written_on_put(self, tmp_path):
+        cache = RecipeCache(save_dir=tmp_path)
+        self._compile(cache)
+        blobs = list(tmp_path.glob("*.json"))
+        assert len(blobs) == 1
+
+    def test_fresh_cache_hits_from_disk(self, tmp_path):
+        _, first = self._compile(RecipeCache(save_dir=tmp_path))
+        cache = RecipeCache(save_dir=tmp_path)
+        compiler, second = self._compile(cache)
+        assert compiler.last_cache_hit is True
+        assert cache.disk_hits == 1 and cache.hits == 1
+        assert len(second.ops) == len(first.ops)
+        assert second.memory.peak_bytes == first.memory.peak_bytes
+
+    def test_disk_recipe_executes_identically(self, tmp_path):
+        from repro.hw.device import GaudiDevice
+        from repro.synapse import Runtime
+
+        _, first = self._compile(RecipeCache(save_dir=tmp_path))
+        _, second = self._compile(RecipeCache(save_dir=tmp_path))
+        a = Runtime(GaudiDevice()).execute(first, reorder=True)
+        b = Runtime(GaudiDevice()).execute(second, reorder=True)
+        assert a.total_time_us == b.total_time_us
+        assert len(a.timeline.events) == len(b.timeline.events)
+
+    def test_corrupt_blob_is_a_plain_miss(self, tmp_path):
+        self._compile(RecipeCache(save_dir=tmp_path))
+        blob = next(tmp_path.glob("*.json"))
+        blob.write_text("{garbage")
+        cache = RecipeCache(save_dir=tmp_path)
+        compiler, _ = self._compile(cache)
+        assert compiler.last_cache_hit is False
+        assert cache.misses == 1 and cache.disk_hits == 0
+        # the recompile republishes a valid blob over the corrupt one
+        _, _ = self._compile(RecipeCache(save_dir=tmp_path))
+
+    def test_memory_only_without_save_dir(self, tmp_path):
+        cache = RecipeCache()
+        assert cache.save_dir is None
+        self._compile(cache)
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_process_default_dir(self, tmp_path):
+        from repro.synapse import (
+            default_recipe_cache_dir,
+            set_default_recipe_cache_dir,
+        )
+
+        try:
+            set_default_recipe_cache_dir(tmp_path)
+            assert default_recipe_cache_dir() == tmp_path
+            cache = RecipeCache()  # no explicit dir -> process default
+            assert cache.save_dir == tmp_path
+            self._compile(cache)
+            assert len(list(tmp_path.glob("*.json"))) == 1
+        finally:
+            set_default_recipe_cache_dir(None)
+        assert default_recipe_cache_dir() is None
+
+    def test_global_stats_aggregate_across_caches(self, tmp_path):
+        from repro.synapse import (
+            recipe_cache_stats,
+            reset_recipe_cache_stats,
+        )
+
+        reset_recipe_cache_stats()
+        self._compile(RecipeCache(save_dir=tmp_path))
+        self._compile(RecipeCache(save_dir=tmp_path))
+        stats = recipe_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["disk_hits"] == 1
+        reset_recipe_cache_stats()
+        assert recipe_cache_stats() == {
+            "hits": 0, "misses": 0, "disk_hits": 0,
+        }
+
+    def test_clear_keeps_disk(self, tmp_path):
+        cache = RecipeCache(save_dir=tmp_path)
+        self._compile(cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        compiler, _ = self._compile(cache)
+        assert compiler.last_cache_hit is True  # reloaded from disk

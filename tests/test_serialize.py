@@ -102,3 +102,83 @@ class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(GraphError, match="cannot read"):
             load_graph(tmp_path / "nope.json")
+
+
+class TestScheduleRoundTrip:
+    """Compiled schedules (the on-disk recipe format) round-trip."""
+
+    def _schedule(self, options=None):
+        graph, arrays, eager = record_program()
+        compiler = GraphCompiler(options=options) if options else \
+            GraphCompiler()
+        return compiler.compile(graph), arrays, eager
+
+    def test_ops_and_memory_preserved(self):
+        from repro.synapse import schedule_from_json, schedule_to_json
+
+        schedule, _, _ = self._schedule()
+        back = schedule_from_json(schedule_to_json(schedule))
+        assert len(back.ops) == len(schedule.ops)
+        for a, b in zip(schedule.ops, back.ops):
+            assert (a.index, a.label, a.engine, a.deps) == (
+                b.index, b.label, b.engine, b.deps)
+            assert len(a.items) == len(b.items)
+        assert back.memory.persistent_bytes == \
+            schedule.memory.persistent_bytes
+        assert back.memory.peak_bytes == schedule.memory.peak_bytes
+        assert back.stats["passes"] == schedule.stats["passes"]
+
+    def test_restored_schedule_executes_identically(self):
+        from repro.hw.device import GaudiDevice
+        from repro.synapse import (
+            Runtime,
+            execute_schedule,
+            schedule_from_json,
+            schedule_to_json,
+        )
+
+        schedule, arrays, eager = self._schedule()
+        back = schedule_from_json(schedule_to_json(schedule))
+        env = execute_schedule(back, arrays)
+        out = env[back.graph.nodes[-1].output]
+        np.testing.assert_array_equal(out, eager)
+        a = Runtime(GaudiDevice()).execute(schedule, reorder=True)
+        b = Runtime(GaudiDevice()).execute(back, reorder=True)
+        assert a.total_time_us == b.total_time_us
+
+    def test_sliced_schedule_round_trips(self):
+        from repro.synapse import (
+            CompilerOptions,
+            execute_schedule,
+            schedule_from_json,
+            schedule_to_json,
+        )
+
+        schedule, arrays, eager = self._schedule(
+            CompilerOptions(tpc_slice_ops=True, tpc_slice_min_us=0.0)
+        )
+        back = schedule_from_json(schedule_to_json(schedule))
+        ops = [n.op for n in back.graph.nodes]
+        assert ops == [n.op for n in schedule.graph.nodes]
+        env = execute_schedule(back, arrays)
+        out = env[back.graph.nodes[-1].output]
+        np.testing.assert_array_equal(out, eager)
+
+    def test_malformed_recipe_raises(self):
+        from repro.synapse import schedule_from_json, schedule_to_json
+
+        with pytest.raises(GraphError, match="not valid JSON"):
+            schedule_from_json("{nope")
+        with pytest.raises(GraphError, match="not a serialized"):
+            schedule_from_json('{"format": "repro-graph"}')
+        with pytest.raises(GraphError, match="version"):
+            schedule_from_json(
+                '{"format": "repro-recipe", "version": 999}'
+            )
+        schedule, _, _ = self._schedule()
+        import json
+
+        payload = json.loads(schedule_to_json(schedule))
+        del payload["ops"][0]["engine"]
+        with pytest.raises(GraphError, match="malformed recipe"):
+            schedule_from_json(json.dumps(payload))
