@@ -1,0 +1,54 @@
+"""Bench A14: memory-planning regression gate.
+
+Sweeps the Fig-8/9 GPT-2 and BERT training steps across batch 8 -> 32
+under the 32 GiB budget with ``memory_policy="auto"`` and holds the
+planned schedules against the checked-in bounds in
+``memory_thresholds.json``. A planner regression that loses the
+batch-32 feasibility, re-exposes the spill DMA, or stops mixing
+recompute with spill fails this gate in CI.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import assert_checks
+
+from repro.core import run_memory_ablation
+from repro.util.units import GIB
+
+THRESHOLDS = json.loads(
+    (Path(__file__).parent / "memory_thresholds.json").read_text()
+)
+
+
+def test_memory_regression(benchmark, record_info):
+    study = benchmark.pedantic(run_memory_ablation, rounds=1, iterations=1)
+    assert_checks(study.checks())
+
+    bounds = THRESHOLDS["gpt_batch32_auto"]
+    wall = study.row("gpt", 32)
+    assert wall.oracle_peak_bytes / GIB >= bounds["min_oracle_peak_gib"]
+    assert wall.planned_peak_bytes is not None
+    assert wall.planned_peak_bytes / GIB <= bounds["max_planned_peak_gib"]
+    assert wall.slowdown <= bounds["max_slowdown"]
+    assert wall.spill_ops >= bounds["min_spill_ops"]
+    assert wall.recompute_ops >= bounds["min_recompute_ops"]
+
+    sweep_bounds = THRESHOLDS["sweep"]
+    assert all(
+        r.peak_bytes / GIB <= sweep_bounds["max_peak_gib"]
+        for r in study.rows
+    )
+    assert study.row("gpt", 8).fits_unplanned
+    assert study.row("bert", 8).fits_unplanned
+
+    record_info(
+        benchmark,
+        gpt32_oracle_peak_gib=round(wall.oracle_peak_bytes / GIB, 2),
+        gpt32_planned_peak_gib=round(wall.planned_peak_bytes / GIB, 2),
+        gpt32_slowdown=round(wall.slowdown, 3),
+        gpt32_spill_ops=wall.spill_ops,
+        gpt32_recompute_ops=wall.recompute_ops,
+    )
+    print()
+    print(study.render())

@@ -23,6 +23,7 @@ from .core import (
     run_fusion_ablation,
     run_generation_comparison,
     run_hbm_contention_ablation,
+    run_memory_ablation,
     run_mme_vs_tpc,
     run_op_mapping,
     run_overlap_scheduler_ablation,
@@ -117,6 +118,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] =
                       _comm_ablation),
     "ablation-overlap": ("A13: overlap scheduler ablation",
                          lambda: _simple(run_overlap_scheduler_ablation)),
+    "ablation-memory": ("A14: memory planning ablation",
+                        lambda: _simple(run_memory_ablation)),
 }
 
 
@@ -206,6 +209,21 @@ def build_parser() -> argparse.ArgumentParser:
              "they overlap with MME compute (the A13 machinery)",
     )
     parser.add_argument(
+        "--hbm-budget", type=float, default=None, metavar="GIB",
+        help="HBM budget in GiB for the memory planner (default: the "
+             "device's 32 GiB capacity)",
+    )
+    parser.add_argument(
+        "--memory-policy", choices=("none", "recompute", "spill", "auto"),
+        default=None,
+        help="what the memory planner may do when a graph's peak "
+             "exceeds the HBM budget: recompute checkpointed "
+             "activations, spill values to host over the DMA, or "
+             "'auto' to pick the cheaper transform per interval "
+             "(default 'none': validate and reject, the pre-planning "
+             "behaviour)",
+    )
+    parser.add_argument(
         "--recipe-cache-dir", nargs="?", const=DEFAULT_RECIPE_CACHE_DIR,
         default=None, metavar="DIR",
         help="persist compiled recipes to DIR and reuse them across "
@@ -266,6 +284,18 @@ def main(argv: list[str] | None = None) -> int:
         import dataclasses
 
         options = dataclasses.replace(options, tpc_slice_ops=True)
+    if args.hbm_budget is not None:
+        import dataclasses
+
+        options = dataclasses.replace(
+            options, hbm_budget=int(args.hbm_budget * (1 << 30))
+        )
+    if args.memory_policy is not None:
+        import dataclasses
+
+        options = dataclasses.replace(
+            options, memory_policy=args.memory_policy
+        )
     set_default_compiler_options(options)
     if args.recipe_cache_dir is not None:
         set_default_recipe_cache_dir(args.recipe_cache_dir)

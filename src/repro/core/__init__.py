@@ -51,6 +51,11 @@ from .insights import (
     imbalance_index,
     overlap_fraction,
 )
+from .memory_study import (
+    MemoryRow,
+    MemoryStudyResult,
+    run_memory_ablation,
+)
 from .mme_vs_tpc import MmeVsTpcResult, MmeVsTpcRow, run_mme_vs_tpc
 from .overlap_study import (
     OverlapStudyResult,
@@ -122,6 +127,9 @@ __all__ = [
     "overlap_fraction",
     "OverlapStudyResult",
     "run_overlap_scheduler_ablation",
+    "MemoryRow",
+    "MemoryStudyResult",
+    "run_memory_ablation",
     "MmeVsTpcResult",
     "MmeVsTpcRow",
     "run_mme_vs_tpc",

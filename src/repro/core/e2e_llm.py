@@ -47,8 +47,15 @@ def record_training_step(
     batch: int | None = None,
     seq_len: int | None = None,
     optimizer: str = "sgd",
+    checkpoint: bool = False,
 ) -> "ht.Recorder":
-    """Record one symbolic training iteration of the §3.4 model."""
+    """Record one symbolic training iteration of the §3.4 model.
+
+    With ``checkpoint``, each transformer layer records as a
+    checkpoint segment (:func:`repro.ht.checkpoint`), giving the
+    memory planner license to recompute its internal activations
+    instead of keeping them resident through backward.
+    """
     if model_name not in MODEL_BUILDERS:
         raise KeyError(f"unknown model {model_name!r}; use 'gpt' or 'bert'")
     model_cls, config_fn = MODEL_BUILDERS[model_name]
@@ -56,6 +63,11 @@ def record_training_step(
     batch = batch or E2E_SHAPES["batch"]
     seq_len = seq_len or E2E_SHAPES["seq_len"]
     model = model_cls(cfg, materialize=False)
+    if checkpoint:
+        stack = getattr(model, "decoder", None) or getattr(
+            model, "encoder", None
+        )
+        stack.checkpoint_activations = True
     with ht.record(f"{model_name}-train-step", mode="symbolic") as rec:
         input_ids = ht.input_tensor((batch, seq_len), name="input_ids")
         targets = ht.input_tensor(

@@ -25,6 +25,7 @@ from .decode_study import run_decode_study
 from .e2e_llm import run_e2e
 from .energy_study import run_energy_study
 from .generations import run_generation_comparison
+from .memory_study import run_memory_ablation
 from .mme_vs_tpc import run_mme_vs_tpc
 from .opmapping import run_op_mapping
 from .overlap_study import run_overlap_scheduler_ablation
@@ -153,6 +154,10 @@ def run_full_study(
         a13 = run_overlap_scheduler_ablation(config=config)
         report.add("A13: overlap scheduler ablation", a13.render(),
                    a13.checks())
+
+        a14 = run_memory_ablation(config=config)
+        report.add("A14: memory planning ablation", a14.render(),
+                   a14.checks())
 
     from ..synapse import recipe_cache_stats
 

@@ -18,7 +18,14 @@ from .module import (
     Sequential,
 )
 from .optim import AdamLike, SGD
-from .recorder import Recorder, current, has_active, record, scope
+from .recorder import (
+    Recorder,
+    checkpoint,
+    current,
+    has_active,
+    record,
+    scope,
+)
 from .tensor import (
     Parameter,
     Tensor,
@@ -42,6 +49,7 @@ __all__ = [
     "AdamLike",
     "SGD",
     "Recorder",
+    "checkpoint",
     "current",
     "has_active",
     "record",

@@ -94,6 +94,24 @@ class Recorder:
         """
         self.graph.mark_gradient(grad.vid, param_name)
 
+    def mark_checkpoint(
+        self,
+        label: str,
+        input_vids: "tuple[int, ...] | list[int]",
+        output_vids: "tuple[int, ...] | list[int]",
+        droppable_vids: "tuple[int, ...] | list[int]",
+    ) -> None:
+        """Tag a recorded region as a checkpoint segment.
+
+        The memory planner may drop the segment's internal activations
+        and re-emit the forward subgraph before their backward
+        consumers (see :func:`repro.ht.checkpoint` for the module-level
+        wrapper that computes the vid sets automatically).
+        """
+        self.graph.mark_checkpoint(
+            label, input_vids, output_vids, droppable_vids
+        )
+
     def graph_signature(self) -> str:
         """Canonical signature of the recorded graph so far.
 
@@ -140,6 +158,40 @@ def scope(name: str):
     """Push a scope segment on the current recorder."""
     with current().scope(name):
         yield
+
+
+def checkpoint(fn, *args, label: str = "", **kwargs):
+    """Run ``fn(*args, **kwargs)`` as a checkpoint segment.
+
+    The activation-checkpointing marker, PyTorch
+    ``utils.checkpoint``-style: every activation value ``fn`` records
+    (except its outputs) is tagged droppable, licensing the memory
+    planner to free it after its last forward use and recompute it
+    from the segment inputs right before the backward pass needs it.
+
+    Purely an annotation — eager values, autograd, and the recorded
+    graph are unchanged; with no active recorder this is a plain call.
+    """
+    from .tensor import Tensor
+
+    if not has_active():
+        return fn(*args, **kwargs)
+    rec = current()
+    graph = rec.graph
+    input_vids = [a.vid for a in args if isinstance(a, Tensor)]
+    first_vid = graph._next_vid
+    out = fn(*args, **kwargs)
+    outputs = out if isinstance(out, tuple) else (out,)
+    output_vids = [t.vid for t in outputs if isinstance(t, Tensor)]
+    droppable = [
+        vid for vid in range(first_vid, graph._next_vid)
+        if vid in graph.values and graph.values[vid].kind == "activation"
+    ]
+    name = label or getattr(fn, "_name", "") or getattr(
+        fn, "__name__", type(fn).__name__
+    )
+    rec.mark_checkpoint(name, input_vids, output_vids, droppable)
+    return out
 
 
 def default_dtype() -> DType:

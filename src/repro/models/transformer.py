@@ -84,6 +84,11 @@ class TransformerStack(ht.Module):
         super().__init__()
         self._name = name
         rng = rng or make_rng()
+        #: when set, each layer records as a checkpoint segment: its
+        #: internal activations become droppable and the memory
+        #: planner may recompute them before backward instead of
+        #: keeping them resident (see :func:`repro.ht.checkpoint`)
+        self.checkpoint_activations = False
         self.layers = [
             TransformerLayer(
                 config, rng=derive(rng, name, f"layer{i}"),
@@ -94,7 +99,10 @@ class TransformerStack(ht.Module):
 
     def forward(self, x: Tensor) -> Tensor:
         for layer in self.layers:
-            x = layer(x)
+            if self.checkpoint_activations:
+                x = ht.checkpoint(layer, x, label=layer._name)
+            else:
+                x = layer(x)
         return x
 
     def __len__(self) -> int:

@@ -17,7 +17,13 @@ from .critical_path import CriticalPathResult, critical_path
 from .dot import graph_to_dot, schedule_to_dot
 from .executor import execute_graph, execute_outputs, execute_schedule
 from .graph import Graph, Node, TensorValue
-from .lint import LintWarning, lint_graph, render_warnings
+from .lint import LintWarning, lint_graph, lint_schedule, render_warnings
+from .liveness import (
+    LiveInterval,
+    LivenessResult,
+    compute_liveness,
+    fused_internal_values,
+)
 from .lowering import lower_graph
 from .memtrace import MemorySample, MemoryTimeline, memory_timeline
 from .ops import (
@@ -98,7 +104,12 @@ __all__ = [
     "TensorValue",
     "LintWarning",
     "lint_graph",
+    "lint_schedule",
     "render_warnings",
+    "LiveInterval",
+    "LivenessResult",
+    "compute_liveness",
+    "fused_internal_values",
     "lower_graph",
     "MemorySample",
     "MemoryTimeline",

@@ -26,9 +26,12 @@ shared :class:`~repro.synapse.passes.state.CompilationState`:
 * ``collective_injection`` — marked parameter gradients are bucketed
   into all-reduce NIC ops anchored to their producing backward ops
   (the multi-card DDP path; off by default).
-* ``memory_planning`` — peak HBM footprint by liveness; schedules over
-  the 32 GB budget are rejected — the constraint that pushed the
-  paper's end-to-end batch size down to 8.
+* ``memory_planning`` — peak HBM footprint by interval liveness; with
+  ``memory_policy="none"`` schedules over the budget are rejected —
+  the constraint that pushed the paper's end-to-end batch size down
+  to 8. The other policies actively plan: checkpointed activations
+  recompute and long-lived values spill through paired DMA ops until
+  the peak fits ``hbm_budget``.
 
 Each pass reports nodes in/out, wall-clock, and transform counts into
 ``Schedule.stats["passes"]``. Compiled schedules are memoized in a
@@ -116,6 +119,15 @@ class CompilerOptions:
     #: the slicing pass will split it; small ops aren't worth the
     #: per-slice launch overhead
     tpc_slice_min_us: float = 200.0
+    #: HBM budget in bytes the memory planner targets/enforces; None
+    #: means the device's full capacity (``--hbm-budget``)
+    hbm_budget: int | None = None
+    #: what ``memory_planning`` may do when the peak exceeds the
+    #: budget: ``"none"`` (reject only, the historical behaviour),
+    #: ``"recompute"`` (re-emit checkpointed forward segments),
+    #: ``"spill"`` (paired DMA offload/prefetch), or ``"auto"``
+    #: (cost-model pick per over-budget value) — ``--memory-policy``
+    memory_policy: str = "none"
 
 
 def disable_passes(

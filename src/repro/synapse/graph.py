@@ -152,6 +152,50 @@ class Graph:
         """Marked (gradient vid, param name) pairs, in marking order."""
         return list(self.metadata.get("gradients", []))
 
+    def mark_checkpoint(
+        self,
+        label: str,
+        input_vids: "tuple[int, ...] | list[int]",
+        output_vids: "tuple[int, ...] | list[int]",
+        droppable_vids: "tuple[int, ...] | list[int]",
+    ) -> None:
+        """Record a checkpoint segment (activation-recompute region).
+
+        ``droppable_vids`` are the values produced inside the segment
+        that the memory planner may drop and re-materialize from the
+        segment's inputs; ``input_vids``/``output_vids`` bound the
+        region and are always kept. Like gradient marks, checkpoint
+        segments live in ``metadata`` and survive lowering, slicing,
+        serialization, and the recipe signature.
+        """
+        for vid in (*input_vids, *output_vids, *droppable_vids):
+            if vid not in self.values:
+                raise GraphError(f"mark_checkpoint: unknown value id {vid}")
+        segments: list = self.metadata.setdefault("checkpoints", [])
+        segments.append((
+            label, tuple(input_vids), tuple(output_vids),
+            tuple(droppable_vids),
+        ))
+
+    def checkpoints(self) -> list[tuple[str, tuple, tuple, tuple]]:
+        """Recorded (label, inputs, outputs, droppable) segments."""
+        return list(self.metadata.get("checkpoints", []))
+
+    def checkpoint_droppable(self) -> set[int]:
+        """Value ids the memory planner may recompute instead of keep.
+
+        The union of every segment's droppable set, minus any value
+        some segment declares as a boundary (input or output) — the
+        boundaries are what recompute starts from and feeds into.
+        """
+        drops: set[int] = set()
+        keep: set[int] = set()
+        for _, inputs, outputs, droppable in self.checkpoints():
+            drops.update(droppable)
+            keep.update(inputs)
+            keep.update(outputs)
+        return drops - keep
+
     # -- queries -----------------------------------------------------------
 
     def value(self, vid: int) -> TensorValue:

@@ -248,6 +248,93 @@ def lint_graph(graph: Graph) -> list[LintWarning]:
     return warnings
 
 
+def lint_schedule(schedule) -> list[LintWarning]:
+    """Lint a *planned* schedule: memory-planner output invariants.
+
+    Mirrors the ``slice-reassembly`` rule at the schedule level — the
+    planner's rewrites must tile the original computation exactly:
+
+    * ``recompute-segment`` — a value written more than once by
+      compute ops must be re-materialized by clones of the *same*
+      graph nodes reading the *same* values; anything else recomputes
+      a different tensor than was dropped.
+    * ``spill-pairing`` — every ``spill_in`` restore must pair with a
+      ``spill_out`` offload of the same value and byte count, and the
+      value must not be read while it sits off-device.
+    """
+    warnings: list[LintWarning] = []
+
+    compute_writers: dict[int, list] = {}
+    for op in schedule.ops:
+        if op.node_ids:
+            for vid in op.writes:
+                compute_writers.setdefault(vid, []).append(op)
+    for vid, writers in compute_writers.items():
+        if len(writers) < 2:
+            continue
+        first = writers[0]
+        for later in writers[1:]:
+            if later.node_ids != first.node_ids:
+                warnings.append(LintWarning(
+                    "recompute-segment",
+                    f"value {vid} is re-materialized by op "
+                    f"{later.index} ({later.label!r}) replaying nodes "
+                    f"{later.node_ids}, but the original writer "
+                    f"replays {first.node_ids} — the recompute does "
+                    "not tile the dropped segment",
+                    later.index,
+                ))
+            elif later.reads != first.reads:
+                warnings.append(LintWarning(
+                    "recompute-segment",
+                    f"value {vid} is recomputed by op {later.index} "
+                    f"({later.label!r}) from reads {later.reads}, but "
+                    f"the original writer read {first.reads}",
+                    later.index,
+                ))
+
+    spill_outs: dict[int, list] = {}
+    for op in schedule.ops:
+        if op.src == "spill" and op.reads and not op.writes:
+            spill_outs.setdefault(op.reads[0], []).append(op)
+    for op in schedule.ops:
+        if op.src != "spill" or not op.writes:
+            continue
+        vid = op.writes[0]
+        outs = [
+            o for o in spill_outs.get(vid, ())
+            if o.index in op.deps and o.index < op.index
+        ]
+        if not outs:
+            warnings.append(LintWarning(
+                "spill-pairing",
+                f"spill_in restores value {vid} (op {op.index}) with "
+                "no paired spill_out among its dependencies",
+                op.index,
+            ))
+            continue
+        out = max(outs, key=lambda o: o.index)
+        moved_out = sum(i.bytes_read + i.bytes_written for i in out.items)
+        moved_in = sum(i.bytes_read + i.bytes_written for i in op.items)
+        if moved_out != moved_in:
+            warnings.append(LintWarning(
+                "spill-pairing",
+                f"spill pair for value {vid} moves {moved_out} bytes "
+                f"out but {moved_in} bytes back",
+                op.index,
+            ))
+        for between in schedule.ops[out.index + 1:op.index]:
+            if vid in between.reads:
+                warnings.append(LintWarning(
+                    "spill-pairing",
+                    f"op {between.index} ({between.label!r}) reads "
+                    f"value {vid} while it is spilled out "
+                    f"(ops {out.index}..{op.index})",
+                    between.index,
+                ))
+    return warnings
+
+
 def render_warnings(warnings: list[LintWarning]) -> str:
     """Human-readable lint report."""
     if not warnings:

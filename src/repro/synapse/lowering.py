@@ -107,6 +107,9 @@ def lower_graph(graph: Graph) -> Graph:
     """Return a new graph with every composite op expanded."""
     graph.validate()
     rw = _Rewriter(graph)
+    #: composite output vid -> the new-graph vid range its lowering
+    #: created (checkpoint droppable sets extend over the expansion)
+    lowered_ranges: dict[int, tuple[int, int]] = {}
     for node in graph.nodes:
         opdef = op(node.op)
         if not opdef.composite:
@@ -118,6 +121,7 @@ def lower_graph(graph: Graph) -> Graph:
             raise CompileError(
                 f"composite op {node.op!r} has no registered lowering"
             ) from None
+        range_start = rw.new._next_vid
         out = fn(rw, node)
         old_out = graph.value(node.output)
         if out.shape != old_out.shape:
@@ -128,6 +132,7 @@ def lower_graph(graph: Graph) -> Graph:
         # Downstream consumers of the composite's output now read the
         # lowered result.
         rw.vmap[node.output] = out.vid
+        lowered_ranges[node.output] = (range_start, rw.new._next_vid)
     # Gradient marks survive the rewrite (remapped to the new ids);
     # a marked value that lowering dropped entirely has no producer
     # and nothing to all-reduce.
@@ -135,5 +140,24 @@ def lower_graph(graph: Graph) -> Graph:
         new_vid = rw.vmap.get(vid)
         if new_vid is not None:
             rw.new.mark_gradient(new_vid, param_name)
+    # Checkpoint segments survive too; a droppable composite's lowered
+    # intermediates are all droppable (recomputing the segment re-runs
+    # the whole expansion anyway).
+    for label, inputs, outputs, droppable in graph.checkpoints():
+        new_inputs = [rw.vmap[v] for v in inputs if v in rw.vmap]
+        new_outputs = [rw.vmap[v] for v in outputs if v in rw.vmap]
+        new_droppable: list[int] = []
+        for vid in droppable:
+            new_vid = rw.vmap.get(vid)
+            if new_vid is not None:
+                new_droppable.append(new_vid)
+            lo, hi = lowered_ranges.get(vid, (0, 0))
+            new_droppable.extend(
+                v for v in range(lo, hi)
+                if rw.new.values[v].kind == "activation" and v != new_vid
+            )
+        rw.new.mark_checkpoint(
+            label, new_inputs, new_outputs, sorted(set(new_droppable))
+        )
     rw.new.validate()
     return rw.new

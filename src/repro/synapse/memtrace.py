@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..util.errors import ExecutionError
 from ..util.units import fmt_bytes, fmt_time_us
+from .liveness import compute_liveness
 from .schedule import Schedule
 
 
@@ -96,7 +97,6 @@ def memory_timeline(
     tests enforce that cross-check.
     """
     graph = schedule.graph
-    plan = schedule.memory
     if completion_times_us is not None and len(completion_times_us) != len(
         schedule.ops
     ):
@@ -104,23 +104,17 @@ def memory_timeline(
             f"{len(completion_times_us)} completion times for "
             f"{len(schedule.ops)} ops"
         )
-    graph_inputs = {v.vid for v in graph.graph_inputs()}
-    internal = _fused_internal(schedule)
-    frees_at: dict[int, list[int]] = {}
-    for vid, idx in plan.free_after.items():
-        frees_at.setdefault(idx, []).append(vid)
+    live_info = compute_liveness(graph, schedule.ops)
 
-    timeline = MemoryTimeline(persistent_bytes=plan.persistent_bytes)
-    live = plan.persistent_bytes
-    for op in schedule.ops:
+    timeline = MemoryTimeline(persistent_bytes=live_info.persistent_bytes)
+    live = live_info.persistent_bytes
+    for pos, op in enumerate(schedule.ops):
         delta = 0
-        for vid in op.writes:
-            if vid in internal or vid in graph_inputs:
-                continue
+        for vid in live_info.allocs_at.get(pos, ()):
             delta += graph.value(vid).nbytes
         live += delta
         sample_live = live
-        for vid in frees_at.get(op.index, ()):
+        for vid in live_info.frees_at.get(pos, ()):
             live -= graph.value(vid).nbytes
             delta -= graph.value(vid).nbytes
         t = (
@@ -132,13 +126,3 @@ def memory_timeline(
             MemorySample(t, sample_live, op.label, delta)
         )
     return timeline
-
-
-def _fused_internal(schedule: Schedule) -> set[int]:
-    node_by_id = {n.nid: n for n in schedule.graph.nodes}
-    internal: set[int] = set()
-    for op in schedule.ops:
-        if len(op.node_ids) > 1:
-            outs = [node_by_id[nid].output for nid in op.node_ids]
-            internal.update(outs[:-1])
-    return internal

@@ -64,6 +64,17 @@ def _graph_payload(graph: Graph) -> dict:
         payload["gradients"] = [
             {"vid": vid, "param": name} for vid, name in gradients
         ]
+    checkpoints = graph.checkpoints()
+    if checkpoints:
+        payload["checkpoints"] = [
+            {
+                "label": label,
+                "inputs": list(inputs),
+                "outputs": list(outputs),
+                "droppable": list(droppable),
+            }
+            for label, inputs, outputs, droppable in checkpoints
+        ]
     return payload
 
 
@@ -133,6 +144,13 @@ def _graph_from_payload(
         nid_map[spec["nid"]] = node.nid
     for spec in payload.get("gradients", []):
         graph.mark_gradient(vid_map[spec["vid"]], spec.get("param", ""))
+    for spec in payload.get("checkpoints", []):
+        graph.mark_checkpoint(
+            spec.get("label", ""),
+            [vid_map[v] for v in spec.get("inputs", [])],
+            [vid_map[v] for v in spec.get("outputs", [])],
+            [vid_map[v] for v in spec.get("droppable", [])],
+        )
     graph.validate()
     return graph, vid_map, nid_map
 
