@@ -13,6 +13,7 @@ import sys
 from typing import Callable
 
 from .core import (
+    SWEEP_POLICIES,
     run_activation_study,
     run_attention_study,
     run_chunked_attention_study,
@@ -90,8 +91,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] =
              lambda: _simple(lambda: run_e2e("gpt"))),
     "fig9": ("Figure 9: BERT end-to-end training step",
              lambda: _simple(lambda: run_e2e("bert"))),
-    "sweep": ("Long-sequence sweep (challenge #3)",
-              lambda: _simple(run_seq_sweep)),
+    "seq-sweep": ("Long-sequence sweep (challenge #3)",
+                  lambda: _simple(run_seq_sweep)),
     "ablation-reorder": ("A1: issue-order ablation",
                          lambda: _simple(run_reorder_ablation)),
     "ablation-fusion": ("A2: elementwise-fusion ablation",
@@ -153,6 +154,27 @@ def _lint_gate() -> int:
                   f"{'on ' if entry['enabled'] else 'off'} "
                   f"units {entry['units_in']}->{entry['units_out']} "
                   f"transforms {entry['transforms']}")
+    return 0
+
+
+def _profile_self(scenario: str, top: int) -> int:
+    """cProfile one named experiment, print the top cumulative frames.
+
+    The self-measurement loop behind the simulator-performance work:
+    run any EXPERIMENTS scenario under :mod:`cProfile` and show where
+    the wall-clock goes (vector drains, pass pipeline, recording).
+    """
+    import cProfile
+    import pstats
+
+    title, runner = EXPERIMENTS[scenario]
+    print(f"== profile-self: {title} ==")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    runner()
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
     return 0
 
 
@@ -247,6 +269,46 @@ def build_parser() -> argparse.ArgumentParser:
     for name, (title, _) in EXPERIMENTS.items():
         sub.add_parser(name, help=title)
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative scenario grid (model x batch x seq x "
+             "cards x policy) on the sweep harness",
+    )
+    sweep.add_argument("--model", action="append", default=[],
+                       metavar="NAME",
+                       help="workload: gpt, bert, or layer:<kind> "
+                            "(repeatable; default gpt)")
+    sweep.add_argument("--batch", action="append", default=[], type=int,
+                       metavar="N",
+                       help="batch size axis (repeatable; default: the "
+                            "workload's paper shape)")
+    sweep.add_argument("--seq-len", action="append", default=[], type=int,
+                       metavar="N",
+                       help="sequence length axis (repeatable)")
+    sweep.add_argument("--card", action="append", default=[], type=int,
+                       metavar="N",
+                       help="HLS-1 population axis (repeatable; "
+                            "default 1)")
+    sweep.add_argument("--policy", action="append", default=[],
+                       choices=sorted(SWEEP_POLICIES), metavar="POLICY",
+                       help="compiler-option bundle axis (choices: "
+                            f"{', '.join(sorted(SWEEP_POLICIES))}; "
+                            "repeatable; default 'default')")
+    sweep.add_argument("-o", "--out", metavar="FILE",
+                       help="stream one JSON line per completed point "
+                            "to FILE")
+
+    prof = sub.add_parser(
+        "profile-self",
+        help="cProfile one named experiment and print the hottest "
+             "simulator frames",
+    )
+    prof.add_argument("scenario", choices=sorted(EXPERIMENTS),
+                      help="which experiment to profile")
+    prof.add_argument("--top", type=int, default=20, metavar="N",
+                      help="how many cumulative entries to print "
+                           "(default 20)")
+
     sub.add_parser("describe", help="print the simulated-device summary")
     sub.add_parser("lint-gate",
                    help="compile + lint the Fig-4 and Fig-8 graphs (CI)")
@@ -308,6 +370,26 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "lint-gate":
         return _lint_gate()
+
+    if args.command == "sweep":
+        from .core import run_sweep, sweep_spec_from_cli
+        from .synapse.recipe import default_recipe_cache_dir
+
+        spec = sweep_spec_from_cli(
+            args.model, args.batch, args.seq_len, args.card, args.policy
+        )
+        result = run_sweep(
+            spec, jobs=_CLI_JOBS, stream=args.out,
+            recipe_dir=default_recipe_cache_dir(),
+        )
+        print(result.render())
+        if args.out:
+            print(f"\n{len(result.results)} point(s) streamed to "
+                  f"{args.out}")
+        return 0
+
+    if args.command == "profile-self":
+        return _profile_self(args.scenario, args.top)
 
     if args.command == "describe":
         print(default_device().describe())

@@ -84,6 +84,15 @@ from .scaling_study import (
 )
 from .seq_sweep import SeqSweepResult, run_seq_sweep
 from .study import StudyReport, run_full_study
+from .sweep import (
+    SWEEP_POLICIES,
+    PointResult,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+    sweep_spec_from_cli,
+)
 
 __all__ = [
     "ChunkedAttentionResult",
@@ -158,4 +167,11 @@ __all__ = [
     "run_seq_sweep",
     "StudyReport",
     "run_full_study",
+    "SWEEP_POLICIES",
+    "PointResult",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
+    "sweep_spec_from_cli",
 ]

@@ -34,14 +34,12 @@ from ..models.config import AttentionConfig, LayerConfig
 from ..synapse import (
     CompilerOptions,
     GraphCompiler,
-    SynapseProfiler,
     execute_schedule,
     lint_schedule,
     memory_timeline,
 )
 from ..util.tabulate import render_table
 from ..util.units import GIB
-from .e2e_llm import record_training_step
 from .reference import ShapeCheck, threshold_check
 
 #: batches swept per model; 8 is the paper's choice, 32 is the wall
@@ -254,47 +252,77 @@ def run_memory_ablation(
     whose unplanned peak exceeds the budget are re-compiled with
     ``memory_policy="auto"`` and executed against the infinite-memory
     oracle run of the same graph.
+
+    The batch grid is a ``profile``-executor
+    :class:`~repro.core.sweep.SweepSpec` under the oracle policy; the
+    over-budget subset then re-runs as an explicit-points sweep under
+    the planning policy, sharing the oracle sweep's recorded graphs.
     """
+    from .sweep import SweepPoint, SweepSpec, run_sweep
+
     config = config or GaudiConfig()
     budget = budget_bytes or config.hbm.capacity_bytes
     result = MemoryStudyResult(budget_bytes=budget)
     timeline_agrees = True
 
-    oracle_opts = CompilerOptions(
-        use_recipe_cache=False, enforce_memory=False,
+    oracle_overrides = (
+        ("use_recipe_cache", False), ("enforce_memory", False),
     )
-    planned_opts = replace(
-        oracle_opts, memory_policy="auto", hbm_budget=budget,
-        enforce_memory=True,
+    planned_overrides = (
+        ("use_recipe_cache", False), ("memory_policy", "auto"),
+        ("hbm_budget", budget), ("enforce_memory", True),
     )
-    for model in ("gpt", "bert"):
-        for batch in batches:
-            graph = record_training_step(
-                model, batch=batch, checkpoint=True,
-            ).graph
-            oracle = SynapseProfiler(config, oracle_opts).profile(graph)
-            row = MemoryRow(
-                model=model,
-                batch=batch,
-                oracle_peak_bytes=oracle.schedule.memory.peak_bytes,
-                oracle_time_us=oracle.total_time_us,
+    graphs: dict = {}
+    oracle_sweep = run_sweep(
+        SweepSpec(
+            name="a14-memory-oracle",
+            models=("gpt", "bert"),
+            batches=batches,
+            checkpoint=True,
+            policies=(("oracle", oracle_overrides),),
+            executor="profile",
+        ),
+        config=config, options=CompilerOptions(), graphs=graphs,
+    )
+    for point in oracle_sweep.results:
+        result.rows.append(MemoryRow(
+            model=point.point.model,
+            batch=point.point.batch,
+            oracle_peak_bytes=point.metrics["peak_bytes"],
+            oracle_time_us=point.metrics["total_time_us"],
+        ))
+
+    over_budget = [
+        r for r in result.rows if r.oracle_peak_bytes > budget
+    ]
+    if over_budget:
+        planned_sweep = run_sweep(
+            SweepSpec(
+                name="a14-memory-planned",
+                executor="profile",
+                points=tuple(
+                    SweepPoint(
+                        model=r.model, batch=r.batch, checkpoint=True,
+                        policy="planned", overrides=planned_overrides,
+                    )
+                    for r in over_budget
+                ),
+            ),
+            config=config, options=CompilerOptions(), graphs=graphs,
+        )
+        for row, point in zip(over_budget, planned_sweep.results):
+            planned = point.profile
+            stats = planned.schedule.stats["memory"]
+            row.planned_peak_bytes = planned.schedule.memory.peak_bytes
+            row.planned_time_us = planned.total_time_us
+            row.spill_ops = stats["spill_ops"]
+            row.spill_bytes = stats["spill_bytes"]
+            row.recompute_ops = stats["recompute_ops"]
+            row.recompute_bytes = stats["recompute_bytes"]
+            timeline_agrees = timeline_agrees and (
+                memory_timeline(planned.schedule).peak_bytes
+                == row.planned_peak_bytes
             )
-            if row.oracle_peak_bytes > budget:
-                planned = SynapseProfiler(
-                    config, planned_opts,
-                ).profile(graph)
-                stats = planned.schedule.stats["memory"]
-                row.planned_peak_bytes = planned.schedule.memory.peak_bytes
-                row.planned_time_us = planned.total_time_us
-                row.spill_ops = stats["spill_ops"]
-                row.spill_bytes = stats["spill_bytes"]
-                row.recompute_ops = stats["recompute_ops"]
-                row.recompute_bytes = stats["recompute_bytes"]
-                timeline_agrees = timeline_agrees and (
-                    memory_timeline(planned.schedule).peak_bytes
-                    == row.planned_peak_bytes
-                )
-            result.rows.append(row)
 
     result.timeline_agrees = timeline_agrees
     result.numerics_identical, result.lint_findings = (

@@ -42,7 +42,6 @@ from ..synapse import (
 )
 from ..synapse.trace import _merge_intervals, _overlap_us
 from ..util.tabulate import render_table
-from .attention_study import profile_layer
 from .reference import ShapeCheck, threshold_check
 
 #: acceptance bar — MME idle with lookahead + slicing vs the reorder
@@ -216,15 +215,30 @@ def run_overlap_scheduler_ablation(
     config: GaudiConfig | None = None,
 ) -> OverlapStudyResult:
     """Profile the Fig. 4 softmax and Fig. 6 Performer layers under
-    every scheduler/slicing configuration."""
+    every scheduler/slicing configuration.
+
+    The grid — layer workloads crossed with :data:`CONFIGS` — is a
+    ``profile``-executor :class:`~repro.core.sweep.SweepSpec`; each
+    point's rich :class:`~repro.synapse.ProfileResult` lands in
+    ``profiles`` keyed exactly as before.
+    """
+    from .sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        name="a13-overlap-scheduler",
+        models=("layer:softmax", "layer:performer"),
+        policies=tuple(
+            (label, tuple(kwargs.items())) for label, kwargs in CONFIGS
+        ),
+        executor="profile",
+    )
+    sweep = run_sweep(spec, config=config, options=CompilerOptions())
     result = OverlapStudyResult()
-    for kind in ("softmax", "performer"):
-        result.profiles[kind] = {
-            label: profile_layer(
-                kind, config=config, options=CompilerOptions(**kwargs)
-            )
-            for label, kwargs in CONFIGS
-        }
+    for point in sweep.results:
+        kind = point.point.model.split(":", 1)[1]
+        result.profiles.setdefault(kind, {})[point.point.policy] = (
+            point.profile
+        )
     result.numerics_identical, result.lint_findings = (
         _check_sliced_numerics()
     )

@@ -20,44 +20,18 @@ not hidden under backward compute — collapsing as buckets shrink.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 
 from ..hw.config import HLS1Config
-from ..hw.device import HLS1Device
 from ..hw.interconnect import RingAllReduce, data_parallel_step_time_us
-from ..synapse import (
-    GraphCompiler,
-    default_compiler_options,
-    schedule_from_json,
-    schedule_to_json,
-)
-from ..synapse.runtime import HLS1Runtime
 from ..util.tabulate import render_table
 from ..util.units import us_to_ms
-from .e2e_llm import E2E_SHAPES, record_training_step
+from .e2e_llm import E2E_SHAPES
 from .reference import ShapeCheck, threshold_check
+from .sweep import SweepPoint, SweepSpec, run_sweep
 
-
-def _exec_schedule(
-    schedule, hls1: HLS1Config, num_cards: int
-) -> tuple[float, float, float]:
-    """Execute one compiled schedule on an HLS-1 population; returns
-    (total_time_us, exposed_comm_us, fabric_busy_us)."""
-    system = HLS1Device(dataclasses.replace(hls1, num_cards=num_cards))
-    res = HLS1Runtime(system).execute(schedule)
-    return res.total_time_us, res.exposed_comm_us, res.fabric_busy_us
-
-
-def _exec_payload(payload) -> tuple[float, float, float]:
-    """Worker for ``--jobs`` parallelism: module-level so
-    :class:`~concurrent.futures.ProcessPoolExecutor` can pickle it. The
-    schedule crosses the process boundary as its recipe JSON (the same
-    format the on-disk recipe store uses), so workers never re-run the
-    compiler. The event-driven runtime is deterministic, so results are
-    byte-identical to the serial path regardless of worker count."""
-    schedule_text, hls1, num_cards = payload
-    return _exec_schedule(schedule_from_json(schedule_text), hls1, num_cards)
+#: the DDP policy both sweeps share: gradient all-reduce injection on
+_DDP: tuple[tuple[str, object], ...] = (("inject_collectives", True),)
 
 
 @dataclass(frozen=True)
@@ -142,41 +116,35 @@ def run_scaling_study(
 ) -> ScalingStudyResult:
     """Weak-scale a training step across the box, event-driven.
 
-    One graph is recorded and compiled once (collective injection on);
-    the same schedule then executes on an :class:`HLS1Runtime` per card
-    count. ``overlap_fraction`` only parameterizes the analytic
-    reference column. ``jobs > 1`` fans the per-card-count executions
-    out over a process pool (the compile stays in this process); the
-    simulation is deterministic, so the rows are identical either way.
+    The sweep is one :class:`~repro.core.sweep.SweepSpec` — the model
+    crossed with the card counts under the DDP policy. The harness
+    compiles the (card-count independent) recipe once and executes it
+    on an :class:`~repro.synapse.runtime.HLS1Runtime` per card count;
+    ``overlap_fraction`` only parameterizes the analytic reference
+    column. ``jobs > 1`` fans the point executions out over a process
+    pool fed from the shared warm disk-recipe cache; the simulation is
+    deterministic, so the rows are identical either way.
     """
     hls1 = hls1 or HLS1Config()
-    rec = record_training_step(model_name)
-    options = dataclasses.replace(
-        default_compiler_options(), inject_collectives=True
+    counts = tuple(dict.fromkeys((1, *card_counts)))
+    spec = SweepSpec(
+        name="a4-weak-scaling",
+        models=(model_name,),
+        cards=counts,
+        policies=(("ddp", _DDP),),
     )
-    compiler = GraphCompiler(hls1.card, options)
-    schedule = compiler.compile(rec.graph)
-    grad_bytes = int(schedule.stats.get("gradient_bytes", 0))
+    sweep = run_sweep(spec, hls1=hls1, jobs=jobs)
+    timings = {r.point.cards: r.metrics for r in sweep.results}
+    grad_bytes = int(timings[counts[0]]["gradient_bytes"])
 
     batch = E2E_SHAPES["batch"]
     result = ScalingStudyResult(model_name, batch, grad_bytes)
     ar = RingAllReduce(hls1.interconnect)
 
-    counts = list(dict.fromkeys((1, *card_counts)))
-    if jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        text = schedule_to_json(schedule)
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            timings = dict(zip(counts, pool.map(
-                _exec_payload, [(text, hls1, p) for p in counts]
-            )))
-    else:
-        timings = {p: _exec_schedule(schedule, hls1, p) for p in counts}
-
-    base_us = timings[1][0]
+    base_us = timings[1]["total_time_us"]
     for p in card_counts:
-        step_us, exposed_us, _ = timings[p]
+        step_us = timings[p]["total_time_us"]
+        exposed_us = timings[p]["exposed_comm_us"]
         result.rows.append(ScalingRow(
             num_cards=p,
             step_time_ms=us_to_ms(step_us),
@@ -281,66 +249,56 @@ def run_comm_overlap_ablation(
     Rows run overlap-off first (one all-reduce behind the final
     gradient — the analytic model's world), then bucketed overlap at
     each of ``bucket_sizes_mb``, coarsest to finest. Each setting is a
-    distinct compile (the bucket structure lives in the schedule), each
-    keyed separately in the recipe cache. ``jobs > 1`` runs the
-    executions on a process pool after all settings compile serially.
+    distinct compile (the bucket structure lives in the schedule),
+    keyed separately in the shared recipe cache. The irregular shape —
+    a single-card baseline point plus the full-population grid — is an
+    explicit-points :class:`~repro.core.sweep.SweepSpec`; ``jobs > 1``
+    fans the point executions over the harness's process pool.
     """
     hls1 = hls1 or HLS1Config()
-    rec = record_training_step(model_name)
-    base_options = dataclasses.replace(
-        default_compiler_options(), inject_collectives=True
-    )
     settings: list[tuple[str, bool, float]] = [
         ("no overlap", False, float("inf"))
     ]
     for mb in bucket_sizes_mb:
         settings.append((f"overlap {mb:g} MB", True, mb))
 
-    schedules = []
-    for label, overlap, mb in settings:
-        options = dataclasses.replace(
-            base_options,
-            comm_overlap=overlap,
-            bucket_mb=mb if overlap else base_options.bucket_mb,
+    def overrides(overlap: bool, mb: float):
+        if not overlap:
+            return _DDP + (("comm_overlap", False),)
+        return _DDP + (("comm_overlap", True), ("bucket_mb", mb))
+
+    # point 0 is the single-card compute baseline (same recipe as the
+    # no-overlap row); the rest are the sweep's rows on the population
+    points = [SweepPoint(
+        model=model_name, cards=1, policy="no overlap",
+        overrides=overrides(False, float("inf")),
+    )]
+    points.extend(
+        SweepPoint(
+            model=model_name, cards=num_cards, policy=label,
+            overrides=overrides(overlap, mb),
         )
-        schedules.append(
-            GraphCompiler(hls1.card, options).compile(rec.graph)
-        )
+        for label, overlap, mb in settings
+    )
+    spec = SweepSpec(name="a12-comm-overlap", points=tuple(points))
+    sweep = run_sweep(spec, hls1=hls1, jobs=jobs)
 
-    # slot 0 is the single-card compute baseline; the rest are the
-    # sweep's rows on the full population
-    work = [(schedules[0], 1)]
-    work.extend((s, num_cards) for s in schedules)
-    if jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            timings = list(pool.map(
-                _exec_payload,
-                [(schedule_to_json(s), hls1, p) for s, p in work],
-            ))
-    else:
-        timings = [_exec_schedule(s, hls1, p) for s, p in work]
-
-    base_us = timings[0][0]
+    base_us = sweep.results[0].metrics["total_time_us"]
     result = CommOverlapAblationResult(
         model_name=model_name,
         num_cards=num_cards,
-        gradient_bytes=int(schedules[0].stats.get("gradient_bytes", 0)),
+        gradient_bytes=int(sweep.results[0].metrics["gradient_bytes"]),
         base_step_ms=us_to_ms(base_us),
     )
-    for (label, overlap, mb), schedule, timing in zip(
-        settings, schedules, timings[1:]
-    ):
-        step_us, exposed_us, fabric_us = timing
-        buckets = sum(
-            1 for op in schedule.ops if op.src == "all_reduce"
-        )
+    for (label, overlap, mb), point in zip(settings, sweep.results[1:]):
+        step_us = point.metrics["total_time_us"]
+        exposed_us = point.metrics["exposed_comm_us"]
+        fabric_us = point.metrics["fabric_busy_us"]
         result.rows.append(OverlapRow(
             label=label,
             comm_overlap=overlap,
             bucket_mb=mb,
-            num_buckets=buckets,
+            num_buckets=point.metrics["all_reduce_ops"],
             step_time_ms=us_to_ms(step_us),
             efficiency=base_us / step_us,
             exposed_comm_ms=us_to_ms(exposed_us),

@@ -1,0 +1,495 @@
+"""First-class sweep harness: scenario grids as data, shared recipes.
+
+PR-4 grew two ad-hoc ``--jobs`` fan-outs — A4's card-count sweep and
+A12's bucket sweep each hand-rolled a work list, a
+``ProcessPoolExecutor`` and a schedule-JSON transport. This module
+generalizes that pattern into one declarative layer:
+
+* a :class:`SweepSpec` declares the scenario grid (model x batch x
+  seq x cards x policy) *as data* — either cartesian axes or an
+  explicit point list — and expands it to a deterministic ordered
+  list of :class:`SweepPoint`\\ s;
+* :func:`run_sweep` compiles each distinct workload/options pair
+  once in the parent, publishes the recipes through a shared warm
+  disk cache (:class:`~repro.synapse.recipe.RecipeCache` with a
+  ``save_dir``), and fans point executions out over a process pool —
+  workers load recipes by signature instead of recompiling, the way
+  SynapseAI replays its on-disk recipe store;
+* results stream as one JSON line per point (``stream=``) the moment
+  each point completes, so long sweeps are tail-able and a killed
+  sweep keeps everything it finished.
+
+The event-driven runtime is deterministic, so a sweep's rows are
+byte-identical at any ``jobs`` width. A4 (`run_scaling_study`), A12
+(`run_comm_overlap_ablation`), A13 (`run_overlap_scheduler_ablation`)
+and A14 (`run_memory_ablation`) are all expressed on this harness;
+``python -m repro sweep`` exposes it directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..hw.config import GaudiConfig, HLS1Config
+from ..hw.device import HLS1Device
+from ..synapse import (
+    CompilerOptions,
+    GraphCompiler,
+    SynapseProfiler,
+    default_compiler_options,
+)
+from ..synapse.recipe import RecipeCache, recipe_key
+from ..synapse.runtime import HLS1Runtime
+from ..util.tabulate import render_table
+
+#: named option bundles selectable from ``repro sweep --policy`` — the
+#: grid's policy axis as data, not code
+SWEEP_POLICIES: dict[str, tuple[tuple[str, Any], ...]] = {
+    "default": (),
+    "ddp": (("inject_collectives", True),),
+    "no-overlap": (("inject_collectives", True), ("comm_overlap", False)),
+    "reorder": (("reorder", True), ("scheduler", "reorder")),
+    "lookahead": (("reorder", True), ("scheduler", "lookahead")),
+    "slicing": (
+        ("reorder", True), ("scheduler", "lookahead"),
+        ("tpc_slice_ops", True),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One scenario of a sweep: workload geometry x population x policy.
+
+    ``model`` names a workload: a training step (``"gpt"``/``"bert"``,
+    see :func:`~repro.core.e2e_llm.record_training_step`) or a single
+    layer profile (``"layer:<kind>"`` — softmax/linear/performer, the
+    Fig. 4-6 workloads). ``overrides`` is the policy's
+    :class:`~repro.synapse.CompilerOptions` delta as an ordered tuple
+    of ``(field, value)`` pairs — plain data, picklable, hashable.
+    """
+
+    model: str
+    batch: int | None = None
+    seq_len: int | None = None
+    cards: int = 1
+    policy: str = "default"
+    overrides: tuple[tuple[str, Any], ...] = ()
+    #: record the training step with activation checkpointing on
+    #: (the A14 workloads)
+    checkpoint: bool = False
+
+    def options(self, base: CompilerOptions) -> CompilerOptions:
+        """The point's compiler options: ``base`` + the policy delta."""
+        return dataclasses.replace(base, **dict(self.overrides))
+
+    def workload_key(self) -> tuple:
+        """What determines the recorded graph (not the options)."""
+        return (self.model, self.batch, self.seq_len, self.checkpoint)
+
+    def describe(self) -> dict:
+        """The point's identity as JSON-ready scalars (JSONL header)."""
+        return {
+            "model": self.model,
+            "batch": self.batch,
+            "seq_len": self.seq_len,
+            "cards": self.cards,
+            "policy": self.policy,
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A scenario grid declared as data.
+
+    Either give the cartesian axes (``models x batches x seq_lens x
+    cards x policies``, expanded in that nesting order) or an explicit
+    ``points`` tuple for irregular sweeps (A12's baseline-plus-grid
+    shape). ``executor`` picks the measurement:
+
+    * ``"hls1"`` — compile against the HLS-1 card and execute on an
+      event-driven :class:`~repro.synapse.runtime.HLS1Runtime`
+      population of ``point.cards`` (A4/A12; supports ``jobs``);
+    * ``"profile"`` — single-card
+      :class:`~repro.synapse.SynapseProfiler` run returning a rich
+      :class:`~repro.synapse.ProfileResult` per point (A13/A14;
+      in-process only, since profiles do not cross the pool cheaply).
+    """
+
+    name: str
+    models: tuple[str, ...] = ("gpt",)
+    batches: tuple[int | None, ...] = (None,)
+    seq_lens: tuple[int | None, ...] = (None,)
+    cards: tuple[int, ...] = (1,)
+    policies: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = (
+        ("default", ()),
+    )
+    checkpoint: bool = False
+    executor: str = "hls1"
+    points: tuple[SweepPoint, ...] | None = None
+
+    def expand(self) -> list[SweepPoint]:
+        """The grid as an ordered point list (explicit points win)."""
+        if self.points is not None:
+            return list(self.points)
+        out = []
+        for model in self.models:
+            for batch in self.batches:
+                for seq_len in self.seq_lens:
+                    for cards in self.cards:
+                        for policy, overrides in self.policies:
+                            out.append(SweepPoint(
+                                model=model, batch=batch, seq_len=seq_len,
+                                cards=cards, policy=policy,
+                                overrides=overrides,
+                                checkpoint=self.checkpoint,
+                            ))
+        return out
+
+
+@dataclass
+class PointResult:
+    """One executed sweep point: identity + flat numeric metrics.
+
+    ``metrics`` is JSON-ready (it is the JSONL line's payload);
+    ``profile`` carries the full ProfileResult for ``executor=
+    "profile"`` sweeps run in-process, and is never serialized.
+    """
+
+    point: SweepPoint
+    metrics: dict
+    profile: Any = None
+
+    def to_json(self, sweep_name: str) -> dict:
+        """The point's JSONL record: sweep name, identity, metrics."""
+        return {"sweep": sweep_name, **self.point.describe(),
+                **self.metrics}
+
+
+@dataclass
+class SweepResult:
+    """Every point of one sweep, in spec order."""
+
+    spec: SweepSpec
+    results: list[PointResult] = field(default_factory=list)
+
+    def result_for(self, **attrs) -> PointResult:
+        """The first point whose identity matches all ``attrs``."""
+        for r in self.results:
+            if all(getattr(r.point, k) == v for k, v in attrs.items()):
+                return r
+        raise KeyError(f"no sweep point matching {attrs}")
+
+    def render(self) -> str:
+        """A human table of the streamed metrics."""
+        rows = []
+        for r in self.results:
+            rows.append((
+                r.point.model,
+                r.point.batch if r.point.batch is not None else "-",
+                r.point.seq_len if r.point.seq_len is not None else "-",
+                r.point.cards,
+                r.point.policy,
+                f"{r.metrics['total_time_us'] / 1000.0:.2f}",
+                f"{r.metrics.get('exposed_comm_us', 0.0) / 1000.0:.2f}",
+                r.metrics.get("compile", "-"),
+            ))
+        return render_table(
+            ["model", "batch", "seq", "cards", "policy", "total (ms)",
+             "exposed comm (ms)", "recipe"],
+            rows,
+            title=f"sweep {self.spec.name!r} "
+                  f"({len(self.results)} point(s))",
+        )
+
+
+# -- workload recording ------------------------------------------------------
+
+
+def _workload_graph(point: SweepPoint):
+    """Record the point's graph (training step or single layer)."""
+    if point.model.startswith("layer:"):
+        from .. import ht
+        from ..models import TransformerLayer, paper_layer_config
+        from .reference import LAYER_STUDY_SHAPES
+
+        kind = point.model.split(":", 1)[1]
+        batch = point.batch or LAYER_STUDY_SHAPES["batch"]
+        seq_len = point.seq_len or LAYER_STUDY_SHAPES["seq_len"]
+        layer_cfg = paper_layer_config(kind)
+        layer = TransformerLayer(layer_cfg, materialize=False)
+        with ht.record(f"layer-{kind}-elu1", mode="symbolic") as rec:
+            layer(ht.input_tensor(
+                (batch, seq_len, layer_cfg.d_model), name="x",
+            ))
+        return rec.graph
+    from .e2e_llm import record_training_step
+
+    kwargs: dict = {"checkpoint": point.checkpoint}
+    if point.batch is not None:
+        kwargs["batch"] = point.batch
+    if point.seq_len is not None:
+        kwargs["seq_len"] = point.seq_len
+    return record_training_step(point.model, **kwargs).graph
+
+
+# -- executors ---------------------------------------------------------------
+
+
+def _hls1_metrics(schedule, hls1: HLS1Config, cards: int) -> dict:
+    """Execute one schedule on an HLS-1 population of ``cards``."""
+    system = HLS1Device(dataclasses.replace(hls1, num_cards=cards))
+    res = HLS1Runtime(system).execute(schedule)
+    metrics = {
+        "total_time_us": res.total_time_us,
+        "exposed_comm_us": res.exposed_comm_us,
+        "fabric_busy_us": res.fabric_busy_us,
+        "gradient_bytes": int(schedule.stats.get("gradient_bytes", 0)),
+        "all_reduce_ops": sum(
+            1 for op in schedule.ops if op.src == "all_reduce"
+        ),
+    }
+    reuse = schedule.stats.get("incremental")
+    if reuse:
+        metrics["passes_reused"] = reuse["reused"]
+        metrics["passes_recomputed"] = reuse["recomputed"]
+    return metrics
+
+
+def _sweep_worker(payload) -> dict:
+    """Process-pool worker for ``executor="hls1"`` points.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can pickle it. The parent already compiled and published every
+    distinct recipe to the shared ``recipe_dir``, so the signature
+    lookup is a warm disk hit and the worker never re-runs the
+    compiler; if the blob is missing anyway (cold cache, eviction,
+    ``use_recipe_cache=False``) the worker records and compiles the
+    point itself — correct either way, because the runtime is
+    deterministic.
+    """
+    point, hls1, options, recipe_dir, key = payload
+    cache = RecipeCache(save_dir=recipe_dir)
+    schedule = cache.get(key) if recipe_dir and key else None
+    source = "disk" if schedule is not None else "cold"
+    if schedule is None:
+        compiler = GraphCompiler(hls1.card, options, cache=cache)
+        schedule = compiler.compile(_workload_graph(point))
+        if compiler.last_cache_hit:
+            source = "disk" if cache.disk_hits else "memory"
+    metrics = _hls1_metrics(schedule, hls1, point.cards)
+    metrics["compile"] = source
+    return metrics
+
+
+def _profile_point(
+    point: SweepPoint,
+    config: GaudiConfig,
+    options: CompilerOptions,
+    graphs: dict,
+) -> PointResult:
+    """Single-card profile executor (A13/A14): rich results kept."""
+    if point.model.startswith("layer:"):
+        from .attention_study import profile_layer
+
+        prof = profile_layer(
+            point.model.split(":", 1)[1], config=config, options=options,
+            batch=point.batch, seq_len=point.seq_len,
+        )
+    else:
+        wkey = point.workload_key()
+        if wkey not in graphs:
+            graphs[wkey] = _workload_graph(point)
+        prof = SynapseProfiler(config, options).profile(graphs[wkey])
+    metrics = {
+        "total_time_us": prof.total_time_us,
+        "peak_bytes": prof.schedule.memory.peak_bytes,
+        "compile": "memory" if prof.cache_hit else "cold",
+    }
+    mem = prof.schedule.stats.get("memory")
+    if mem:
+        metrics.update(
+            spill_ops=mem["spill_ops"], spill_bytes=mem["spill_bytes"],
+            recompute_ops=mem["recompute_ops"],
+            recompute_bytes=mem["recompute_bytes"],
+        )
+    return PointResult(point=point, metrics=metrics, profile=prof)
+
+
+# -- the harness -------------------------------------------------------------
+
+
+def _emit(stream, spec: SweepSpec, result: PointResult) -> None:
+    stream.write(json.dumps(result.to_json(spec.name)) + "\n")
+    stream.flush()
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    hls1: HLS1Config | None = None,
+    config: GaudiConfig | None = None,
+    options: CompilerOptions | None = None,
+    jobs: int = 1,
+    stream=None,
+    recipe_dir: "str | Path | None" = None,
+    graphs: dict | None = None,
+) -> SweepResult:
+    """Execute every point of ``spec``, streaming JSONL as they land.
+
+    ``options`` is the base every point's policy overrides apply to
+    (default: the process-wide compiler options). ``stream`` is a
+    writable text file (or a path) receiving one JSON line per
+    completed point. ``jobs > 1`` fans ``executor="hls1"`` points over
+    a process pool: the parent compiles each distinct workload/options
+    pair once, publishes the recipes into ``recipe_dir`` (a shared
+    temporary directory when not given), and workers replay them from
+    disk by signature — no worker recompiles a warm point. ``graphs``
+    optionally seeds/shares the recorded-graph memo across sweeps
+    (A14 records each workload once for its oracle and planned runs).
+    Points run and stream in spec order at any width.
+    """
+    hls1 = hls1 or HLS1Config()
+    base = options if options is not None else default_compiler_options()
+    points = spec.expand()
+    if not points:
+        raise ValueError(f"sweep {spec.name!r} declares no points")
+    graphs = graphs if graphs is not None else {}
+
+    opened = None
+    if isinstance(stream, (str, Path)):
+        opened = stream = open(stream, "w")
+    try:
+        if spec.executor == "profile":
+            result = SweepResult(spec=spec)
+            cfg = config or GaudiConfig()
+            for point in points:
+                pr = _profile_point(
+                    point, cfg, point.options(base), graphs
+                )
+                if stream is not None:
+                    _emit(stream, spec, pr)
+                result.results.append(pr)
+            return result
+        if spec.executor != "hls1":
+            raise ValueError(f"unknown sweep executor {spec.executor!r}")
+
+        if jobs > 1:
+            return _run_hls1_pool(
+                spec, points, hls1, base, jobs, stream, recipe_dir, graphs
+            )
+
+        # serial: one shared in-memory recipe cache across the sweep,
+        # so repeated (workload, options) points compile exactly once
+        cache = RecipeCache(
+            maxsize=max(32, len(points)), save_dir=recipe_dir
+        )
+        result = SweepResult(spec=spec)
+        for point in points:
+            opts = point.options(base)
+            wkey = point.workload_key()
+            if wkey not in graphs:
+                graphs[wkey] = _workload_graph(point)
+            disk_before = cache.disk_hits
+            compiler = GraphCompiler(hls1.card, opts, cache=cache)
+            schedule = compiler.compile(graphs[wkey])
+            source = "cold"
+            if compiler.last_cache_hit:
+                source = (
+                    "disk" if cache.disk_hits > disk_before else "memory"
+                )
+            metrics = _hls1_metrics(schedule, hls1, point.cards)
+            metrics["compile"] = source
+            pr = PointResult(point=point, metrics=metrics)
+            if stream is not None:
+                _emit(stream, spec, pr)
+            result.results.append(pr)
+        return result
+    finally:
+        if opened is not None:
+            opened.close()
+
+
+def _run_hls1_pool(
+    spec, points, hls1, base, jobs, stream, recipe_dir, graphs
+) -> SweepResult:
+    """The fan-out path: parent-warmed disk recipes, pooled workers."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    tmp = None
+    if recipe_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-sweep-")
+        recipe_dir = tmp.name
+    try:
+        # warm the shared disk cache: one compile per distinct
+        # workload/options pair, published by signature
+        cache = RecipeCache(
+            maxsize=max(32, len(points)), save_dir=recipe_dir
+        )
+        keys: dict[SweepPoint, str | None] = {}
+        compiled: set[str] = set()
+        for point in points:
+            opts = point.options(base)
+            if not opts.use_recipe_cache:
+                keys[point] = None  # the worker compiles this one
+                continue
+            wkey = point.workload_key()
+            if wkey not in graphs:
+                graphs[wkey] = _workload_graph(point)
+            key = recipe_key(graphs[wkey], hls1.card, opts)
+            keys[point] = key
+            if key not in compiled:
+                GraphCompiler(
+                    hls1.card, opts, cache=cache
+                ).compile(graphs[wkey])
+                compiled.add(key)
+
+        payloads = [
+            (p, hls1, p.options(base), str(recipe_dir), keys[p])
+            for p in points
+        ]
+        result = SweepResult(spec=spec)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # pool.map yields in submission order: the stream stays
+            # in spec order at any width
+            for point, metrics in zip(
+                points, pool.map(_sweep_worker, payloads)
+            ):
+                pr = PointResult(point=point, metrics=metrics)
+                if stream is not None:
+                    _emit(stream, spec, pr)
+                result.results.append(pr)
+        return result
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def sweep_spec_from_cli(
+    models: Iterable[str],
+    batches: Iterable[int],
+    seq_lens: Iterable[int],
+    cards: Iterable[int],
+    policies: Iterable[str],
+) -> SweepSpec:
+    """Build the ``repro sweep`` grid from repeatable CLI flags."""
+    unknown = [p for p in policies if p not in SWEEP_POLICIES]
+    if unknown:
+        known = ", ".join(sorted(SWEEP_POLICIES))
+        raise ValueError(
+            f"unknown sweep policy {unknown[0]!r} (known: {known})"
+        )
+    return SweepSpec(
+        name="cli",
+        models=tuple(models) or ("gpt",),
+        batches=tuple(batches) or (None,),
+        seq_lens=tuple(seq_lens) or (None,),
+        cards=tuple(cards) or (1,),
+        policies=tuple((p, SWEEP_POLICIES[p]) for p in policies)
+        or (("default", ()),),
+    )

@@ -27,11 +27,19 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..util.errors import ExecutionError
 
 #: residual bytes treated as fully drained (floating-point dust from
 #: integrating rate * dt across events)
 DRAIN_EPS_BYTES = 1e-6
+
+#: pool size above which the arbiter's drain math switches from the
+#: per-drainer Python loop to array ops over the (remaining, rate)
+#: vectors; both paths do the same IEEE-754 arithmetic per element, so
+#: the crossover is a pure performance knob
+VECTOR_MIN_DRAINERS = 4
 
 #: residual drain *time* treated as complete — a remaining-time below
 #: the clock's resolution can never advance the clock (us)
@@ -51,6 +59,10 @@ class _Drainer:
     rate: float = 0.0
     #: when the last byte drained (set on completion)
     drained_us: float | None = None
+    #: residual bytes below which the drainer counts as done — fixed at
+    #: admission (``max(DRAIN_EPS_BYTES, 1e-12 * total_bytes)``) so the
+    #: completion scan does not recompute it every epoch
+    done_below_bytes: float = DRAIN_EPS_BYTES
 
 
 @dataclass(frozen=True)
@@ -73,13 +85,20 @@ class BandwidthArbiter:
     sanity checks).
     """
 
-    def __init__(self, bandwidth_bytes_per_s: float, *, shared: bool = True):
+    def __init__(
+        self, bandwidth_bytes_per_s: float, *, shared: bool = True,
+        log_rates: bool = True,
+    ):
         if bandwidth_bytes_per_s <= 0:
             raise ExecutionError(
                 f"arbiter bandwidth must be > 0, got {bandwidth_bytes_per_s}"
             )
         self.bandwidth = float(bandwidth_bytes_per_s)
         self.shared = shared
+        #: record a RateSegment per integration epoch (the invariant
+        #: suite's evidence); production callers that never read the
+        #: log can turn it off — allocations are unaffected
+        self._log_rates = log_rates
         self._clock = 0.0
         self._drainers: dict[int, _Drainer] = {}
         #: closed allocation segments, for the aggregate-rate invariant
@@ -108,7 +127,19 @@ class BandwidthArbiter:
         return sum(d.rate for d in self._drainers.values())
 
     def next_completion_us(self) -> float | None:
-        """Earliest time any active drainer finishes, or ``None``."""
+        """Earliest time any active drainer finishes, or ``None``.
+
+        Large pools compute every completion time in one array op over
+        the (remaining, rate) vectors; the per-element arithmetic is
+        identical to the scalar loop's, so both paths agree bit for bit.
+        """
+        if len(self._drainers) >= VECTOR_MIN_DRAINERS:
+            rem, rate = self._vectors()
+            draining = rate > 0
+            if not draining.any():
+                return None
+            t = self._clock + (rem[draining] / rate[draining]) * 1e6
+            return float(t.min())
         best: float | None = None
         for d in self._drainers.values():
             if d.rate <= 0:
@@ -117,6 +148,123 @@ class BandwidthArbiter:
             if best is None or t < best:
                 best = t
         return best
+
+    def _vectors(self) -> tuple[np.ndarray, np.ndarray]:
+        """(remaining_bytes, rate) of the active pool, as arrays."""
+        m = len(self._drainers)
+        rem = np.fromiter(
+            (d.remaining_bytes for d in self._drainers.values()),
+            dtype=np.float64, count=m,
+        )
+        rate = np.fromiter(
+            (d.rate for d in self._drainers.values()),
+            dtype=np.float64, count=m,
+        )
+        return rem, rate
+
+    def drain_until(self, deadlines) -> tuple[float, list[int]]:
+        """Advance to the next epoch boundary, computed in closed form.
+
+        ``deadlines`` is an array (or any sequence) of upcoming external
+        event times — pending op finishes, collective step timers, the
+        fabric's own next completion. The arbiter computes every active
+        drainer's completion time as one array op over the (remaining,
+        rate) vectors, takes the earliest of those and the external
+        deadlines, and integrates the whole pool to that instant in a
+        single step. Returns ``(epoch end, keys completed at it)``.
+
+        One epoch per call, never a cascade: a completion can free an
+        engine, admit new traffic, and reallocate every share, so the
+        caller must handle the returned completions before asking for
+        the next epoch. Raises when there is no boundary to advance to
+        (no external deadline and nothing draining) — in the event loop
+        that state is a deadlock.
+        """
+        drainers = self._drainers
+        clock = self._clock
+        m = len(drainers)
+        t: float | None = None
+        if m >= VECTOR_MIN_DRAINERS:
+            rem, rate = self._vectors()
+            draining = rate > 0
+            if draining.any():
+                comp = clock + (rem[draining] / rate[draining]) * 1e6
+                t = float(comp.min())
+        else:
+            for d in drainers.values():
+                if d.rate > 0:
+                    c = clock + (d.remaining_bytes / d.rate) * 1e6
+                    if t is None or c < t:
+                        t = c
+        if len(deadlines):
+            if len(deadlines) >= VECTOR_MIN_DRAINERS:
+                external = float(
+                    np.min(np.asarray(deadlines, dtype=np.float64))
+                )
+            else:
+                external = min(deadlines)
+            t = external if t is None else min(t, external)
+        if t is None:
+            raise ExecutionError(
+                "drain_until has no epoch boundary: no external deadline "
+                "and no draining traffic"
+            )
+        if not m:
+            # empty pool: nothing to integrate or complete — move the
+            # clock without paying the full completion scan
+            if t > clock:
+                self._clock = t
+            return t, []
+        # inline advance(t): same integration, completion test, and
+        # reallocation arithmetic, minus the nested-call overhead the
+        # epoch loop would pay ~once per event
+        dt_us = t - clock
+        done: list[int] = []
+        if dt_us > 0:
+            if self._log_rates:
+                self.rate_log.append(RateSegment(
+                    clock, t, self.total_rate(), m
+                ))
+            self._clock = t
+            time_eps = max(DRAIN_EPS_TIME_US, 4 * math.ulp(t))
+            if m >= VECTOR_MIN_DRAINERS:
+                rem, rate = self._vectors()
+                rem -= rate * (dt_us * 1e-6)
+                for d, r in zip(drainers.values(), rem.tolist()):
+                    d.remaining_bytes = r
+                    if r <= d.done_below_bytes or (
+                        d.rate > 0 and (r / d.rate) * 1e6 <= time_eps
+                    ):
+                        done.append(d.key)
+            else:
+                dt_s = dt_us * 1e-6
+                for d in drainers.values():
+                    r = d.remaining_bytes - d.rate * dt_s
+                    d.remaining_bytes = r
+                    if r <= d.done_below_bytes or (
+                        d.rate > 0 and (r / d.rate) * 1e6 <= time_eps
+                    ):
+                        done.append(d.key)
+        else:
+            # dt == 0: reallocation at this instant can still satisfy
+            # the rate-based completion test — the scan must run
+            time_eps = max(DRAIN_EPS_TIME_US, 4 * math.ulp(self._clock))
+            for key, d in drainers.items():
+                if d.remaining_bytes <= d.done_below_bytes or (
+                    d.rate > 0
+                    and (d.remaining_bytes / d.rate) * 1e6 <= time_eps
+                ):
+                    done.append(key)
+        if done:
+            clk = self._clock
+            completed = self.completed
+            for key in done:
+                d = drainers.pop(key)
+                d.remaining_bytes = 0.0
+                d.drained_us = clk
+                completed[key] = d
+            self._reallocate()
+        return t, done
 
     # -- mutation ------------------------------------------------------------
 
@@ -132,9 +280,61 @@ class BandwidthArbiter:
         if key in self._drainers:
             raise ExecutionError(f"drainer {key} already active")
         self.advance(now_us)
+        total = float(num_bytes)
         self._drainers[key] = _Drainer(
-            key, float(num_bytes), float(num_bytes), rate_cap, now_us
+            key, total, total, rate_cap, now_us,
+            done_below_bytes=max(DRAIN_EPS_BYTES, 1e-12 * total),
         )
+        self._reallocate()
+
+    def admit_clocked(
+        self, key: int, num_bytes: float, now_us: float,
+        rate_cap: float = math.inf,
+    ) -> None:
+        """Admit traffic at an instant the pool is already integrated to.
+
+        The epoch-driven loop only admits at boundaries
+        :meth:`drain_until` has just advanced to, so the re-integration
+        and dt==0 completion rescan :meth:`admit` performs are provably
+        no-ops there: integrating zero time changes no remaining bytes,
+        and admission only ever *shrinks* shares (water-filling never
+        raises a rate when a drainer joins), so the rate-based
+        completion test can pass for no drainer it did not already pass
+        for. Requires ``now_us`` to equal the arbiter clock whenever
+        traffic is active; with an idle pool the clock just moves.
+        """
+        if num_bytes <= 0:
+            raise ExecutionError(
+                f"arbiter admit needs positive bytes, got {num_bytes}"
+            )
+        if key in self._drainers:
+            raise ExecutionError(f"drainer {key} already active")
+        if not self._drainers:
+            if now_us < self._clock - 1e-9:
+                raise ExecutionError(
+                    f"arbiter cannot rewind from {self._clock} to {now_us}"
+                )
+            if now_us > self._clock:
+                self._clock = now_us
+        elif now_us != self._clock:
+            raise ExecutionError(
+                f"admit_clocked at {now_us} but the pool is integrated "
+                f"to {self._clock}; use admit()"
+            )
+        total = float(num_bytes)
+        d = _Drainer.__new__(_Drainer)
+        d.key = key
+        d.remaining_bytes = total
+        d.total_bytes = total
+        d.rate_cap = rate_cap
+        d.started_us = now_us
+        d.rate = 0.0
+        d.drained_us = None
+        threshold = 1e-12 * total
+        d.done_below_bytes = (
+            threshold if threshold > DRAIN_EPS_BYTES else DRAIN_EPS_BYTES
+        )
+        self._drainers[key] = d
         self._reallocate()
 
     def advance(self, to_us: float) -> list[int]:
@@ -143,13 +343,24 @@ class BandwidthArbiter:
             raise ExecutionError(
                 f"arbiter cannot rewind from {self._clock} to {to_us}"
             )
-        dt_us = max(0.0, to_us - self._clock)
+        dt_us = to_us - self._clock
         if dt_us > 0 and self._drainers:
-            self.rate_log.append(RateSegment(
-                self._clock, to_us, self.total_rate(), len(self._drainers)
-            ))
-            for d in self._drainers.values():
-                d.remaining_bytes -= d.rate * (dt_us * 1e-6)
+            if self._log_rates:
+                self.rate_log.append(RateSegment(
+                    self._clock, to_us, self.total_rate(),
+                    len(self._drainers),
+                ))
+            if len(self._drainers) >= VECTOR_MIN_DRAINERS:
+                # one array op over the (remaining, rate) vectors; the
+                # per-element subtraction is the same IEEE-754 op the
+                # scalar loop does, so both paths agree bit for bit
+                rem, rate = self._vectors()
+                rem -= rate * (dt_us * 1e-6)
+                for d, r in zip(self._drainers.values(), rem.tolist()):
+                    d.remaining_bytes = r
+            else:
+                for d in self._drainers.values():
+                    d.remaining_bytes -= d.rate * (dt_us * 1e-6)
         self._clock = max(self._clock, to_us)
         # A drainer is done when its residual bytes are fp dust, or when
         # the time needed to drain them falls below the clock's own
@@ -157,7 +368,7 @@ class BandwidthArbiter:
         time_eps = max(DRAIN_EPS_TIME_US, 4 * math.ulp(self._clock))
         done = [
             key for key, d in self._drainers.items()
-            if d.remaining_bytes <= max(DRAIN_EPS_BYTES, 1e-12 * d.total_bytes)
+            if d.remaining_bytes <= d.done_below_bytes
             or (
                 d.rate > 0
                 and (d.remaining_bytes / d.rate) * 1e6 <= time_eps
@@ -183,6 +394,19 @@ class BandwidthArbiter:
             for d in self._drainers.values():
                 d.rate = min(d.rate_cap, self.bandwidth)
             return
+        drainers = self._drainers
+        if drainers:
+            # fast path: no drainer capped below the equal share (the
+            # overwhelmingly common pool) — same share arithmetic the
+            # first water-fill round computes, minus the set machinery
+            share = self.bandwidth / len(drainers)
+            for d in drainers.values():
+                if d.rate_cap <= share:
+                    break
+            else:
+                for d in drainers.values():
+                    d.rate = share
+                return
         pool = set(self._drainers)
         remaining = self.bandwidth
         while pool:

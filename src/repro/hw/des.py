@@ -114,6 +114,58 @@ class EngineTimeline:
         self._free_at = interval.end
         return interval
 
+    def mirror(self, interval: Interval) -> None:
+        """Append an interval reserved on a symmetric twin timeline.
+
+        The replicated-card fast path: when N identical timelines
+        replay one deterministic reservation stream, the intervals are
+        equal by construction, so the twins share the frozen
+        :class:`Interval` instead of re-deriving it. The caller
+        guarantees ``interval.start >= free_at`` (the runtime's
+        ``t0 = max(card.now)`` invariant).
+        """
+        self._intervals.append(interval)
+        self._free_at = interval.end
+
+    def reserve_started(
+        self, start: float, duration: float, label: str = ""
+    ) -> Interval:
+        """:meth:`reserve` for a caller that guarantees ``start >=
+        free_at`` and ``duration >= 0``.
+
+        The epoch-driven loop starts ops at the global clock, which
+        never trails the engine's ``free_at`` (the ``t0 =
+        max(card.now)`` invariant), so the clamp and the validation are
+        dead — this skips them plus the frozen-dataclass construction
+        tax, producing the identical interval.
+        """
+        interval = Interval.__new__(Interval)
+        interval.__dict__.update(
+            start=start, end=start + duration, label=label
+        )
+        self._intervals.append(interval)
+        self._free_at = interval.end
+        return interval
+
+    @property
+    def interval_count(self) -> int:
+        """Number of intervals recorded so far (a cheap mark for
+        :meth:`intervals_since`)."""
+        return len(self._intervals)
+
+    def intervals_since(self, count: int) -> list[Interval]:
+        """The intervals appended after the first ``count`` — what a
+        run added past a mark taken with :attr:`interval_count`."""
+        return self._intervals[count:]
+
+    def mirror_many(self, intervals: list[Interval]) -> None:
+        """Bulk :meth:`mirror`: replay a twin's whole chronological
+        reservation stream in one append (same end state as mirroring
+        each interval as it was reserved)."""
+        if intervals:
+            self._intervals.extend(intervals)
+            self._free_at = intervals[-1].end
+
     def busy_time(self, until: float | None = None) -> float:
         """Total busy microseconds (optionally clipped to ``until``)."""
         total = 0.0

@@ -94,6 +94,15 @@ class CompilerOptions:
     plan_memory: bool = True
     #: memoize compiled schedules by graph/config/options signature
     use_recipe_cache: bool = True
+    #: incremental recompilation: cache pass results by the
+    #: sub-signature of the inputs each pass actually reads, so recipe
+    #: misses that change only geometry (batch/seq) or downstream
+    #: options replay the structural decisions (validate, view
+    #: elision, fusion grouping, recompile marks, DMA staging) and
+    #: re-run only shape-dependent stages. Replayed compiles are
+    #: byte-identical to cold ones; per-pass hit/miss lands in
+    #: ``Schedule.stats["passes"]`` (``--no-incremental``)
+    incremental: bool = True
     #: bucket marked parameter gradients into all-reduce NIC ops (the
     #: multi-card DDP path; harmless but off by default for single-card
     #: experiments)
@@ -110,6 +119,11 @@ class CompilerOptions:
     #: legacy greedy earliest-ready scheduler, ``--scheduler=reorder``).
     #: Runtime-only: selects how the runtime orders ready ops.
     scheduler: str = "lookahead"
+    #: fluid-loop implementation: ``"vector"`` (the production engine)
+    #: or ``"scalar"`` (the per-event reference it is byte-identical
+    #: to). Runtime-only: never changes timings, only how fast the
+    #: simulator computes them (``--sim-engine``).
+    sim_engine: str = "vector"
     #: split large batch-parallel TPC ops (softmax, feature-map exp,
     #: activations) into row slices that pipeline against pending MME
     #: work (the ``tpc_slicing`` pass; off by default — it changes the

@@ -335,6 +335,90 @@ def lint_schedule(schedule) -> list[LintWarning]:
     return warnings
 
 
+#: source tokens that betray a pass reading geometry (shapes, byte
+#: counts, or node attributes — which embed extents; see
+#: :func:`~repro.synapse.recipe.structure_signature`)
+_GEOMETRY_TOKENS = (
+    ".shape", ".numel", ".nbytes", ".attrs", "work_item_for",
+    "lower_graph", "itemsize",
+)
+
+
+def lint_passes(passes=None) -> list[LintWarning]:
+    """Audit compiler passes' incremental-recompilation declarations.
+
+    Keeps the pass cache honest as new passes land (see
+    :mod:`repro.synapse.passes.incremental`):
+
+    * ``pass-geometry-over-declared`` — the pass declares geometry
+      dependence but its ``run`` reads only shape-invariant fields;
+      its results would be needlessly recomputed at every batch/seq
+      sweep point.
+    * ``pass-geometry-under-declared`` — the inverse, and the
+      dangerous one: ``run`` touches shapes/byte counts/attributes but
+      the pass declares structure-only, so cached results could be
+      replayed against a graph they do not describe.
+
+    The scan is lexical over the ``run`` source plus the sources of
+    the helpers it directly calls (one level — deliberately not the
+    helpers' helpers, which is where replay-side geometry
+    *recomputation* lives; what matters is what the cached decision
+    itself reads).
+    """
+    import inspect
+    import re
+    import sys
+
+    from .passes import default_passes
+
+    def sources_of(compiler_pass) -> str:
+        cls = type(compiler_pass)
+        try:
+            run_src = inspect.getsource(cls.run)
+        except (OSError, TypeError):  # pragma: no cover - REPL-defined pass
+            return ""
+        pieces = [run_src]
+        module = sys.modules.get(cls.__module__)
+        namespace = dict(getattr(module, "__dict__", {}))
+        namespace.update(cls.__dict__)
+        for called in set(re.findall(r"(\w+)\s*\(", run_src)):
+            target = namespace.get(called)
+            if target is None or not callable(target):
+                continue
+            if getattr(target, "__module__", None) != cls.__module__:
+                continue
+            try:
+                pieces.append(inspect.getsource(target))
+            except (OSError, TypeError):  # pragma: no cover - builtins
+                continue
+        return "\n".join(pieces)
+
+    warnings: list[LintWarning] = []
+    for compiler_pass in passes if passes is not None else default_passes():
+        source = sources_of(compiler_pass)
+        if not source:  # pragma: no cover - source unavailable
+            continue
+        reads_geometry = any(tok in source for tok in _GEOMETRY_TOKENS)
+        declares_geometry = "geometry" in compiler_pass.signature_deps
+        if declares_geometry and not reads_geometry:
+            warnings.append(LintWarning(
+                "pass-geometry-over-declared",
+                f"pass {compiler_pass.name!r} declares geometry "
+                "dependence but its run() reads only shape-invariant "
+                "fields; declare signature_deps=('structure',) so "
+                "sweep points that change only batch/seq can reuse it",
+            ))
+        elif reads_geometry and not declares_geometry:
+            warnings.append(LintWarning(
+                "pass-geometry-under-declared",
+                f"pass {compiler_pass.name!r} reads geometry "
+                "(shapes/bytes/attrs) in run() but declares "
+                "structure-only signature_deps — cached results could "
+                "replay against graphs they do not describe",
+            ))
+    return warnings
+
+
 def render_warnings(warnings: list[LintWarning]) -> str:
     """Human-readable lint report."""
     if not warnings:

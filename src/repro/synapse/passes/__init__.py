@@ -18,6 +18,12 @@ box offered (§4).
 
 from .base import CompilerPass, PassManager
 from .collective import CollectiveInjectionPass
+from .incremental import (
+    PassResultCache,
+    pass_cache,
+    pass_cache_stats,
+    reset_pass_cache,
+)
 from .dma import DmaStagingPass
 from .emit import EmitSchedulePass
 from .fusion import ElementwiseFusionPass
@@ -71,7 +77,11 @@ __all__ = [
     "MemoryPlanningPass",
     "PASS_OPTION_FLAGS",
     "PassManager",
+    "PassResultCache",
     "PendingOp",
+    "pass_cache",
+    "pass_cache_stats",
+    "reset_pass_cache",
     "RecompileInjectionPass",
     "TpcSlicingPass",
     "ValidatePass",

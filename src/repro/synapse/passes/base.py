@@ -15,7 +15,9 @@ from typing import TYPE_CHECKING
 
 from ...hw.config import GaudiConfig
 from ..graph import Graph
+from ..recipe import geometry_signature, structure_signature
 from ..schedule import MemoryPlan, Schedule
+from .incremental import pass_cache, pass_cache_key
 from .state import CompilationState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
@@ -28,12 +30,29 @@ class CompilerPass:
     Subclasses set ``name`` (stable, used by stats/CLI) and optionally
     ``option_flag`` — the :class:`CompilerOptions` boolean that gates
     the pass. A pass without a flag always runs (e.g. emission).
+
+    Incremental recompilation contract: ``signature_deps`` declares
+    which graph components the pass's *decisions* read
+    (``"structure"``, ``"geometry"`` — see
+    :func:`~repro.synapse.recipe.structure_signature`), and
+    ``option_deps`` the :class:`CompilerOptions` fields it consults.
+    A pass that additionally sets ``incremental = True`` and
+    implements ``record``/``replay`` gets its effect cached by the
+    sub-signature of exactly those inputs; declarations are audited by
+    :func:`~repro.synapse.lint.lint_passes`.
     """
 
     #: stable pass name (stats entries, ``--disable-pass`` argument)
     name: str = "pass"
     #: CompilerOptions field enabling this pass; ``None`` = always on
     option_flag: str | None = None
+    #: graph components the pass's decisions depend on; the default —
+    #: everything — is always sound but never cacheable across sweeps
+    signature_deps: tuple[str, ...] = ("structure", "geometry")
+    #: CompilerOptions fields the pass reads while running
+    option_deps: tuple[str, ...] = ()
+    #: whether the pass records a replayable effect (``record``/``replay``)
+    incremental: bool = False
 
     def enabled(self, options: "CompilerOptions") -> bool:
         """Whether the pass is enabled under ``options``."""
@@ -53,6 +72,25 @@ class CompilerPass:
         """
         return {}
 
+    def record(self, state: CompilationState) -> dict | None:
+        """The replayable effect of the ``run`` that just executed.
+
+        Called immediately after a successful ``run`` when the pass is
+        ``incremental``; the returned payload must let ``replay``
+        reproduce the identical state mutation on any state whose
+        declared components match. ``None`` opts out of caching this
+        particular run.
+        """
+        return None
+
+    def replay(self, state: CompilationState, payload: dict) -> dict:
+        """Apply a previously recorded effect; returns pass stats."""
+        raise NotImplementedError
+
+    def option_values(self, options: "CompilerOptions") -> tuple:
+        """The declared option fields' current values (key material)."""
+        return tuple(getattr(options, f) for f in self.option_deps)
+
 
 class PassManager:
     """Runs an ordered pass list and assembles the final Schedule."""
@@ -68,17 +106,68 @@ class PassManager:
         self.passes = passes
 
     def run(self, graph: Graph) -> Schedule:
-        """Compile ``graph`` through every pass; raises on OOM/invalid."""
+        """Compile ``graph`` through every pass; raises on OOM/invalid.
+
+        With ``options.incremental`` (the default), passes that declare
+        a replayable effect consult the process-wide pass cache: a hit
+        replays the recorded decisions against the current state
+        (byte-identical to re-running — the cache key covers every
+        input the pass reads), a miss runs the pass and records it.
+        Each stats entry carries ``incremental: "hit"|"miss"`` for
+        cacheable passes and ``""`` otherwise; the compile-level
+        summary lands in ``stats["incremental"]``.
+        """
         state = CompilationState(graph=graph, config=self.config,
                                  options=self.options)
+        use_cache = bool(getattr(self.options, "incremental", False))
+        cache = pass_cache() if use_cache else None
+        # signatures are per graph *object*: a rewrite (lowering,
+        # slicing) swaps the object and naturally invalidates these
+        sigs: dict[str, str] = {}
+        sig_graph: Graph | None = None
+        # ordered (pass, enabled, read-options) record — the pipeline
+        # prefix that makes chained annotation decisions part of every
+        # downstream key
+        prefix: list[str] = []
+        reused = recomputed = 0
         for compiler_pass in self.passes:
             enabled = compiler_pass.enabled(self.options)
+            opt_values = compiler_pass.option_values(self.options)
+            prefix.append(
+                f"{compiler_pass.name}:{enabled}"
+                + (f":{opt_values!r}" if enabled else "")
+            )
             units_in = state.unit_count()
+            cacheable = use_cache and enabled and compiler_pass.incremental
+            key = None
+            mode = ""
             t0 = time.perf_counter()
-            extra = (
-                compiler_pass.run(state) if enabled
-                else compiler_pass.run_disabled(state)
-            ) or {}
+            if cacheable:
+                if state.graph is not sig_graph:
+                    sig_graph = state.graph
+                    sigs = {
+                        "structure": structure_signature(sig_graph),
+                        "geometry": geometry_signature(sig_graph),
+                    }
+                key = pass_cache_key(
+                    compiler_pass, sigs, opt_values, tuple(prefix)
+                )
+                payload = cache.get(key)
+                if payload is not None:
+                    extra = compiler_pass.replay(state, payload) or {}
+                    mode = "hit"
+                    reused += 1
+            if not mode:
+                extra = (
+                    compiler_pass.run(state) if enabled
+                    else compiler_pass.run_disabled(state)
+                ) or {}
+                if cacheable:
+                    payload = compiler_pass.record(state)
+                    if payload is not None:
+                        cache.put(key, payload)
+                    mode = "miss"
+                    recomputed += 1
             wall_us = (time.perf_counter() - t0) * 1e6
             entry = {
                 "pass": compiler_pass.name,
@@ -87,9 +176,14 @@ class PassManager:
                 "units_out": state.unit_count(),
                 "wall_us": wall_us,
                 "transforms": extra.pop("transforms", 0),
+                "incremental": mode,
             }
             entry.update(extra)
             state.stats["passes"].append(entry)
+        if use_cache:
+            state.stats["incremental"] = {
+                "reused": reused, "recomputed": recomputed,
+            }
         return Schedule(
             graph=state.graph,
             ops=state.ops if state.ops is not None else [],

@@ -22,6 +22,25 @@ class DmaStagingPass(CompilerPass):
 
     name = "dma_staging"
     option_flag = "insert_dma"
+    # boundary crossings follow from producer/consumer engines, i.e.
+    # op kinds; transfer *sizes* are read at emission from the values
+    signature_deps = ("structure",)
+    incremental = True
+
+    def record(self, state: CompilationState) -> dict:
+        return {"dma_reads": [
+            (i, tuple(sorted(p.dma_reads)))
+            for i, p in enumerate(state.pending) if p.dma_reads
+        ]}
+
+    def replay(self, state: CompilationState, payload: dict) -> dict:
+        assert state.pending is not None, "grouping must run before DMA"
+        planned: set[tuple[int, EngineKind]] = set()
+        for i, vids in payload["dma_reads"]:
+            pending = state.pending[i]
+            pending.dma_reads = set(vids)
+            planned.update((vid, pending.engine) for vid in vids)
+        return {"transforms": len(planned)}
 
     def run(self, state: CompilationState) -> dict:
         """Mark reads needing staging; transforms = distinct DMA ops."""

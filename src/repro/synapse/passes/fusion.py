@@ -121,17 +121,75 @@ def group_nodes(state: CompilationState, *, fuse: bool) -> list[PendingOp]:
     return pendings
 
 
+def rebuild_pending(
+    state: CompilationState, groups: list[tuple[tuple[int, ...], EngineKind]]
+) -> list[PendingOp]:
+    """Reconstruct the pending list from cached grouping decisions.
+
+    The cached payload holds only the structural decision — which
+    nodes form each pending op, and on what engine. Everything
+    geometric (work items, read sets, external-read bytes) is
+    recomputed from the *current* graph, mirroring ``group_nodes``'s
+    incremental chain construction step for step, so a replayed
+    compile is byte-identical to a cold one at any batch/seq point.
+    """
+    graph = state.graph
+    alias = state.alias
+    node_of = {n.nid: n for n in graph.nodes}
+    pendings: list[PendingOp] = []
+    for nids, engine in groups:
+        nodes = [node_of[nid] for nid in nids]
+        first = nodes[0]
+        resolved = tuple(alias.get(v, v) for v in first.inputs)
+        item = _node_item(state, graph, first)
+        pending = PendingOp(
+            [first], engine, [item], reads=set(resolved),
+            external_read_bytes=item.bytes_read,
+        )
+        for node in nodes[1:]:
+            resolved = tuple(alias.get(v, v) for v in node.inputs)
+            item = _node_item(state, graph, node)
+            pending.internal.add(pending.output_vid)
+            pending.reads.update(
+                v for v in resolved if v not in pending.internal
+            )
+            pending.external_read_bytes += _external_read_bytes(
+                graph, node, resolved, pending.internal
+            )
+            pending.nodes.append(node)
+            pending.items.append(item)
+        pendings.append(pending)
+    return pendings
+
+
 class ElementwiseFusionPass(CompilerPass):
     """Group nodes into pending ops, fusing elementwise TPC chains."""
 
     name = "elementwise_fusion"
     option_flag = "fuse_elementwise"
+    # chain decisions read op kinds, engines, consumer counts, and
+    # src/scope provenance — the shapes only size the work items,
+    # which the replay recomputes from the current graph
+    signature_deps = ("structure",)
+    incremental = True
 
     def run(self, state: CompilationState) -> dict:
         """Group with fusion; transforms = nodes absorbed into chains."""
         state.pending = group_nodes(state, fuse=True)
         absorbed = sum(len(p.nodes) - 1 for p in state.pending)
         chains = sum(1 for p in state.pending if len(p.nodes) > 1)
+        return {"transforms": absorbed, "chains": chains}
+
+    def record(self, state: CompilationState) -> dict:
+        return {"groups": [
+            (tuple(n.nid for n in p.nodes), p.engine) for p in state.pending
+        ]}
+
+    def replay(self, state: CompilationState, payload: dict) -> dict:
+        groups = payload["groups"]
+        state.pending = rebuild_pending(state, groups)
+        absorbed = sum(len(nids) - 1 for nids, _ in groups)
+        chains = sum(1 for nids, _ in groups if len(nids) > 1)
         return {"transforms": absorbed, "chains": chains}
 
     def run_disabled(self, state: CompilationState) -> dict:

@@ -24,6 +24,25 @@ class LowerCompositesPass(CompilerPass):
 
     name = "lower_composites"
     option_flag = "lower_composites"
+    # the rewrite embeds concrete shapes in the expanded primitives,
+    # so the cache key covers the full graph; reuse kicks in when only
+    # downstream options change (policy/bucket sweep points), sharing
+    # the lowered graph the way Schedule.clone already shares graphs
+    signature_deps = ("structure", "geometry")
+    incremental = True
+    #: composites found by the most recent ``run`` (record's stats)
+    _last_composites = 0
+
+    def record(self, state: CompilationState) -> dict:
+        return {
+            "graph": state.graph if self._last_composites else None,
+            "composites": self._last_composites,
+        }
+
+    def replay(self, state: CompilationState, payload: dict) -> dict:
+        if payload["graph"] is not None:
+            state.graph = payload["graph"]
+        return {"transforms": payload["composites"]}
 
     @staticmethod
     def _composites(state: CompilationState) -> list[str]:
@@ -37,6 +56,7 @@ class LowerCompositesPass(CompilerPass):
         composites = self._composites(state)
         if composites:
             state.graph = lower_graph(state.graph)
+        self._last_composites = len(composites)
         return {"transforms": len(composites)}
 
     def run_disabled(self, state: CompilationState) -> dict:

@@ -20,6 +20,22 @@ class RecompileInjectionPass(CompilerPass):
 
     name = "recompile_injection"
     option_flag = "inject_recompiles"
+    # which ops are poorly supported is an op-registry fact; the
+    # penalty magnitude (recompile_penalty_us) is charged at emission
+    signature_deps = ("structure",)
+    option_deps = ("recompile_once",)
+    incremental = True
+
+    def record(self, state: CompilationState) -> dict:
+        return {"marked": [
+            i for i, p in enumerate(state.pending) if p.needs_recompile
+        ]}
+
+    def replay(self, state: CompilationState, payload: dict) -> dict:
+        assert state.pending is not None, "grouping must run before recompile"
+        for i in payload["marked"]:
+            state.pending[i].needs_recompile = True
+        return {"transforms": len(payload["marked"])}
 
     def run(self, state: CompilationState) -> dict:
         """Flag unsupported ops per the ``recompile_once`` policy."""

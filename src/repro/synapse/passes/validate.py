@@ -17,8 +17,20 @@ class ValidatePass(CompilerPass):
 
     name = "validate"
     option_flag = "validate_graph"
+    # SSA + program order read op connectivity and value kinds only —
+    # never a shape — so a batch/seq re-record revalidates for free
+    signature_deps = ("structure",)
+    incremental = True
 
     def run(self, state: CompilationState) -> dict:
         """Raise :class:`~repro.util.errors.GraphError` on a bad graph."""
         state.graph.validate()
         return {"values": len(state.graph.values)}
+
+    def record(self, state: CompilationState) -> dict:
+        """Only successful validations are cached (failures raise)."""
+        return {"values": len(state.graph.values)}
+
+    def replay(self, state: CompilationState, payload: dict) -> dict:
+        """A structurally identical graph is known-valid: skip the walk."""
+        return dict(payload)

@@ -22,6 +22,18 @@ class ViewElisionPass(CompilerPass):
 
     name = "view_elision"
     option_flag = "elide_views"
+    # view-ness is an op-registry property plus input arity — the
+    # alias/elided id maps are pure functions of graph structure
+    signature_deps = ("structure",)
+    incremental = True
+
+    def record(self, state: CompilationState) -> dict:
+        return {"alias": dict(state.alias), "elided": set(state.elided)}
+
+    def replay(self, state: CompilationState, payload: dict) -> dict:
+        state.alias.update(payload["alias"])
+        state.elided.update(payload["elided"])
+        return {"transforms": len(payload["elided"])}
 
     def run(self, state: CompilationState) -> dict:
         """Populate ``state.alias`` / ``state.elided`` in program order."""

@@ -221,6 +221,7 @@ class SynapseProfiler:
             reorder=self.options.reorder,
             hbm_contention=self.options.hbm_contention,
             scheduler=self._scheduler(),
+            engine=self.options.sim_engine,
         )
         timeline = result.timeline.shifted(-result.start_offset_us)
         return ProfileResult(
@@ -283,6 +284,7 @@ class SynapseProfiler:
                 reorder=self.options.reorder,
                 hbm_contention=self.options.hbm_contention,
                 scheduler=self._scheduler(),
+                engine=self.options.sim_engine,
             )
             start = (
                 compile_event.start_us if compile_event is not None
@@ -346,6 +348,7 @@ class HLS1Profiler:
             scheduler=(
                 self.options.scheduler if self.options.reorder else None
             ),
+            engine=self.options.sim_engine,
         )
         timeline = result.timeline.shifted(-result.start_offset_us)
         return ProfileResult(

@@ -47,8 +47,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from .compiler import CompilerOptions
 
 #: CompilerOptions fields that do not affect the compiled schedule
+#: (``incremental`` only changes how fast compilation runs — replayed
+#: pass results are byte-identical to recomputed ones)
 _RUNTIME_ONLY_OPTIONS = (
-    "reorder", "scheduler", "hbm_contention", "use_recipe_cache"
+    "reorder", "scheduler", "sim_engine", "hbm_contention",
+    "use_recipe_cache", "incremental",
 )
 
 #: default on-disk recipe directory when persistence is requested
@@ -117,6 +120,57 @@ def graph_signature(graph: Graph) -> str:
     return h.hexdigest()
 
 
+def structure_signature(graph: Graph) -> str:
+    """Hash of everything about a graph *except* its geometry.
+
+    Op kinds, connectivity, dtypes, value kinds/names, provenance, and
+    gradient markings — the inputs the structural compiler passes
+    (validation, view elision, fusion grouping, recompile marking, DMA
+    staging) actually read for their decisions. Two sweep points of
+    the same model that differ only in batch/sequence sizes share a
+    structure signature, which is what lets the incremental pass cache
+    replay those passes' decisions instead of re-deriving them (see
+    :mod:`repro.synapse.passes.incremental`).
+
+    Node attributes are deliberately *geometry*: they routinely embed
+    concrete extents — reshape/broadcast targets, slice windows, and
+    derived scalars like ``mean_bwd``'s ``alpha = 1/numel`` — so any
+    attribute-reading pass must declare geometry dependence (the
+    ``lint_passes`` rule polices this).
+    """
+    h = hashlib.sha256()
+    h.update(f"structure:{graph.name}\n".encode())
+    for vid, v in sorted(graph.values.items()):
+        h.update(f"v:{vid}:{v.dtype.value}:{v.kind}:{v.name}\n".encode())
+    for n in graph.nodes:
+        h.update(
+            f"n:{n.nid}:{n.op}:{n.inputs}:{n.output}:"
+            f"{n.src}:{n.scope}\n".encode()
+        )
+    if graph.metadata:
+        h.update(f"m:{sorted(graph.metadata.items())!r}\n".encode())
+    return h.hexdigest()
+
+
+def geometry_signature(graph: Graph) -> str:
+    """Hash of a graph's geometry: value shapes + node attributes.
+
+    The complement of :func:`structure_signature` — together they
+    cover everything :func:`graph_signature` covers. Passes whose
+    decisions depend on concrete extents (lowering's rewritten shapes,
+    TPC slicing, memory planning) declare this component and re-run
+    whenever it changes.
+    """
+    h = hashlib.sha256()
+    h.update(b"geometry\n")
+    for vid, v in sorted(graph.values.items()):
+        h.update(f"v:{vid}:{v.shape}\n".encode())
+    for n in graph.nodes:
+        attrs = repr(sorted(n.attrs.items()))
+        h.update(f"n:{n.nid}:{attrs}\n".encode())
+    return h.hexdigest()
+
+
 def options_signature(options: "CompilerOptions") -> str:
     """Stable signature of the compile-relevant option fields."""
     fields = {
@@ -175,14 +229,22 @@ class RecipeCache:
     def _load_from_disk(self, key: str) -> Schedule | None:
         if self.save_dir is None:
             return None
+        path = self._blob_path(key)
         try:
-            text = self._blob_path(key).read_text()
+            text = path.read_text()
         except OSError:
             return None
         try:
             return schedule_from_json(text)
         except GraphError:
-            return None  # corrupt blob -> plain miss
+            # corrupt blob -> plain miss; drop it so the put that
+            # follows the recompile can publish a good copy (an
+            # existing blob otherwise suppresses republication)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
 
     def _save_to_disk(self, key: str, schedule: Schedule) -> None:
         if self.save_dir is None:
@@ -190,10 +252,29 @@ class RecipeCache:
         try:
             self.save_dir.mkdir(parents=True, exist_ok=True)
             path = self._blob_path(key)
-            # atomic publish: readers only ever see complete blobs
+            if path.exists():
+                # The key hashes everything compilation reads, so an
+                # existing blob was published by an identical writer —
+                # a sweep worker racing this one on the same recipe.
+                # Rewriting the same bytes is wasted I/O at best and a
+                # reader-visible window at worst; tolerate the race by
+                # leaving the first publication in place.
+                return
+            # atomic publish: write a process-private temp file, then
+            # rename onto the final name. Concurrent identical writers
+            # each rename a complete blob — whichever lands last wins,
+            # and readers only ever see complete content.
             tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-            tmp.write_text(schedule_to_json(schedule))
-            tmp.replace(path)
+            try:
+                tmp.write_text(schedule_to_json(schedule))
+                tmp.replace(path)
+            except OSError:
+                # never leave a stale temp behind a failed publish
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                raise
         except OSError:
             pass  # persistence is best-effort
 

@@ -48,15 +48,62 @@ class TraceEvent:
         return self.start_us + self.dur_us
 
 
+def fast_trace_event(
+    name: str,
+    engine: EngineKind,
+    start_us: float,
+    dur_us: float,
+    src: str = "",
+    scope: str = "",
+    flops: float = 0.0,
+    hbm_bytes: float = 0.0,
+    hbm_gbps: float = 0.0,
+    contention_stall_us: float = 0.0,
+    card: int = 0,
+) -> TraceEvent:
+    """Construct a :class:`TraceEvent` without the frozen-init tax.
+
+    A frozen dataclass assigns every field through
+    ``object.__setattr__``, which dominates when the vector engine
+    emits tens of thousands of events per second. This helper fills the
+    instance ``__dict__`` directly — field for field identical to the
+    generated ``__init__`` (same names, same order, same defaults), so
+    equality, hashing, ``repr`` and ``dataclasses.replace`` behave
+    exactly the same.
+    """
+    ev = TraceEvent.__new__(TraceEvent)
+    ev.__dict__.update(
+        name=name, engine=engine, start_us=start_us, dur_us=dur_us,
+        src=src, scope=scope, flops=flops, hbm_bytes=hbm_bytes,
+        hbm_gbps=hbm_gbps, contention_stall_us=contention_stall_us,
+        card=card,
+    )
+    return ev
+
+
 class Timeline:
     """An executed trace: events + derived occupancy queries."""
 
-    def __init__(self, events: list[TraceEvent] | None = None, name: str = "trace"):
+    def __init__(
+        self,
+        events: list[TraceEvent] | None = None,
+        name: str = "trace",
+        *,
+        validate: bool = True,
+    ):
+        """``validate=False`` skips the negative-duration scan — for
+        callers whose events come from engine-timeline reservations,
+        which already reject negative durations at reserve time."""
         self.name = name
         self.events: list[TraceEvent] = []
         if events:
-            for ev in events:
-                self.add(ev)
+            if validate:
+                for ev in events:
+                    if ev.dur_us < 0:
+                        raise ExecutionError(
+                            f"negative duration for event {ev.name!r}"
+                        )
+            self.events.extend(events)
 
     def add(self, event: TraceEvent) -> None:
         """Append an event (negative durations are runtime bugs)."""
@@ -101,15 +148,19 @@ class Timeline:
         union. Perfect overlap drives this to ~0 even when collectives
         move gigabytes.
         """
-        nic = _merge_intervals([
-            (ev.start_us, ev.end_us) for ev in self.events
-            if ev.card == card and ev.engine is EngineKind.NIC
-        ])
-        compute = _merge_intervals([
-            (ev.start_us, ev.end_us) for ev in self.events
-            if ev.card == card
-            and ev.engine in (EngineKind.MME, EngineKind.TPC)
-        ])
+        nic_raw: list[tuple[float, float]] = []
+        compute_raw: list[tuple[float, float]] = []
+        mme, tpc, nic_kind = EngineKind.MME, EngineKind.TPC, EngineKind.NIC
+        for ev in self.events:
+            if ev.card != card:
+                continue
+            engine = ev.engine
+            if engine is nic_kind:
+                nic_raw.append((ev.start_us, ev.start_us + ev.dur_us))
+            elif engine is mme or engine is tpc:
+                compute_raw.append((ev.start_us, ev.start_us + ev.dur_us))
+        nic = _merge_intervals(nic_raw)
+        compute = _merge_intervals(compute_raw)
         total = sum(hi - lo for lo, hi in nic)
         return total - _overlap_us(nic, compute)
 

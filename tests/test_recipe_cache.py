@@ -298,3 +298,87 @@ class TestDiskPersistence:
         assert len(list(tmp_path.glob("*.json"))) == 1
         compiler, _ = self._compile(cache)
         assert compiler.last_cache_hit is True  # reloaded from disk
+
+
+def _race_worker(barrier, save_dir, results):
+    """One racing sweep worker: compile + publish the same signature.
+
+    Module-level so a forked process can run it; the barrier releases
+    both workers into the compile simultaneously, so their
+    ``_save_to_disk`` publications overlap.
+    """
+    graph = record_program().graph
+    cache = RecipeCache(save_dir=save_dir)
+    barrier.wait(timeout=30)
+    compiler = GraphCompiler(cache=cache)
+    schedule = compiler.compile(graph)
+    results.put(len(schedule.ops))
+
+
+class TestConcurrentPublish:
+    """Racing ``--jobs`` workers publishing one disk-recipe blob."""
+
+    def test_two_processes_racing_one_signature(self, tmp_path):
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        barrier = ctx.Barrier(2)
+        results = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_race_worker,
+                args=(barrier, str(tmp_path), results),
+            )
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in procs)
+        ops = [results.get(timeout=5), results.get(timeout=5)]
+        assert ops[0] == ops[1]
+
+        # exactly one complete blob, no stale temp files left behind
+        blobs = list(tmp_path.glob("*.json"))
+        assert len(blobs) == 1
+        assert not list(tmp_path.glob(".*.tmp"))
+
+        # the published blob is complete: a third cache disk-hits it
+        cache = RecipeCache(save_dir=tmp_path)
+        compiler = GraphCompiler(cache=cache)
+        schedule = compiler.compile(record_program().graph)
+        assert compiler.last_cache_hit is True
+        assert cache.disk_hits == 1
+        assert len(schedule.ops) == ops[0]
+
+    def test_identical_writer_skips_republication(self, tmp_path):
+        cache = RecipeCache(save_dir=tmp_path)
+        graph = record_program().graph
+        GraphCompiler(cache=cache).compile(graph)
+        blob = next(tmp_path.glob("*.json"))
+        before = blob.stat().st_mtime_ns
+        # a second cache compiling the identical workload publishes the
+        # same signature — the existing blob must be left untouched
+        GraphCompiler(
+            cache=RecipeCache(save_dir=tmp_path)
+        ).compile(record_program().graph)
+        assert blob.stat().st_mtime_ns == before
+
+    def test_corrupt_blob_republished_after_miss(self, tmp_path):
+        cache = RecipeCache(save_dir=tmp_path)
+        graph = record_program().graph
+        GraphCompiler(cache=cache).compile(graph)
+        blob = next(tmp_path.glob("*.json"))
+        blob.write_text("{garbage")
+        # the corrupt load degrades to a miss AND removes the blob, so
+        # the recompile's put can publish a good copy over it
+        fresh = RecipeCache(save_dir=tmp_path)
+        compiler = GraphCompiler(cache=fresh)
+        compiler.compile(record_program().graph)
+        assert compiler.last_cache_hit is False
+        reread = RecipeCache(save_dir=tmp_path)
+        verifier = GraphCompiler(cache=reread)
+        verifier.compile(record_program().graph)
+        assert verifier.last_cache_hit is True
+        assert reread.disk_hits == 1
