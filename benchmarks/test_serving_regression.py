@@ -1,0 +1,108 @@
+"""Bench A15: serving-simulator regression gate.
+
+Replays the reference serving scenario — 10,000 Poisson arrivals at
+the knee rate under both batching policies — and holds the simulated
+metrics against ``serving_thresholds.json``:
+
+* continuous batching's absolute floor (min tokens/s, max p99 TTFT);
+* the policy gap (continuous must beat static on p99 TTFT by a wide
+  margin at parity-or-better throughput);
+* the geometry-memo replay fraction (per-step compile cost ~ zero).
+
+Every run rewrites ``BENCH_serving.json`` at the repo root, so the
+serving-metric trajectory is versioned alongside the scheduler and
+cost-model changes that move it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import assert_checks  # noqa: F401  (shared harness import)
+
+from repro.core.serving import ServingPoint, ServingSimulator, \
+    generate_requests
+from repro.synapse.serving import ServingRuntime
+
+THRESHOLDS = json.loads(
+    (Path(__file__).parent / "serving_thresholds.json").read_text()
+)
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_serving.json"
+
+
+def _measure() -> dict:
+    ref = THRESHOLDS["reference"]
+    runtime = ServingRuntime()
+    sim = ServingSimulator(runtime, max_batch=ref["max_batch"])
+    trace = generate_requests(
+        ref["num_requests"], ref["rate_per_s"], seed=ref["seed"]
+    )
+    out = {}
+    for policy in ("continuous", "static"):
+        t0 = time.perf_counter()
+        out[policy] = sim.run(trace, policy).metrics()
+        out[policy]["sim_wall_s"] = round(time.perf_counter() - t0, 3)
+    return {
+        "workload": f"{ref['num_requests']} Poisson arrivals at "
+                    f"{ref['rate_per_s']} req/s, GPT decode, batch "
+                    f"{ref['max_batch']}",
+        **out,
+        "replay_fraction": round(runtime.replay_fraction, 6),
+        "measured_geometries": runtime.measured,
+        "thresholds": {
+            k: v for k, v in THRESHOLDS.items() if not k.startswith("_")
+        },
+    }
+
+
+def test_serving_regression(benchmark, record_info):
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    cont, static = result["continuous"], result["static"]
+    ref = THRESHOLDS["reference"]
+    gap = THRESHOLDS["policy_gap"]
+
+    assert cont["tokens_per_s"] >= ref["min_tokens_per_s"], (
+        f"continuous throughput {cont['tokens_per_s']:,.0f} tokens/s "
+        f"fell below the {ref['min_tokens_per_s']:,.0f} floor"
+    )
+    assert cont["ttft_p99_ms"] <= ref["max_ttft_p99_ms"], (
+        f"continuous p99 TTFT {cont['ttft_p99_ms']:.1f} ms exceeded "
+        f"the {ref['max_ttft_p99_ms']:.0f} ms ceiling"
+    )
+    ratio = static["ttft_p99_ms"] / cont["ttft_p99_ms"]
+    assert ratio >= gap["min_p99_ttft_ratio"], (
+        f"continuous beats static on p99 TTFT by only {ratio:.1f}x "
+        f"(gate: {gap['min_p99_ttft_ratio']}x)"
+    )
+    assert (
+        cont["tokens_per_s"]
+        >= static["tokens_per_s"] * gap["min_throughput_ratio"]
+    ), "continuous batching lost throughput parity with static"
+    assert (
+        result["replay_fraction"]
+        >= THRESHOLDS["replay"]["min_replay_fraction"]
+    ), "step-cost lookups stopped replaying the geometry memo"
+    # conservation on the full-size trace
+    for m in (cont, static):
+        assert (
+            m["completed"] + m["truncated"] + m["rejected"]
+            == ref["num_requests"]
+        )
+
+    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    record_info(
+        benchmark,
+        continuous_tokens_per_s=cont["tokens_per_s"],
+        continuous_ttft_p99_ms=cont["ttft_p99_ms"],
+        static_ttft_p99_ms=static["ttft_p99_ms"],
+        p99_ttft_ratio=round(ratio, 1),
+        replay_fraction=result["replay_fraction"],
+    )
+    print()
+    print(
+        f"serving: continuous {cont['tokens_per_s']:,.0f} tokens/s, "
+        f"p99 TTFT {cont['ttft_p99_ms']:.1f} ms vs static "
+        f"{static['ttft_p99_ms']:.1f} ms ({ratio:.0f}x), "
+        f"{result['measured_geometries']} geometries compiled for "
+        f"{cont['decode_steps'] + static['decode_steps']:,} decode steps"
+    )

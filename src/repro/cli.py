@@ -34,6 +34,7 @@ from .core import (
     run_comm_overlap_ablation,
     run_scaling_study,
     run_seq_sweep,
+    run_serving_ablation,
     run_tpc_core_sweep,
 )
 from .core.reference import ShapeCheck
@@ -121,6 +122,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] =
                          lambda: _simple(run_overlap_scheduler_ablation)),
     "ablation-memory": ("A14: memory planning ablation",
                         lambda: _simple(run_memory_ablation)),
+    "ablation-serving": ("A15: static vs continuous batching",
+                         lambda: _simple(run_serving_ablation)),
 }
 
 
@@ -298,6 +301,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream one JSON line per completed point "
                             "to FILE")
 
+    serve = sub.add_parser(
+        "serve",
+        help="simulate request-level inference serving (Poisson "
+             "arrivals, KV-cached decode, static or continuous "
+             "batching)",
+    )
+    serve.add_argument("--requests", type=int, default=10_000, metavar="N",
+                       help="arrivals per scenario (default 10000)")
+    serve.add_argument("--rate", action="append", default=[], type=float,
+                       metavar="R",
+                       help="arrival rate in requests/s (repeatable; "
+                            "default 10, 20, 40)")
+    serve.add_argument("--policy", action="append", default=[],
+                       choices=("static", "continuous"), metavar="POLICY",
+                       help="batching policy axis (repeatable; default "
+                            "both)")
+    serve.add_argument("--max-batch", type=int, default=8, metavar="N",
+                       help="in-flight batch slots (default 8)")
+    serve.add_argument("--seed", type=int, default=0, metavar="N",
+                       help="arrival-trace seed (default 0)")
+    serve.add_argument("-o", "--out", metavar="FILE",
+                       help="stream one JSON line per completed "
+                            "scenario to FILE")
+
     prof = sub.add_parser(
         "profile-self",
         help="cProfile one named experiment and print the hottest "
@@ -386,6 +413,39 @@ def main(argv: list[str] | None = None) -> int:
         if args.out:
             print(f"\n{len(result.results)} point(s) streamed to "
                   f"{args.out}")
+        return 0
+
+    if args.command == "serve":
+        from .core import (
+            SERVING_POLICIES,
+            ServingPoint,
+            render_serving_table,
+            run_serving,
+        )
+        from .synapse.recipe import default_recipe_cache_dir
+
+        rates = args.rate or [10.0, 20.0, 40.0]
+        policies = args.policy or list(SERVING_POLICIES)
+        points = [
+            ServingPoint(
+                policy=policy, rate_per_s=rate,
+                num_requests=args.requests, seed=args.seed,
+                max_batch=args.max_batch,
+            )
+            for rate in rates
+            for policy in policies
+        ]
+        results = run_serving(
+            points, jobs=_CLI_JOBS, stream=args.out,
+            recipe_dir=default_recipe_cache_dir(),
+        )
+        print(render_serving_table(
+            results,
+            title=f"serving: {args.requests} requests/scenario, "
+                  f"max batch {args.max_batch}",
+        ))
+        if args.out:
+            print(f"\n{len(results)} scenario(s) streamed to {args.out}")
         return 0
 
     if args.command == "profile-self":

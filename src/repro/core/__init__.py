@@ -83,6 +83,23 @@ from .scaling_study import (
     run_scaling_study,
 )
 from .seq_sweep import SeqSweepResult, run_seq_sweep
+from .serving import (
+    DEFAULT_WORKLOAD,
+    SERVING_POLICIES,
+    Request,
+    ServingAblationResult,
+    ServingPoint,
+    ServingPointResult,
+    ServingResult,
+    ServingSimulator,
+    ServingWorkload,
+    generate_requests,
+    kv_bytes_per_token,
+    render_serving_table,
+    run_serving,
+    run_serving_ablation,
+    serving_weight_bytes,
+)
 from .study import StudyReport, run_full_study
 from .sweep import (
     SWEEP_POLICIES,
@@ -165,6 +182,21 @@ __all__ = [
     "run_scaling_study",
     "SeqSweepResult",
     "run_seq_sweep",
+    "DEFAULT_WORKLOAD",
+    "SERVING_POLICIES",
+    "Request",
+    "ServingAblationResult",
+    "ServingPoint",
+    "ServingPointResult",
+    "ServingResult",
+    "ServingSimulator",
+    "ServingWorkload",
+    "generate_requests",
+    "kv_bytes_per_token",
+    "render_serving_table",
+    "run_serving",
+    "run_serving_ablation",
+    "serving_weight_bytes",
     "StudyReport",
     "run_full_study",
     "SWEEP_POLICIES",

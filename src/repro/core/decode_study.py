@@ -20,6 +20,7 @@ from ..hw.costmodel import EngineKind
 from ..models import paper_gpt_config
 from ..models.kvcache import record_decode_step
 from ..synapse import ProfileResult, SynapseProfiler
+from ..util.errors import DataError
 from ..util.tabulate import render_table
 from ..util.units import tflops
 from .reference import ShapeCheck, threshold_check
@@ -42,18 +43,41 @@ class DecodeStudyResult:
         return [p.total_time_ms for p in self.profiles]
 
     def mme_achieved_tflops(self, index: int) -> float:
-        """Achieved MME rate during one decode step."""
+        """Achieved MME rate during one decode step.
+
+        Raises :class:`~repro.util.errors.DataError` when the step
+        never touched the MME — silently reporting 0.0 TFLOPS would
+        make the "rate collapse" rows quietly wrong instead of
+        flagging a degenerate profile.
+        """
         profile = self.profiles[index]
         mme_flops = sum(
             op.flops for op in profile.schedule.ops
             if op.engine is EngineKind.MME
         )
         busy = profile.timeline.busy_time_us(EngineKind.MME)
-        return tflops(mme_flops, busy) if busy else 0.0
+        if busy <= 0.0:
+            raise DataError(
+                f"decode step at context {self.contexts[index]} kept the "
+                "MME idle (0 us busy): no achieved rate is defined for "
+                "this profile"
+            )
+        return tflops(mme_flops, busy)
 
     def tokens_per_second(self, index: int) -> float:
-        """Decode throughput at one context length."""
-        return self.batch / (self.profiles[index].total_time_us / 1e6)
+        """Decode throughput at one context length.
+
+        Raises :class:`~repro.util.errors.DataError` on a zero-length
+        profile instead of dividing by zero.
+        """
+        total_us = self.profiles[index].total_time_us
+        if total_us <= 0.0:
+            raise DataError(
+                f"decode step at context {self.contexts[index]} measured "
+                f"{total_us} us: throughput is undefined for a "
+                "zero-duration profile"
+            )
+        return self.batch / (total_us / 1e6)
 
     def checks(self) -> list[ShapeCheck]:
         """The extension's claims."""

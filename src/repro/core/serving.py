@@ -1,0 +1,937 @@
+"""A15: request-level inference serving — continuous vs static batching.
+
+The paper profiles training steps; this module serves *traffic*. A
+Poisson stream of requests (each with its own prompt and output
+length) flows through a simulated serving loop built from the pieces
+earlier PRs measured one at a time:
+
+* **prefill** — one forward pass over the prompt (the
+  :func:`~repro.core.e2e_llm.record_forward_step` shape), producing
+  the first token and populating the request's KV cache;
+* **decode** — KV-cached steps
+  (:func:`~repro.models.kvcache.record_decode_step`), one token per
+  step for every request in the batch, until each request has its
+  output or hits the cache-full boundary
+  (:func:`~repro.models.kvcache.max_decode_context`) and finishes
+  truncated instead of crashing;
+* **batching policy** — ``static`` admits a batch, runs it to
+  completion, then admits the next (stragglers hold every slot);
+  ``continuous`` re-forms the batch between decode steps — finished
+  requests leave immediately and waiting requests join in-flight, the
+  ORCA/vLLM discipline;
+* **step costs** — every step geometry is quantized (batch to a power
+  of two, context/prompt up to a quantum) and priced once through a
+  :class:`~repro.synapse.serving.ServingRuntime`, so simulating 10^4 -
+  10^6 requests re-plays memoized step costs instead of recompiling;
+* **memory admission** — weights plus each in-flight request's
+  *reserved* KV footprint must fit the HBM budget, and the worst-case
+  decode geometry must pass the memory planner (the PR-5 machinery):
+  under a tight budget the cache, not the slot count, bounds the
+  admissible batch.
+
+The A15 ablation sweeps arrival rates under both policies and checks
+the serving story: continuous batching beats static on p99
+time-to-first-token at equal-or-better throughput.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tempfile
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .. import ht
+from ..hw.config import GaudiConfig
+from ..hw.dtypes import DType, itemsize
+from ..models import GPT2LMHeadModel, paper_gpt_config
+from ..models.config import LLMConfig
+from ..models.kvcache import max_decode_context, record_decode_step
+from ..synapse import CompilerOptions, default_compiler_options
+from ..synapse.serving import ServingRuntime
+from ..util.errors import ConfigError, DataError, ExecutionError
+from ..util.rng import make_rng
+from ..util.tabulate import render_table
+from .reference import ShapeCheck, threshold_check
+
+#: context/prompt lengths quantize up to multiples of this (the recipe
+#: geometry grid — coarser means fewer compiles, finer means less
+#: padded work per step)
+DEFAULT_CTX_QUANTUM = 128
+
+#: serving policies the simulator implements
+SERVING_POLICIES = ("static", "continuous")
+
+
+@dataclass(frozen=True)
+class ServingWorkload:
+    """Per-request length distributions (inclusive integer ranges)."""
+
+    prompt_range: tuple[int, int] = (16, 256)
+    output_range: tuple[int, int] = (8, 96)
+
+    def describe(self) -> dict:
+        """JSON-ready identity of the workload distributions."""
+        return {
+            "prompt_lo": self.prompt_range[0],
+            "prompt_hi": self.prompt_range[1],
+            "output_lo": self.output_range[0],
+            "output_hi": self.output_range[1],
+        }
+
+
+DEFAULT_WORKLOAD = ServingWorkload()
+
+
+@dataclass
+class Request:
+    """One serving request and its lifecycle timestamps (us)."""
+
+    rid: int
+    arrival_us: float
+    prompt_len: int
+    output_len: int
+    admitted_us: float | None = None
+    first_token_us: float | None = None
+    finish_us: float | None = None
+    #: tokens produced so far (prefill yields the first)
+    generated: int = 0
+    #: KV-cache entries currently resident for this request
+    context_len: int = 0
+    #: "completed" | "length_cap" (cache-full truncation) | "rejected"
+    finish_reason: str | None = None
+    #: admission-time reservation: the quantized worst-case KV bytes
+    reserved_kv_bytes: int = 0
+
+    @property
+    def ttft_us(self) -> float:
+        """Time to first token (arrival -> prefill completion)."""
+        return self.first_token_us - self.arrival_us
+
+    @property
+    def queueing_us(self) -> float:
+        """Time spent waiting before admission."""
+        return self.admitted_us - self.arrival_us
+
+
+def generate_requests(
+    num_requests: int,
+    arrival_rate_per_s: float,
+    *,
+    workload: ServingWorkload = DEFAULT_WORKLOAD,
+    seed: int = 0,
+) -> list[Request]:
+    """A Poisson arrival trace with per-request lengths.
+
+    Inter-arrival gaps are exponential with mean ``1/rate``; prompt
+    and output lengths draw uniformly from the workload's ranges. The
+    trace is a pure function of ``(num_requests, rate, workload,
+    seed)`` — the determinism the byte-identical JSONL property
+    rests on.
+    """
+    if num_requests < 1:
+        raise DataError(f"num_requests must be >= 1, got {num_requests}")
+    if arrival_rate_per_s <= 0:
+        raise DataError(
+            f"arrival_rate_per_s must be > 0, got {arrival_rate_per_s}"
+        )
+    rng = make_rng(seed)
+    gaps = rng.exponential(1e6 / arrival_rate_per_s, size=num_requests)
+    arrivals = np.cumsum(gaps)
+    p_lo, p_hi = workload.prompt_range
+    o_lo, o_hi = workload.output_range
+    prompts = rng.integers(p_lo, p_hi, size=num_requests, endpoint=True)
+    outputs = rng.integers(o_lo, o_hi, size=num_requests, endpoint=True)
+    return [
+        Request(
+            rid=i,
+            arrival_us=float(arrivals[i]),
+            prompt_len=int(prompts[i]),
+            output_len=int(outputs[i]),
+        )
+        for i in range(num_requests)
+    ]
+
+
+def kv_bytes_per_token(config: LLMConfig) -> int:
+    """Resident KV-cache bytes one cached token costs (all layers)."""
+    attn = config.layer.attention
+    return (
+        2 * config.num_layers * attn.num_heads * attn.head_dim
+        * itemsize(DType.BF16)
+    )
+
+
+def serving_weight_bytes(config: LLMConfig) -> int:
+    """Persistent weight bytes resident while serving.
+
+    Per layer: the four attention projections plus the two FFN
+    matmuls; plus the LM head and both embedding tables.
+    """
+    d = config.d_model
+    ffn = d * config.layer.ffn_mult
+    per_layer = 4 * d * d + 2 * d * ffn
+    total = (
+        config.num_layers * per_layer
+        + d * config.vocab_size           # lm head
+        + config.vocab_size * d           # token embeddings
+        + config.max_seq_len * d          # position embeddings
+    )
+    return total * itemsize(DType.BF16)
+
+
+def _bucket_batch(n: int) -> int:
+    """Quantize a batch size up to the next power of two."""
+    b = 1
+    while b < n:
+        b *= 2
+    return b
+
+
+def _config_tag(config: LLMConfig) -> tuple:
+    """Geometry-memo namespace for one model config."""
+    return (
+        config.vocab_size, config.max_seq_len, config.num_layers,
+        config.d_model, config.layer.ffn_mult,
+        config.layer.attention.num_heads,
+    )
+
+
+def _record_prefill(config: LLMConfig, batch: int, seq_len: int):
+    """Record one symbolic prompt-prefill forward at the geometry."""
+    model = GPT2LMHeadModel(config, materialize=False)
+    with ht.record(f"prefill-b{batch}-s{seq_len}", mode="symbolic") as rec:
+        model(ht.input_tensor((batch, seq_len), name="input_ids"))
+    return rec.graph
+
+
+class ServingSimulator:
+    """The request-level serving loop over a step-cost oracle.
+
+    One simulator serves one model config through one
+    :class:`~repro.synapse.serving.ServingRuntime`; its HBM budget is
+    the runtime's (set there so the memory planner enforces the same
+    number the admission arithmetic uses).
+    """
+
+    def __init__(
+        self,
+        runtime: ServingRuntime,
+        *,
+        model_config: LLMConfig | None = None,
+        max_batch: int = 8,
+        ctx_quantum: int = DEFAULT_CTX_QUANTUM,
+    ):
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        if ctx_quantum < 1:
+            raise ConfigError(
+                f"ctx_quantum must be >= 1, got {ctx_quantum}"
+            )
+        self.runtime = runtime
+        self.config = model_config or paper_gpt_config()
+        if not self.config.layer.attention.causal:
+            raise ConfigError(
+                "serving decode requires a causal (GPT-style) model"
+            )
+        self.max_batch = max_batch
+        self.ctx_quantum = ctx_quantum
+        self.budget_bytes = runtime.hbm_budget
+        self.weight_bytes = serving_weight_bytes(self.config)
+        self.kv_per_token = kv_bytes_per_token(self.config)
+        self._tag = _config_tag(self.config)
+        # per-run trackers (reset by run())
+        self._reset_stats()
+
+    def _reset_stats(self) -> None:
+        self.prefill_steps = 0
+        self.decode_steps = 0
+        self.decode_slot_tokens = 0
+        self.peak_in_flight = 0
+        self.peak_kv_reserved_bytes = 0
+        self.peak_kv_actual_bytes = 0
+
+    # -- geometry -----------------------------------------------------------
+
+    def _ctx_bucket(self, context_len: int) -> int:
+        """Quantize a decode context up; never past the legal maximum."""
+        cap = max_decode_context(self.config)
+        q = self.ctx_quantum
+        return min(-(-context_len // q) * q, cap)
+
+    def _prompt_bucket(self, prompt_len: int) -> int:
+        q = self.ctx_quantum
+        return min(-(-prompt_len // q) * q, self.config.max_seq_len)
+
+    def _reserved_ctx(self, req: Request) -> int:
+        """Worst-case resident cache entries, quantized."""
+        final = min(
+            req.prompt_len + req.output_len, self.config.max_seq_len
+        )
+        q = self.ctx_quantum
+        return min(-(-final // q) * q, self.config.max_seq_len)
+
+    def _decode_cost(self, batch_bucket: int, ctx_bucket: int):
+        cfg = self.config
+        return self.runtime.step_cost(
+            (self._tag, "decode", batch_bucket, ctx_bucket),
+            lambda: record_decode_step(
+                cfg, batch=batch_bucket, context_len=ctx_bucket
+            ).graph,
+        )
+
+    def _decode_feasible(self, batch_bucket: int, ctx_bucket: int) -> bool:
+        cfg = self.config
+        return self.runtime.feasible(
+            (self._tag, "decode", batch_bucket, ctx_bucket),
+            lambda: record_decode_step(
+                cfg, batch=batch_bucket, context_len=ctx_bucket
+            ).graph,
+        )
+
+    def _prefill_cost(self, batch_bucket: int, seq_bucket: int):
+        cfg = self.config
+        return self.runtime.step_cost(
+            (self._tag, "prefill", batch_bucket, seq_bucket),
+            lambda: _record_prefill(cfg, batch_bucket, seq_bucket),
+        )
+
+    def _prefill_feasible(self, batch_bucket: int, seq_bucket: int) -> bool:
+        cfg = self.config
+        return self.runtime.feasible(
+            (self._tag, "prefill", batch_bucket, seq_bucket),
+            lambda: _record_prefill(cfg, batch_bucket, seq_bucket),
+        )
+
+    # -- admission ----------------------------------------------------------
+
+    def _viable(self, req: Request) -> bool:
+        """Whether the request could ever be served alone."""
+        if req.prompt_len > self.config.max_seq_len:
+            return False
+        reserved = self.kv_per_token * self._reserved_ctx(req)
+        if self.weight_bytes + reserved > self.budget_bytes:
+            return False
+        if not self._prefill_feasible(1, self._prompt_bucket(req.prompt_len)):
+            return False
+        if req.output_len > 1 and req.prompt_len < self.config.max_seq_len:
+            ctx = min(self._reserved_ctx(req), max_decode_context(self.config))
+            if not self._decode_feasible(1, ctx):
+                return False
+        return True
+
+    def _group_fits(
+        self, members: list[Request], prefill_group: list[Request]
+    ) -> bool:
+        """Admission test: reservations + planner verdicts for the
+        would-be in-flight set."""
+        reserved = sum(r.reserved_kv_bytes or
+                       self.kv_per_token * self._reserved_ctx(r)
+                       for r in members)
+        if self.weight_bytes + reserved > self.budget_bytes:
+            return False
+        bb = _bucket_batch(len(members))
+        worst_ctx = min(
+            max(self._reserved_ctx(r) for r in members),
+            max_decode_context(self.config),
+        )
+        if not self._decode_feasible(bb, worst_ctx):
+            return False
+        pb = _bucket_batch(len(prefill_group))
+        sb = self._prompt_bucket(max(r.prompt_len for r in prefill_group))
+        return self._prefill_feasible(pb, sb)
+
+    def _admit(
+        self, queue: "deque[Request]", in_flight: list[Request], t: float,
+        rejected: list[Request],
+    ) -> list[Request]:
+        """Pop FCFS joiners that fit alongside ``in_flight`` at ``t``."""
+        joiners: list[Request] = []
+        while (
+            queue
+            and queue[0].arrival_us <= t
+            and len(in_flight) + len(joiners) < self.max_batch
+        ):
+            cand = queue[0]
+            if not self._viable(cand):
+                queue.popleft()
+                cand.finish_reason = "rejected"
+                cand.finish_us = t
+                rejected.append(cand)
+                continue
+            cand.reserved_kv_bytes = (
+                self.kv_per_token * self._reserved_ctx(cand)
+            )
+            if not self._group_fits(
+                in_flight + joiners + [cand], joiners + [cand]
+            ):
+                cand.reserved_kv_bytes = 0
+                break
+            joiners.append(queue.popleft())
+        return joiners
+
+    # -- steps --------------------------------------------------------------
+
+    def _prefill(self, joiners: list[Request], t: float) -> float:
+        """Run one grouped prefill; returns the completion time."""
+        pb = _bucket_batch(len(joiners))
+        sb = self._prompt_bucket(max(r.prompt_len for r in joiners))
+        cost = self._prefill_cost(pb, sb)
+        self.prefill_steps += 1
+        end = t + cost.time_us
+        for r in joiners:
+            r.admitted_us = t
+            r.first_token_us = end
+            r.generated = 1
+            r.context_len = r.prompt_len
+            if r.generated >= r.output_len:
+                r.finish_reason = "completed"
+                r.finish_us = end
+            elif r.context_len > max_decode_context(self.config):
+                # the prompt already fills the cache: no decode step is
+                # legal (see models.kvcache.decode_shapes), so the
+                # request finishes truncated at its prefill token
+                r.finish_reason = "length_cap"
+                r.finish_us = end
+        return end
+
+    def _decode(
+        self, batch: list[Request], t: float, batch_bucket: int
+    ) -> float:
+        """Run one decode step for ``batch``; returns the end time."""
+        ctx = max(r.context_len for r in batch)
+        try:
+            cost = self._decode_cost(batch_bucket, self._ctx_bucket(ctx))
+        except Exception as err:  # admission guaranteed feasibility
+            raise ExecutionError(
+                "decode step infeasible after admission — the admission "
+                "check reserves the worst-case geometry, so this "
+                "indicates a simulator bug"
+            ) from err
+        self.decode_steps += 1
+        self.decode_slot_tokens += len(batch)
+        end = t + cost.time_us
+        cap = max_decode_context(self.config)
+        for r in batch:
+            r.generated += 1
+            cache_now = r.prompt_len + r.generated - 1
+            if r.generated >= r.output_len:
+                r.finish_reason = "completed"
+                r.finish_us = end
+            elif cache_now > cap:
+                # cache-full boundary: that was the last legal step
+                r.finish_reason = "length_cap"
+                r.finish_us = end
+            else:
+                r.context_len = cache_now
+        return end
+
+    def _sample(self, in_flight: list[Request]) -> None:
+        self.peak_in_flight = max(self.peak_in_flight, len(in_flight))
+        reserved = sum(r.reserved_kv_bytes for r in in_flight)
+        actual = sum(self.kv_per_token * r.context_len for r in in_flight)
+        self.peak_kv_reserved_bytes = max(
+            self.peak_kv_reserved_bytes, reserved
+        )
+        self.peak_kv_actual_bytes = max(self.peak_kv_actual_bytes, actual)
+
+    # -- policies -----------------------------------------------------------
+
+    def run(self, requests: list[Request], policy: str) -> "ServingResult":
+        """Serve ``requests`` (arrival order) under ``policy``."""
+        if policy not in SERVING_POLICIES:
+            raise ConfigError(
+                f"unknown serving policy {policy!r} "
+                f"(choices: {', '.join(SERVING_POLICIES)})"
+            )
+        self._reset_stats()
+        work = [dataclasses.replace(r) for r in requests]
+        rejected: list[Request] = []
+        queue = deque(work)
+        if policy == "continuous":
+            makespan = self._run_continuous(queue, rejected)
+        else:
+            makespan = self._run_static(queue, rejected)
+        return ServingResult(
+            policy=policy,
+            records=work,
+            makespan_us=makespan,
+            prefill_steps=self.prefill_steps,
+            decode_steps=self.decode_steps,
+            decode_slot_tokens=self.decode_slot_tokens,
+            peak_in_flight=self.peak_in_flight,
+            peak_kv_reserved_bytes=self.peak_kv_reserved_bytes,
+            peak_kv_actual_bytes=self.peak_kv_actual_bytes,
+            weight_bytes=self.weight_bytes,
+            budget_bytes=self.budget_bytes,
+        )
+
+    def _run_continuous(
+        self, queue: "deque[Request]", rejected: list[Request]
+    ) -> float:
+        batch: list[Request] = []
+        t = 0.0
+        while queue or batch:
+            if not batch and queue and queue[0].arrival_us > t:
+                t = queue[0].arrival_us
+            joiners = self._admit(queue, batch, t, rejected)
+            if joiners:
+                t = self._prefill(joiners, t)
+                batch.extend(r for r in joiners if r.finish_us is None)
+            self._sample(batch)
+            if batch:
+                t = self._decode(batch, t, _bucket_batch(len(batch)))
+                batch = [r for r in batch if r.finish_us is None]
+        return t
+
+    def _run_static(
+        self, queue: "deque[Request]", rejected: list[Request]
+    ) -> float:
+        t = 0.0
+        while queue:
+            if queue[0].arrival_us > t:
+                t = queue[0].arrival_us
+            group = self._admit(queue, [], t, rejected)
+            if not group:
+                continue  # head was rejected; re-test the next head
+            t = self._prefill(group, t)
+            batch = [r for r in group if r.finish_us is None]
+            # the admitted batch runs to completion: finished requests
+            # free no slot and nobody joins until the batch drains
+            bucket = _bucket_batch(len(group))
+            self._sample(batch)
+            while batch:
+                t = self._decode(batch, t, bucket)
+                batch = [r for r in batch if r.finish_us is None]
+        return t
+
+
+@dataclass
+class ServingResult:
+    """One simulated serving run and its derived metrics."""
+
+    policy: str
+    records: list[Request]
+    makespan_us: float
+    prefill_steps: int
+    decode_steps: int
+    decode_slot_tokens: int
+    peak_in_flight: int
+    peak_kv_reserved_bytes: int
+    peak_kv_actual_bytes: int
+    weight_bytes: int
+    budget_bytes: int
+
+    def finished(self) -> list[Request]:
+        """Requests that produced tokens (completed or truncated)."""
+        return [
+            r for r in self.records
+            if r.finish_reason in ("completed", "length_cap")
+        ]
+
+    def metrics(self) -> dict:
+        """Flat JSON-ready metrics (the JSONL payload).
+
+        Every value is a pure function of the request trace and the
+        memoized step costs — deterministic at any pool width.
+        """
+        done = self.finished()
+        counts = {
+            "completed": sum(
+                1 for r in self.records if r.finish_reason == "completed"
+            ),
+            "truncated": sum(
+                1 for r in self.records if r.finish_reason == "length_cap"
+            ),
+            "rejected": sum(
+                1 for r in self.records if r.finish_reason == "rejected"
+            ),
+        }
+        ttfts = np.array([r.ttft_us for r in done]) if done else np.array([0.0])
+        tpots = [
+            (r.finish_us - r.first_token_us) / (r.generated - 1)
+            for r in done if r.generated > 1
+        ]
+        tokens = sum(r.generated for r in done)
+        seconds = self.makespan_us / 1e6 if self.makespan_us > 0 else 1.0
+        return {
+            "requests": len(self.records),
+            **counts,
+            "tokens": int(tokens),
+            "tokens_per_s": round(tokens / seconds, 4),
+            "ttft_p50_ms": round(float(np.percentile(ttfts, 50)) / 1e3, 4),
+            "ttft_p99_ms": round(float(np.percentile(ttfts, 99)) / 1e3, 4),
+            "tpot_mean_ms": round(
+                float(np.mean(tpots)) / 1e3 if tpots else 0.0, 4
+            ),
+            "makespan_s": round(seconds, 4),
+            "prefill_steps": self.prefill_steps,
+            "decode_steps": self.decode_steps,
+            "mean_decode_batch": round(
+                self.decode_slot_tokens / self.decode_steps, 4
+            ) if self.decode_steps else 0.0,
+            "peak_in_flight": self.peak_in_flight,
+            "peak_kv_reserved_bytes": self.peak_kv_reserved_bytes,
+            "peak_kv_actual_bytes": self.peak_kv_actual_bytes,
+            "weight_bytes": self.weight_bytes,
+            "budget_bytes": self.budget_bytes,
+        }
+
+
+# -- the sweep / CLI surface -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServingPoint:
+    """One (policy, arrival rate) scenario of a serving sweep."""
+
+    policy: str
+    rate_per_s: float
+    num_requests: int = 10_000
+    seed: int = 0
+    max_batch: int = 8
+
+    def describe(self) -> dict:
+        """The point's identity as JSON-ready scalars."""
+        return {
+            "policy": self.policy,
+            "rate_per_s": self.rate_per_s,
+            "requests": self.num_requests,
+            "seed": self.seed,
+            "max_batch": self.max_batch,
+        }
+
+
+@dataclass
+class ServingPointResult:
+    """One executed serving point: identity + flat metrics."""
+
+    point: ServingPoint
+    metrics: dict
+    result: ServingResult | None = None
+
+    def to_json(self) -> dict:
+        """The point's JSONL record."""
+        return {"sweep": "serving", **self.point.describe(), **self.metrics}
+
+
+def _run_point(
+    point: ServingPoint,
+    runtime: ServingRuntime,
+    workload: ServingWorkload,
+    ctx_quantum: int,
+    model_config: LLMConfig | None,
+) -> ServingPointResult:
+    sim = ServingSimulator(
+        runtime, model_config=model_config,
+        max_batch=point.max_batch, ctx_quantum=ctx_quantum,
+    )
+    trace = generate_requests(
+        point.num_requests, point.rate_per_s,
+        workload=workload, seed=point.seed,
+    )
+    result = sim.run(trace, point.policy)
+    return ServingPointResult(
+        point=point, metrics=result.metrics(), result=result
+    )
+
+
+def _serving_worker(payload) -> dict:
+    """Process-pool worker: one serving point, own runtime, shared
+    disk recipes (module-level for pickling)."""
+    point, config, options, hbm_budget, recipe_dir, workload, quantum = (
+        payload
+    )
+    runtime = ServingRuntime(
+        config, options=options, hbm_budget=hbm_budget,
+        recipe_dir=recipe_dir,
+    )
+    return _run_point(point, runtime, workload, quantum, None).metrics
+
+
+def run_serving(
+    points: list[ServingPoint],
+    *,
+    config: GaudiConfig | None = None,
+    options: CompilerOptions | None = None,
+    hbm_budget: int | None = None,
+    workload: ServingWorkload = DEFAULT_WORKLOAD,
+    ctx_quantum: int = DEFAULT_CTX_QUANTUM,
+    jobs: int = 1,
+    stream=None,
+    recipe_dir: "str | Path | None" = None,
+    runtime: ServingRuntime | None = None,
+) -> list[ServingPointResult]:
+    """Execute serving points, streaming one JSON line per point.
+
+    ``jobs > 1`` fans points over a process pool; workers share a
+    disk recipe directory so each distinct step geometry compiles once
+    fleet-wide, and ``pool.map`` preserves spec order — the JSONL is
+    byte-identical at any width because every metric is a
+    deterministic function of the point. Serial runs share one
+    :class:`~repro.synapse.serving.ServingRuntime` (pass ``runtime``
+    to share its geometry memo across calls).
+    """
+    if not points:
+        raise DataError("run_serving needs at least one point")
+    config = config or GaudiConfig()
+    base = options if options is not None else default_compiler_options()
+
+    opened = None
+    if isinstance(stream, (str, Path)):
+        opened = stream = open(stream, "w")
+    try:
+        results: list[ServingPointResult] = []
+        if jobs > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            tmp = None
+            if recipe_dir is None:
+                tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
+                recipe_dir = tmp.name
+            try:
+                payloads = [
+                    (p, config, base, hbm_budget, str(recipe_dir),
+                     workload, ctx_quantum)
+                    for p in points
+                ]
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    for point, metrics in zip(
+                        points, pool.map(_serving_worker, payloads)
+                    ):
+                        pr = ServingPointResult(point=point, metrics=metrics)
+                        if stream is not None:
+                            _emit_serving(stream, pr)
+                        results.append(pr)
+            finally:
+                if tmp is not None:
+                    tmp.cleanup()
+            return results
+
+        shared = runtime or ServingRuntime(
+            config, options=base, hbm_budget=hbm_budget,
+            recipe_dir=recipe_dir,
+        )
+        for point in points:
+            pr = _run_point(point, shared, workload, ctx_quantum, None)
+            if stream is not None:
+                _emit_serving(stream, pr)
+            results.append(pr)
+        return results
+    finally:
+        if opened is not None:
+            opened.close()
+
+
+def _emit_serving(stream, pr: ServingPointResult) -> None:
+    stream.write(json.dumps(pr.to_json()) + "\n")
+    stream.flush()
+
+
+def render_serving_table(
+    results: list[ServingPointResult], *, title: str = "serving"
+) -> str:
+    """The human table for a list of serving points."""
+    rows = []
+    for r in results:
+        m = r.metrics
+        rows.append((
+            r.point.policy,
+            f"{r.point.rate_per_s:g}",
+            f"{m['ttft_p50_ms']:.1f}",
+            f"{m['ttft_p99_ms']:.1f}",
+            f"{m['tpot_mean_ms']:.2f}",
+            f"{m['tokens_per_s']:,.0f}",
+            f"{m['mean_decode_batch']:.1f}",
+            f"{m['completed']}/{m['truncated']}/{m['rejected']}",
+        ))
+    return render_table(
+        ["policy", "req/s", "TTFT p50 (ms)", "TTFT p99 (ms)",
+         "TPOT (ms)", "tokens/s", "mean batch", "done/trunc/rej"],
+        rows,
+        title=title,
+    )
+
+
+# -- the A15 ablation --------------------------------------------------------
+
+#: arrival rates swept by A15 (requests/s): light load, near the knee,
+#: and past saturation of the batch-8 decode loop
+DEFAULT_ABLATION_RATES: tuple[float, ...] = (10.0, 20.0, 40.0)
+
+#: requests per A15 point — small enough for CI, large enough for a
+#: stable p99
+DEFAULT_ABLATION_REQUESTS = 1500
+
+#: throughput-parity tolerance for the headline check: continuous must
+#: match static's tokens/s within this fraction while beating its p99
+CONTINUOUS_THROUGHPUT_PARITY = 0.97
+
+#: the "per-step compile cost is near zero" bar: fraction of step-cost
+#: lookups served from the geometry memo
+MIN_REPLAY_FRACTION = 0.98
+
+
+@dataclass
+class ServingAblationResult:
+    """A15's measurements: the policy x rate grid + the KV-pressure
+    scenario."""
+
+    rows: list[ServingPointResult] = field(default_factory=list)
+    runtime_info: dict = field(default_factory=dict)
+    #: metrics of the tight-budget continuous run (cache pressure, not
+    #: slots, bounds the batch)
+    pressure: dict = field(default_factory=dict)
+    pressure_max_batch: int = 0
+
+    def result_for(self, policy: str, rate: float) -> ServingPointResult:
+        """The grid point for ``(policy, rate)``."""
+        for r in self.rows:
+            if r.point.policy == policy and r.point.rate_per_s == rate:
+                return r
+        raise KeyError(f"no serving point for {policy!r} at {rate} req/s")
+
+    def checks(self) -> list[ShapeCheck]:
+        """A15's acceptance criteria."""
+        top = max(r.point.rate_per_s for r in self.rows)
+        static = self.result_for("static", top).metrics
+        cont = self.result_for("continuous", top).metrics
+        conserved = all(
+            r.metrics["completed"] + r.metrics["truncated"]
+            + r.metrics["rejected"] == r.metrics["requests"]
+            for r in self.rows
+        )
+        parity = (
+            cont["tokens_per_s"]
+            >= static["tokens_per_s"] * CONTINUOUS_THROUGHPUT_PARITY
+        )
+        return [
+            ShapeCheck(
+                "A15: every arrival is exactly one of "
+                "completed/truncated/rejected",
+                conserved, str(conserved), "True",
+            ),
+            ShapeCheck(
+                f"A15: continuous beats static on p99 TTFT at {top:g} "
+                "req/s",
+                cont["ttft_p99_ms"] < static["ttft_p99_ms"],
+                f"{cont['ttft_p99_ms']:.1f} ms vs "
+                f"{static['ttft_p99_ms']:.1f} ms",
+                "continuous < static",
+            ),
+            ShapeCheck(
+                "A15: continuous matches static throughput "
+                f"(>= {CONTINUOUS_THROUGHPUT_PARITY:.0%})",
+                parity,
+                f"{cont['tokens_per_s']:,.0f} vs "
+                f"{static['tokens_per_s']:,.0f} tokens/s",
+                "parity or better",
+            ),
+            threshold_check(
+                "A15: step costs replay from the geometry memo "
+                "(per-step compile ~ zero)",
+                self.runtime_info.get("replay_fraction", 0.0),
+                MIN_REPLAY_FRACTION,
+            ),
+            ShapeCheck(
+                "A15: under a tight budget the KV plan, not the slot "
+                "count, bounds the batch",
+                0 < self.pressure.get("peak_in_flight", 0)
+                < self.pressure_max_batch
+                and self.pressure.get("peak_kv_reserved_bytes", 0)
+                + self.pressure.get("weight_bytes", 0)
+                <= self.pressure.get("budget_bytes", 0),
+                f"peak {self.pressure.get('peak_in_flight', 0)} in "
+                f"flight of {self.pressure_max_batch} slots",
+                "0 < peak < slots, residency <= budget",
+            ),
+        ]
+
+    def render(self) -> str:
+        """The policy x rate table plus the pressure scenario line."""
+        table = render_serving_table(
+            self.rows,
+            title="A15: static vs continuous batching "
+                  f"({self.rows[0].metrics['requests']} requests/point, "
+                  "GPT decode)",
+        )
+        info = self.runtime_info
+        lines = [
+            table,
+            f"step-cost oracle: {info.get('lookups', 0)} lookups, "
+            f"{info.get('measured', 0)} measured geometries, "
+            f"replay fraction {info.get('replay_fraction', 0.0):.1%}",
+        ]
+        if self.pressure:
+            lines.append(
+                "KV pressure (tight budget, continuous): peak "
+                f"{self.pressure['peak_in_flight']} in flight of "
+                f"{self.pressure_max_batch} slots, reserved KV "
+                f"{self.pressure['peak_kv_reserved_bytes'] / (1 << 20):.1f}"
+                f" MiB under a "
+                f"{self.pressure['budget_bytes'] / (1 << 20):.1f} MiB "
+                "budget",
+            )
+        return "\n".join(lines)
+
+
+def run_serving_ablation(
+    config: GaudiConfig | None = None,
+    *,
+    rates: tuple[float, ...] = DEFAULT_ABLATION_RATES,
+    num_requests: int = DEFAULT_ABLATION_REQUESTS,
+    max_batch: int = 8,
+    seed: int = 0,
+    workload: ServingWorkload = DEFAULT_WORKLOAD,
+) -> ServingAblationResult:
+    """A15: sweep arrival rates under static and continuous batching.
+
+    Both policies replay the *same* seeded arrival trace per rate, so
+    the comparison isolates the batching discipline. A second,
+    tight-budget scenario (long-context small-vocab variant) shows KV
+    residency — the planner's verdict — bounding the admissible batch
+    below the slot count.
+    """
+    config = config or GaudiConfig()
+    runtime = ServingRuntime(config)
+    result = ServingAblationResult()
+    points = [
+        ServingPoint(
+            policy=policy, rate_per_s=rate,
+            num_requests=num_requests, seed=seed, max_batch=max_batch,
+        )
+        for rate in rates
+        for policy in SERVING_POLICIES
+    ]
+    result.rows = run_serving(
+        points, config=config, workload=workload, runtime=runtime,
+    )
+    result.runtime_info = runtime.info()
+
+    # KV-pressure scenario: long contexts, small vocabulary (so the
+    # prefill's logits don't mask the cache), and a budget that holds
+    # the weights plus only a few requests' reserved KV
+    from ..models.config import scaled
+
+    pressure_cfg = scaled(paper_gpt_config(), vocab_size=512)
+    pressure_batch = 16
+    pressure_workload = ServingWorkload(
+        prompt_range=(256, 768), output_range=(256, 512),
+    )
+    per_request = kv_bytes_per_token(pressure_cfg) * pressure_cfg.max_seq_len
+    budget = serving_weight_bytes(pressure_cfg) + 5 * per_request
+    pressure_runtime = ServingRuntime(config, hbm_budget=budget)
+    sim = ServingSimulator(
+        pressure_runtime, model_config=pressure_cfg,
+        max_batch=pressure_batch,
+    )
+    trace = generate_requests(
+        200, rates[0], workload=pressure_workload, seed=seed,
+    )
+    result.pressure = sim.run(trace, "continuous").metrics()
+    result.pressure_max_batch = pressure_batch
+    return result

@@ -32,6 +32,7 @@ from .overlap_study import run_overlap_scheduler_ablation
 from .reference import ShapeCheck
 from .scaling_study import run_comm_overlap_ablation, run_scaling_study
 from .seq_sweep import run_seq_sweep
+from .serving import run_serving_ablation
 
 
 @dataclass
@@ -158,6 +159,10 @@ def run_full_study(
         a14 = run_memory_ablation(config=config)
         report.add("A14: memory planning ablation", a14.render(),
                    a14.checks())
+
+        a15 = run_serving_ablation(config=config)
+        report.add("A15: static vs continuous batching", a15.render(),
+                   a15.checks())
 
     from ..synapse import recipe_cache_stats
 

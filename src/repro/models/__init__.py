@@ -28,6 +28,7 @@ from .config import (
 from .feedforward import FeedForward
 from .generation import generate, perplexity
 from .gpt import GPT2LMHeadModel, tiny_bert_config, tiny_gpt_config
+from .kvcache import max_decode_context, record_decode_step
 from .seq2seq import (
     CrossAttention,
     DecoderLayer,
@@ -60,6 +61,8 @@ __all__ = [
     "GPT2LMHeadModel",
     "tiny_bert_config",
     "tiny_gpt_config",
+    "max_decode_context",
+    "record_decode_step",
     "CrossAttention",
     "DecoderLayer",
     "EncoderDecoderTransformer",

@@ -33,13 +33,36 @@ class DecodeShapes:
     num_layers: int
 
 
+def max_decode_context(config: LLMConfig) -> int:
+    """The largest legal ``context_len`` for a decode step.
+
+    A step with ``context_len == max_seq_len - 1`` is the *last* legal
+    one: it appends the new token's key/value, so its output cache
+    holds ``max_seq_len`` entries and no further step fits. Serving
+    loops should finish (or evict) a request once its cache reaches
+    this boundary rather than attempt another step.
+    """
+    return config.max_seq_len - 1
+
+
 def decode_shapes(config: LLMConfig, batch: int, context_len: int) -> DecodeShapes:
-    """Derive the step shapes from a model config."""
+    """Derive the step shapes from a model config.
+
+    Contract: ``1 <= context_len <= max_seq_len - 1``
+    (:func:`max_decode_context`). The step reads a cache of
+    ``context_len`` entries and writes one of ``context_len + 1``, so
+    equality with ``max_seq_len`` is already one past the last legal
+    step — the cache it would need to read cannot exist.
+    """
     check_positive_int("batch", batch)
     check_positive_int("context_len", context_len)
     if context_len >= config.max_seq_len:
         raise ShapeError(
-            f"context {context_len} exceeds max_seq_len {config.max_seq_len}"
+            f"context {context_len} meets or exceeds max_seq_len "
+            f"{config.max_seq_len}: the KV cache holds at most "
+            f"max_seq_len - 1 = {config.max_seq_len - 1} entries before "
+            "a step (the step appends one more); finish or evict the "
+            "request at the cache-full boundary instead"
         )
     attn = config.layer.attention
     return DecodeShapes(

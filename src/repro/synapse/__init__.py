@@ -63,6 +63,7 @@ from .runtime import (
     op_duration_us,
 )
 from .schedule import MemoryPlan, Schedule, ScheduledOp
+from .serving import ServingRuntime, StepCost
 from .serialize import (
     graph_from_json,
     graph_to_json,
@@ -135,6 +136,8 @@ __all__ = [
     "MemoryPlan",
     "Schedule",
     "ScheduledOp",
+    "ServingRuntime",
+    "StepCost",
     "graph_from_json",
     "graph_to_json",
     "load_graph",

@@ -1,0 +1,274 @@
+"""Serving-layer invariants: the A15 simulator and its decode-path
+contracts.
+
+The properties the PR claims, executed:
+
+* conservation — every arrival finishes exactly one of
+  completed / truncated (cache-full) / rejected;
+* TTFT decomposes exactly into queueing + prefill, and event times are
+  causally ordered;
+* KV residency (reservations + weights) never exceeds the HBM budget,
+  including under a tight budget where the planner — not the slot
+  count — bounds the batch;
+* the serving JSONL is byte-identical at any ``--jobs`` width;
+* the KV-cache boundary: ``max_decode_context`` is the last legal
+  decode step, and cached generation reproduces the uncached tokens.
+"""
+
+import io
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ht
+from repro.core.decode_study import DecodeStudyResult
+from repro.core.serving import (
+    ServingPoint,
+    ServingSimulator,
+    ServingWorkload,
+    generate_requests,
+    kv_bytes_per_token,
+    run_serving,
+    serving_weight_bytes,
+)
+from repro.models import (
+    GPT2LMHeadModel,
+    generate,
+    max_decode_context,
+    paper_gpt_config,
+    record_decode_step,
+    scaled,
+    tiny_gpt_config,
+)
+from repro.synapse.serving import ServingRuntime
+from repro.util.errors import DataError, ShapeError
+
+SMALL = scaled(paper_gpt_config(), vocab_size=128, seq_len=256)
+SMALL_WORKLOAD = ServingWorkload(prompt_range=(4, 48), output_range=(2, 40))
+
+
+@pytest.fixture(scope="module")
+def runtime():
+    """One shared step-cost oracle; geometries compile once per module."""
+    return ServingRuntime()
+
+
+@pytest.fixture(scope="module")
+def simulator(runtime):
+    return ServingSimulator(
+        runtime, model_config=SMALL, max_batch=4, ctx_quantum=64
+    )
+
+
+class TestKvCacheBoundary:
+    def test_last_legal_context(self):
+        cfg = SMALL
+        assert max_decode_context(cfg) == cfg.max_seq_len - 1
+        rec = record_decode_step(
+            cfg, batch=1, context_len=max_decode_context(cfg)
+        )
+        assert rec.graph is not None
+
+    def test_cache_full_is_rejected_with_contract(self):
+        cfg = SMALL
+        with pytest.raises(ShapeError, match="exceeds"):
+            record_decode_step(cfg, batch=1, context_len=cfg.max_seq_len)
+        with pytest.raises(ShapeError, match="finish or evict"):
+            record_decode_step(cfg, batch=1, context_len=cfg.max_seq_len)
+
+    def test_serving_loop_truncates_at_boundary(self, runtime):
+        # one request whose desired output overruns the cache: it must
+        # finish as length_cap with its cache inside the boundary
+        sim = ServingSimulator(runtime, model_config=SMALL, max_batch=2)
+        trace = generate_requests(
+            1, 5.0,
+            workload=ServingWorkload(
+                prompt_range=(200, 200), output_range=(500, 500)
+            ),
+        )
+        result = sim.run(trace, "continuous")
+        (req,) = result.records
+        assert req.finish_reason == "length_cap"
+        # resident cache entries = prompt + generated - 1: the loop
+        # stops exactly when the cache is full, never past it
+        assert req.prompt_len + req.generated - 1 == SMALL.max_seq_len
+        assert result.metrics()["truncated"] == 1
+
+
+class TestCachedGeneration:
+    def _trained_ish_model(self):
+        return GPT2LMHeadModel(
+            tiny_gpt_config(vocab_size=31), rng=np.random.default_rng(3)
+        )
+
+    def test_cached_matches_uncached_greedy_and_sampled(self):
+        model = self._trained_ish_model()
+        prompt = [1, 4, 9, 16]
+        slow = generate(model, prompt, max_new_tokens=20, use_cache=False)
+        fast = generate(model, prompt, max_new_tokens=20)
+        assert slow == fast
+        s1 = generate(model, prompt, max_new_tokens=20, temperature=0.7,
+                      rng=np.random.default_rng(5), use_cache=False)
+        s2 = generate(model, prompt, max_new_tokens=20, temperature=0.7,
+                      rng=np.random.default_rng(5))
+        assert s1 == s2
+
+    def test_cached_matches_uncached_past_the_window(self):
+        # the context slides past max_seq_len mid-generation; the
+        # cached path must fall back and still match token for token
+        model = self._trained_ish_model()
+        window = model.config.max_seq_len
+        prompt = list(range(1, 30))
+        n = window - len(prompt) + 10
+        slow = generate(model, prompt, max_new_tokens=n, use_cache=False)
+        fast = generate(model, prompt, max_new_tokens=n)
+        assert slow == fast
+
+
+class TestDecodeStudyGuards:
+    def _degenerate(self):
+        profile = SimpleNamespace(
+            total_time_us=0.0,
+            schedule=SimpleNamespace(ops=[]),
+            timeline=SimpleNamespace(busy_time_us=lambda engine: 0.0),
+        )
+        return DecodeStudyResult([128], 1, profiles=[profile])
+
+    def test_idle_mme_raises(self):
+        with pytest.raises(DataError, match="kept the MME idle"):
+            self._degenerate().mme_achieved_tflops(0)
+
+    def test_zero_duration_raises(self):
+        with pytest.raises(DataError, match="zero-duration"):
+            self._degenerate().tokens_per_second(0)
+
+
+class TestServingProperties:
+    @given(
+        seed=st.integers(0, 30),
+        rate=st.floats(2.0, 200.0),
+        num=st.integers(5, 40),
+        policy=st.sampled_from(("static", "continuous")),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_conservation_and_causality(self, simulator, seed, rate, num,
+                                        policy):
+        trace = generate_requests(
+            num, rate, workload=SMALL_WORKLOAD, seed=seed
+        )
+        result = simulator.run(trace, policy)
+        m = result.metrics()
+        # conservation: every arrival lands in exactly one bucket
+        assert m["completed"] + m["truncated"] + m["rejected"] == num
+        for r in result.records:
+            assert r.finish_reason in ("completed", "length_cap", "rejected")
+            if r.finish_reason == "rejected":
+                continue
+            # causal ordering and the exact TTFT decomposition
+            assert r.arrival_us <= r.admitted_us <= r.first_token_us
+            assert r.first_token_us <= r.finish_us
+            assert r.ttft_us == pytest.approx(
+                r.queueing_us + (r.first_token_us - r.admitted_us)
+            )
+            assert 1 <= r.generated <= r.output_len
+            # the cache never outgrew the model's window
+            assert r.prompt_len + r.generated <= SMALL.max_seq_len + 1
+
+    @given(
+        seed=st.integers(0, 10),
+        policy=st.sampled_from(("static", "continuous")),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_residency_within_budget(self, simulator, seed, policy):
+        trace = generate_requests(
+            25, 50.0, workload=SMALL_WORKLOAD, seed=seed
+        )
+        result = simulator.run(trace, policy)
+        assert result.peak_kv_actual_bytes <= result.peak_kv_reserved_bytes
+        assert (
+            result.weight_bytes + result.peak_kv_reserved_bytes
+            <= result.budget_bytes
+        )
+
+    def test_tight_budget_bounds_batch_below_slots(self):
+        # budget holds the weights plus only a few requests' reserved
+        # KV: admission must stop there, well before the slot count
+        per_request = kv_bytes_per_token(SMALL) * SMALL.max_seq_len
+        budget = serving_weight_bytes(SMALL) + 8 * per_request
+        runtime = ServingRuntime(hbm_budget=budget)
+        sim = ServingSimulator(
+            runtime, model_config=SMALL, max_batch=16, ctx_quantum=64
+        )
+        trace = generate_requests(
+            60, 100.0,
+            workload=ServingWorkload(
+                prompt_range=(32, 128), output_range=(64, 128)
+            ),
+        )
+        result = sim.run(trace, "continuous")
+        m = result.metrics()
+        assert m["completed"] + m["truncated"] == 60  # nothing starves
+        assert 0 < result.peak_in_flight < 16
+        assert (
+            result.weight_bytes + result.peak_kv_reserved_bytes <= budget
+        )
+
+
+class TestServingJsonl:
+    def test_byte_identical_at_any_jobs_width(self):
+        points = [
+            ServingPoint(policy=p, rate_per_s=r, num_requests=80)
+            for r in (10.0, 40.0)
+            for p in ("static", "continuous")
+        ]
+        serial, pooled = io.StringIO(), io.StringIO()
+        run_serving(points, stream=serial, jobs=1)
+        run_serving(points, stream=pooled, jobs=2)
+        assert serial.getvalue() == pooled.getvalue()
+        lines = serial.getvalue().splitlines()
+        assert len(lines) == len(points)
+
+
+class TestServingRuntime:
+    def test_step_costs_memoize(self):
+        runtime = ServingRuntime()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return record_decode_step(SMALL, batch=2, context_len=64).graph
+
+        first = runtime.step_cost(("t", 2, 64), factory)
+        again = runtime.step_cost(("t", 2, 64), factory)
+        assert first is again
+        assert len(calls) == 1
+        assert runtime.lookups == 2 and runtime.measured == 1
+        assert runtime.replay_fraction == pytest.approx(0.5)
+
+    def test_infeasible_geometry_memoized(self):
+        runtime = ServingRuntime(hbm_budget=1 << 20)  # 1 MiB: nothing fits
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return record_decode_step(SMALL, batch=2, context_len=64).graph
+
+        assert not runtime.feasible(("t", 2, 64), factory)
+        assert not runtime.feasible(("t", 2, 64), factory)
+        assert len(calls) == 1
+        assert runtime.infeasible == 1
+
+
+class TestServingValidation:
+    def test_bad_trace_args(self):
+        with pytest.raises(DataError, match="num_requests"):
+            generate_requests(0, 10.0)
+        with pytest.raises(DataError, match="arrival_rate"):
+            generate_requests(5, 0.0)
+
+    def test_unknown_policy(self, simulator):
+        trace = generate_requests(2, 10.0, workload=SMALL_WORKLOAD)
+        with pytest.raises(Exception, match="unknown serving policy"):
+            simulator.run(trace, "clairvoyant")
