@@ -1,0 +1,127 @@
+"""Bench A16: multi-box parallelism regression gate.
+
+Replays the reference A16 study — GPT-2 and BERT training steps priced
+over the (tp, pp, dp) layout grid at 8/32/64 cards in 8-card boxes —
+and holds the planner and the two-tier fabric against
+``parallel_thresholds.json``:
+
+* best-layout scaling-efficiency floors at 8/32/64 cards (the 32- and
+  64-card populations span the inter-box Ethernet tier);
+* the auto-layout pick stays within 5% of the exhaustive grid optimum
+  at every card count;
+* best-layout throughput grows monotonically with cards.
+
+Every run rewrites ``BENCH_parallel.json`` at the repo root, so the
+scaling-efficiency trajectory is versioned alongside the fabric and
+planner changes that move it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import assert_checks  # noqa: F401  (shared harness import)
+
+from repro.core.auto_layout import run_parallel_study
+
+THRESHOLDS = json.loads(
+    (Path(__file__).parent / "parallel_thresholds.json").read_text()
+)
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_parallel.json"
+
+
+def _measure() -> dict:
+    ref = THRESHOLDS["reference"]
+    t0 = time.perf_counter()
+    study = run_parallel_study(
+        card_counts=tuple(ref["card_counts"]),
+        batch=ref["batch"],
+        seq_len=ref["seq_len"],
+        cards_per_box=ref["cards_per_box"],
+    )
+    wall_s = round(time.perf_counter() - t0, 3)
+
+    models = sorted({r.model_name for r in study.rows})
+    out = {
+        "workload": f"{'/'.join(models)} training steps, batch "
+                    f"{ref['batch']}, seq {ref['seq_len']}, layout grid "
+                    f"at {ref['card_counts']} cards in "
+                    f"{ref['cards_per_box']}-card boxes",
+        "sim_wall_s": wall_s,
+        "models": {},
+        "thresholds": {
+            k: v for k, v in THRESHOLDS.items() if not k.startswith("_")
+        },
+    }
+    for model in models:
+        per_count = {}
+        for cards in ref["card_counts"]:
+            rows = [
+                r for r in study.rows
+                if r.model_name == model and r.num_cards == cards
+                and r.feasible
+            ]
+            best = max(rows, key=lambda r: r.samples_per_s)
+            picked = next(r for r in rows if r.picked)
+            per_count[str(cards)] = {
+                "picked_layout": picked.layout,
+                "picked_samples_per_s": round(picked.samples_per_s, 1),
+                "best_samples_per_s": round(best.samples_per_s, 1),
+                "pick_ratio": round(
+                    picked.samples_per_s / best.samples_per_s, 4
+                ),
+                "efficiency": round(picked.efficiency, 4),
+            }
+        out["models"][model] = per_count
+    return out
+
+
+def test_parallel_regression(benchmark, record_info):
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    ref = THRESHOLDS["reference"]
+    eff = THRESHOLDS["efficiency"]
+    planner = THRESHOLDS["planner"]
+
+    for model, per_count in result["models"].items():
+        for cards in ref["card_counts"]:
+            m = per_count[str(cards)]
+            floor = eff[f"min_at_{cards}_cards"]
+            assert m["efficiency"] >= floor, (
+                f"{model} best-layout efficiency {m['efficiency']:.1%} "
+                f"at {cards} cards fell below the {floor:.0%} floor"
+            )
+            assert m["pick_ratio"] >= planner["min_pick_ratio"], (
+                f"{model} auto-layout pick reaches only "
+                f"{m['pick_ratio']:.1%} of the grid optimum at "
+                f"{cards} cards (gate: {planner['min_pick_ratio']:.0%})"
+            )
+        thr = [
+            per_count[str(c)]["picked_samples_per_s"]
+            for c in ref["card_counts"]
+        ]
+        assert thr == sorted(thr), (
+            f"{model} best-layout throughput is not monotone in "
+            f"cards: {thr}"
+        )
+
+    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    gpt = result["models"].get("gpt", {})
+    top = gpt.get(str(ref["card_counts"][-1]), {})
+    record_info(
+        benchmark,
+        sim_wall_s=result["sim_wall_s"],
+        gpt_top_layout=top.get("picked_layout"),
+        gpt_top_efficiency=top.get("efficiency"),
+        gpt_top_samples_per_s=top.get("picked_samples_per_s"),
+    )
+    print()
+    for model, per_count in sorted(result["models"].items()):
+        curve = ", ".join(
+            f"{c}:{per_count[str(c)]['efficiency']:.1%}"
+            for c in ref["card_counts"]
+        )
+        top = per_count[str(ref["card_counts"][-1])]
+        print(f"parallel [{model}]: efficiency {curve}; "
+              f"{top['picked_layout']} picked at "
+              f"{ref['card_counts'][-1]} cards "
+              f"({top['picked_samples_per_s']:,.0f} samples/s)")

@@ -28,6 +28,7 @@ from .core import (
     run_mme_vs_tpc,
     run_op_mapping,
     run_overlap_scheduler_ablation,
+    run_parallel_study,
     run_pass_toggle_ablation,
     run_pipelined_attention_study,
     run_reorder_ablation,
@@ -124,6 +125,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] =
                         lambda: _simple(run_memory_ablation)),
     "ablation-serving": ("A15: static vs continuous batching",
                          lambda: _simple(run_serving_ablation)),
+    "ablation-parallel": ("A16: multi-box parallel layouts",
+                          lambda: _simple(run_parallel_study)),
 }
 
 
@@ -290,8 +293,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sequence length axis (repeatable)")
     sweep.add_argument("--card", action="append", default=[], type=int,
                        metavar="N",
-                       help="HLS-1 population axis (repeatable; "
+                       help="cards-per-box axis (repeatable; default 1)")
+    sweep.add_argument("--boxes", action="append", default=[], type=int,
+                       metavar="N",
+                       help="HLS-1 box-count axis bridged by the "
+                            "Ethernet tier (repeatable; default 1)")
+    sweep.add_argument("--tp", type=int, default=1, metavar="N",
+                       help="tensor-parallel degree applied to every "
+                            "point's compile (default 1)")
+    sweep.add_argument("--pp", type=int, default=1, metavar="N",
+                       help="pipeline-parallel stages applied to every "
+                            "point's compile (microbatches = pp; "
                             "default 1)")
+    sweep.add_argument("--auto-layout", action="store_true",
+                       help="let the auto-parallelism planner pick "
+                            "(tp, pp, dp) per (model, cards x boxes) "
+                            "population instead of --tp/--pp")
     sweep.add_argument("--policy", action="append", default=[],
                        choices=sorted(SWEEP_POLICIES), metavar="POLICY",
                        help="compiler-option bundle axis (choices: "
@@ -403,7 +420,9 @@ def main(argv: list[str] | None = None) -> int:
         from .synapse.recipe import default_recipe_cache_dir
 
         spec = sweep_spec_from_cli(
-            args.model, args.batch, args.seq_len, args.card, args.policy
+            args.model, args.batch, args.seq_len, args.card, args.policy,
+            boxes=args.boxes, tp=args.tp, pp=args.pp,
+            auto_layout=args.auto_layout,
         )
         result = run_sweep(
             spec, jobs=_CLI_JOBS, stream=args.out,

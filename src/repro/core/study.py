@@ -21,6 +21,7 @@ from .ablations import (
 )
 from .activation_study import run_activation_study
 from .attention_study import run_attention_study
+from .auto_layout import run_parallel_study
 from .decode_study import run_decode_study
 from .e2e_llm import run_e2e
 from .energy_study import run_energy_study
@@ -163,6 +164,10 @@ def run_full_study(
         a15 = run_serving_ablation(config=config)
         report.add("A15: static vs continuous batching", a15.render(),
                    a15.checks())
+
+        a16 = run_parallel_study()
+        report.add("A16: multi-box parallel layouts", a16.render(),
+                   a16.checks())
 
     from ..synapse import recipe_cache_stats
 

@@ -77,12 +77,16 @@ class SweepPoint:
     model: str
     batch: int | None = None
     seq_len: int | None = None
+    #: cards *per box* (the HLS1Config meaning); the population is
+    #: ``cards * boxes``
     cards: int = 1
     policy: str = "default"
     overrides: tuple[tuple[str, Any], ...] = ()
     #: record the training step with activation checkpointing on
     #: (the A14 workloads)
     checkpoint: bool = False
+    #: HLS-1 boxes bridged by the Ethernet tier (PR-8 multi-box sweeps)
+    boxes: int = 1
 
     def options(self, base: CompilerOptions) -> CompilerOptions:
         """The point's compiler options: ``base`` + the policy delta."""
@@ -99,6 +103,7 @@ class SweepPoint:
             "batch": self.batch,
             "seq_len": self.seq_len,
             "cards": self.cards,
+            "boxes": self.boxes,
             "policy": self.policy,
         }
 
@@ -126,6 +131,7 @@ class SweepSpec:
     batches: tuple[int | None, ...] = (None,)
     seq_lens: tuple[int | None, ...] = (None,)
     cards: tuple[int, ...] = (1,)
+    boxes: tuple[int, ...] = (1,)
     policies: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = (
         ("default", ()),
     )
@@ -142,13 +148,15 @@ class SweepSpec:
             for batch in self.batches:
                 for seq_len in self.seq_lens:
                     for cards in self.cards:
-                        for policy, overrides in self.policies:
-                            out.append(SweepPoint(
-                                model=model, batch=batch, seq_len=seq_len,
-                                cards=cards, policy=policy,
-                                overrides=overrides,
-                                checkpoint=self.checkpoint,
-                            ))
+                        for boxes in self.boxes:
+                            for policy, overrides in self.policies:
+                                out.append(SweepPoint(
+                                    model=model, batch=batch,
+                                    seq_len=seq_len, cards=cards,
+                                    boxes=boxes, policy=policy,
+                                    overrides=overrides,
+                                    checkpoint=self.checkpoint,
+                                ))
         return out
 
 
@@ -194,14 +202,15 @@ class SweepResult:
                 r.point.batch if r.point.batch is not None else "-",
                 r.point.seq_len if r.point.seq_len is not None else "-",
                 r.point.cards,
+                r.point.boxes,
                 r.point.policy,
                 f"{r.metrics['total_time_us'] / 1000.0:.2f}",
                 f"{r.metrics.get('exposed_comm_us', 0.0) / 1000.0:.2f}",
                 r.metrics.get("compile", "-"),
             ))
         return render_table(
-            ["model", "batch", "seq", "cards", "policy", "total (ms)",
-             "exposed comm (ms)", "recipe"],
+            ["model", "batch", "seq", "cards", "boxes", "policy",
+             "total (ms)", "exposed comm (ms)", "recipe"],
             rows,
             title=f"sweep {self.spec.name!r} "
                   f"({len(self.results)} point(s))",
@@ -241,9 +250,13 @@ def _workload_graph(point: SweepPoint):
 # -- executors ---------------------------------------------------------------
 
 
-def _hls1_metrics(schedule, hls1: HLS1Config, cards: int) -> dict:
-    """Execute one schedule on an HLS-1 population of ``cards``."""
-    system = HLS1Device(dataclasses.replace(hls1, num_cards=cards))
+def _hls1_metrics(
+    schedule, hls1: HLS1Config, cards: int, boxes: int = 1
+) -> dict:
+    """Execute one schedule on ``boxes`` boxes of ``cards`` cards."""
+    system = HLS1Device(
+        dataclasses.replace(hls1, num_cards=cards, boxes=boxes)
+    )
     res = HLS1Runtime(system).execute(schedule)
     metrics = {
         "total_time_us": res.total_time_us,
@@ -282,7 +295,7 @@ def _sweep_worker(payload) -> dict:
         schedule = compiler.compile(_workload_graph(point))
         if compiler.last_cache_hit:
             source = "disk" if cache.disk_hits else "memory"
-    metrics = _hls1_metrics(schedule, hls1, point.cards)
+    metrics = _hls1_metrics(schedule, hls1, point.cards, point.boxes)
     metrics["compile"] = source
     return metrics
 
@@ -403,7 +416,9 @@ def run_sweep(
                 source = (
                     "disk" if cache.disk_hits > disk_before else "memory"
                 )
-            metrics = _hls1_metrics(schedule, hls1, point.cards)
+            metrics = _hls1_metrics(
+                schedule, hls1, point.cards, point.boxes
+            )
             metrics["compile"] = source
             pr = PointResult(point=point, metrics=metrics)
             if stream is not None:
@@ -470,26 +485,117 @@ def _run_hls1_pool(
             tmp.cleanup()
 
 
+def _auto_layout_points(
+    models: tuple[str, ...],
+    batches: tuple[int | None, ...],
+    seq_lens: tuple[int | None, ...],
+    cards: tuple[int, ...],
+    boxes: tuple[int, ...],
+) -> tuple[SweepPoint, ...]:
+    """One planner-picked point per (model, geometry, population).
+
+    Each population is handed to :func:`~repro.core.auto_layout.
+    auto_layout`, which exhaustively prices the (tp, pp, dp) grid on
+    the two-tier fabric; the winning layout becomes the point's
+    compiler-option overrides and its policy label
+    (``auto:tp4·pp1·dp8``).
+    """
+    from .auto_layout import LayoutPlanner, auto_layout
+
+    points: list[SweepPoint] = []
+    for model in models:
+        for batch in batches:
+            for seq_len in seq_lens:
+                planner_kwargs: dict[str, Any] = {}
+                if batch is not None:
+                    planner_kwargs["batch"] = batch
+                if seq_len is not None:
+                    planner_kwargs["seq_len"] = seq_len
+                for per_box in cards:
+                    planner = LayoutPlanner(
+                        model, cards_per_box=per_box, **planner_kwargs
+                    )
+                    for n_boxes in boxes:
+                        verdict = auto_layout(
+                            model, per_box * n_boxes, planner=planner
+                        )
+                        layout = verdict.best.layout
+                        overrides = SWEEP_POLICIES["ddp"] + (
+                            ("bucket_mb", layout.bucket_mb),
+                            ("tp", layout.tp),
+                            ("pp", layout.pp),
+                            ("microbatches", layout.microbatches),
+                        )
+                        points.append(SweepPoint(
+                            model=model, batch=batch, seq_len=seq_len,
+                            cards=per_box, boxes=n_boxes,
+                            policy=f"auto:{layout.describe()}",
+                            overrides=overrides,
+                        ))
+    return tuple(points)
+
+
 def sweep_spec_from_cli(
     models: Iterable[str],
     batches: Iterable[int],
     seq_lens: Iterable[int],
     cards: Iterable[int],
     policies: Iterable[str],
+    *,
+    boxes: Iterable[int] = (),
+    tp: int = 1,
+    pp: int = 1,
+    auto_layout: bool = False,
 ) -> SweepSpec:
-    """Build the ``repro sweep`` grid from repeatable CLI flags."""
+    """Build the ``repro sweep`` grid from repeatable CLI flags.
+
+    ``boxes`` adds the multi-box axis (cards stay *per box*); ``tp`` /
+    ``pp`` shard every policy's compile with the tensor-parallel and
+    pipeline-partition passes (``pp`` pins ``microbatches = pp``, the
+    minimum legal fill); ``--auto-layout`` instead asks the
+    auto-parallelism planner to pick ``(tp, pp, dp)`` per population
+    and replaces the policy axis with the planner's verdicts.
+    """
     unknown = [p for p in policies if p not in SWEEP_POLICIES]
     if unknown:
         known = ", ".join(sorted(SWEEP_POLICIES))
         raise ValueError(
             f"unknown sweep policy {unknown[0]!r} (known: {known})"
         )
+    if tp < 1 or pp < 1:
+        raise ValueError(f"tp/pp must be >= 1, got tp={tp} pp={pp}")
+    if auto_layout and (tp > 1 or pp > 1):
+        raise ValueError("--auto-layout already picks tp/pp; drop "
+                         "the explicit --tp/--pp flags")
+    models_t = tuple(models) or ("gpt",)
+    batches_t = tuple(batches) or (None,)
+    seq_lens_t = tuple(seq_lens) or (None,)
+    cards_t = tuple(cards) or (1,)
+    boxes_t = tuple(boxes) or (1,)
+    if auto_layout:
+        return SweepSpec(
+            name="cli",
+            points=_auto_layout_points(
+                models_t, batches_t, seq_lens_t, cards_t, boxes_t
+            ),
+        )
+    shard: tuple[tuple[str, Any], ...] = ()
+    suffix = ""
+    if tp > 1:
+        shard += (("tp", tp),)
+        suffix += f"+tp{tp}"
+    if pp > 1:
+        shard += (("pp", pp), ("microbatches", pp))
+        suffix += f"+pp{pp}"
+    named = tuple(
+        (p + suffix, SWEEP_POLICIES[p] + shard) for p in policies
+    ) or ((f"default{suffix}", shard),)
     return SweepSpec(
         name="cli",
-        models=tuple(models) or ("gpt",),
-        batches=tuple(batches) or (None,),
-        seq_lens=tuple(seq_lens) or (None,),
-        cards=tuple(cards) or (1,),
-        policies=tuple((p, SWEEP_POLICIES[p]) for p in policies)
-        or (("default", ()),),
+        models=models_t,
+        batches=batches_t,
+        seq_lens=seq_lens_t,
+        cards=cards_t,
+        boxes=boxes_t,
+        policies=named,
     )

@@ -431,3 +431,109 @@ class BandwidthArbiter:
         if span_us <= 0:
             return 0.0
         return d.total_bytes / (span_us * 1e-6)
+
+
+class TwoTierFabric:
+    """Two bandwidth pools behind one arbiter-shaped interface.
+
+    A multi-box HLS-1 cluster has two distinct wire pools: the box-
+    local RoCE links (wide, all-to-all) and the inter-box Ethernet
+    NICs (thin, high-latency). Hierarchical collective plans tag each
+    ring step with its tier; the runtime routes the step's traffic to
+    the matching pool via ``admit(..., tier=...)``, and the pools
+    arbitrate independently — intra steps of one collective never
+    contend with another collective's inter steps, exactly as the
+    separate physical links behave.
+
+    The query surface mirrors :class:`BandwidthArbiter` closely enough
+    for the event loops to treat either uniformly: ``active``,
+    ``next_completion_us``, ``advance`` (concatenated completions —
+    callers sort, as they already do for the flat fabric), plus
+    ``busy_us`` as the merged-interval union over both rate logs (the
+    two pools overlap in time, so summing segment spans would double
+    count).
+    """
+
+    def __init__(
+        self, intra_bandwidth_bytes_per_s: float,
+        inter_bandwidth_bytes_per_s: float,
+    ):
+        self.intra = BandwidthArbiter(intra_bandwidth_bytes_per_s, shared=True)
+        self.inter = BandwidthArbiter(inter_bandwidth_bytes_per_s, shared=True)
+
+    @property
+    def active(self) -> int:
+        """Drainers outstanding across both tiers."""
+        return self.intra.active + self.inter.active
+
+    def admit(
+        self, key: int, num_bytes: float, now_us: float,
+        *, rate_cap: float = math.inf, tier: str = "intra",
+    ) -> None:
+        """Route ``num_bytes`` for ``key`` to the tier's pool."""
+        pool = self.inter if tier == "inter" else self.intra
+        pool.admit(key, num_bytes, now_us, rate_cap=rate_cap)
+
+    def admit_clocked(
+        self, key: int, num_bytes: float, now_us: float,
+        *, rate_cap: float = math.inf, tier: str = "intra",
+    ) -> None:
+        """Epoch-boundary admit (see BandwidthArbiter.admit_clocked)."""
+        pool = self.inter if tier == "inter" else self.intra
+        pool.admit_clocked(key, num_bytes, now_us, rate_cap=rate_cap)
+
+    def next_completion_us(self) -> float | None:
+        """Earliest completion across both pools, or ``None``."""
+        times = [
+            t for t in (
+                self.intra.next_completion_us(),
+                self.inter.next_completion_us(),
+            )
+            if t is not None
+        ]
+        return min(times) if times else None
+
+    def advance(self, to_us: float) -> list[int]:
+        """Integrate both pools to ``to_us``; completions concatenated."""
+        return self.intra.advance(to_us) + self.inter.advance(to_us)
+
+    def drain_until(self, deadlines) -> tuple[float, list[int]]:
+        """Epoch step over both pools: earliest boundary wins.
+
+        Each pool's own completions are deadlines for the other, so
+        the epoch ends at the earliest of either pool's completion or
+        an external deadline, with both pools integrated exactly there.
+        """
+        bounds = list(deadlines)
+        nxt = self.next_completion_us()
+        if nxt is not None:
+            bounds.append(nxt)
+        if not bounds and not self.active:
+            raise ExecutionError(
+                "drain_until has no epoch boundary: no external deadline "
+                "and no draining traffic"
+            )
+        t = min(bounds)
+        return t, self.advance(t)
+
+    def busy_us(self) -> float:
+        """Wall time either tier was moving bytes (interval union)."""
+        spans = sorted(
+            (seg.start_us, seg.end_us)
+            for pool in (self.intra, self.inter)
+            for seg in pool.rate_log
+            if seg.total_rate > 0
+        )
+        total = 0.0
+        cur_start: float | None = None
+        cur_end = 0.0
+        for start, end in spans:
+            if cur_start is None or start > cur_end:
+                if cur_start is not None:
+                    total += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total

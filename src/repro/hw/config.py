@@ -222,17 +222,22 @@ def gaudi2_config() -> GaudiConfig:
 
 @dataclass(frozen=True)
 class InterconnectConfig:
-    """Intra-box interconnect of the HLS-1 (§2.1, §3.1).
+    """Two-tier interconnect of an HLS-1 cluster (§2.1, §3.1).
 
     Each Gaudi exposes on-chip RoCE v2 ports; inside an HLS-1 the eight
     cards are all-to-all connected, and the host reaches them via two
-    PCIe Gen 4.0 switches.
+    PCIe Gen 4.0 switches. Past one box, HLS-1s federate over standard
+    Ethernet NICs — a far thinner, higher-latency tier than the
+    intra-box links (the ``eth_*`` fields), which is what makes the
+    multi-box collective hierarchy worth modeling at all.
     """
 
     roce_bandwidth_bytes_per_s: float = 87.5e9  # 7x100GbE toward peers
     roce_latency_us: float = 2.0
     pcie_bandwidth_bytes_per_s: float = 25.0e9  # Gen4 x16
     pcie_latency_us: float = 5.0
+    eth_bandwidth_bytes_per_s: float = 12.5e9  # 100GbE per box, inter-box
+    eth_latency_us: float = 10.0
 
     def __post_init__(self) -> None:
         check_positive(
@@ -243,22 +248,36 @@ class InterconnectConfig:
             "InterconnectConfig.pcie_bandwidth_bytes_per_s",
             self.pcie_bandwidth_bytes_per_s,
         )
+        check_positive(
+            "InterconnectConfig.eth_bandwidth_bytes_per_s",
+            self.eth_bandwidth_bytes_per_s,
+        )
         check_non_negative("InterconnectConfig.roce_latency_us", self.roce_latency_us)
         check_non_negative("InterconnectConfig.pcie_latency_us", self.pcie_latency_us)
+        check_non_negative("InterconnectConfig.eth_latency_us", self.eth_latency_us)
 
 
 @dataclass(frozen=True)
 class HLS1Config:
-    """Habana Labs System 1: eight Gaudi processors + PCIe switches."""
+    """Habana Labs System 1 cluster: ``boxes`` x ``num_cards`` Gaudis.
+
+    ``num_cards`` keeps its PR-3 meaning of cards *per box* (so every
+    existing single-box call site is untouched); ``boxes`` scales the
+    population out over the inter-box Ethernet tier. ``boxes=1`` is the
+    flat all-to-all HLS-1 and must stay byte-identical to it.
+    """
 
     card: GaudiConfig = field(default_factory=GaudiConfig)
     num_cards: int = 8
     interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    boxes: int = 1
 
     def __post_init__(self) -> None:
         check_positive_int("HLS1Config.num_cards", self.num_cards)
+        check_positive_int("HLS1Config.boxes", self.boxes)
         # Ring collectives split the payload into num_cards chunks, so
-        # the box only supports power-of-two populations (1, 2, 4, 8).
+        # the box only supports power-of-two populations (1, 2, 4, 8),
+        # and hierarchical rings need power-of-two box counts too.
         # Same predicate as interconnect.log2_cards, inlined because
         # interconnect imports this module.
         if self.num_cards & (self.num_cards - 1):
@@ -266,3 +285,12 @@ class HLS1Config:
                 "HLS1Config.num_cards must be a power of two, "
                 f"got {self.num_cards}"
             )
+        if self.boxes & (self.boxes - 1):
+            raise ConfigError(
+                f"HLS1Config.boxes must be a power of two, got {self.boxes}"
+            )
+
+    @property
+    def total_cards(self) -> int:
+        """Cluster-wide card population (boxes x cards-per-box)."""
+        return self.num_cards * self.boxes

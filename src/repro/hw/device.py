@@ -97,14 +97,17 @@ class HLS1System:
 
 
 class HLS1Device:
-    """N Gaudi cards plus the shared RoCE fabric, as one device.
+    """N Gaudi cards plus the shared fabric tiers, as one device.
 
     Unlike :class:`HLS1System` (a bag of independent cards used for
     cost accounting), an ``HLS1Device`` is what the multi-card runtime
     executes onto: every card replays the same data-parallel schedule
     on its own clock, and collective ops synchronize the clocks through
-    the fabric. The fabric itself is a bandwidth pool of
-    ``num_cards`` ring links arbitrated by the runtime.
+    the fabric. With ``boxes=1`` the fabric is the flat pool of
+    ``num_cards`` ring links; multi-box configs add the inter-box
+    Ethernet tier (``inter_fabric_bandwidth``) and the card population
+    becomes ``boxes x cards_per_box`` — card index ``i`` is
+    ``(box i // cards_per_box, lane i % cards_per_box)``.
     """
 
     def __init__(
@@ -116,13 +119,23 @@ class HLS1Device:
         self.config = config or HLS1Config()
         self.cards = [
             GaudiDevice(self.config.card, enforce_memory=enforce_memory)
-            for _ in range(self.config.num_cards)
+            for _ in range(self.config.total_cards)
         ]
 
     @property
     def num_cards(self) -> int:
-        """Cards in the box."""
+        """Total cards in the cluster (every box)."""
         return len(self.cards)
+
+    @property
+    def boxes(self) -> int:
+        """HLS-1 boxes in the cluster."""
+        return self.config.boxes
+
+    @property
+    def cards_per_box(self) -> int:
+        """Cards inside each box (the all-to-all RoCE domain)."""
+        return self.config.num_cards
 
     @property
     def interconnect(self):
@@ -131,10 +144,15 @@ class HLS1Device:
 
     @property
     def fabric_bandwidth(self) -> float:
-        """Aggregate fabric capacity in bytes/s (num_cards ring links)."""
+        """Aggregate intra-box fabric capacity, bytes/s (all ring links)."""
         from .interconnect import fabric_bandwidth
 
         return fabric_bandwidth(self.config.interconnect, self.num_cards)
+
+    @property
+    def inter_fabric_bandwidth(self) -> float:
+        """Aggregate inter-box Ethernet capacity, bytes/s (one NIC/box)."""
+        return self.boxes * self.config.interconnect.eth_bandwidth_bytes_per_s
 
     @property
     def now(self) -> float:
@@ -156,11 +174,18 @@ class HLS1Device:
     def describe(self) -> str:
         """One-line summary for logs and reports."""
         ic = self.config.interconnect
-        return (
+        base = (
             f"HLS-1: {self.num_cards}x [{self.cards[0].describe()}], "
             f"RoCE {ic.roce_bandwidth_bytes_per_s / 1e9:.1f} GB/s/link @ "
             f"{ic.roce_latency_us:.1f} us"
         )
+        if self.boxes > 1:
+            base += (
+                f", {self.boxes} boxes over Ethernet "
+                f"{ic.eth_bandwidth_bytes_per_s / 1e9:.1f} GB/s/NIC @ "
+                f"{ic.eth_latency_us:.1f} us"
+            )
+        return base
 
 
 def default_device() -> GaudiDevice:

@@ -112,10 +112,14 @@ class RingStep:
     moving payload/p per link totals the full payload). A zero-wire
     step models a latency-bound hop: the step still takes
     ``latency_us`` but drains nothing through the fabric arbiter.
+    ``tier`` routes the step through the fabric hierarchy: ``"intra"``
+    steps drain the box-local RoCE pool, ``"inter"`` steps the
+    inter-box Ethernet pool (flat single-box plans are all-intra).
     """
 
     wire_bytes: float
     latency_us: float
+    tier: str = "intra"
 
 
 @dataclass(frozen=True)
@@ -124,10 +128,13 @@ class CollectivePlan:
 
     The runtime replays ``steps`` in order: wait ``latency_us``, then
     drain ``wire_bytes`` through the fabric arbiter at up to
-    ``rate_cap`` bytes/s. A lone collective on an idle fabric
-    reproduces ``analytic_time_us`` exactly; concurrent collectives
-    share the fabric pool and come out slower — that is the contention
-    the closed forms cannot see.
+    ``rate_cap`` bytes/s (``inter_rate_cap`` for ``tier="inter"``
+    steps). A lone collective on an idle fabric reproduces
+    ``analytic_time_us`` *exactly* — the analytic number is defined as
+    the replayed step sum (:meth:`replay_time_us`), so the equality is
+    closed-form, not a float tolerance. Concurrent collectives share
+    the fabric pool and come out slower — that is the contention the
+    closed forms cannot see.
     """
 
     algorithm: str
@@ -136,11 +143,35 @@ class CollectivePlan:
     steps: tuple[RingStep, ...]
     rate_cap: float
     analytic_time_us: float
+    inter_rate_cap: float = 0.0
 
     @property
     def wire_bytes(self) -> float:
         """Total fabric traffic across all steps."""
         return sum(step.wire_bytes for step in self.steps)
+
+    def replay_time_us(self) -> float:
+        """The lone-fabric replay time: the exact per-step sum."""
+        return _replay_sum(self.steps, self.rate_cap, self.inter_rate_cap)
+
+
+def _replay_sum(
+    steps: "tuple[RingStep, ...]", rate_cap: float, inter_rate_cap: float
+) -> float:
+    """Sum each step's latency + uncontended wire-drain time, in us.
+
+    This is *the* closed form for a lone collective: the runtime waits
+    ``latency_us`` per step and then drains ``wire_bytes`` at the
+    step's tier cap, so summing the identical FP operations here makes
+    plan-vs-replay equality exact instead of tolerance-based.
+    """
+    total = 0.0
+    for step in steps:
+        total += step.latency_us
+        if step.wire_bytes:
+            cap = inter_rate_cap if step.tier == "inter" else rate_cap
+            total += s_to_us(step.wire_bytes / cap)
+    return total
 
 
 def fabric_bandwidth(config: InterconnectConfig, num_cards: int) -> float:
@@ -162,10 +193,13 @@ def collective_plan(
 ) -> CollectivePlan:
     """Build the per-ring-step fabric plan for one collective node.
 
-    ``op_name`` is the graph-level op (``all_reduce``, ``all_gather``
-    or ``broadcast``); ``payload_bytes`` is the per-card buffer size.
-    With one card every plan is empty (zero steps, zero time) so a
-    1-card HLS-1 replay stays byte-identical to the single-card path.
+    ``op_name`` is the graph-level op (``all_reduce``, ``all_gather``,
+    ``reduce_scatter`` or ``broadcast``); ``payload_bytes`` is the
+    per-card buffer size. With one card every plan is empty (zero
+    steps, zero time) so a 1-card HLS-1 replay stays byte-identical to
+    the single-card path. ``analytic_time_us`` is the exact replayed
+    step sum (:func:`_replay_sum`); the ring/gather closed forms stay
+    as cross-check references and agree to FP rounding.
     """
     if payload_bytes < 0:
         raise ConfigError(f"payload_bytes must be >= 0, got {payload_bytes}")
@@ -175,7 +209,6 @@ def collective_plan(
     latency = config.roce_latency_us
 
     if op_name == "all_reduce":
-        analytic = RingAllReduce(config).cost(p, payload_bytes)
         if p == 1:
             return CollectivePlan("ring-allreduce", 1, payload_bytes, (), link_bw, 0.0)
         # 2(p-1) steps; each moves payload/p per link on p concurrent
@@ -183,18 +216,37 @@ def collective_plan(
         # latency-only hops (see RingAllReduce.cost).
         wire = float(payload_bytes) if payload_bytes >= p else 0.0
         steps = tuple(RingStep(wire, latency) for _ in range(2 * (p - 1)))
+        cap = p * link_bw
         return CollectivePlan(
-            "ring-allreduce", p, payload_bytes, steps, p * link_bw, analytic.time_us
+            "ring-allreduce", p, payload_bytes, steps, cap,
+            _replay_sum(steps, cap, 0.0),
         )
 
     if op_name == "all_gather":
-        analytic = AllGather(config).cost(p, payload_bytes)
         if p == 1:
             return CollectivePlan("ring-allgather", 1, payload_bytes, (), link_bw, 0.0)
         wire = float(p * payload_bytes) if payload_bytes >= p else 0.0
         steps = tuple(RingStep(wire, latency) for _ in range(p - 1))
+        cap = p * link_bw
         return CollectivePlan(
-            "ring-allgather", p, payload_bytes, steps, p * link_bw, analytic.time_us
+            "ring-allgather", p, payload_bytes, steps, cap,
+            _replay_sum(steps, cap, 0.0),
+        )
+
+    if op_name == "reduce_scatter":
+        # The first half of the ring all-reduce: p-1 reduce steps, each
+        # moving payload/p per link on p concurrent links = payload
+        # aggregate; every card ends with one reduced 1/p shard.
+        if p == 1:
+            return CollectivePlan(
+                "ring-reducescatter", 1, payload_bytes, (), link_bw, 0.0
+            )
+        wire = float(payload_bytes) if payload_bytes >= p else 0.0
+        steps = tuple(RingStep(wire, latency) for _ in range(p - 1))
+        cap = p * link_bw
+        return CollectivePlan(
+            "ring-reducescatter", p, payload_bytes, steps, cap,
+            _replay_sum(steps, cap, 0.0),
         )
 
     if op_name == "broadcast":
@@ -204,12 +256,206 @@ def collective_plan(
             return CollectivePlan("chain-broadcast", 1, payload_bytes, (), link_bw, 0.0)
         wire = float(payload_bytes) if payload_bytes >= p else 0.0
         steps = tuple(RingStep(wire, latency) for _ in range(p - 1))
-        analytic_us = (p - 1) * latency + (p - 1) * s_to_us(wire / link_bw)
         return CollectivePlan(
-            "chain-broadcast", p, payload_bytes, steps, link_bw, analytic_us
+            "chain-broadcast", p, payload_bytes, steps, link_bw,
+            _replay_sum(steps, link_bw, 0.0),
         )
 
     raise ConfigError(f"unknown collective op {op_name!r}")
+
+
+def p2p_plan(
+    payload_bytes: int,
+    config: InterconnectConfig,
+    *,
+    inter: bool = False,
+) -> CollectivePlan:
+    """A point-to-point send/recv pair as a one-step fabric plan.
+
+    Pipeline-parallel stage boundaries move activations (forward) and
+    activation gradients (backward) card-to-card. ``inter`` picks the
+    tier: box-local RoCE or the inter-box Ethernet NIC (stages usually
+    split across boxes, so the boundary rides the thin tier).
+    """
+    if payload_bytes < 0:
+        raise ConfigError(f"payload_bytes must be >= 0, got {payload_bytes}")
+    if inter:
+        step = RingStep(
+            float(payload_bytes), config.eth_latency_us, tier="inter"
+        )
+        cap = config.eth_bandwidth_bytes_per_s
+        return CollectivePlan(
+            "p2p-inter", 2, payload_bytes, (step,), config.roce_bandwidth_bytes_per_s,
+            _replay_sum((step,), config.roce_bandwidth_bytes_per_s, cap),
+            inter_rate_cap=cap,
+        )
+    step = RingStep(float(payload_bytes), config.roce_latency_us)
+    cap = config.roce_bandwidth_bytes_per_s
+    return CollectivePlan(
+        "p2p-intra", 2, payload_bytes, (step,), cap,
+        _replay_sum((step,), cap, 0.0),
+    )
+
+
+def hierarchical_collective_plan(
+    op_name: str,
+    boxes: int,
+    cards_per_box: int,
+    payload_bytes: int,
+    config: InterconnectConfig,
+) -> CollectivePlan:
+    """A two-tier (multi-box) collective as one fabric plan.
+
+    The hierarchy is the standard decomposition over ``boxes`` HLS-1s
+    of ``cards_per_box`` cards each:
+
+    * ``all_reduce`` — intra-box reduce-scatter, inter-box all-reduce
+      of the per-card shards, intra-box all-gather;
+    * ``reduce_scatter`` — intra-box reduce-scatter, then inter-box
+      reduce-scatter of the shards;
+    * ``all_gather`` — intra-box all-gather, then inter-box all-gather
+      of the box aggregates;
+    * ``broadcast`` — inter-box chain first, then concurrent intra-box
+      chains.
+
+    ``boxes=1`` returns the flat :func:`collective_plan` *verbatim* —
+    not a reconstruction — so single-box traces stay byte-identical to
+    the PR-3 fabric (FP non-associativity would otherwise leak in).
+    Intra steps follow the flat sub-chunk convention (latency-only when
+    ``payload < cards_per_box``); inter steps floor against the global
+    population. Rate caps: ``boxes * cards_per_box`` concurrent RoCE
+    links intra, ``boxes`` Ethernet NICs inter.
+    """
+    log2_cards(boxes)
+    if boxes == 1:
+        return collective_plan(op_name, cards_per_box, payload_bytes, config)
+    if cards_per_box == 1:
+        # Degenerate hierarchy: one card per box — the collective runs
+        # entirely on the Ethernet tier as a flat ring over the boxes.
+        flat = collective_plan(op_name, boxes, payload_bytes, config)
+        steps = tuple(
+            RingStep(s.wire_bytes, config.eth_latency_us, tier="inter")
+            for s in flat.steps
+        )
+        inter_cap = (
+            config.eth_bandwidth_bytes_per_s
+            if flat.algorithm == "chain-broadcast"
+            else boxes * config.eth_bandwidth_bytes_per_s
+        )
+        return CollectivePlan(
+            flat.algorithm.replace("ring-", "eth-").replace("chain-", "eth-"),
+            boxes, payload_bytes, steps, flat.rate_cap,
+            _replay_sum(steps, flat.rate_cap, inter_cap),
+            inter_rate_cap=inter_cap,
+        )
+    if payload_bytes < 0:
+        raise ConfigError(f"payload_bytes must be >= 0, got {payload_bytes}")
+    log2_cards(cards_per_box)
+    b, c = boxes, cards_per_box
+    p = b * c
+    link_bw = config.roce_bandwidth_bytes_per_s
+    eth_bw = config.eth_bandwidth_bytes_per_s
+    intra_lat = config.roce_latency_us
+    inter_lat = config.eth_latency_us
+    intra_cap = p * link_bw
+    inter_cap = b * eth_bw
+
+    # Aggregate wire per step: every box rings concurrently on the
+    # intra phases (b rings x payload aggregate each), and the c
+    # shard-rings ring concurrently over the b NICs on the inter
+    # phases (c rings x payload/c aggregate each = payload).
+    intra_wire = float(b * payload_bytes) if payload_bytes >= c else 0.0
+    inter_wire = float(payload_bytes) if payload_bytes >= p else 0.0
+    gather_intra = float(b * c * payload_bytes) if payload_bytes >= c else 0.0
+    gather_inter = (
+        float(b * c * payload_bytes) if c * payload_bytes >= b else 0.0
+    )
+
+    if op_name == "all_reduce":
+        steps = (
+            tuple(RingStep(intra_wire, intra_lat) for _ in range(c - 1))
+            + tuple(
+                RingStep(inter_wire, inter_lat, tier="inter")
+                for _ in range(2 * (b - 1))
+            )
+            + tuple(RingStep(intra_wire, intra_lat) for _ in range(c - 1))
+        )
+        return CollectivePlan(
+            "hier-allreduce", p, payload_bytes, steps, intra_cap,
+            _replay_sum(steps, intra_cap, inter_cap),
+            inter_rate_cap=inter_cap,
+        )
+
+    if op_name == "reduce_scatter":
+        steps = (
+            tuple(RingStep(intra_wire, intra_lat) for _ in range(c - 1))
+            + tuple(
+                RingStep(inter_wire, inter_lat, tier="inter")
+                for _ in range(b - 1)
+            )
+        )
+        return CollectivePlan(
+            "hier-reducescatter", p, payload_bytes, steps, intra_cap,
+            _replay_sum(steps, intra_cap, inter_cap),
+            inter_rate_cap=inter_cap,
+        )
+
+    if op_name == "all_gather":
+        steps = (
+            tuple(RingStep(gather_intra, intra_lat) for _ in range(c - 1))
+            + tuple(
+                RingStep(gather_inter, inter_lat, tier="inter")
+                for _ in range(b - 1)
+            )
+        )
+        return CollectivePlan(
+            "hier-allgather", p, payload_bytes, steps, intra_cap,
+            _replay_sum(steps, intra_cap, inter_cap),
+            inter_rate_cap=inter_cap,
+        )
+
+    if op_name == "broadcast":
+        inter_bc = float(payload_bytes) if payload_bytes >= b else 0.0
+        intra_bc = float(b * payload_bytes) if payload_bytes >= c else 0.0
+        steps = (
+            tuple(
+                RingStep(inter_bc, inter_lat, tier="inter")
+                for _ in range(b - 1)
+            )
+            + tuple(RingStep(intra_bc, intra_lat) for _ in range(c - 1))
+        )
+        return CollectivePlan(
+            "hier-broadcast", p, payload_bytes, steps, b * link_bw,
+            _replay_sum(steps, b * link_bw, eth_bw),
+            inter_rate_cap=eth_bw,
+        )
+
+    raise ConfigError(f"unknown collective op {op_name!r}")
+
+
+def scale_plan(plan: CollectivePlan, groups: int) -> CollectivePlan:
+    """Widen a plan to ``groups`` concurrent identical group-collectives.
+
+    Tensor parallelism runs one collective per TP group and the groups
+    fire simultaneously (every data-parallel replica reduces its own
+    shard). Rather than admit ``groups`` drainers the runtime admits
+    one with ``groups`` x the wire and ``groups`` x the rate caps — the
+    same fluid outcome with one event. ``groups <= 1`` returns ``plan``
+    unchanged (object-identical, preserving byte-identity paths).
+    """
+    if groups <= 1:
+        return plan
+    steps = tuple(
+        RingStep(s.wire_bytes * groups, s.latency_us, s.tier)
+        for s in plan.steps
+    )
+    rate_cap = plan.rate_cap * groups
+    inter_cap = plan.inter_rate_cap * groups
+    return CollectivePlan(
+        plan.algorithm, plan.num_cards, plan.payload_bytes, steps,
+        rate_cap, _replay_sum(steps, rate_cap, inter_cap),
+        inter_rate_cap=inter_cap,
+    )
 
 
 class HostLink:

@@ -23,9 +23,16 @@ shared :class:`~repro.synapse.passes.state.CompilationState`:
   serial matmul->softmax->matmul chain into MME idle gaps (Fig. 4).
   The ``reorder`` option gives the runtime license to pick any ready
   op (the ablation the paper wishes for).
+* ``tensor_parallel`` — weight matmuls shard over the TP group with
+  all-gather/all-reduce NIC ops on the marked weight dims (off at
+  ``tp=1``).
 * ``collective_injection`` — marked parameter gradients are bucketed
   into all-reduce NIC ops anchored to their producing backward ops
   (the multi-card DDP path; off by default).
+* ``pipeline_partition`` — the schedule splits into ``pp``
+  duration-balanced stages with point-to-point send/recv boundary
+  ops; the multi-card runtime interleaves ``microbatches`` of the
+  per-stage sub-schedules (off at ``pp=1``).
 * ``memory_planning`` — peak HBM footprint by interval liveness; with
   ``memory_policy="none"`` schedules over the budget are rejected —
   the constraint that pushed the paper's end-to-end batch size down
@@ -142,6 +149,17 @@ class CompilerOptions:
     #: ``"spill"`` (paired DMA offload/prefetch), or ``"auto"``
     #: (cost-model pick per over-budget value) — ``--memory-policy``
     memory_policy: str = "none"
+    #: tensor-parallel group width: shard weight matmuls over ``tp``
+    #: cards and inject the TP all-gather/all-reduce collectives (the
+    #: ``tensor_parallel`` pass; 1 = off, ``--tp``)
+    tp: int = 1
+    #: pipeline-parallel stage count: partition the schedule into
+    #: ``pp`` duration-balanced stages with send/recv boundary ops (the
+    #: ``pipeline_partition`` pass; 1 = off, ``--pp``)
+    pp: int = 1
+    #: microbatches per step the pipeline runtime interleaves
+    #: (``--microbatches``); the compiled graph is one microbatch
+    microbatches: int = 1
 
 
 def disable_passes(

@@ -178,6 +178,32 @@ def lint_graph(graph: Graph) -> list[LintWarning]:
                     f"{in_values[0].numel}",
                     node.nid,
                 ))
+            if (
+                node.op == "reduce_scatter"
+                and isinstance(num_cards, int)
+                and num_cards >= 1
+                and in_values
+                and out_value.numel * num_cards != in_values[0].numel
+            ):
+                warnings.append(LintWarning(
+                    "collective-payload",
+                    f"reduce_scatter output has {out_value.numel} "
+                    f"elements, expected per-card {in_values[0].numel} / "
+                    f"num_cards ({num_cards})",
+                    node.nid,
+                ))
+            if (
+                node.op in ("send", "recv")
+                and in_values
+                and out_value.numel != in_values[0].numel
+            ):
+                warnings.append(LintWarning(
+                    "collective-payload",
+                    f"{node.op} output has {out_value.numel} elements "
+                    f"but the wire payload is {in_values[0].numel}: "
+                    "point-to-point transfers preserve the buffer",
+                    node.nid,
+                ))
 
         if node.op == "assemble_rows":
             warnings.extend(

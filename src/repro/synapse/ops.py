@@ -614,6 +614,45 @@ register(OpDef(
     doc="chain broadcast of the root card's buffer",
 ))
 
+
+def _reduce_scatter_shape(shapes: list[Shape], attrs: dict) -> Shape:
+    p = int(attrs.get("num_cards", 1))
+    if p < 1:
+        raise ShapeError(f"reduce_scatter num_cards must be >= 1, got {p}")
+    numel = 1
+    for dim in shapes[0]:
+        numel *= dim
+    if numel % p:
+        raise ShapeError(
+            f"reduce_scatter payload of {numel} elements does not split "
+            f"into {p} per-card shards"
+        )
+    return (numel // p,)
+
+
+register(OpDef(
+    "reduce_scatter", OpClass.COLLECTIVE, EngineKind.NIC,
+    _reduce_scatter_shape,
+    lambda i, a: i[0].reshape(-1)[
+        : i[0].size // int(a.get("num_cards", 1))
+    ].copy(),
+    doc="ring reduce-scatter: each card keeps one reduced 1/p shard",
+))
+# Point-to-point stage-boundary transfers (pipeline parallelism).
+# Same per-card identity convention as the ring collectives: the
+# symmetric replica observes the buffer unchanged; the p2p fabric plan
+# prices the hop.
+register(OpDef(
+    "send", OpClass.COLLECTIVE, EngineKind.NIC, _same_shape_unary,
+    lambda i, a: i[0].copy(),
+    doc="point-to-point send of a stage-boundary buffer",
+))
+register(OpDef(
+    "recv", OpClass.COLLECTIVE, EngineKind.NIC, _same_shape_unary,
+    lambda i, a: i[0].copy(),
+    doc="point-to-point receive of a stage-boundary buffer",
+))
+
 # -- composite ops (lowered by the GraphCompiler) ----------------------------
 register(OpDef(
     "softmax", OpClass.ELEMENTWISE, EngineKind.TPC,

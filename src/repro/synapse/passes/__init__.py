@@ -6,7 +6,8 @@ One module per transformation, each a named
 
 ``validate`` -> ``tpc_slicing`` -> ``lower_composites`` ->
 ``view_elision`` -> ``elementwise_fusion`` -> ``recompile_injection``
--> ``dma_staging`` -> ``emit`` -> ``collective_injection`` ->
+-> ``dma_staging`` -> ``emit`` -> ``tensor_parallel`` ->
+``collective_injection`` -> ``pipeline_partition`` ->
 ``memory_planning``
 
 Every pass reports nodes in/out, wall-clock, and transform counts into
@@ -29,7 +30,9 @@ from .emit import EmitSchedulePass
 from .fusion import ElementwiseFusionPass
 from .lower import LowerCompositesPass
 from .memory import MemoryPlanningPass
+from .pipeline import PipelinePartitionPass
 from .recompile import RecompileInjectionPass
+from .tensor_parallel import TensorParallelPass
 from .slicing import TpcSlicingPass
 from .state import CompilationState, PendingOp
 from .validate import ValidatePass
@@ -45,7 +48,9 @@ PASS_OPTION_FLAGS: dict[str, str] = {
     ElementwiseFusionPass.name: ElementwiseFusionPass.option_flag,
     RecompileInjectionPass.name: RecompileInjectionPass.option_flag,
     DmaStagingPass.name: DmaStagingPass.option_flag,
+    TensorParallelPass.name: TensorParallelPass.option_flag,
     CollectiveInjectionPass.name: CollectiveInjectionPass.option_flag,
+    PipelinePartitionPass.name: PipelinePartitionPass.option_flag,
     MemoryPlanningPass.name: MemoryPlanningPass.option_flag,
 }
 
@@ -61,7 +66,9 @@ def default_passes() -> list[CompilerPass]:
         RecompileInjectionPass(),
         DmaStagingPass(),
         EmitSchedulePass(),
+        TensorParallelPass(),
         CollectiveInjectionPass(),
+        PipelinePartitionPass(),
         MemoryPlanningPass(),
     ]
 
@@ -79,6 +86,8 @@ __all__ = [
     "PassManager",
     "PassResultCache",
     "PendingOp",
+    "PipelinePartitionPass",
+    "TensorParallelPass",
     "pass_cache",
     "pass_cache_stats",
     "reset_pass_cache",

@@ -39,6 +39,14 @@ class CollectiveInjectionPass(CompilerPass):
         if not gradients:
             return {"transforms": 0, "buckets": 0, "gradient_bytes": 0}
 
+        # Weight gradients the tensor_parallel pass sharded live at
+        # 1/tp size per card, so their DP all-reduce moves 1/tp bytes.
+        tp_info = state.stats.get("tensor_parallel") or {}
+        tp = int(tp_info.get("tp", 1) or 1)
+        shard_vids: set[int] = (
+            set(tp_info.get("shard_vids", ())) if tp > 1 else set()
+        )
+
         # Resolve marked vids to their storage (fusion stores
         # alias-resolved vids in reads/writes) and to the schedule index
         # that produces them.
@@ -54,7 +62,10 @@ class CollectiveInjectionPass(CompilerPass):
             if idx is None or storage in seen:
                 continue  # not produced on-device (or duplicate alias)
             seen.add(storage)
-            grads.append((idx, storage, state.graph.value(storage).nbytes))
+            nbytes = state.graph.value(storage).nbytes
+            if storage in shard_vids:
+                nbytes //= tp
+            grads.append((idx, storage, nbytes))
         if not grads:
             return {"transforms": 0, "buckets": 0, "gradient_bytes": 0}
         grads.sort()
@@ -102,7 +113,10 @@ class CollectiveInjectionPass(CompilerPass):
             new_ops.append(op)
             for b in anchored.get(old_index, ()):
                 vids = [v for _, v, _ in b]
-                elems = sum(state.graph.value(v).numel for v in vids)
+                elems = sum(
+                    state.graph.value(v).numel // (tp if v in shard_vids else 1)
+                    for v in vids
+                )
                 item = work_item_for(
                     "all_reduce", [(elems,)], (elems,),
                     state.graph.value(vids[0]).dtype, {},

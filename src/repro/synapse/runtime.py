@@ -57,10 +57,16 @@ import math
 from collections import deque
 from dataclasses import dataclass, field
 
-from ..hw.bandwidth import BandwidthArbiter
+from ..hw.bandwidth import BandwidthArbiter, TwoTierFabric
 from ..hw.costmodel import CostModel, CostParts, EngineKind, WorkItem
 from ..hw.device import GaudiDevice, HLS1Device
-from ..hw.interconnect import CollectivePlan, collective_plan
+from ..hw.interconnect import (
+    CollectivePlan,
+    collective_plan,
+    hierarchical_collective_plan,
+    p2p_plan,
+    scale_plan,
+)
 from ..util.errors import ExecutionError
 from ..util.units import s_to_us
 from .schedule import Schedule, ScheduledOp
@@ -765,7 +771,15 @@ def _fluid_execute(
         step = plan.steps[coll_step[idx]]
         if step.wire_bytes > 0:
             assert fabric is not None, "collective steps need a fabric"
-            fabric.admit(idx, step.wire_bytes, now, rate_cap=plan.rate_cap)
+            if step.tier != "intra":
+                # inter-box hops only exist in hierarchical plans, whose
+                # runs always construct a TwoTierFabric
+                fabric.admit(
+                    idx, step.wire_bytes, now,
+                    rate_cap=plan.inter_rate_cap, tier="inter",
+                )
+            else:
+                fabric.admit(idx, step.wire_bytes, now, rate_cap=plan.rate_cap)
         else:
             step_complete(idx, now)
 
@@ -1041,7 +1055,13 @@ def _fluid_execute_vector(
         step = plan.steps[coll_step[idx]]
         if step.wire_bytes > 0:
             assert fabric is not None, "collective steps need a fabric"
-            fabric.admit(idx, step.wire_bytes, now, rate_cap=plan.rate_cap)
+            if step.tier != "intra":
+                fabric.admit(
+                    idx, step.wire_bytes, now,
+                    rate_cap=plan.inter_rate_cap, tier="inter",
+                )
+            else:
+                fabric.admit(idx, step.wire_bytes, now, rate_cap=plan.rate_cap)
         else:
             step_complete(idx, now)
 
@@ -1156,8 +1176,15 @@ def _fluid_execute_vector(
     return events, stall_total
 
 
+#: NIC op kinds the runtime prices through fabric plans
+_COLLECTIVE_SRCS = (
+    "all_reduce", "all_gather", "broadcast", "reduce_scatter",
+    "send", "recv",
+)
+
+
 def collective_plans(
-    schedule: Schedule, num_cards: int, interconnect
+    schedule: Schedule, num_cards: int, interconnect, *, boxes: int = 1
 ) -> dict[int, CollectivePlan]:
     """Fabric plans for every collective op in ``schedule``.
 
@@ -1165,17 +1192,52 @@ def collective_plans(
     the compiler recorded on the op's work item, so plans depend only
     on the schedule and the box — the schedule itself stays
     card-count independent (one recipe serves every population).
+
+    ``num_cards`` is the *total* population. Ops scoped ``"tp"`` ring
+    over their ``tp``-wide group; since every one of the
+    ``num_cards // tp`` groups runs the same collective at the same
+    schedule point, the concurrent copies are priced by scaling the
+    group plan's wire bytes and rate caps together
+    (:func:`~repro.hw.interconnect.scale_plan`). Data-parallel
+    (``"ddp"``) collectives ring over one rank per TP group; with
+    ``boxes > 1`` they take the two-tier hierarchical plan. Pipeline
+    ``send``/``recv`` boundary ops become point-to-point hops, over
+    Ethernet when stages land in different boxes. With ``boxes=1`` and
+    no TP/PP ops the plans are exactly the flat single-box ones.
     """
     plans: dict[int, CollectivePlan] = {}
+    tp = int(
+        (schedule.stats.get("tensor_parallel") or {}).get("tp", 1) or 1
+    )
     for op in schedule.ops:
         if op.engine is not EngineKind.NIC:
             continue
-        if op.src not in ("all_reduce", "all_gather", "broadcast"):
+        if op.src not in _COLLECTIVE_SRCS:
             continue
         payload = int(op.items[0].bytes_read)
-        plans[op.index] = collective_plan(
-            op.src, num_cards, payload, interconnect
-        )
+        if op.src in ("send", "recv"):
+            plans[op.index] = p2p_plan(
+                payload, interconnect, inter=boxes > 1
+            )
+            continue
+        if op.scope == "tp" and tp > 1:
+            group = collective_plan(
+                op.src, min(tp, num_cards), payload, interconnect
+            )
+            plans[op.index] = scale_plan(group, max(1, num_cards // tp))
+            continue
+        group_cards = max(1, num_cards // tp)
+        if boxes > 1:
+            b_eff = min(boxes, group_cards)
+            plan = hierarchical_collective_plan(
+                op.src, b_eff, max(1, group_cards // b_eff), payload,
+                interconnect,
+            )
+        else:
+            plan = collective_plan(
+                op.src, group_cards, payload, interconnect
+            )
+        plans[op.index] = scale_plan(plan, tp)
     return plans
 
 
@@ -1207,11 +1269,20 @@ class HLS1Runtime:
         ``scheduler`` and ``engine`` resolve exactly as in
         :meth:`Runtime.execute`.
         """
+        pinfo = schedule.stats.get("pipeline")
+        if pinfo and int(pinfo.get("pp", 1) or 1) > 1:
+            return self._execute_pipelined(
+                schedule, pinfo, reorder=reorder,
+                hbm_contention=hbm_contention, scheduler=scheduler,
+                engine=engine,
+            )
         cards = self.system.cards
+        boxes = self.system.boxes
         t0 = max(card.now for card in cards)
         cost = cards[0].cost_model
         plans = collective_plans(
-            schedule, self.system.num_cards, self.system.interconnect
+            schedule, self.system.num_cards, self.system.interconnect,
+            boxes=boxes,
         )
         prep = _schedule_prep(schedule, cost)
         durations = [
@@ -1226,9 +1297,18 @@ class HLS1Runtime:
 
         fabric_busy = 0.0
         if hbm_contention:
-            fabric = BandwidthArbiter(
-                self.system.fabric_bandwidth, shared=True
-            )
+            if boxes > 1:
+                # hierarchical plans route each step onto its tier; a
+                # single-box run keeps the historical flat arbiter so
+                # its traces stay byte-identical
+                fabric = TwoTierFabric(
+                    self.system.fabric_bandwidth,
+                    self.system.inter_fabric_bandwidth,
+                )
+            else:
+                fabric = BandwidthArbiter(
+                    self.system.fabric_bandwidth, shared=True
+                )
             if _resolve_engine(engine) == "vector":
                 events, stall_total = _fluid_execute_vector(
                     cards, schedule, order, t0,
@@ -1240,11 +1320,14 @@ class HLS1Runtime:
                     shared=True, fabric=fabric, plans=plans,
                     parts=prep.parts,
                 )
-            fabric_busy = sum(
-                seg.end_us - seg.start_us
-                for seg in fabric.rate_log
-                if seg.total_rate > 0
-            )
+            if boxes > 1:
+                fabric_busy = fabric.busy_us()
+            else:
+                fabric_busy = sum(
+                    seg.end_us - seg.start_us
+                    for seg in fabric.rate_log
+                    if seg.total_rate > 0
+                )
         else:
             # Uncontended reference: per-card closed-form replay with
             # collectives at their analytic duration. Cards are
@@ -1273,5 +1356,166 @@ class HLS1Runtime:
             contention_stall_us=stall_total,
             num_cards=self.system.num_cards,
             exposed_comm_us=timeline.exposed_comm_us(card=0),
+            fabric_busy_us=fabric_busy,
+        )
+
+    def _stage_schedule(
+        self,
+        schedule: Schedule,
+        stage_of: list[int],
+        stage: int,
+        *,
+        drop_tail: bool = False,
+    ) -> Schedule:
+        """The reindexed sub-schedule of ``stage``'s ops.
+
+        Cross-stage deps vanish (the fill/drain composition accounts
+        for inter-stage waiting); with ``drop_tail`` the stage's DDP
+        gradient collectives and their downstream closure (the
+        optimizer slice) are removed too — that variant times one
+        steady-state microbatch.
+        """
+        keep = [
+            op for i, op in enumerate(schedule.ops) if stage_of[i] == stage
+        ]
+        if drop_tail:
+            consumers: dict[int, list[int]] = {}
+            for op in keep:
+                for dep in op.deps:
+                    consumers.setdefault(dep, []).append(op.index)
+            tail: set[int] = set()
+            frontier = [
+                op.index for op in keep
+                if op.engine is EngineKind.NIC and op.scope == "ddp"
+            ]
+            while frontier:
+                idx = frontier.pop()
+                if idx in tail:
+                    continue
+                tail.add(idx)
+                frontier.extend(consumers.get(idx, ()))
+            keep = [op for op in keep if op.index not in tail]
+        remap = {op.index: i for i, op in enumerate(keep)}
+        ops = []
+        for op in keep:
+            clone = op.clone()
+            clone.index = remap[op.index]
+            clone.deps = sorted(
+                remap[d] for d in op.deps if d in remap
+            )
+            ops.append(clone)
+        stats = {
+            k: v for k, v in schedule.stats.items() if k != "pipeline"
+        }
+        return Schedule(
+            graph=schedule.graph, ops=ops, memory=schedule.memory,
+            stats=stats,
+        )
+
+    def _execute_pipelined(
+        self,
+        schedule: Schedule,
+        pinfo: dict,
+        *,
+        reorder: bool,
+        hbm_contention: bool,
+        scheduler: str | None,
+        engine: str | None,
+    ) -> ExecutionResult:
+        """GPipe fill/drain composition of the per-stage sub-schedules.
+
+        The card pool splits evenly over the ``pp`` stages; each stage's
+        sub-schedule is re-timed on a fresh device slice of its own
+        size (multi-box slices keep the two-tier fabric). One
+        microbatch costs the tail-free stage time; the pipeline runs
+        ``microbatches + pp - 1`` slots of the slowest stage, then pays
+        the slowest per-stage gradient/optimizer tail once:
+
+        ``total = (m + pp - 1) * max_s T_mb(s) + max_s tail(s)``
+
+        The returned timeline holds one microbatch per stage, stage
+        ``s``'s events shifted onto cards ``[s * stage_cards, ...)``.
+        """
+        pp = int(pinfo["pp"])
+        microbatches = int(pinfo.get("microbatches", pp) or pp)
+        stage_of = list(pinfo["stage_of"])
+        if len(stage_of) != len(schedule.ops):
+            raise ExecutionError(
+                "pipeline stage map does not match the schedule "
+                f"({len(stage_of)} stages for {len(schedule.ops)} ops)"
+            )
+        total_cards = self.system.num_cards
+        if total_cards % pp:
+            raise ExecutionError(
+                f"{total_cards} cards do not split over {pp} pipeline "
+                "stages"
+            )
+        stage_cards = total_cards // pp
+        cards_per_box = self.system.cards_per_box
+        if stage_cards >= cards_per_box:
+            stage_config = dataclasses.replace(
+                self.system.config,
+                boxes=stage_cards // cards_per_box,
+            )
+        else:
+            stage_config = dataclasses.replace(
+                self.system.config, num_cards=stage_cards, boxes=1
+            )
+
+        events: list[TraceEvent] = []
+        mb_times: list[float] = []
+        tail_times: list[float] = []
+        stall_total = 0.0
+        fabric_busy = 0.0
+        exposed = 0.0
+        kwargs = dict(
+            reorder=reorder, hbm_contention=hbm_contention,
+            scheduler=scheduler, engine=engine,
+        )
+        for stage in range(pp):
+            full = self._stage_schedule(schedule, stage_of, stage)
+            body = self._stage_schedule(
+                schedule, stage_of, stage, drop_tail=True
+            )
+            # each run starts a fresh device slice at t=0, so the full
+            # stage time minus the tail-free time isolates the tail
+            t_mb = 0.0
+            if body.ops:
+                t_mb = HLS1Runtime(HLS1Device(stage_config)).execute(
+                    body, **kwargs
+                ).total_time_us
+            t_full = t_mb
+            if full.ops:
+                result = HLS1Runtime(HLS1Device(stage_config)).execute(
+                    full, **kwargs
+                )
+                t_full = result.total_time_us
+                stall_total += result.contention_stall_us
+                fabric_busy += result.fabric_busy_us
+                exposed = max(exposed, result.exposed_comm_us)
+                for ev in result.timeline.events:
+                    events.append(
+                        dataclasses.replace(
+                            ev, card=ev.card + stage * stage_cards
+                        )
+                    )
+            mb_times.append(t_mb)
+            tail_times.append(max(0.0, t_full - t_mb))
+        slot = max(mb_times) if mb_times else 0.0
+        total = (microbatches + pp - 1) * slot + (
+            max(tail_times) if tail_times else 0.0
+        )
+        timeline = Timeline(
+            events, name=schedule.graph.name, validate=False
+        )
+        return ExecutionResult(
+            timeline=timeline,
+            total_time_us=total,
+            start_offset_us=0.0,
+            schedule=schedule,
+            peak_hbm_bytes=schedule.memory.peak_bytes,
+            contention_stall_us=stall_total,
+            num_cards=total_cards,
+            exposed_comm_us=exposed,
             fabric_busy_us=fabric_busy,
         )

@@ -74,14 +74,32 @@ class TestCollectivePlans:
         assert all(s.wire_bytes == payload for s in plan.steps)
         assert plan.rate_cap == p * self.cfg.roce_bandwidth_bytes_per_s
         # replaying the steps alone (latency, then wire at the rate
-        # cap) reproduces the closed-form ring time exactly
+        # cap) IS the plan's analytic time — exact equality, no
+        # tolerance: analytic_time_us is defined as this step sum
         replay = sum(
             s.latency_us + s_to_us(s.wire_bytes / plan.rate_cap)
             for s in plan.steps
         )
+        assert replay == plan.analytic_time_us
+        assert plan.replay_time_us() == plan.analytic_time_us
+        # the textbook closed form stays as a cross-check reference;
+        # it differs from the step sum only by FP rounding order
         analytic = RingAllReduce(self.cfg).cost(p, payload).time_us
         assert replay == pytest.approx(analytic, rel=1e-12)
-        assert plan.analytic_time_us == pytest.approx(analytic)
+
+    @pytest.mark.parametrize(
+        "op,p,payload",
+        [
+            ("all_reduce", 8, 4 << 20), ("all_reduce", 2, 17),
+            ("all_gather", 4, 1 << 20), ("reduce_scatter", 8, 3 << 19),
+            ("broadcast", 4, 1 << 10), ("all_reduce", 8, 3),
+        ],
+    )
+    def test_replay_equals_analytic_exactly(self, op, p, payload):
+        # satellite regression: every flat plan's analytic time equals
+        # its replayed step sum bit-for-bit, sub-chunk floors included
+        plan = collective_plan(op, p, payload, self.cfg)
+        assert plan.replay_time_us() == plan.analytic_time_us
 
     def test_sub_chunk_payload_is_latency_only(self):
         # fewer payload bytes than cards: the ring cannot split the
@@ -92,12 +110,22 @@ class TestCollectivePlans:
         )
         plan = collective_plan("all_reduce", 8, 2, self.cfg)
         assert all(s.wire_bytes == 0.0 for s in plan.steps)
+        # the latency-only floor is exact, not approximate
+        assert plan.analytic_time_us == 2 * 7 * self.cfg.roce_latency_us
 
     def test_all_gather_plan(self):
         payload = 1 << 20
         plan = collective_plan("all_gather", 4, payload, self.cfg)
         assert len(plan.steps) == 3
         assert all(s.wire_bytes == 4 * payload for s in plan.steps)
+
+    def test_reduce_scatter_plan_is_half_the_all_reduce(self):
+        payload = 4 << 20
+        rs = collective_plan("reduce_scatter", 4, payload, self.cfg)
+        ar = collective_plan("all_reduce", 4, payload, self.cfg)
+        assert len(rs.steps) * 2 == len(ar.steps)
+        assert rs.steps == ar.steps[: len(rs.steps)]
+        assert rs.rate_cap == ar.rate_cap
 
     def test_broadcast_plan(self):
         payload = 1 << 20
@@ -108,7 +136,7 @@ class TestCollectivePlans:
 
     def test_unknown_op_rejected(self):
         with pytest.raises(ConfigError, match="unknown collective"):
-            collective_plan("reduce_scatter", 4, 1024, self.cfg)
+            collective_plan("all_to_all", 4, 1024, self.cfg)
 
     def test_fabric_bandwidth_scales_with_cards(self):
         assert fabric_bandwidth(self.cfg, 4) == pytest.approx(

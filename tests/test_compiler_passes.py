@@ -30,12 +30,17 @@ from repro.util.errors import CompileError
 PASS_ORDER = [
     "validate", "tpc_slicing", "lower_composites", "view_elision",
     "elementwise_fusion", "recompile_injection", "dma_staging", "emit",
-    "collective_injection", "memory_planning",
+    "tensor_parallel", "collective_injection", "pipeline_partition",
+    "memory_planning",
 ]
 
 #: passes that default off (single-card experiments have no gradients
-#: to all-reduce; op slicing is the opt-in overlap optimization)
-DEFAULT_OFF = {"collective_injection", "tpc_slicing"}
+#: to all-reduce, no TP/PP groups; op slicing is the opt-in overlap
+#: optimization)
+DEFAULT_OFF = {
+    "collective_injection", "tpc_slicing", "tensor_parallel",
+    "pipeline_partition",
+}
 
 
 def small_graph(*, with_softmax=True, with_glu=False):

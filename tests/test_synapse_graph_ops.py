@@ -80,7 +80,10 @@ class TestTable1Mapping:
 
     def test_only_matmul_on_mme(self):
         assert engine_for("matmul") is EngineKind.MME
-        collectives = ("all_reduce", "all_gather", "broadcast")
+        collectives = (
+            "all_reduce", "all_gather", "broadcast", "reduce_scatter",
+            "send", "recv",
+        )
         for name in op_names():
             if name == "matmul":
                 continue
