@@ -1,0 +1,159 @@
+"""Bench A17: attention-kernel-pack regression gate.
+
+Two layers of defence around the GFormer-style kernel pack:
+
+* **kernel tier** — functional :class:`TPCSimulator` launches of
+  ``fused_softmax``, ``windowed_attention`` and ``flash_attention`` at a
+  small shape, holding each kernel's sustained TFLOP/s against the
+  floors in ``kernel_thresholds.json`` (an instruction-stream or
+  index-space regression tanks these immediately);
+* **layer tier** — the full A17 ablation at the paper's shapes,
+  asserting its shape checks plus absolute bounds on the flash layer
+  time and the exposed-softmax times under the fused and flash
+  lowerings.
+
+Every run rewrites ``BENCH_kernels.json`` at the repo root, so the
+kernel-pack trajectory is versioned alongside the lowering-pass and
+cost-model changes that move it.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from conftest import assert_checks
+
+from repro.core import run_kernel_pack_ablation
+from repro.core.kernel_study import (
+    exposed_softmax_tpc_us,
+    score_matrix_hbm_bytes,
+)
+from repro.hw.config import TPCClusterConfig
+from repro.hw.dtypes import DType
+from repro.tpc.kernels import REGISTRY
+from repro.tpc.simulator import TPCSimulator
+
+THRESHOLDS = json.loads(
+    (Path(__file__).parent / "kernel_thresholds.json").read_text()
+)
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_kernels.json"
+
+
+def _measure_kernels() -> dict:
+    """Launch each pack kernel functionally and report sustained rates."""
+    shapes = THRESHOLDS["kernels"]["shapes"]
+    batch, seq = shapes["batch"], shapes["seq_len"]
+    dim, window = shapes["head_dim"], shapes["window"]
+    rng = np.random.default_rng(0)
+    sim = TPCSimulator(TPCClusterConfig(), DType.BF16)
+
+    x = rng.standard_normal((batch, seq, seq)).astype(np.float32)
+    q = rng.standard_normal((batch, seq, dim)).astype(np.float32)
+    k = rng.standard_normal((batch, seq, dim)).astype(np.float32)
+    v = rng.standard_normal((batch, seq, dim)).astype(np.float32)
+    launches = {
+        "fused_softmax": sim.launch(
+            REGISTRY.create("fused_softmax"), {"x": x}
+        ),
+        "windowed_attention": sim.launch(
+            REGISTRY.create("windowed_attention", window=window),
+            {"q": q, "k": k, "v": v},
+        ),
+        "flash_attention": sim.launch(
+            REGISTRY.create("flash_attention"), {"q": q, "k": k, "v": v}
+        ),
+    }
+    return {
+        name: {
+            "tflops": round(r.achieved_tflops, 4),
+            "time_us": round(r.time_us, 2),
+            "balance": round(r.balance, 3),
+        }
+        for name, r in launches.items()
+    }
+
+
+def _measure() -> dict:
+    kernels = _measure_kernels()
+    study = run_kernel_pack_ablation()
+    naive = study.profile("naive")
+    fused = study.profile("fused")
+    flash = study.profile("flash")
+    return {
+        "study": study,
+        "kernels": kernels,
+        "softmax_layer": {
+            "naive_total_ms": round(naive.total_time_ms, 2),
+            "naive_exposed_ms": round(
+                exposed_softmax_tpc_us(naive) / 1e3, 2
+            ),
+            "fused_exposed_ms": round(
+                exposed_softmax_tpc_us(fused) / 1e3, 2
+            ),
+            "flash_total_ms": round(flash.total_time_ms, 2),
+            "flash_exposed_ms": round(
+                exposed_softmax_tpc_us(flash) / 1e3, 2
+            ),
+            "flash_naive_ratio": round(study.flash_layer_ratio, 3),
+            "flash_score_hbm_bytes": score_matrix_hbm_bytes(flash),
+            "score_traffic_ratio": round(study.score_traffic_ratio, 1),
+        },
+        "thresholds": {
+            k: v for k, v in THRESHOLDS.items() if not k.startswith("_")
+        },
+    }
+
+
+def test_kernel_regression(benchmark, record_info):
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    study = result.pop("study")
+    assert_checks(study.checks())
+
+    floors = THRESHOLDS["kernels"]["min_tflops"]
+    for name, floor in floors.items():
+        measured = result["kernels"][name]["tflops"]
+        assert measured >= floor, (
+            f"{name} sustained {measured:.3f} TFLOP/s, below the "
+            f"{floor} floor"
+        )
+
+    layer = result["softmax_layer"]
+    bounds = THRESHOLDS["softmax_layer"]
+    assert layer["flash_total_ms"] <= bounds["max_flash_total_ms"], (
+        f"flash layer time {layer['flash_total_ms']:.1f} ms exceeded "
+        f"the {bounds['max_flash_total_ms']:.0f} ms ceiling"
+    )
+    assert layer["flash_naive_ratio"] <= bounds["max_flash_naive_ratio"], (
+        f"flash/naive ratio {layer['flash_naive_ratio']:.2f} exceeded "
+        f"{bounds['max_flash_naive_ratio']:.2f} — the kernel-side win "
+        "shrank below the paper-claim bar"
+    )
+    assert layer["fused_exposed_ms"] <= bounds["max_fused_exposed_ms"], (
+        "fused lowering stopped hiding the softmax exponential: "
+        f"{layer['fused_exposed_ms']:.1f} ms exposed"
+    )
+    assert layer["flash_exposed_ms"] <= bounds["max_flash_exposed_ms"], (
+        "flash lowering re-exposed softmax TPC time: "
+        f"{layer['flash_exposed_ms']:.1f} ms"
+    )
+    assert layer["flash_score_hbm_bytes"] == 0, (
+        "flash schedule moved score-matrix bytes through HBM"
+    )
+
+    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    record_info(
+        benchmark,
+        flash_attention_tflops=result["kernels"]["flash_attention"][
+            "tflops"
+        ],
+        windowed_attention_tflops=result["kernels"]["windowed_attention"][
+            "tflops"
+        ],
+        fused_softmax_tflops=result["kernels"]["fused_softmax"]["tflops"],
+        flash_total_ms=layer["flash_total_ms"],
+        flash_naive_ratio=layer["flash_naive_ratio"],
+        fused_exposed_ms=layer["fused_exposed_ms"],
+    )
+    print()
+    print(study.render())

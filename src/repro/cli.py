@@ -24,6 +24,7 @@ from .core import (
     run_fusion_ablation,
     run_generation_comparison,
     run_hbm_contention_ablation,
+    run_kernel_pack_ablation,
     run_memory_ablation,
     run_mme_vs_tpc,
     run_op_mapping,
@@ -127,6 +128,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] =
                          lambda: _simple(run_serving_ablation)),
     "ablation-parallel": ("A16: multi-box parallel layouts",
                           lambda: _simple(run_parallel_study)),
+    "ablation-kernels": ("A17: attention kernel pack",
+                         lambda: _simple(run_kernel_pack_ablation)),
 }
 
 
@@ -314,6 +317,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compiler-option bundle axis (choices: "
                             f"{', '.join(sorted(SWEEP_POLICIES))}; "
                             "repeatable; default 'default')")
+    sweep.add_argument("--attention-kernel", action="append", default=[],
+                       choices=("naive", "fused", "windowed", "flash"),
+                       metavar="KERNEL",
+                       help="attention-lowering axis crossed with every "
+                            "policy (choices: naive, fused, windowed, "
+                            "flash; repeatable; default: the compile "
+                            "default, naive)")
     sweep.add_argument("-o", "--out", metavar="FILE",
                        help="stream one JSON line per completed point "
                             "to FILE")
@@ -338,6 +348,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="in-flight batch slots (default 8)")
     serve.add_argument("--seed", type=int, default=0, metavar="N",
                        help="arrival-trace seed (default 0)")
+    serve.add_argument("--attention-kernel", default=None,
+                       choices=("naive", "fused", "windowed", "flash"),
+                       metavar="KERNEL",
+                       help="attention lowering for every prefill/decode "
+                            "compile (default: the compile default, "
+                            "naive)")
     serve.add_argument("-o", "--out", metavar="FILE",
                        help="stream one JSON line per completed "
                             "scenario to FILE")
@@ -423,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
             args.model, args.batch, args.seq_len, args.card, args.policy,
             boxes=args.boxes, tp=args.tp, pp=args.pp,
             auto_layout=args.auto_layout,
+            attention=args.attention_kernel,
         )
         result = run_sweep(
             spec, jobs=_CLI_JOBS, stream=args.out,
@@ -454,8 +471,17 @@ def main(argv: list[str] | None = None) -> int:
             for rate in rates
             for policy in policies
         ]
+        serve_options = None
+        if args.attention_kernel:
+            import dataclasses as _dc
+
+            serve_options = _dc.replace(
+                default_compiler_options(),
+                attention_lowering=args.attention_kernel,
+            )
         results = run_serving(
             points, jobs=_CLI_JOBS, stream=args.out,
+            options=serve_options,
             recipe_dir=default_recipe_cache_dir(),
         )
         print(render_serving_table(

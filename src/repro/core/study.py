@@ -26,6 +26,7 @@ from .decode_study import run_decode_study
 from .e2e_llm import run_e2e
 from .energy_study import run_energy_study
 from .generations import run_generation_comparison
+from .kernel_study import run_kernel_pack_ablation
 from .memory_study import run_memory_ablation
 from .mme_vs_tpc import run_mme_vs_tpc
 from .opmapping import run_op_mapping
@@ -168,6 +169,10 @@ def run_full_study(
         a16 = run_parallel_study()
         report.add("A16: multi-box parallel layouts", a16.render(),
                    a16.checks())
+
+        a17 = run_kernel_pack_ablation(config=config)
+        report.add("A17: attention kernel pack", a17.render(),
+                   a17.checks())
 
     from ..synapse import recipe_cache_stats
 

@@ -138,11 +138,16 @@ class SweepSpec:
     checkpoint: bool = False
     executor: str = "hls1"
     points: tuple[SweepPoint, ...] | None = None
+    #: attention-kernel axis (``attention_lowering`` values): each
+    #: policy is crossed with every kernel, labelled ``policy+kernel``;
+    #: empty keeps the compile default (no override, no label suffix)
+    attention: tuple[str, ...] = ()
 
     def expand(self) -> list[SweepPoint]:
         """The grid as an ordered point list (explicit points win)."""
         if self.points is not None:
             return list(self.points)
+        kernels: tuple[str | None, ...] = self.attention or (None,)
         out = []
         for model in self.models:
             for batch in self.batches:
@@ -150,13 +155,22 @@ class SweepSpec:
                     for cards in self.cards:
                         for boxes in self.boxes:
                             for policy, overrides in self.policies:
-                                out.append(SweepPoint(
-                                    model=model, batch=batch,
-                                    seq_len=seq_len, cards=cards,
-                                    boxes=boxes, policy=policy,
-                                    overrides=overrides,
-                                    checkpoint=self.checkpoint,
-                                ))
+                                for kernel in kernels:
+                                    label = policy
+                                    if kernel is not None:
+                                        label = f"{policy}+{kernel}"
+                                        overrides_k = overrides + (
+                                            ("attention_lowering", kernel),
+                                        )
+                                    else:
+                                        overrides_k = overrides
+                                    out.append(SweepPoint(
+                                        model=model, batch=batch,
+                                        seq_len=seq_len, cards=cards,
+                                        boxes=boxes, policy=label,
+                                        overrides=overrides_k,
+                                        checkpoint=self.checkpoint,
+                                    ))
         return out
 
 
@@ -546,6 +560,7 @@ def sweep_spec_from_cli(
     tp: int = 1,
     pp: int = 1,
     auto_layout: bool = False,
+    attention: Iterable[str] = (),
 ) -> SweepSpec:
     """Build the ``repro sweep`` grid from repeatable CLI flags.
 
@@ -554,19 +569,33 @@ def sweep_spec_from_cli(
     pipeline-partition passes (``pp`` pins ``microbatches = pp``, the
     minimum legal fill); ``--auto-layout`` instead asks the
     auto-parallelism planner to pick ``(tp, pp, dp)`` per population
-    and replaces the policy axis with the planner's verdicts.
+    and replaces the policy axis with the planner's verdicts;
+    ``attention`` (``--attention-kernel``) adds the attention-lowering
+    axis, crossing every policy with each named kernel.
     """
+    from ..synapse.passes.attention import ATTENTION_LOWERINGS
+
     unknown = [p for p in policies if p not in SWEEP_POLICIES]
     if unknown:
         known = ", ".join(sorted(SWEEP_POLICIES))
         raise ValueError(
             f"unknown sweep policy {unknown[0]!r} (known: {known})"
         )
+    attention_t = tuple(attention)
+    bad = [a for a in attention_t if a not in ATTENTION_LOWERINGS]
+    if bad:
+        raise ValueError(
+            f"unknown attention kernel {bad[0]!r} (known: "
+            f"{', '.join(ATTENTION_LOWERINGS)})"
+        )
     if tp < 1 or pp < 1:
         raise ValueError(f"tp/pp must be >= 1, got tp={tp} pp={pp}")
     if auto_layout and (tp > 1 or pp > 1):
         raise ValueError("--auto-layout already picks tp/pp; drop "
                          "the explicit --tp/--pp flags")
+    if auto_layout and attention_t:
+        raise ValueError("--auto-layout replaces the policy axis; it "
+                         "cannot be crossed with --attention-kernel")
     models_t = tuple(models) or ("gpt",)
     batches_t = tuple(batches) or (None,)
     seq_lens_t = tuple(seq_lens) or (None,)
@@ -598,4 +627,5 @@ def sweep_spec_from_cli(
         cards=cards_t,
         boxes=boxes_t,
         policies=named,
+        attention=attention_t,
     )

@@ -23,6 +23,13 @@ from ..util.validation import (
 )
 from .dtypes import DType, TPC_VECTOR_BITS, simd_lanes
 
+#: VPU cycles per element for the exponential special function. This is
+#: the single source of truth shared by the aggregate cost model
+#: (``TPCClusterConfig.special_cycles``) and the mini-ISA softmax
+#: kernels (``repro.tpc.kernels.softmax`` derives its per-bundle stall
+#: from it), so the Fig-4 recalibration can never drift between layers.
+EXP_SPECIAL_CYCLES = 15
+
 
 @dataclass(frozen=True)
 class MMEConfig:
@@ -85,7 +92,7 @@ class TPCClusterConfig:
     # fused sub+exp chain sets softmax's TPC busy time).
     special_cycles: dict[str, int] = field(
         default_factory=lambda: {
-            "exp": 15,
+            "exp": EXP_SPECIAL_CYCLES,
             "log": 14,
             "sqrt": 8,
             "rsqrt": 8,

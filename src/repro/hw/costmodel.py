@@ -32,6 +32,7 @@ DMA (``DMAModel``)
 from __future__ import annotations
 
 import enum
+import functools
 import math
 from dataclasses import dataclass, field
 
@@ -266,6 +267,122 @@ def tpc_matmul_cycles(
     prologue_cycles = members * TPC_MATMUL_PROLOGUE_CYCLES
     total = fma_cycles + load_cycles + store_cycles + prologue_cycles
     return total / cores
+
+
+# -- Attention kernel-pack analytic twins (GFormer-style lowerings) ----------
+#
+# The kernel pack in :mod:`repro.tpc.kernels` (fused_softmax,
+# windowed_attention, flash_attention) replaces the naive attention cone
+# with fused kernels. These helpers are their cost-model twins: they
+# shape the :class:`MatmulDims` that the ``attention_lowering`` compiler
+# pass puts on its work items, so the aggregate simulator prices exactly
+# the MME-offload and HBM-traffic structure the mini-ISA kernels
+# implement (thin-K basis GEMM, banded sweeps, tile-pair visit counts).
+
+#: Width of the fixed exponential basis the fused softmax multiplies
+#: against on the MME (GFormer §3: exp-as-matmul offload). A thin K
+#: keeps the MAC array's fill factor low (``k / (k + fill_cycles)``),
+#: which is the honest price of trading TPC special-function cycles for
+#: MME MACs — the offload still wins because the op is memory-bound.
+EXP_OFFLOAD_BASIS = 8
+
+
+def exp_offload_dims(
+    shape: tuple[int, ...], basis: int = EXP_OFFLOAD_BASIS
+) -> MatmulDims:
+    """GEMM dims of evaluating ``exp`` over ``shape`` on the MME.
+
+    Every output row of the tensor becomes one GEMM row multiplied
+    against a fixed ``last x basis`` interpolation basis, i.e. a single
+    tall-skinny matmul of ``(rows, basis) @ (basis, last)``.
+    """
+    last = int(shape[-1]) if shape else 1
+    numel = int(math.prod(shape)) if shape else 1
+    rows = max(1, numel // max(1, last))
+    return MatmulDims(1, rows, max(1, last), max(1, int(basis)))
+
+
+@functools.lru_cache(maxsize=None)
+def attention_window_span(seq: int, window: int, causal: bool) -> float:
+    """Mean number of keys each query attends to under a sliding window.
+
+    Causal windows cover the ``window`` most recent positions (self
+    included); bidirectional windows are centered on the query with the
+    extra slot on the future side, matching the kernel's mask.
+    """
+    seq = int(seq)
+    w = max(1, min(int(window), seq))
+    if causal:
+        if seq <= w:
+            total = seq * (seq + 1) // 2
+        else:
+            total = w * (w + 1) // 2 + (seq - w) * w
+        return total / seq
+    lo_off = (w - 1) // 2
+    hi_off = w // 2
+    total = 0
+    for i in range(seq):
+        total += min(seq, i + hi_off + 1) - max(0, i - lo_off)
+    return total / seq
+
+
+def windowed_attention_dims(
+    batch: int, seq: int, head_dim: int, window: int, causal: bool
+) -> MatmulDims:
+    """TPC-kernel GEMM twin of the banded QK^T -> softmax -> V sweep.
+
+    The windowed kernel touches ``span`` keys per query (the mean band
+    width), paying two GEMV sweeps per in-window key — scores and the
+    value gather — hence ``k = 2 * head_dim``. Pricing this through
+    :func:`tpc_matmul_cycles` reproduces the kernel's FMA bundle count;
+    the softmax-on-the-strip epilogue rides in the model's loop/prologue
+    overhead terms.
+    """
+    span = max(1, round(attention_window_span(seq, window, causal)))
+    return MatmulDims(max(1, int(batch)), max(1, int(seq)), span,
+                      2 * max(1, int(head_dim)))
+
+
+@functools.lru_cache(maxsize=None)
+def flash_attention_tile_pairs(
+    seq: int, q_block: int, k_block: int, causal: bool
+) -> int:
+    """Number of (Q-tile, K-tile) pairs the flash kernel actually visits.
+
+    Causal masking lets whole tiles above the diagonal be skipped before
+    any work is issued — the tile-level analogue of the windowed
+    kernel's block skipping.
+    """
+    seq = int(seq)
+    qb = max(1, min(int(q_block), seq))
+    kb = max(1, min(int(k_block), seq))
+    pairs = 0
+    for lo in range(0, seq, qb):
+        hi = min(seq, lo + qb)  # one past the tile's last query row
+        limit = hi if causal else seq
+        pairs += math.ceil(limit / kb)
+    return pairs
+
+
+def flash_attention_dims(
+    batch: int, seq: int, head_dim: int, q_block: int, k_block: int,
+    causal: bool,
+) -> MatmulDims:
+    """MME twin of the tiled online-softmax attention kernel.
+
+    Each visited tile pair costs two small GEMMs (Q K^T and P V), so the
+    batch dimension counts ``2 * pairs`` tiles of ``q_block x k_block``
+    contracting over ``head_dim``. For a non-causal sweep this tiles the
+    full attention FLOPs exactly; causal sweeps shrink with the skipped
+    tiles. The small ``m`` under-fills the MAC array — the honest
+    fill-factor price of tiling — while HBM traffic drops to the O(seq)
+    Q/K/V/O streams because the score matrix never leaves local memory.
+    """
+    pairs = flash_attention_tile_pairs(seq, q_block, k_block, causal)
+    qb = max(1, min(int(q_block), int(seq)))
+    kb = max(1, min(int(k_block), int(seq)))
+    return MatmulDims(2 * max(1, int(batch)) * pairs, qb, kb,
+                      max(1, int(head_dim)))
 
 
 class TPCModel:

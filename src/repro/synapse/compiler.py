@@ -6,6 +6,8 @@ sequence of named passes (see :mod:`repro.synapse.passes`) over a
 shared :class:`~repro.synapse.passes.state.CompilationState`:
 
 * ``validate`` — structural graph checks.
+* ``attention_lowering`` — the kernel-pack choice: softmax/attention
+  cones rewritten per ``attention_lowering`` (naive is the identity).
 * ``lower_composites`` — composite ops (softmax, layernorm, ...)
   rewritten into primitives.
 * ``view_elision`` — pure-view ops (reshape, broadcast, contiguous
@@ -160,6 +162,17 @@ class CompilerOptions:
     #: microbatches per step the pipeline runtime interleaves
     #: (``--microbatches``); the compiled graph is one microbatch
     microbatches: int = 1
+    #: attention/softmax kernel choice for the ``attention_lowering``
+    #: pass: ``"naive"`` (the identity — byte-identical to historical
+    #: compiles), ``"fused"`` (softmax with MME exp-as-matmul offload),
+    #: ``"windowed"`` (banded sliding-window attention on the TPC) or
+    #: ``"flash"`` (tiled online-softmax attention on the MME; the
+    #: score matrix never reaches HBM). Recipe-keyed like any
+    #: non-runtime option (``--attention-kernel``)
+    attention_lowering: str = "naive"
+    #: sliding-window width (keys per query) of the ``"windowed"``
+    #: attention lowering
+    attention_window: int = 512
 
 
 def disable_passes(

@@ -11,7 +11,11 @@ flags what a Gaudi performance engineer would circle in review:
 * reductions over short axes (worst-case SIMD efficiency, §3.3),
 * values produced and never consumed (dead compute),
 * row-sliced subgraphs (``tpc_slicing`` pass) whose ``assemble_rows``
-  does not stitch the slices back into the original tensor.
+  does not stitch the slices back into the original tensor,
+* fused-softmax trios (``attention_lowering="fused"``) that do not
+  consume/produce the same values as the naive softmax they replace,
+* ``windowed_attention`` ops that fail to declare their sliding-window
+  mask (schedule lint then checks the band's coverage).
 """
 
 from __future__ import annotations
@@ -108,6 +112,53 @@ def _check_slice_reassembly(graph, node, producer_of) -> list[LintWarning]:
             "slice-reassembly",
             f"assemble_rows windows cover [0, {expect_lo}) but the "
             f"output declares {out_rows} rows",
+            node.nid,
+        ))
+    return warnings
+
+
+def _check_fused_softmax_cone(graph, node, producer_of) -> list[LintWarning]:
+    """Verify a fused-softmax trio consumes/produces the naive cone's
+    values: ``softmax_norm`` must normalize an ``exp_basis_mm`` that
+    exponentiates a ``softmax_shift``, all three over the same shape and
+    axis — anything else computes a different tensor than the naive
+    ``softmax`` the ``attention_lowering`` pass replaced."""
+    warnings: list[LintWarning] = []
+    exp = producer_of.get(node.inputs[0])
+    if exp is None or exp.op != "exp_basis_mm":
+        got = exp.op if exp is not None else "a graph input"
+        warnings.append(LintWarning(
+            "fused-softmax-cone",
+            f"softmax_norm consumes {got}, expected the exp_basis_mm "
+            "stage of the fused trio",
+            node.nid,
+        ))
+        return warnings
+    shift = producer_of.get(exp.inputs[0])
+    if shift is None or shift.op != "softmax_shift":
+        got = shift.op if shift is not None else "a graph input"
+        warnings.append(LintWarning(
+            "fused-softmax-cone",
+            f"exp_basis_mm consumes {got}, expected the softmax_shift "
+            "stage of the fused trio",
+            exp.nid,
+        ))
+        return warnings
+    cone_in = graph.value(shift.inputs[0]).shape
+    cone_out = graph.value(node.output).shape
+    if cone_in != cone_out:
+        warnings.append(LintWarning(
+            "fused-softmax-cone",
+            f"fused softmax maps shape {cone_in} to {cone_out}; the "
+            "naive cone it replaces is shape-preserving",
+            node.nid,
+        ))
+    axes = {n.attrs.get("axis", -1) for n in (shift, exp, node)}
+    if len(axes) > 1:
+        warnings.append(LintWarning(
+            "fused-softmax-cone",
+            f"fused softmax stages disagree on the reduction axis "
+            f"{sorted(axes, key=repr)}",
             node.nid,
         ))
     return warnings
@@ -210,6 +261,29 @@ def lint_graph(graph: Graph) -> list[LintWarning]:
                 _check_slice_reassembly(graph, node, producer_of)
             )
 
+        if node.op == "softmax_norm":
+            warnings.extend(
+                _check_fused_softmax_cone(graph, node, producer_of)
+            )
+
+        if node.op == "windowed_attention":
+            window = node.attrs.get("window")
+            if node.attrs.get("mask") != "sliding_window":
+                warnings.append(LintWarning(
+                    "windowed-mask",
+                    f"{node.op} does not declare mask='sliding_window'; "
+                    "schedule lint cannot check the band's coverage "
+                    "without the declared mask kind",
+                    node.nid,
+                ))
+            elif not isinstance(window, int) or window < 1:
+                warnings.append(LintWarning(
+                    "windowed-mask",
+                    f"{node.op} declares a sliding-window mask but its "
+                    f"window attr is {window!r} (need an int >= 1)",
+                    node.nid,
+                ))
+
         if node.op == "transpose":
             consumers = [
                 n for n in graph.nodes if node.output in n.inputs
@@ -238,12 +312,28 @@ def lint_graph(graph: Graph) -> list[LintWarning]:
         # rough FLOP split for the balance rule
         numel = out_value.numel
         if opdef.op_class is OpClass.MATMUL:
-            from .ops import matmul_spec
+            if opdef.work_item_fn is not None:
+                # kernel-pack ops (exp_basis_mm, windowed/flash
+                # attention): their GEMM twin depends on attrs, not the
+                # two-operand matmul form — and windowed runs on the TPC
+                from .ops import work_item_for
 
-            _, dims = matmul_spec(
-                in_values[0].shape, in_values[1].shape, node.attrs
-            )
-            mme_flops += dims.flops
+                item = work_item_for(
+                    node.op, [v.shape for v in in_values],
+                    out_value.shape, out_value.dtype, node.attrs,
+                    opdef=opdef,
+                )
+                if opdef.engine is EngineKind.MME:
+                    mme_flops += item.flops
+                else:
+                    tpc_flops += item.flops
+            else:
+                from .ops import matmul_spec
+
+                _, dims = matmul_spec(
+                    in_values[0].shape, in_values[1].shape, node.attrs
+                )
+                mme_flops += dims.flops
         elif opdef.op_class in (OpClass.ELEMENTWISE, OpClass.SPECIAL,
                                 OpClass.REDUCTION):
             tpc_flops += numel * opdef.flops_per_element
@@ -287,6 +377,10 @@ def lint_schedule(schedule) -> list[LintWarning]:
     * ``spill-pairing`` — every ``spill_in`` restore must pair with a
       ``spill_out`` offload of the same value and byte count, and the
       value must not be read while it sits off-device.
+    * ``window-coverage`` — every scheduled ``windowed_attention`` must
+      carry the declared sliding-window mask, and the band must be a
+      strict subset of the score matrix: a window at least the key
+      count silently degrades to full attention at banded-kernel cost.
     """
     warnings: list[LintWarning] = []
 
@@ -357,6 +451,35 @@ def lint_schedule(schedule) -> list[LintWarning]:
                     f"value {vid} while it is spilled out "
                     f"(ops {out.index}..{op.index})",
                     between.index,
+                ))
+
+    graph = getattr(schedule, "graph", None)
+    if graph is not None:
+        for node in graph.nodes:
+            if node.op != "windowed_attention":
+                continue
+            window = node.attrs.get("window")
+            if (
+                node.attrs.get("mask") != "sliding_window"
+                or not isinstance(window, int) or window < 1
+            ):
+                warnings.append(LintWarning(
+                    "window-coverage",
+                    "scheduled windowed_attention lacks a well-formed "
+                    f"sliding-window declaration (mask="
+                    f"{node.attrs.get('mask')!r}, window={window!r})",
+                    node.nid,
+                ))
+                continue
+            keys = graph.value(node.inputs[1]).shape[-2]
+            if window >= keys:
+                warnings.append(LintWarning(
+                    "window-coverage",
+                    f"window {window} >= key count {keys}: the band "
+                    "covers the whole score matrix — this is full "
+                    "attention at banded-kernel prices; use the flash "
+                    "or naive lowering instead",
+                    node.nid,
                 ))
     return warnings
 

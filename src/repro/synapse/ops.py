@@ -24,7 +24,16 @@ from typing import Callable
 
 import numpy as np
 
-from ..hw.costmodel import EngineKind, MatmulDims, OpClass, WorkItem
+from ..hw.costmodel import (
+    EXP_OFFLOAD_BASIS,
+    EngineKind,
+    MatmulDims,
+    OpClass,
+    WorkItem,
+    exp_offload_dims,
+    flash_attention_dims,
+    windowed_attention_dims,
+)
 from ..hw.dtypes import DType, itemsize
 from ..util.errors import GraphError, ShapeError
 
@@ -204,6 +213,11 @@ class OpDef:
     writes_output: bool = True
     composite: bool = False
     supported: bool = True
+    #: custom WorkItem builder for ops whose cost shape no generic
+    #: op_class branch describes (the attention kernel pack); called as
+    #: ``work_item_fn(label, in_shapes, out_shape, dtype, attrs,
+    #: bytes_read, bytes_written)``
+    work_item_fn: Callable[..., WorkItem] | None = None
     #: human explanation shown in the Table 1 reproduction
     doc: str = ""
 
@@ -297,6 +311,13 @@ def work_item_for(
     )
     bytes_written = out_numel * isz if opdef.writes_output else 0
 
+    if opdef.work_item_fn is not None:
+        # Kernel-pack ops: their GEMM twin is a function of attrs (window
+        # size, tile geometry), not of the two-operand matmul_spec form.
+        return opdef.work_item_fn(
+            label or name, in_shapes, out_shape, dtype, attrs,
+            bytes_read, bytes_written,
+        )
     if opdef.op_class is OpClass.MATMUL:
         _, dims = matmul_spec(in_shapes[0], in_shapes[1], attrs)
         return WorkItem(
@@ -673,4 +694,146 @@ register(OpDef(
     ),
     composite=True, flops_per_element=5.0,
     doc="log-softmax (lowered)",
+))
+
+
+# -- attention kernel pack (PR-9 GFormer-style lowerings) --------------------
+# These ops are what the ``attention_lowering`` compiler pass splices in
+# for the non-naive kernel choices. Their numerics mirror the naive cone
+# (the fused trio composes to exactly the lowered softmax; the attention
+# ops apply the same -1e9 masking the frontend's causal mask uses), and
+# their cost shapes come from the analytic twins in
+# :mod:`repro.hw.costmodel` so the aggregate simulator prices the same
+# structure the mini-ISA kernels in :mod:`repro.tpc.kernels` implement.
+
+#: Finite mask value of the attention kernels. Matches the frontend's
+#: causal-mask constant (``models.attention``): after the stable
+#: max-shift, ``exp`` of a masked score underflows to exactly 0.0, so
+#: masking by ``where(keep, s, -1e9)`` and masking by ``add(s, -1e9)``
+#: produce byte-identical probabilities on finite scores.
+ATTENTION_MASK_VALUE = -1.0e9
+
+
+def _softmax_shift(inputs: list[np.ndarray], attrs: dict) -> np.ndarray:
+    x = inputs[0]
+    m = x.max(axis=attrs.get("axis", -1), keepdims=True)
+    return x - np.where(np.isfinite(m), m, 0.0)
+
+
+def _softmax_norm(inputs: list[np.ndarray], attrs: dict) -> np.ndarray:
+    e = inputs[0]
+    denom = e.sum(axis=attrs.get("axis", -1), keepdims=True)
+    return np.divide(e, denom, out=np.zeros_like(e), where=denom > 0)
+
+
+def attention_keep_mask(n_q: int, n_k: int, attrs: dict) -> np.ndarray:
+    """Boolean (n_q, n_k) keep-mask from causal/window attrs."""
+    i = np.arange(n_q)[:, None]
+    j = np.arange(n_k)[None, :]
+    keep = np.ones((n_q, n_k), dtype=bool)
+    causal = bool(attrs.get("causal", False))
+    if causal:
+        keep &= j <= i
+    window = attrs.get("window")
+    if window is not None:
+        w = int(window)
+        if causal:
+            keep &= j > i - w
+        else:
+            keep &= (j >= i - (w - 1) // 2) & (j <= i + w // 2)
+    return keep
+
+
+def _attention_shape(shapes: list[Shape], attrs: dict) -> Shape:
+    if len(shapes) != 3:
+        raise ShapeError(f"attention expects q, k, v; got {len(shapes)} inputs")
+    q, k, v = shapes
+    if min(len(q), len(k), len(v)) < 2:
+        raise ShapeError(f"attention operands need rank >= 2: {q}, {k}, {v}")
+    if q[:-2] != k[:-2] or q[:-2] != v[:-2]:
+        raise ShapeError(f"attention batch dims differ: {q}, {k}, {v}")
+    if q[-1] != k[-1] or k[-2] != v[-2]:
+        raise ShapeError(f"attention contraction mismatch: {q}, {k}, {v}")
+    return q[:-1] + (v[-1],)
+
+
+def _attention_compute(inputs: list[np.ndarray], attrs: dict) -> np.ndarray:
+    q, k, v = inputs
+    scale = float(attrs.get("scale", q.shape[-1] ** -0.5))
+    s = (q @ np.swapaxes(k, -1, -2)) * scale
+    keep = attention_keep_mask(q.shape[-2], k.shape[-2], attrs)
+    s = np.where(keep, s, ATTENTION_MASK_VALUE)
+    return _softmax(s, -1) @ v
+
+
+def _exp_basis_item(label, in_shapes, out_shape, dtype, attrs,
+                    bytes_read, bytes_written) -> WorkItem:
+    dims = exp_offload_dims(out_shape, int(attrs.get("basis",
+                                                     EXP_OFFLOAD_BASIS)))
+    return WorkItem(
+        label, OpClass.MATMUL, flops=dims.flops,
+        bytes_read=bytes_read, bytes_written=bytes_written,
+        elements=_numel(out_shape), dtype=dtype, matmul=dims,
+    )
+
+
+def _windowed_attention_item(label, in_shapes, out_shape, dtype, attrs,
+                             bytes_read, bytes_written) -> WorkItem:
+    q = in_shapes[0]
+    dims = windowed_attention_dims(
+        max(1, _numel(q[:-2])), q[-2], q[-1],
+        int(attrs.get("window", q[-2])), bool(attrs.get("causal", False)),
+    )
+    return WorkItem(
+        label, OpClass.MATMUL, flops=dims.flops,
+        bytes_read=bytes_read, bytes_written=bytes_written,
+        elements=_numel(out_shape), dtype=dtype, matmul=dims,
+    )
+
+
+def _flash_attention_item(label, in_shapes, out_shape, dtype, attrs,
+                          bytes_read, bytes_written) -> WorkItem:
+    q = in_shapes[0]
+    dims = flash_attention_dims(
+        max(1, _numel(q[:-2])), q[-2], q[-1],
+        int(attrs.get("q_block", 128)), int(attrs.get("k_block", 128)),
+        bool(attrs.get("causal", False)),
+    )
+    return WorkItem(
+        label, OpClass.MATMUL, flops=dims.flops,
+        bytes_read=bytes_read, bytes_written=bytes_written,
+        elements=_numel(out_shape), dtype=dtype, matmul=dims,
+    )
+
+
+register(OpDef(
+    "softmax_shift", OpClass.ELEMENTWISE, EngineKind.TPC,
+    _same_shape_unary, _softmax_shift, flops_per_element=2.0,
+    doc="x - rowmax(x): TPC front end of the fused softmax",
+))
+register(OpDef(
+    "exp_basis_mm", OpClass.MATMUL, EngineKind.MME,
+    _same_shape_unary, lambda i, a: np.exp(i[0]),
+    work_item_fn=_exp_basis_item,
+    doc="exp as a thin-K matmul against a fixed basis on the MME "
+        "(GFormer exp offload); numerically exact here",
+))
+register(OpDef(
+    "softmax_norm", OpClass.ELEMENTWISE, EngineKind.TPC,
+    _same_shape_unary, _softmax_norm, flops_per_element=3.0,
+    doc="e / rowsum(e): TPC back end of the fused softmax",
+))
+register(OpDef(
+    "windowed_attention", OpClass.MATMUL, EngineKind.TPC,
+    _attention_shape, _attention_compute,
+    work_item_fn=_windowed_attention_item,
+    doc="banded QK^T -> softmax -> V TPC kernel over a sliding window, "
+        "skipping fully masked key blocks",
+))
+register(OpDef(
+    "flash_attention", OpClass.MATMUL, EngineKind.MME,
+    _attention_shape, _attention_compute,
+    work_item_fn=_flash_attention_item,
+    doc="tiled online-softmax attention; the score matrix never reaches "
+        "HBM (running max/denominator stay in local memory)",
 ))

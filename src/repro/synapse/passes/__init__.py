@@ -4,7 +4,8 @@ One module per transformation, each a named
 :class:`~repro.synapse.passes.base.CompilerPass` over a shared
 :class:`~repro.synapse.passes.state.CompilationState`:
 
-``validate`` -> ``tpc_slicing`` -> ``lower_composites`` ->
+``validate`` -> ``attention_lowering`` -> ``tpc_slicing`` ->
+``lower_composites`` ->
 ``view_elision`` -> ``elementwise_fusion`` -> ``recompile_injection``
 -> ``dma_staging`` -> ``emit`` -> ``tensor_parallel`` ->
 ``collective_injection`` -> ``pipeline_partition`` ->
@@ -17,6 +18,7 @@ per-stage toggling and attribution the paper wishes SynapseAI's black
 box offered (§4).
 """
 
+from .attention import AttentionLoweringPass
 from .base import CompilerPass, PassManager
 from .collective import CollectiveInjectionPass
 from .incremental import (
@@ -59,6 +61,10 @@ def default_passes() -> list[CompilerPass]:
     """The standard pipeline, in order (fresh instances)."""
     return [
         ValidatePass(),
+        # kernel-choice rewrite first: in naive mode it is the identity;
+        # in fused/windowed/flash modes the slicer below finds no naive
+        # softmax cone left to slice (kernel-side vs scheduler-side).
+        AttentionLoweringPass(),
         TpcSlicingPass(),
         LowerCompositesPass(),
         ViewElisionPass(),
@@ -74,6 +80,7 @@ def default_passes() -> list[CompilerPass]:
 
 
 __all__ = [
+    "AttentionLoweringPass",
     "CollectiveInjectionPass",
     "CompilationState",
     "CompilerPass",

@@ -17,12 +17,18 @@ from .elementwise import (
     UnaryElementwiseKernel,
 )
 from .datamove import GatherRowsKernel, Transpose2DKernel
+from .flash_attention import FlashAttentionKernel
+from .fused_softmax import FusedSoftmaxKernel
 from .layernorm import LayerNormKernel
 from .reduce import REDUCE_SPECS, RowReduceKernel
 from .softmax import SoftmaxKernel
+from .windowed_attention import WindowedAttentionKernel
 
 REGISTRY.register(BatchMatmulKernel)
 REGISTRY.register(SoftmaxKernel)
+REGISTRY.register(FusedSoftmaxKernel)
+REGISTRY.register(WindowedAttentionKernel)
+REGISTRY.register(FlashAttentionKernel)
 REGISTRY.register(GluKernel)
 REGISTRY.register(LayerNormKernel)
 REGISTRY.register(Transpose2DKernel)
@@ -85,6 +91,8 @@ _register_specs()
 __all__ = [
     "BatchMatmulKernel",
     "BinaryElementwiseKernel",
+    "FlashAttentionKernel",
+    "FusedSoftmaxKernel",
     "GatherRowsKernel",
     "GluKernel",
     "LayerNormKernel",
@@ -92,6 +100,7 @@ __all__ = [
     "RowReduceKernel",
     "SoftmaxKernel",
     "UnaryElementwiseKernel",
+    "WindowedAttentionKernel",
     "BINARY_SPECS",
     "REDUCE_SPECS",
     "UNARY_SPECS",

@@ -1,0 +1,219 @@
+"""Flash-style tiled online-softmax attention kernel.
+
+The FlashAttention recurrence on Gaudi's two-engine layout: attention is
+computed tile by tile, keeping a running row max ``m``, denominator
+``l`` and output accumulator in fp32 local memory, so the O(seq²) score
+matrix *never exists in HBM* — the only global traffic is the O(seq·d)
+Q/K/V streams and the output. Per visited (Q-tile, K-tile) pair:
+
+    m_next = max(m_prev, rowmax(S))          # S = Q_tile K_tileᵀ * scale
+    alpha  = exp(m_prev - m_next)
+    P      = exp(S - m_next)
+    l_next = alpha * l_prev + rowsum(P)
+    acc    = alpha * acc + P V_tile
+    out    = acc / l_next                    # after the last tile
+
+Causal tiles entirely above the diagonal are skipped before any work is
+issued (the tile-level analogue of the windowed kernel's block skip).
+
+Engine split: the tile GEMMs (QKᵀ and PV) ride the MME — the TPC ships
+coefficient tiles out and streams score/partial-output tiles back
+through double-buffered global accesses, exactly like the fused
+softmax's exp offload — while the online-softmax recurrence (max, exp,
+rescale, accumulate) runs on the TPC over resident tiles. The default
+128x128 tile is sized to the MME's 128x128 MAC array: smaller tiles
+leave array rows dark (``spatial < 1`` in
+:meth:`repro.hw.costmodel.MMEModel.achieved_tflops`) and give back the
+very throughput the offload is buying. The aggregate model prices the
+whole op through :func:`repro.hw.costmodel.flash_attention_dims` (MME
+tile GEMMs + O(seq·d) HBM bytes).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...hw.config import EXP_SPECIAL_CYCLES
+from ...hw.costmodel import flash_attention_tile_pairs
+from ...util.errors import KernelError
+from ..indexspace import IndexSpace
+from ..isa import InstructionStream, spu, vload_global, vpu, vstore_global
+from ..kernel import Shape, TensorSpec, TpcKernel
+from ..memory import LocalMemory
+
+PROLOGUE_CYCLES = 40
+EXP_STALL = float(EXP_SPECIAL_CYCLES - 1)
+#: Finite mask value for intra-tile causal masking (same constant as the
+#: frontend mask and the windowed kernel): after the running-max shift,
+#: exp of a masked score underflows to exactly 0.
+MASK_VALUE = -1.0e9
+
+
+class FlashAttentionKernel(TpcKernel):
+    """out[b] = softmax(mask(Q[b] Kᵀ[b] * scale)) V[b], tiled online."""
+
+    name = "flash_attention"
+    inputs = (
+        TensorSpec("q", 3, 3), TensorSpec("k", 3, 3), TensorSpec("v", 3, 3),
+    )
+    outputs = (TensorSpec("out", 3, 3),)
+    uniform_members = False  # causal members skip above-diagonal tiles
+
+    def __init__(self, q_block: int = 128, k_block: int = 128,
+                 causal: bool = False, scale: float | None = None):
+        if q_block < 1 or k_block < 1:
+            raise KernelError(
+                f"tile sizes must be >= 1, got q_block={q_block}, "
+                f"k_block={k_block}"
+            )
+        self.q_block = int(q_block)
+        self.k_block = int(k_block)
+        self.causal = bool(causal)
+        self.scale = scale
+
+    def check_shapes(self, shapes: dict[str, Shape]) -> None:
+        q, k, v = shapes["q"], shapes["k"], shapes["v"]
+        if not (q[0] == k[0] == v[0]):
+            raise KernelError(f"batch mismatch: {q[0]}, {k[0]}, {v[0]}")
+        if q[2] != k[2]:
+            raise KernelError(f"head-dim mismatch: Q {q[2]} vs K {k[2]}")
+        if k[1] != v[1]:
+            raise KernelError(f"key count mismatch: K {k[1]} vs V {v[1]}")
+        if self.causal and q[1] != k[1]:
+            raise KernelError(
+                f"causal flash attention needs square attention, got "
+                f"{q[1]} queries vs {k[1]} keys"
+            )
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        q, v = shapes["q"], shapes["v"]
+        return {"out": (q[0], q[1], v[2])}
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        batch, seq, _ = shapes["q"]
+        return IndexSpace((batch, math.ceil(seq / self.q_block)))
+
+    def _tile_limit(self, r1: int, keys: int) -> int:
+        """One past the last key any row < r1 may attend to."""
+        return min(keys, r1) if self.causal else keys
+
+    def flops(self, shapes: dict[str, Shape]) -> float:
+        batch, seq, d = shapes["q"]
+        pairs = flash_attention_tile_pairs(
+            seq, self.q_block, self.k_block, self.causal
+        )
+        # two GEMMs (QKᵀ + PV) per visited tile pair, twin of
+        # flash_attention_dims
+        return 2.0 * 2.0 * batch * pairs * self.q_block * self.k_block * d
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        b, block = member
+        q, k, v = inputs["q"][b], inputs["k"][b], inputs["v"][b]
+        seq, keys = q.shape[0], k.shape[0]
+        r0 = block * self.q_block
+        r1 = min(r0 + self.q_block, seq)
+        scale = self.scale if self.scale is not None else q.shape[-1] ** -0.5
+        q_tile = q[r0:r1].astype(np.float32)
+
+        rows = r1 - r0
+        m = np.full((rows, 1), -np.inf, dtype=np.float32)
+        l = np.zeros((rows, 1), dtype=np.float32)
+        acc = np.zeros((rows, v.shape[1]), dtype=np.float32)
+        limit = self._tile_limit(r1, keys)
+        with np.errstate(over="ignore", invalid="ignore"):
+            for c0 in range(0, limit, self.k_block):
+                c1 = min(c0 + self.k_block, limit)
+                s = (q_tile @ k[c0:c1].astype(np.float32).T) * scale
+                if self.causal:
+                    i = np.arange(r0, r1)[:, None]
+                    j = np.arange(c0, c1)[None, :]
+                    s = np.where(j <= i, s, MASK_VALUE)
+                m_next = np.maximum(m, s.max(axis=-1, keepdims=True))
+                alpha = np.exp(m - m_next)
+                p = np.exp(s - m_next)
+                l = alpha * l + p.sum(axis=-1, keepdims=True)
+                acc = alpha * acc + p @ v[c0:c1].astype(np.float32)
+                m = m_next
+        out = np.divide(acc, l, out=np.zeros_like(acc), where=l > 0)
+        outputs["out"][b, r0:r1, :] = out.astype(outputs["out"].dtype)
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        _, seq, d = shapes["q"]
+        keys, dv = shapes["k"][1], shapes["v"][2]
+        _, block = member
+        r0 = block * self.q_block
+        r1 = min(r0 + self.q_block, seq)
+        rows = r1 - r0
+        kb = min(self.k_block, keys)
+        tree = float(math.ceil(math.log2(max(2, lanes))))
+        itemsize = 256 // lanes
+
+        # Footprint: Q tile, a strip of the returning score tile (fp32;
+        # rows are consumed one at a time as they stream back from the
+        # MME, so the full q_block x k_block tile is never resident),
+        # the fp32 m/l statistics and accumulator. The 128x128 default
+        # tile — sized to fill the MME's MAC array — would not fit
+        # whole: 128*128*4 bytes of scores alone is 64 KiB of the
+        # 80 KiB local memory.  K/V tiles live MME-side.
+        local = LocalMemory()
+        local.alloc("q_tile", rows * d * itemsize)
+        local.alloc("score_strip", min(16, rows) * kb * 4)
+        local.alloc("stats_ml", 2 * rows * 4)
+        local.alloc("acc", rows * dv * 4)
+
+        stream = InstructionStream()
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        # Q tile ships to the MME once per member.
+        stream.emit(
+            vstore_global(double_buffered=True),
+            repeat=math.ceil(rows * d / lanes),
+        )
+        limit = self._tile_limit(r1, keys)
+        tile_vectors = math.ceil(kb / lanes)
+        out_vectors = math.ceil(dv / lanes)
+        for _ in range(math.ceil(limit / kb)):
+            # Score tile streams back from the MME (QKᵀ ran there).
+            stream.emit(
+                vload_global(double_buffered=True),
+                repeat=rows * tile_vectors,
+            )
+            # Intra-tile causal mask (single-cycle, resident tile).
+            if self.causal:
+                stream.emit(vpu("vmask"), repeat=rows * tile_vectors)
+            for _ in range(rows):
+                # Running max update: vector max + lane-shuffle tree.
+                stream.emit(vpu("vmax"), repeat=tile_vectors)
+                stream.emit(vpu("hmax_tree", stall_cycles=tree))
+                # P = exp(S - m_next): the transcendental stays on the
+                # TPC — flash wins on HBM traffic, not exp cycles.
+                stream.emit(vpu("sub_exp", stall_cycles=EXP_STALL),
+                            repeat=tile_vectors)
+                # alpha = exp(m_prev - m_next) on the SPU, then l and
+                # acc rescale.
+                stream.emit(spu("alpha_exp", stall_cycles=EXP_STALL))
+                stream.emit(vpu("vadd"), repeat=tile_vectors)
+                stream.emit(vpu("hadd_tree", stall_cycles=tree))
+                stream.emit(vpu("mul"), repeat=out_vectors)
+            # P ships out; the PV partial tile returns and accumulates.
+            stream.emit(vstore_global(double_buffered=True),
+                        repeat=rows * tile_vectors)
+            stream.emit(
+                vload_global(double_buffered=True), vpu("vadd"),
+                repeat=rows * out_vectors,
+            )
+        # Epilogue: out = acc / l, then stream the tile out.
+        for _ in range(rows):
+            stream.emit(spu("recip", stall_cycles=5.0))
+            stream.emit(vpu("mul"), repeat=out_vectors)
+        stream.emit(vstore_global(double_buffered=True),
+                    repeat=rows * out_vectors)
+        return stream

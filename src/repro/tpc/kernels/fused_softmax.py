@@ -1,0 +1,125 @@
+"""Fused softmax TPC kernel with MME-side exp-as-matmul offload.
+
+GFormer's (arXiv 2412.19829, §3) attack on the Fig-4 softmax bottleneck
+from the *kernel* side: the naive kernel's dominant cost is the
+multi-cycle exponential per vector
+(:data:`repro.hw.config.EXP_SPECIAL_CYCLES` VPU cycles). This kernel
+keeps the whole max/sub/exp/sum/div chain in one index-space pass but
+evaluates the exponential as a matmul against a fixed ``basis``-wide
+interpolation basis on the MME: the TPC decomposes each shifted score
+into basis coefficients (one cheap VPU cycle), streams the coefficient
+vectors out through a double-buffered store, and streams the
+exponentiated row back in while it reduces the running sum.
+
+The TPC-side price per vector drops from ``1 + EXP_STALL`` cycles to a
+handful of single-cycle bundles plus two double-buffered global
+accesses; the MME-side GEMM is priced by the aggregate model through
+:func:`repro.hw.costmodel.exp_offload_dims` (thin K = the basis width,
+so the array under-fills — the honest cost of the offload).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...hw.costmodel import EXP_OFFLOAD_BASIS, MatmulDims, exp_offload_dims
+from ..indexspace import IndexSpace
+from ..isa import InstructionStream, spu, vload_global, vpu, vstore_global
+from ..kernel import Shape, TensorSpec, TpcKernel
+from ..memory import LocalMemory
+
+PROLOGUE_CYCLES = 20
+ROWS_PER_MEMBER = 4
+
+
+class FusedSoftmaxKernel(TpcKernel):
+    """y[..., :] = softmax(x[..., :]) with the exp on the MME."""
+
+    name = "fused_softmax"
+    inputs = (TensorSpec("x", 2, 5),)
+    outputs = (TensorSpec("y", 2, 5),)
+    uniform_members = True
+
+    def __init__(self, basis: int = EXP_OFFLOAD_BASIS):
+        self.basis = int(basis)
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        return {"y": shapes["x"]}
+
+    def _num_rows(self, shapes: dict[str, Shape]) -> int:
+        return int(math.prod(shapes["x"][:-1]))
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        rows = self._num_rows(shapes)
+        return IndexSpace((max(1, math.ceil(rows / ROWS_PER_MEMBER)),))
+
+    def flops(self, shapes: dict[str, Shape]) -> float:
+        # TPC side: max + sub + decompose + sum + div (~5 per element);
+        # the MME-side basis GEMM is accounted by mme_offload_dims.
+        return 5.0 * math.prod(shapes["x"])
+
+    def mme_offload_dims(self, shapes: dict[str, Shape]) -> MatmulDims:
+        """GEMM dims of the exp work this launch offloads to the MME."""
+        return exp_offload_dims(shapes["x"], self.basis)
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        length = inputs["x"].shape[-1]
+        x = inputs["x"].reshape(-1, length)
+        y = outputs["y"].reshape(-1, length)
+        r0 = member[0] * ROWS_PER_MEMBER
+        r1 = min(r0 + ROWS_PER_MEMBER, x.shape[0])
+        block = x[r0:r1, :]
+        shifted = block - block.max(axis=-1, keepdims=True)
+        # The basis interpolation is exact in this model (the MME holds
+        # the exp table at full precision), so the offloaded exp equals
+        # the naive kernel's result bit for bit.
+        e = np.exp(shifted)
+        y[r0:r1, :] = e / e.sum(axis=-1, keepdims=True)
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        length = shapes["x"][-1]
+        rows = min(ROWS_PER_MEMBER, self._num_rows(shapes))
+        vectors = math.ceil(length / lanes)
+        itemsize = 256 // lanes
+        # Footprint: the shifted row block plus the returning exp block
+        # (double-buffered halves) must sit in the 80 KB vector bank.
+        local = LocalMemory()
+        local.alloc("row_block", rows * length * itemsize)
+        local.alloc("exp_block", rows * length * itemsize)
+
+        stream = InstructionStream()
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        for _ in range(rows):
+            # Pass 1: running max while streaming the row in.
+            stream.emit(vload_global(), vpu("vmax"), repeat=vectors)
+            stream.emit(vpu("hmax", stall_cycles=float(lanes - 1)))
+            # Pass 2: subtract the max and decompose into basis
+            # coefficients — one cycle each instead of the naive
+            # kernel's EXP_STALL-cycle transcendental — then ship the
+            # coefficients to the MME through a double-buffered store.
+            stream.emit(vpu("vsub"), repeat=vectors)
+            stream.emit(
+                vpu("basis_decomp"), vstore_global(double_buffered=True),
+                repeat=vectors,
+            )
+            # Pass 3: the exponentiated row streams back while the VPU
+            # accumulates the denominator.
+            stream.emit(
+                vload_global(double_buffered=True), vpu("vadd"),
+                repeat=vectors,
+            )
+            stream.emit(vpu("hadd", stall_cycles=float(lanes - 1)))
+            # SPU computes the reciprocal of the row sum once.
+            stream.emit(spu("recip", stall_cycles=5.0))
+            # Pass 4: scale and stream the row back out.
+            stream.emit(vpu("mul"), vstore_global(), repeat=vectors)
+        return stream

@@ -7,8 +7,9 @@ that SynapseAI can only map to the TPC, and on long sequences it
 The kernel computes a numerically stable softmax per row in four
 passes — max-reduce, subtract+exp, sum-reduce, divide — and its timing
 stream shows exactly why the TPC dislikes it: two horizontal reductions
-per row (serial across SIMD lanes) plus a 12-cycle exponential per
-vector, on O(N^2) attention-matrix rows.
+per row (serial across SIMD lanes) plus a multi-cycle exponential per
+vector (:data:`repro.hw.config.EXP_SPECIAL_CYCLES`), on O(N^2)
+attention-matrix rows.
 """
 
 from __future__ import annotations
@@ -17,12 +18,16 @@ import math
 
 import numpy as np
 
+from ...hw.config import EXP_SPECIAL_CYCLES
 from ..indexspace import IndexSpace
 from ..isa import InstructionStream, spu, vload_global, vpu, vstore_global
 from ..kernel import Shape, TensorSpec, TpcKernel
 
 PROLOGUE_CYCLES = 20
-EXP_STALL = 11.0  # 12-cycle exponential
+#: Stall cycles of the fused subtract+exponentiate bundle. A bundle
+#: retires in ``1 + stall`` cycles, so this is derived from the
+#: hw-layer calibration rather than kept as a second copy of it.
+EXP_STALL = float(EXP_SPECIAL_CYCLES - 1)
 ROWS_PER_MEMBER = 4
 
 

@@ -1,0 +1,202 @@
+"""Windowed (sliding-window) attention TPC kernel.
+
+GFormer's sparse-attention leg: each query attends only to a band of
+``window`` keys, so the kernel computes a blocked QKᵀ → softmax → V
+sweep over the band and *skips fully masked key blocks entirely* — the
+work drops from O(seq²·d) to O(seq·window·d) and the score strip never
+exceeds ``rows x (window + rows)`` elements of fp32 local memory.
+
+One index-space member owns ``ROWS_PER_MEMBER`` query rows of one batch
+element. It loads its Q block once, streams the in-window K chunk-wise
+through the FMA loop (scores land in the local strip), runs a
+tree-reduction softmax over the strip — the strip is resident, so the
+horizontal reductions use lane-shuffle trees instead of the naive
+kernel's serial scan — and streams V back through a second FMA sweep.
+
+Numerics match :data:`repro.synapse.ops` ``windowed_attention`` exactly:
+out-of-window scores are masked to the same finite -1e9 before the
+stable softmax. The aggregate cost model prices this kernel through
+:func:`repro.hw.costmodel.windowed_attention_dims`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...hw.config import EXP_SPECIAL_CYCLES
+from ...util.errors import KernelError
+from ..indexspace import IndexSpace
+from ..isa import (
+    InstructionStream,
+    spu,
+    vload_global,
+    vload_global_streamed,
+    vpu,
+    vstore_global,
+)
+from ..kernel import Shape, TensorSpec, TpcKernel
+from ..memory import LocalMemory
+
+#: Query rows computed by one index-space member.
+ROWS_PER_MEMBER = 16
+#: Keys streamed per K/V chunk (bounds the chunk's local footprint).
+KEY_CHUNK = 128
+PROLOGUE_CYCLES = 40
+EXP_STALL = float(EXP_SPECIAL_CYCLES - 1)
+#: The masked score value (matches the frontend causal mask and the
+#: graph-level op): finite, and exp underflows to exactly 0 after the
+#: max shift.
+MASK_VALUE = -1.0e9
+
+
+class WindowedAttentionKernel(TpcKernel):
+    """out[b] = softmax(mask(Q[b] Kᵀ[b] * scale)) V[b], banded."""
+
+    name = "windowed_attention"
+    inputs = (
+        TensorSpec("q", 3, 3), TensorSpec("k", 3, 3), TensorSpec("v", 3, 3),
+    )
+    outputs = (TensorSpec("out", 3, 3),)
+    uniform_members = False  # band width varies along the diagonal
+
+    def __init__(self, window: int = 512, causal: bool = True,
+                 scale: float | None = None):
+        if window < 1:
+            raise KernelError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self.causal = bool(causal)
+        self.scale = scale
+
+    def check_shapes(self, shapes: dict[str, Shape]) -> None:
+        q, k, v = shapes["q"], shapes["k"], shapes["v"]
+        if not (q[0] == k[0] == v[0]):
+            raise KernelError(f"batch mismatch: {q[0]}, {k[0]}, {v[0]}")
+        if q[1] != k[1]:
+            raise KernelError(
+                f"windowed_attention needs square attention, got "
+                f"{q[1]} queries vs {k[1]} keys"
+            )
+        if q[2] != k[2]:
+            raise KernelError(f"head-dim mismatch: Q {q[2]} vs K {k[2]}")
+        if k[1] != v[1]:
+            raise KernelError(f"key count mismatch: K {k[1]} vs V {v[1]}")
+
+    def output_shapes(self, shapes: dict[str, Shape]) -> dict[str, Shape]:
+        q, v = shapes["q"], shapes["v"]
+        return {"out": (q[0], q[1], v[2])}
+
+    def index_space(self, shapes: dict[str, Shape]) -> IndexSpace:
+        batch, seq, _ = shapes["q"]
+        return IndexSpace((batch, math.ceil(seq / ROWS_PER_MEMBER)))
+
+    def _row_span(self, r0: int, r1: int, seq: int) -> tuple[int, int]:
+        """Key range [lo, hi) covering rows [r0, r1) of the band."""
+        w = self.window
+        if self.causal:
+            lo = max(0, r0 - w + 1)
+            hi = min(seq, r1)
+        else:
+            lo = max(0, r0 - (w - 1) // 2)
+            hi = min(seq, (r1 - 1) + w // 2 + 1)
+        return lo, max(lo + 1, hi)
+
+    def flops(self, shapes: dict[str, Shape]) -> float:
+        batch, seq, d = shapes["q"]
+        dv = shapes["v"][2]
+        total = 0.0
+        for i in range(seq):
+            lo, hi = self._row_span(i, i + 1, seq)
+            total += (hi - lo) * 2.0 * (d + dv)
+        return batch * total
+
+    def execute_member(
+        self,
+        member: tuple[int, ...],
+        inputs: dict[str, np.ndarray],
+        outputs: dict[str, np.ndarray],
+    ) -> None:
+        b, block = member
+        q, k, v = inputs["q"][b], inputs["k"][b], inputs["v"][b]
+        seq = q.shape[0]
+        r0 = block * ROWS_PER_MEMBER
+        r1 = min(r0 + ROWS_PER_MEMBER, seq)
+        lo, hi = self._row_span(r0, r1, seq)
+        scale = self.scale if self.scale is not None else q.shape[-1] ** -0.5
+        s = (q[r0:r1] @ k[lo:hi].T) * scale
+        i = np.arange(r0, r1)[:, None]
+        j = np.arange(lo, hi)[None, :]
+        if self.causal:
+            keep = (j <= i) & (j > i - self.window)
+        else:
+            w = self.window
+            keep = (j >= i - (w - 1) // 2) & (j <= i + w // 2)
+        s = np.where(keep, s, MASK_VALUE)
+        with np.errstate(over="ignore", invalid="ignore"):
+            e = np.exp(s - s.max(axis=-1, keepdims=True))
+        denom = e.sum(axis=-1, keepdims=True)
+        p = np.divide(e, denom, out=np.zeros_like(e), where=denom > 0)
+        outputs["out"][b, r0:r1, :] = p @ v[lo:hi]
+
+    def member_stream(
+        self, member: tuple[int, ...], shapes: dict[str, Shape], lanes: int
+    ) -> InstructionStream:
+        _, seq, d = shapes["q"]
+        dv = shapes["v"][2]
+        _, block = member
+        r0 = block * ROWS_PER_MEMBER
+        r1 = min(r0 + ROWS_PER_MEMBER, seq)
+        rows = r1 - r0
+        lo, hi = self._row_span(r0, r1, seq)
+        span = hi - lo
+        tree = float(math.ceil(math.log2(max(2, lanes))))
+        itemsize = 256 // lanes
+
+        # Footprint: Q block + the fp32 score strip + one K chunk + one
+        # V chunk + the fp32 output accumulator must fit the 80 KB bank.
+        # This is what bounds the usable window (~768 keys at 16 rows).
+        local = LocalMemory()
+        local.alloc("q_block", rows * d * itemsize)
+        local.alloc("score_strip", rows * span * 4)
+        local.alloc("k_chunk", min(KEY_CHUNK, span) * d * itemsize)
+        local.alloc("v_chunk", min(KEY_CHUNK, span) * dv * itemsize)
+        local.alloc("acc", rows * dv * 4)
+
+        stream = InstructionStream()
+        # Prologue covers addressing plus the band-bounds computation
+        # that decides which key blocks are skipped outright.
+        stream.emit(spu("addr_setup"), repeat=PROLOGUE_CYCLES)
+        stream.emit(
+            vload_global(double_buffered=True),
+            repeat=math.ceil(rows * d / lanes),
+        )
+        span_vectors = math.ceil(span / lanes)
+        # Scores: one FMA bundle per (row, k-element, span-tile); K
+        # chunks stream behind the loop like the bmm kernel's B tiles.
+        fma_qk = rows * d * span_vectors
+        stream.emit(vpu("mac_v"), vload_global_streamed(), repeat=fma_qk)
+        # Apply the band mask on the resident strip (single-cycle).
+        stream.emit(vpu("vmask"), repeat=rows * span_vectors)
+        # Softmax over the strip. The strip is local, so horizontal
+        # reductions are lane-shuffle trees, not the serial scan the
+        # global-memory softmax kernel pays.
+        for _ in range(rows):
+            stream.emit(vpu("vmax"), repeat=span_vectors)
+            stream.emit(vpu("hmax_tree", stall_cycles=tree))
+            stream.emit(vpu("sub_exp", stall_cycles=EXP_STALL),
+                        repeat=span_vectors)
+            stream.emit(vpu("vadd"), repeat=span_vectors)
+            stream.emit(vpu("hadd_tree", stall_cycles=tree))
+            stream.emit(spu("recip", stall_cycles=5.0))
+            stream.emit(vpu("mul"), repeat=span_vectors)
+        # P @ V over the same band; V chunks stream behind the FMA loop.
+        fma_pv = rows * span * math.ceil(dv / lanes)
+        stream.emit(vpu("mac_v"), vload_global_streamed(), repeat=fma_pv)
+        loop_overhead = math.ceil((fma_qk + fma_pv) * (1.0 / 0.972 - 1.0))
+        stream.emit(spu("loop_ctl"), repeat=loop_overhead)
+        stream.emit(
+            vstore_global(double_buffered=True),
+            repeat=rows * math.ceil(dv / lanes),
+        )
+        return stream

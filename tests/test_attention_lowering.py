@@ -1,0 +1,309 @@
+"""The attention_lowering pass: numerics, byte-identity, cache keying.
+
+Property-based coverage of the kernel pack's compiler contract:
+
+* ``fused`` and ``flash`` reproduce the naive cone bit for bit on
+  random attention geometries (their graph-level compute is exact
+  softmax);
+* ``windowed`` matches the banded numpy oracle built from the same
+  keep mask the op declares;
+* ``naive`` leaves the compiled schedule byte-identical to a
+  default-options compile — existing recipes and traces are untouched;
+* the kernel choice re-keys *both* recipe-cache tiers, so a cached
+  naive recipe can never be replayed for a flash compile (and vice
+  versa);
+* the lint rules guarding the rewritten graphs fire on malformed
+  cones and stay quiet on the pass's own output.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ht
+from repro.ht import functional as F
+from repro.hw.config import GaudiConfig
+from repro.synapse import (
+    CompilerOptions,
+    GraphCompiler,
+    RecipeCache,
+    execute_schedule,
+    lint_graph,
+    lint_schedule,
+    recipe_key,
+)
+from repro.synapse.ops import attention_keep_mask
+from repro.synapse.passes.attention import (
+    ATTENTION_LOWERINGS,
+    FLASH_K_BLOCK,
+    FLASH_Q_BLOCK,
+    find_attention_cones,
+)
+from repro.util.errors import ConfigError
+
+
+def record_attention(batch, seq, dim, *, scale=None, softmax_axis=-1,
+                     extra_consumer=False, name="attn"):
+    """Record a concrete QK^T -> [scale] -> softmax -> V program."""
+    rng = np.random.default_rng(batch * 1009 + seq * 31 + dim)
+    q_np = rng.normal(size=(batch, seq, dim)).astype(np.float32)
+    k_np = rng.normal(size=(batch, seq, dim)).astype(np.float32)
+    v_np = rng.normal(size=(batch, seq, dim)).astype(np.float32)
+    with ht.record(name, mode="concrete") as rec:
+        q = ht.tensor(q_np, name="q")
+        k = ht.tensor(k_np, name="k")
+        v = ht.tensor(v_np, name="v")
+        scores = F.matmul(q, k, transpose_b=True)
+        if scale is not None:
+            scores = F.mul_scalar(scores, scale)
+        probs = F.softmax(scores, axis=softmax_axis)
+        F.matmul(probs, v)
+        if extra_consumer:
+            F.mean(probs)
+    return rec.graph, {"q": q_np, "k": k_np, "v": v_np}
+
+
+def compile_and_run(graph, feeds, **option_kwargs):
+    schedule = GraphCompiler(
+        options=CompilerOptions(**option_kwargs)
+    ).compile(graph)
+    env = execute_schedule(schedule, feeds)
+    return schedule, env[schedule.graph.nodes[-1].output]
+
+
+geometry = st.tuples(
+    st.integers(1, 3), st.integers(4, 40), st.integers(2, 12)
+)
+
+
+class TestLoweringNumerics:
+    @given(geometry, st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_fused_and_flash_match_naive_exactly(self, dims, scaled):
+        batch, seq, dim = dims
+        graph, feeds = record_attention(
+            batch, seq, dim, scale=dim ** -0.5 if scaled else None
+        )
+        _, naive = compile_and_run(graph, feeds, attention_lowering="naive")
+        for mode in ("fused", "flash"):
+            _, out = compile_and_run(graph, feeds, attention_lowering=mode)
+            assert np.array_equal(out, naive), (
+                f"{mode} lowering diverged from the naive cone at "
+                f"batch={batch} seq={seq} dim={dim}"
+            )
+
+    @given(geometry, st.integers(1, 48))
+    @settings(max_examples=15, deadline=None)
+    def test_windowed_matches_banded_oracle(self, dims, window):
+        batch, seq, dim = dims
+        scale = dim ** -0.5
+        graph, feeds = record_attention(batch, seq, dim, scale=scale)
+        _, out = compile_and_run(
+            graph, feeds,
+            attention_lowering="windowed", attention_window=window,
+        )
+        s = (feeds["q"] @ np.swapaxes(feeds["k"], -1, -2)) * scale
+        keep = attention_keep_mask(
+            seq, seq, {"window": window, "causal": False}
+        )
+        s = np.where(keep, s, -1.0e9)
+        e = np.exp(s - s.max(-1, keepdims=True))
+        oracle = (e / e.sum(-1, keepdims=True)) @ feeds["v"]
+        np.testing.assert_allclose(out, oracle, rtol=1e-5, atol=1e-6)
+
+    def test_unknown_lowering_rejected(self):
+        graph, _ = record_attention(1, 8, 4)
+        with pytest.raises(ConfigError, match="unknown attention_lowering"):
+            GraphCompiler(
+                options=CompilerOptions(attention_lowering="banded")
+            ).compile(graph)
+        with pytest.raises(ConfigError, match="attention_window"):
+            GraphCompiler(options=CompilerOptions(
+                attention_lowering="windowed", attention_window=0
+            )).compile(graph)
+
+
+def schedule_bytes(schedule):
+    """The schedule's observable identity, field by field."""
+    return [
+        (op.label, op.engine, tuple(op.deps), tuple(op.reads),
+         tuple(op.writes))
+        for op in schedule.ops
+    ]
+
+
+class TestNaiveByteIdentity:
+    def test_naive_schedule_identical_to_default(self):
+        graph, _ = record_attention(2, 16, 8, scale=8 ** -0.5)
+        default = GraphCompiler().compile(graph)
+        naive = GraphCompiler(
+            options=CompilerOptions(attention_lowering="naive")
+        ).compile(graph)
+        assert schedule_bytes(naive) == schedule_bytes(default)
+        assert naive.memory.peak_bytes == default.memory.peak_bytes
+
+    def test_naive_recipe_key_matches_default(self):
+        """`naive` IS the default — same key, so PR-8 recipes replay."""
+        graph, _ = record_attention(2, 16, 8)
+        config = GaudiConfig()
+        assert (recipe_key(graph, config, CompilerOptions())
+                == recipe_key(graph, config,
+                              CompilerOptions(attention_lowering="naive")))
+
+
+class TestRecipeCacheKeying:
+    def test_kernel_choice_rekeys_memory_tier(self):
+        """A cached naive recipe must never satisfy a flash compile."""
+        graph, _ = record_attention(2, 16, 8, scale=8 ** -0.5)
+        cache = RecipeCache()
+        naive = GraphCompiler(
+            options=CompilerOptions(attention_lowering="naive"),
+            cache=cache,
+        )
+        naive.compile(graph)
+        assert naive.last_cache_hit is False
+        for mode in ("fused", "windowed", "flash"):
+            poisoned = GraphCompiler(
+                options=CompilerOptions(attention_lowering=mode),
+                cache=cache,
+            )
+            poisoned.compile(graph)
+            assert poisoned.last_cache_hit is False, (
+                f"{mode} compile replayed the naive recipe"
+            )
+        # same choice still hits — the miss above was the key, not luck
+        again = GraphCompiler(
+            options=CompilerOptions(attention_lowering="flash"),
+            cache=cache,
+        )
+        again.compile(graph)
+        assert again.last_cache_hit is True
+
+    def test_kernel_choice_rekeys_disk_tier(self, tmp_path):
+        graph, _ = record_attention(2, 16, 8, scale=8 ** -0.5)
+        GraphCompiler(
+            options=CompilerOptions(attention_lowering="naive"),
+            cache=RecipeCache(save_dir=tmp_path),
+        ).compile(graph)
+        flash_cache = RecipeCache(save_dir=tmp_path)
+        flash = GraphCompiler(
+            options=CompilerOptions(attention_lowering="flash"),
+            cache=flash_cache,
+        )
+        flash.compile(graph)
+        assert flash.last_cache_hit is False
+        assert flash_cache.disk_hits == 0
+        # the naive blob is still good for a fresh naive compiler
+        naive_cache = RecipeCache(save_dir=tmp_path)
+        naive = GraphCompiler(
+            options=CompilerOptions(attention_lowering="naive"),
+            cache=naive_cache,
+        )
+        naive.compile(graph)
+        assert naive.last_cache_hit is True
+        assert naive_cache.disk_hits == 1
+
+    def test_window_width_rekeys(self):
+        graph, _ = record_attention(2, 16, 8)
+        config = GaudiConfig()
+        assert (
+            recipe_key(graph, config, CompilerOptions(
+                attention_lowering="windowed", attention_window=128))
+            != recipe_key(graph, config, CompilerOptions(
+                attention_lowering="windowed", attention_window=256))
+        )
+
+
+class TestConeMatching:
+    def test_full_cone_matched(self):
+        graph, _ = record_attention(2, 16, 8, scale=0.25)
+        cones = find_attention_cones(graph)
+        assert len(cones) == 1
+        assert cones[0]["scale"] == 0.25
+        assert cones[0]["causal"] is False
+
+    def test_multi_consumer_interior_keeps_naive(self):
+        """A second consumer of the probabilities breaks the cone."""
+        graph, feeds = record_attention(2, 16, 8, extra_consumer=True)
+        assert find_attention_cones(graph) == []
+        schedule = GraphCompiler(
+            options=CompilerOptions(attention_lowering="flash")
+        ).compile(graph)
+        assert all(
+            node.op != "flash_attention" for node in schedule.graph.nodes
+        )
+
+    def test_non_last_axis_softmax_keeps_naive(self):
+        graph, _ = record_attention(2, 16, 8, softmax_axis=1)
+        # axis 1 of a rank-3 (batch, seq, seq) score tensor is not the
+        # key axis, so no cone may match
+        assert find_attention_cones(graph) == []
+
+    def test_emitted_flash_attrs(self):
+        graph, _ = record_attention(2, 16, 8)
+        schedule = GraphCompiler(
+            options=CompilerOptions(attention_lowering="flash")
+        ).compile(graph)
+        flash = [n for n in schedule.graph.nodes
+                 if n.op == "flash_attention"]
+        assert len(flash) == 1
+        assert flash[0].attrs["q_block"] == FLASH_Q_BLOCK
+        assert flash[0].attrs["k_block"] == FLASH_K_BLOCK
+
+    def test_emitted_windowed_attrs(self):
+        graph, _ = record_attention(2, 16, 8)
+        schedule = GraphCompiler(options=CompilerOptions(
+            attention_lowering="windowed", attention_window=8
+        )).compile(graph)
+        banded = [n for n in schedule.graph.nodes
+                  if n.op == "windowed_attention"]
+        assert len(banded) == 1
+        assert banded[0].attrs["mask"] == "sliding_window"
+        assert banded[0].attrs["window"] == 8
+
+
+class TestLintRules:
+    def _lowered_graph(self, **option_kwargs):
+        graph, _ = record_attention(2, 16, 8, scale=8 ** -0.5)
+        return GraphCompiler(
+            options=CompilerOptions(**option_kwargs)
+        ).compile(graph).graph
+
+    def test_pass_output_lints_clean(self):
+        for mode in ATTENTION_LOWERINGS:
+            lowered = self._lowered_graph(
+                attention_lowering=mode, attention_window=8
+            )
+            findings = [w for w in lint_graph(lowered)
+                        if w.rule in ("fused-softmax-cone", "windowed-mask")]
+            assert findings == [], f"{mode}: {findings}"
+
+    def test_broken_fused_cone_flagged(self):
+        lowered = self._lowered_graph(attention_lowering="fused")
+        norm = next(n for n in lowered.nodes if n.op == "softmax_norm")
+        norm.attrs["axis"] = 0  # breaks axis agreement across the trio
+        assert any(w.rule == "fused-softmax-cone"
+                   for w in lint_graph(lowered))
+
+    def test_undeclared_window_mask_flagged(self):
+        lowered = self._lowered_graph(
+            attention_lowering="windowed", attention_window=8
+        )
+        banded = next(n for n in lowered.nodes
+                      if n.op == "windowed_attention")
+        banded.attrs["mask"] = "none"
+        assert any(w.rule == "windowed-mask" for w in lint_graph(lowered))
+
+    def test_window_coverage_on_schedule(self):
+        """A window as wide as the key count is dense attention at
+        banded prices — schedule lint must say so."""
+        graph, _ = record_attention(2, 16, 8)
+        wide = GraphCompiler(options=CompilerOptions(
+            attention_lowering="windowed", attention_window=16
+        )).compile(graph)
+        assert any(w.rule == "window-coverage" for w in lint_schedule(wide))
+        narrow = GraphCompiler(options=CompilerOptions(
+            attention_lowering="windowed", attention_window=8
+        )).compile(graph)
+        assert not any(w.rule == "window-coverage"
+                       for w in lint_schedule(narrow))

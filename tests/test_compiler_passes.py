@@ -28,10 +28,10 @@ from repro.synapse import (
 from repro.util.errors import CompileError
 
 PASS_ORDER = [
-    "validate", "tpc_slicing", "lower_composites", "view_elision",
-    "elementwise_fusion", "recompile_injection", "dma_staging", "emit",
-    "tensor_parallel", "collective_injection", "pipeline_partition",
-    "memory_planning",
+    "validate", "attention_lowering", "tpc_slicing", "lower_composites",
+    "view_elision", "elementwise_fusion", "recompile_injection",
+    "dma_staging", "emit", "tensor_parallel", "collective_injection",
+    "pipeline_partition", "memory_planning",
 ]
 
 #: passes that default off (single-card experiments have no gradients
@@ -93,8 +93,11 @@ class TestPipelineStructure:
             assert key in stats, key
 
     def test_emit_is_not_disableable(self):
+        # emit always runs; attention_lowering always runs too — its
+        # "naive" default is the identity, so there is nothing to toggle
         assert "emit" not in PASS_OPTION_FLAGS
-        assert set(PASS_OPTION_FLAGS) == set(PASS_ORDER) - {"emit"}
+        assert (set(PASS_OPTION_FLAGS)
+                == set(PASS_ORDER) - {"emit", "attention_lowering"})
 
 
 class TestPassToggles:

@@ -112,9 +112,14 @@ class TestRegistryInvariants:
             assert callable(opdef.compute), name
 
     def test_table1_invariant_structural(self):
+        # Table 1 extended by the kernel pack: the MME runs matmul plus
+        # the two matmul-shaped attention offloads, and nothing that is
+        # not MATMUL-class ever maps to the MME.
         mme_ops = [n for n in op_names()
                    if op(n).engine is EngineKind.MME]
-        assert mme_ops == ["matmul"]
+        assert mme_ops == ["exp_basis_mm", "flash_attention", "matmul"]
+        for name in mme_ops:
+            assert op(name).op_class is OpClass.MATMUL, name
 
     def test_special_ops_declare_their_function(self):
         for name in op_names():

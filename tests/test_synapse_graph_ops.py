@@ -78,14 +78,19 @@ class TestGraphConstruction:
 class TestTable1Mapping:
     """The paper's Table 1: op -> engine mapping via SynapseAI."""
 
-    def test_only_matmul_on_mme(self):
-        assert engine_for("matmul") is EngineKind.MME
+    def test_only_matmul_shaped_work_on_mme(self):
+        # Table 1 extended by the attention kernel pack: besides matmul
+        # itself, only the matmul-shaped offloads (exp-as-matmul, flash
+        # tile GEMMs) reach the MME; everything else is TPC or NIC.
+        mme = ("matmul", "exp_basis_mm", "flash_attention")
+        for name in mme:
+            assert engine_for(name) is EngineKind.MME, name
         collectives = (
             "all_reduce", "all_gather", "broadcast", "reduce_scatter",
             "send", "recv",
         )
         for name in op_names():
-            if name == "matmul":
+            if name in mme:
                 continue
             if name in collectives:
                 assert engine_for(name) is EngineKind.NIC, name
