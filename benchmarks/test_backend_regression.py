@@ -1,0 +1,129 @@
+"""Bench A18: cross-backend regression gate (Gaudi vs WSE).
+
+Two layers of defence around the backend abstraction:
+
+* **per-backend floors** — the Fig-4 layer's achieved matmul
+  throughput and wall-clock, plus the GPT/BERT training-step token
+  rates, held against ``backend_thresholds.json`` for *both* backends;
+  a placement or pricing regression on either side of the
+  :class:`~repro.hw.backend.Backend` seam tanks these immediately;
+* **Gaudi-unchanged guard** — the refactor must not move the Gaudi
+  trajectory: A18's study check asserts the explicit
+  ``backend="gaudi"`` compile byte-identical to the default-options
+  path, and the gaudi layer total must stay inside a relative band of
+  the pre-refactor seed measurement.
+
+Every run rewrites ``BENCH_backends.json`` at the repo root, so the
+cross-backend trajectory is versioned alongside the backend and
+cost-model changes that move it.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import assert_checks
+
+from repro.core import run_backend_ablation
+from repro.core.backend_study import (
+    STUDY_BACKENDS,
+    matmul_engine_tflops,
+    tokens_per_second,
+)
+from repro.hw.backend import get_backend
+
+THRESHOLDS = json.loads(
+    (Path(__file__).parent / "backend_thresholds.json").read_text()
+)
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_backends.json"
+
+
+def _measure() -> dict:
+    study = run_backend_ablation()
+    layer = {}
+    training = {}
+    for name in STUDY_BACKENDS:
+        backend = get_backend(name)
+        prof = study.profile(name)
+        layer[name] = {
+            "total_ms": round(prof.total_time_ms, 2),
+            "matmul_tflops": round(
+                matmul_engine_tflops(prof, backend), 1
+            ),
+        }
+        training[name] = {
+            model: {
+                "total_ms": round(
+                    study.profile(name, model).total_time_ms, 2
+                ),
+                "tokens_per_s": round(
+                    tokens_per_second(study.profile(name, model))
+                ),
+            }
+            for model in ("gpt", "bert")
+        }
+    return {
+        "study": study,
+        "layer": layer,
+        "training": training,
+        "matmul_throughput_ratio": round(
+            study.matmul_throughput_ratio, 1
+        ),
+        "thresholds": {
+            k: v for k, v in THRESHOLDS.items() if not k.startswith("_")
+        },
+    }
+
+
+def test_backend_regression(benchmark, record_info):
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    study = result.pop("study")
+    assert_checks(study.checks())
+
+    layer_bounds = THRESHOLDS["layer"]
+    for name in STUDY_BACKENDS:
+        measured = result["layer"][name]
+        floor = layer_bounds["min_matmul_tflops"][name]
+        assert measured["matmul_tflops"] >= floor, (
+            f"{name} layer matmul throughput "
+            f"{measured['matmul_tflops']:.1f} TFLOP/s fell below the "
+            f"{floor} floor"
+        )
+        ceiling = layer_bounds["max_total_ms"][name]
+        assert measured["total_ms"] <= ceiling, (
+            f"{name} layer time {measured['total_ms']:.2f} ms exceeded "
+            f"the {ceiling} ms ceiling"
+        )
+        for model, floors in THRESHOLDS["training"][
+            "min_tokens_per_s"
+        ][name].items():
+            rate = result["training"][name][model]["tokens_per_s"]
+            assert rate >= floors, (
+                f"{name} {model} training throughput {rate:,.0f} "
+                f"tokens/s fell below the {floors:,.0f} floor"
+            )
+
+    guard = THRESHOLDS["gaudi_guard"]
+    seed_ms = guard["layer_total_ms"]
+    band = guard["rel_band"]
+    gaudi_ms = result["layer"]["gaudi"]["total_ms"]
+    assert abs(gaudi_ms - seed_ms) <= band * seed_ms, (
+        f"gaudi layer total {gaudi_ms:.2f} ms drifted out of the "
+        f"+-{band:.0%} band around the pre-refactor seed "
+        f"{seed_ms:.2f} ms — the backend refactor moved the Gaudi "
+        "trajectory"
+    )
+
+    BENCH_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    record_info(
+        benchmark,
+        gaudi_layer_ms=result["layer"]["gaudi"]["total_ms"],
+        wse_layer_ms=result["layer"]["wse"]["total_ms"],
+        gaudi_matmul_tflops=result["layer"]["gaudi"]["matmul_tflops"],
+        wse_matmul_tflops=result["layer"]["wse"]["matmul_tflops"],
+        matmul_throughput_ratio=result["matmul_throughput_ratio"],
+        wse_gpt_tokens_per_s=result["training"]["wse"]["gpt"][
+            "tokens_per_s"
+        ],
+    )
+    print()
+    print(study.render())

@@ -16,6 +16,7 @@ from .core import (
     SWEEP_POLICIES,
     run_activation_study,
     run_attention_study,
+    run_backend_ablation,
     run_chunked_attention_study,
     run_decode_study,
     run_e2e,
@@ -130,6 +131,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[], tuple[str, list[ShapeCheck]]]]] =
                           lambda: _simple(run_parallel_study)),
     "ablation-kernels": ("A17: attention kernel pack",
                          lambda: _simple(run_kernel_pack_ablation)),
+    "ablation-backends": ("A18: cross-backend comparison (Gaudi vs WSE)",
+                          lambda: _simple(run_backend_ablation)),
 }
 
 
@@ -266,6 +269,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool width for the multi-card simulations "
              "(A4/A12); results are identical at any width",
     )
+    parser.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="hardware backend every compile targets: 'gaudi' "
+             "(default) or 'wse'; single-card experiments retarget "
+             "wholesale, multi-card ones require gaudi",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     study = sub.add_parser("study", help="run every experiment")
@@ -324,6 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "policy (choices: naive, fused, windowed, "
                             "flash; repeatable; default: the compile "
                             "default, naive)")
+    sweep.add_argument("--backend", action="append", default=None,
+                       dest="backend_axis", metavar="NAME",
+                       help="hardware-backend axis crossed with every "
+                            "policy (gaudi, wse; repeatable; non-gaudi "
+                            "backends require cards = boxes = 1; "
+                            "default: the compile default, gaudi)")
     sweep.add_argument("-o", "--out", metavar="FILE",
                        help="stream one JSON line per completed point "
                             "to FILE")
@@ -402,6 +417,13 @@ def main(argv: list[str] | None = None) -> int:
         import dataclasses
 
         options = dataclasses.replace(options, scheduler=args.scheduler)
+    if args.backend is not None:
+        import dataclasses
+
+        from .hw.backend import get_backend
+
+        get_backend(args.backend)  # fail fast on unknown names
+        options = dataclasses.replace(options, backend=args.backend)
     if args.tpc_slice_ops:
         import dataclasses
 
@@ -435,11 +457,15 @@ def main(argv: list[str] | None = None) -> int:
         from .core import run_sweep, sweep_spec_from_cli
         from .synapse.recipe import default_recipe_cache_dir
 
+        backend_axis = args.backend_axis or (
+            [args.backend] if args.backend else []
+        )
         spec = sweep_spec_from_cli(
             args.model, args.batch, args.seq_len, args.card, args.policy,
             boxes=args.boxes, tp=args.tp, pp=args.pp,
             auto_layout=args.auto_layout,
             attention=args.attention_kernel,
+            backend=backend_axis,
         )
         result = run_sweep(
             spec, jobs=_CLI_JOBS, stream=args.out,
@@ -497,7 +523,14 @@ def main(argv: list[str] | None = None) -> int:
         return _profile_self(args.scenario, args.top)
 
     if args.command == "describe":
-        print(default_device().describe())
+        if args.backend is not None:
+            from .hw.backend import get_backend
+
+            backend = get_backend(args.backend)
+            device = backend.make_device(backend.default_config())
+            print(device.describe())
+        else:
+            print(default_device().describe())
         return 0
 
     if args.command == "study":

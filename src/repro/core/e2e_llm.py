@@ -31,7 +31,7 @@ from ..models import (
     paper_gpt_config,
 )
 from ..synapse import ProfileResult, SynapseProfiler, ascii_timeline
-from ..util.errors import DeviceMemoryError
+from ..util.errors import DataError, DeviceMemoryError
 from .insights import describe_insights, gap_overlap_fraction, imbalance_index
 from .reference import E2E_SHAPES, ShapeCheck, threshold_check
 
@@ -57,7 +57,9 @@ def record_training_step(
     instead of keeping them resident through backward.
     """
     if model_name not in MODEL_BUILDERS:
-        raise KeyError(f"unknown model {model_name!r}; use 'gpt' or 'bert'")
+        raise DataError(
+            f"unknown model {model_name!r}; use 'gpt' or 'bert'"
+        )
     model_cls, config_fn = MODEL_BUILDERS[model_name]
     cfg = config_fn()
     batch = batch or E2E_SHAPES["batch"]
@@ -90,7 +92,9 @@ def record_forward_step(
 ) -> "ht.Recorder":
     """Record one symbolic *forward-only* pass (inference prefill)."""
     if model_name not in MODEL_BUILDERS:
-        raise KeyError(f"unknown model {model_name!r}; use 'gpt' or 'bert'")
+        raise DataError(
+            f"unknown model {model_name!r}; use 'gpt' or 'bert'"
+        )
     model_cls, config_fn = MODEL_BUILDERS[model_name]
     cfg = config_fn()
     batch = batch or E2E_SHAPES["batch"]

@@ -22,6 +22,7 @@ from .ablations import (
 from .activation_study import run_activation_study
 from .attention_study import run_attention_study
 from .auto_layout import run_parallel_study
+from .backend_study import run_backend_ablation
 from .decode_study import run_decode_study
 from .e2e_llm import run_e2e
 from .energy_study import run_energy_study
@@ -173,6 +174,10 @@ def run_full_study(
         a17 = run_kernel_pack_ablation(config=config)
         report.add("A17: attention kernel pack", a17.render(),
                    a17.checks())
+
+        a18 = run_backend_ablation(config=config)
+        report.add("A18: cross-backend comparison", a18.render(),
+                   a18.checks())
 
     from ..synapse import recipe_cache_stats
 

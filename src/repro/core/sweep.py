@@ -44,7 +44,7 @@ from ..synapse import (
     default_compiler_options,
 )
 from ..synapse.recipe import RecipeCache, recipe_key
-from ..synapse.runtime import HLS1Runtime
+from ..synapse.runtime import HLS1Runtime, Runtime
 from ..util.tabulate import render_table
 
 #: named option bundles selectable from ``repro sweep --policy`` — the
@@ -142,12 +142,19 @@ class SweepSpec:
     #: policy is crossed with every kernel, labelled ``policy+kernel``;
     #: empty keeps the compile default (no override, no label suffix)
     attention: tuple[str, ...] = ()
+    #: hardware-backend axis (``CompilerOptions.backend`` values):
+    #: each policy/kernel cell is crossed with every named backend,
+    #: labelled ``policy@backend``; empty keeps the compile default
+    #: (gaudi, no label suffix). Non-Gaudi backends model a single
+    #: device, so their points must keep ``cards == boxes == 1``.
+    backend: tuple[str, ...] = ()
 
     def expand(self) -> list[SweepPoint]:
         """The grid as an ordered point list (explicit points win)."""
         if self.points is not None:
             return list(self.points)
         kernels: tuple[str | None, ...] = self.attention or (None,)
+        backends: tuple[str | None, ...] = self.backend or (None,)
         out = []
         for model in self.models:
             for batch in self.batches:
@@ -164,13 +171,29 @@ class SweepSpec:
                                         )
                                     else:
                                         overrides_k = overrides
-                                    out.append(SweepPoint(
-                                        model=model, batch=batch,
-                                        seq_len=seq_len, cards=cards,
-                                        boxes=boxes, policy=label,
-                                        overrides=overrides_k,
-                                        checkpoint=self.checkpoint,
-                                    ))
+                                    for backend in backends:
+                                        label_b = label
+                                        overrides_b = overrides_k
+                                        if backend is not None:
+                                            label_b = f"{label}@{backend}"
+                                            overrides_b = overrides_k + (
+                                                ("backend", backend),
+                                            )
+                                        if (backend not in (None, "gaudi")
+                                                and cards * boxes > 1):
+                                            raise ValueError(
+                                                f"backend {backend!r} "
+                                                "models a single device; "
+                                                f"cards={cards} x boxes="
+                                                f"{boxes} needs gaudi"
+                                            )
+                                        out.append(SweepPoint(
+                                            model=model, batch=batch,
+                                            seq_len=seq_len, cards=cards,
+                                            boxes=boxes, policy=label_b,
+                                            overrides=overrides_b,
+                                            checkpoint=self.checkpoint,
+                                        ))
         return out
 
 
@@ -265,13 +288,25 @@ def _workload_graph(point: SweepPoint):
 
 
 def _hls1_metrics(
-    schedule, hls1: HLS1Config, cards: int, boxes: int = 1
+    schedule, hls1: HLS1Config, cards: int, boxes: int = 1,
+    backend: str = "gaudi",
 ) -> dict:
-    """Execute one schedule on ``boxes`` boxes of ``cards`` cards."""
-    system = HLS1Device(
-        dataclasses.replace(hls1, num_cards=cards, boxes=boxes)
-    )
-    res = HLS1Runtime(system).execute(schedule)
+    """Execute one schedule on ``boxes`` boxes of ``cards`` cards.
+
+    A non-Gaudi ``backend`` has no multi-card system model: its points
+    (already validated to ``cards == boxes == 1``) execute on that
+    backend's single device instead of the HLS-1 population.
+    """
+    if backend != "gaudi":
+        from ..hw.backend import get_backend
+
+        b = get_backend(backend)
+        res = Runtime(b.make_device(b.default_config())).execute(schedule)
+    else:
+        system = HLS1Device(
+            dataclasses.replace(hls1, num_cards=cards, boxes=boxes)
+        )
+        res = HLS1Runtime(system).execute(schedule)
     metrics = {
         "total_time_us": res.total_time_us,
         "exposed_comm_us": res.exposed_comm_us,
@@ -309,7 +344,10 @@ def _sweep_worker(payload) -> dict:
         schedule = compiler.compile(_workload_graph(point))
         if compiler.last_cache_hit:
             source = "disk" if cache.disk_hits else "memory"
-    metrics = _hls1_metrics(schedule, hls1, point.cards, point.boxes)
+    metrics = _hls1_metrics(
+        schedule, hls1, point.cards, point.boxes,
+        backend=getattr(options, "backend", "gaudi"),
+    )
     metrics["compile"] = source
     return metrics
 
@@ -431,7 +469,8 @@ def run_sweep(
                     "disk" if cache.disk_hits > disk_before else "memory"
                 )
             metrics = _hls1_metrics(
-                schedule, hls1, point.cards, point.boxes
+                schedule, hls1, point.cards, point.boxes,
+                backend=getattr(opts, "backend", "gaudi"),
             )
             metrics["compile"] = source
             pr = PointResult(point=point, metrics=metrics)
@@ -457,6 +496,8 @@ def _run_hls1_pool(
     try:
         # warm the shared disk cache: one compile per distinct
         # workload/options pair, published by signature
+        from ..hw.backend import get_backend
+
         cache = RecipeCache(
             maxsize=max(32, len(points)), save_dir=recipe_dir
         )
@@ -470,7 +511,12 @@ def _run_hls1_pool(
             wkey = point.workload_key()
             if wkey not in graphs:
                 graphs[wkey] = _workload_graph(point)
-            key = recipe_key(graphs[wkey], hls1.card, opts)
+            # key with the backend-coerced config, exactly as the
+            # compiler will, so warmed recipes hit in the workers
+            coerced = get_backend(
+                getattr(opts, "backend", "gaudi")
+            ).coerce_config(hls1.card)
+            key = recipe_key(graphs[wkey], coerced, opts)
             keys[point] = key
             if key not in compiled:
                 GraphCompiler(
@@ -561,6 +607,7 @@ def sweep_spec_from_cli(
     pp: int = 1,
     auto_layout: bool = False,
     attention: Iterable[str] = (),
+    backend: Iterable[str] = (),
 ) -> SweepSpec:
     """Build the ``repro sweep`` grid from repeatable CLI flags.
 
@@ -571,8 +618,12 @@ def sweep_spec_from_cli(
     auto-parallelism planner to pick ``(tp, pp, dp)`` per population
     and replaces the policy axis with the planner's verdicts;
     ``attention`` (``--attention-kernel``) adds the attention-lowering
-    axis, crossing every policy with each named kernel.
+    axis, crossing every policy with each named kernel; ``backend``
+    (``--backend``) adds the hardware-backend axis (gaudi/wse) —
+    non-Gaudi backends are single-device, so they require the default
+    ``cards == boxes == 1`` population.
     """
+    from ..hw.backend import get_backend
     from ..synapse.passes.attention import ATTENTION_LOWERINGS
 
     unknown = [p for p in policies if p not in SWEEP_POLICIES]
@@ -588,6 +639,9 @@ def sweep_spec_from_cli(
             f"unknown attention kernel {bad[0]!r} (known: "
             f"{', '.join(ATTENTION_LOWERINGS)})"
         )
+    backend_t = tuple(backend)
+    for name in backend_t:
+        get_backend(name)  # raises ConfigError on unknown backends
     if tp < 1 or pp < 1:
         raise ValueError(f"tp/pp must be >= 1, got tp={tp} pp={pp}")
     if auto_layout and (tp > 1 or pp > 1):
@@ -596,6 +650,9 @@ def sweep_spec_from_cli(
     if auto_layout and attention_t:
         raise ValueError("--auto-layout replaces the policy axis; it "
                          "cannot be crossed with --attention-kernel")
+    if auto_layout and any(b != "gaudi" for b in backend_t):
+        raise ValueError("--auto-layout plans HLS-1 populations; the "
+                         "backend axis must stay gaudi")
     models_t = tuple(models) or ("gpt",)
     batches_t = tuple(batches) or (None,)
     seq_lens_t = tuple(seq_lens) or (None,)
@@ -628,4 +685,5 @@ def sweep_spec_from_cli(
         boxes=boxes_t,
         policies=named,
         attention=attention_t,
+        backend=backend_t,
     )

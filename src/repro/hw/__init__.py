@@ -18,6 +18,13 @@ from .config import (
     SharedMemoryConfig,
     TPCClusterConfig,
 )
+from .backend import (
+    Backend,
+    GaudiBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .bandwidth import BandwidthArbiter, DRAIN_EPS_BYTES, RateSegment
 from .costmodel import (
     EAGER_DISPATCH_OVERHEAD_US,
@@ -69,6 +76,11 @@ __all__ = [
     "MMEConfig",
     "SharedMemoryConfig",
     "TPCClusterConfig",
+    "Backend",
+    "GaudiBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "BandwidthArbiter",
     "DRAIN_EPS_BYTES",
     "RateSegment",

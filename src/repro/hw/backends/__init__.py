@@ -1,0 +1,27 @@
+"""Non-Gaudi backend implementations of the Backend protocol.
+
+Each module declares one accelerator model (configs, cost model,
+device, placement) behind :class:`repro.hw.backend.Backend`. The
+registry in :mod:`repro.hw.backend` imports these lazily so the
+default Gaudi path never pays for them.
+"""
+
+from .wse import (
+    MemoryXConfig,
+    PEGridConfig,
+    WaferSRAMConfig,
+    WSEBackend,
+    WSEConfig,
+    WSECostModel,
+    WSEDevice,
+)
+
+__all__ = [
+    "MemoryXConfig",
+    "PEGridConfig",
+    "WaferSRAMConfig",
+    "WSEBackend",
+    "WSEConfig",
+    "WSECostModel",
+    "WSEDevice",
+]

@@ -43,7 +43,13 @@ from .dtypes import DType
 
 
 class EngineKind(enum.Enum):
-    """The compute/transfer engines visible in a Gaudi profiler trace."""
+    """The compute/transfer engines visible in an accelerator trace.
+
+    MME/TPC are the Gaudi split the paper profiles; PE is the
+    processing-element grid of a wafer-scale dataflow backend
+    (:mod:`repro.hw.backends.wse`). DMA/HOST/NIC are shared roles every
+    backend maps onto its own channels.
+    """
 
     MME = "MME"
     TPC = "TPC"
@@ -52,6 +58,9 @@ class EngineKind(enum.Enum):
     #: the on-chip RoCE NIC driving the HLS-1 fabric (§2.1); occupied
     #: for the duration of a collective, timed by the fabric model
     NIC = "NIC"
+    #: wafer-scale processing-element grid (Cerebras-style dataflow);
+    #: runs every compute class, fed by streamed weights
+    PE = "PE"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
@@ -523,6 +532,40 @@ class CostModel:
         self.mme = MMEModel(self.config.mme, self.config.hbm)
         self.tpc = TPCModel(self.config.tpc, self.config.hbm)
         self.dma = DMAModel(self.config.dma)
+
+    # -- backend-neutral facade (shared with WSECostModel) -------------------
+    # The runtime prices schedules through these three members instead
+    # of reaching into Gaudi config fields, so any backend's cost model
+    # exposing the same trio plugs into the same event loop.
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """Shared memory-channel rate the BandwidthArbiter divides
+        (bytes/s) — HBM on Gaudi."""
+        return self.config.hbm.effective_bandwidth
+
+    @property
+    def fused_launch_us(self) -> float:
+        """Per-launch overhead of a fused elementwise chain."""
+        return self.config.tpc.launch_overhead_us
+
+    @property
+    def fusion_engine(self) -> EngineKind:
+        """Engine fused elementwise chains execute on."""
+        return EngineKind.TPC
+
+    def fused_parts(
+        self, compute_us: float, traffic_bytes: int, fixed_us: float
+    ) -> CostParts:
+        """Decomposed cost of a fused chain with the given compute sum
+        and chain-external traffic. On Gaudi the traffic drains through
+        HBM (the arbiter's shared pool) behind one TPC launch."""
+        return CostParts(
+            compute_us=compute_us,
+            hbm_bytes=float(traffic_bytes),
+            launch_us=self.fused_launch_us,
+            fixed_us=fixed_us,
+        )
 
     def time_us(self, engine: EngineKind, item: WorkItem) -> float:
         """Duration of ``item`` on ``engine``."""

@@ -55,6 +55,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from ..hw.backend import get_backend
 from ..hw.config import GaudiConfig
 from .graph import Graph
 from .passes import PASS_OPTION_FLAGS, PassManager, default_passes
@@ -173,6 +174,13 @@ class CompilerOptions:
     #: sliding-window width (keys per query) of the ``"windowed"``
     #: attention lowering
     attention_window: int = 512
+    #: target accelerator model: a name from
+    #: :func:`repro.hw.backend.backend_names` (``"gaudi"`` — the
+    #: paper's device and the default — or ``"wse"``). Selects the
+    #: engine-placement table, memory hierarchy, and cost model every
+    #: pass and the runtime consult; keys both recipe-cache tiers like
+    #: any compile-time option (``--backend``)
+    backend: str = "gaudi"
 
 
 def disable_passes(
@@ -220,8 +228,12 @@ class GraphCompiler:
         *,
         cache: RecipeCache | None = None,
     ):
-        self.config = config or GaudiConfig()
         self.options = options or default_compiler_options()
+        #: the accelerator model compilation targets; ``config`` is
+        #: coerced so legacy call sites passing a ``GaudiConfig`` can
+        #: retarget with ``options.backend`` alone
+        self.backend = get_backend(self.options.backend)
+        self.config = self.backend.coerce_config(config)
         self.passes = default_passes()
         self.cache = cache if cache is not None else RecipeCache()
         #: whether the most recent :meth:`compile` hit the recipe cache

@@ -492,6 +492,17 @@ _GEOMETRY_TOKENS = (
     "lower_graph", "itemsize",
 )
 
+#: source tokens that betray a pass hardcoding the Gaudi backend —
+#: engine members, the Gaudi device config, or its sub-configs. Since
+#: the backend abstraction (PR-10), passes must route placement and
+#: pricing through ``state.backend`` (``engine_for``, ``cost_model``,
+#: the engine-role attributes) so the same pipeline serves every
+#: registered backend.
+_BACKEND_TOKENS = (
+    "EngineKind.", "GaudiConfig", "CostModel(",
+    ".config.mme", ".config.tpc", ".config.hbm", ".config.dma",
+)
+
 
 def lint_passes(passes=None) -> list[LintWarning]:
     """Audit compiler passes' incremental-recompilation declarations.
@@ -507,6 +518,10 @@ def lint_passes(passes=None) -> list[LintWarning]:
       dangerous one: ``run`` touches shapes/byte counts/attributes but
       the pass declares structure-only, so cached results could be
       replayed against a graph they do not describe.
+    * ``pass-backend-coupled`` — the pass's ``run`` names
+      ``EngineKind`` members, ``GaudiConfig``, or Gaudi sub-config
+      fields directly instead of asking ``state.backend``; such a pass
+      silently mis-places or mis-prices work on every other backend.
 
     The scan is lexical over the ``run`` source plus the sources of
     the helpers it directly calls (one level — deliberately not the
@@ -564,6 +579,15 @@ def lint_passes(passes=None) -> list[LintWarning]:
                 "(shapes/bytes/attrs) in run() but declares "
                 "structure-only signature_deps — cached results could "
                 "replay against graphs they do not describe",
+            ))
+        coupled = [tok for tok in _BACKEND_TOKENS if tok in source]
+        if coupled:
+            warnings.append(LintWarning(
+                "pass-backend-coupled",
+                f"pass {compiler_pass.name!r} hardcodes the Gaudi "
+                f"backend in run() ({', '.join(sorted(coupled))}); "
+                "route engine placement and pricing through "
+                "state.backend instead",
             ))
     return warnings
 

@@ -97,7 +97,7 @@ class PassManager:
 
     def __init__(
         self,
-        config: GaudiConfig,
+        config: GaudiConfig,  # or any backend's device config
         options: "CompilerOptions",
         passes: list[CompilerPass],
     ):
@@ -127,8 +127,12 @@ class PassManager:
         sig_graph: Graph | None = None
         # ordered (pass, enabled, read-options) record — the pipeline
         # prefix that makes chained annotation decisions part of every
-        # downstream key
-        prefix: list[str] = []
+        # downstream key. Seeded with the backend: placement decisions
+        # (grouping engines, staging sets) are backend-shaped, so a
+        # recorded effect must never replay under another backend.
+        prefix: list[str] = [
+            f"backend:{getattr(self.options, 'backend', 'gaudi')}"
+        ]
         reused = recomputed = 0
         for compiler_pass in self.passes:
             enabled = compiler_pass.enabled(self.options)

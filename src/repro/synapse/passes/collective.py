@@ -19,7 +19,6 @@ HLS-1 size and the recipe cache keeps hitting across an A4 sweep.
 
 from __future__ import annotations
 
-from ...hw.costmodel import EngineKind
 from ...util.units import MIB
 from ..ops import work_item_for
 from ..schedule import ScheduledOp
@@ -125,7 +124,7 @@ class CollectiveInjectionPass(CompilerPass):
                 coll = ScheduledOp(
                     index=len(new_ops),
                     label=f"all_reduce:bucket{n_collectives}",
-                    engine=EngineKind.NIC,
+                    engine=state.backend.collective_engine,
                     items=[item],
                     deps=sorted(index_map[i] for i, _, _ in b),
                     src="all_reduce",

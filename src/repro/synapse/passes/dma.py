@@ -14,8 +14,6 @@ from ...hw.costmodel import EngineKind
 from .base import CompilerPass
 from .state import CompilationState
 
-_NON_STAGED = (EngineKind.DMA, EngineKind.HOST, EngineKind.NIC)
-
 
 class DmaStagingPass(CompilerPass):
     """Plan DMA transfers for engine-boundary crossings."""
@@ -45,6 +43,9 @@ class DmaStagingPass(CompilerPass):
     def run(self, state: CompilationState) -> dict:
         """Mark reads needing staging; transforms = distinct DMA ops."""
         assert state.pending is not None, "grouping must run before DMA"
+        # transfer engines never stage their own reads; the set is the
+        # backend's declaration, not a hardwired engine list
+        non_staged = state.backend.non_staged_engines
         producer_engine: dict[int, EngineKind] = {}
         planned: set[tuple[int, EngineKind]] = set()
         for pending in state.pending:
@@ -53,8 +54,8 @@ class DmaStagingPass(CompilerPass):
                 if (
                     prod is None  # graph input: already resident in HBM
                     or prod is pending.engine
-                    or prod in _NON_STAGED
-                    or pending.engine in _NON_STAGED
+                    or prod in non_staged
+                    or pending.engine in non_staged
                 ):
                     continue
                 pending.dma_reads.add(vid)

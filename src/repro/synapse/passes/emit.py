@@ -41,7 +41,7 @@ class EmitSchedulePass(CompilerPass):
                 host = ScheduledOp(
                     index=len(ops),
                     label=f"recompile:{first.op}",
-                    engine=EngineKind.HOST,
+                    engine=state.backend.host_engine,
                     items=[WorkItem(
                         f"recompile:{first.op}", OpClass.HOST,
                         fixed_time_us=state.options.recompile_penalty_us,
@@ -66,7 +66,7 @@ class EmitSchedulePass(CompilerPass):
                     dma = ScheduledOp(
                         index=len(ops),
                         label=f"dma:{value.name or vid}",
-                        engine=EngineKind.DMA,
+                        engine=state.backend.dma_engine,
                         items=[WorkItem(
                             f"dma:{vid}", OpClass.DATA_MOVE,
                             bytes_read=value.nbytes, pipelined=True,

@@ -70,14 +70,14 @@ def group_nodes(state: CompilationState, *, fuse: bool) -> list[PendingOp]:
         if node.nid in state.elided:
             continue
         opdef = state.opdef(node.op)
-        engine = opdef.engine
+        engine = state.backend.engine_for(opdef)
         # dependencies point at real storage producers; the work
         # item keeps the node's declared (view-level) shapes
         resolved = tuple(alias.get(v, v) for v in node.inputs)
         item = _node_item(state, graph, node)
         fusable = (
             fuse
-            and engine is EngineKind.TPC
+            and engine is state.backend.fusion_engine
             and opdef.op_class in FUSABLE_CLASSES
             and opdef.supported
         )

@@ -75,14 +75,16 @@ class MemoryPlanningPass(CompilerPass):
                 f"unknown memory_policy {policy!r} "
                 f"(choices: {', '.join(MEMORY_POLICIES)})"
             )
-        budget = options.hbm_budget or state.config.hbm.capacity_bytes
+        budget = options.hbm_budget or state.backend.memory_capacity_bytes(
+            state.config
+        )
 
         live = compute_liveness(graph, state.ops)
         oracle_peak = live.peak_bytes
         n_spill = n_recompute = 0
         spill_bytes = recompute_bytes = 0
         if policy != "none" and live.peak_bytes > budget:
-            cost = CostModel(state.config)
+            cost = state.backend.cost_model(state.config)
             droppable = graph.checkpoint_droppable()
             for _ in range(_MAX_PLAN_STEPS):
                 if live.peak_bytes <= budget:
@@ -183,7 +185,9 @@ class MemoryPlanningPass(CompilerPass):
                         f"spill:{vid}", OpClass.DATA_MOVE,
                         bytes_read=nbytes, pipelined=False,
                     )
-                    spill_us = 2.0 * cost.time_us(EngineKind.DMA, item)
+                    spill_us = 2.0 * cost.time_us(
+                        state.backend.dma_engine, item
+                    )
                     choices.append((spill_us, "spill", None))
                 if policy in ("recompute", "auto") and vid in droppable:
                     cone = self._recompute_cone(
@@ -204,7 +208,9 @@ class MemoryPlanningPass(CompilerPass):
         _, kind, vid, e0, e1, cone = best
         nbytes = graph.value(vid).nbytes
         if kind == "spill":
-            self._apply_spill(ops, graph, vid, e0, e1)
+            self._apply_spill(
+                ops, graph, vid, e0, e1, state.backend.dma_engine
+            )
         else:
             assert cone is not None
             self._apply_recompute(ops, vid, cone, e1)
@@ -294,14 +300,20 @@ class MemoryPlanningPass(CompilerPass):
 
     @classmethod
     def _apply_spill(
-        cls, ops: list[ScheduledOp], graph, vid: int, e0: int, e1: int
+        cls,
+        ops: list[ScheduledOp],
+        graph,
+        vid: int,
+        e0: int,
+        e1: int,
+        dma_engine: EngineKind,
     ) -> None:
         """Offload ``vid`` after position ``e0``, restore before ``e1``."""
         value = graph.value(vid)
         out = ScheduledOp(
             index=0,
             label=f"spill_out:{value.name or vid}",
-            engine=EngineKind.DMA,
+            engine=dma_engine,
             items=[WorkItem(
                 f"spill_out:{vid}", OpClass.DATA_MOVE,
                 bytes_read=value.nbytes, pipelined=False,
@@ -316,7 +328,7 @@ class MemoryPlanningPass(CompilerPass):
         restore = ScheduledOp(
             index=0,
             label=f"spill_in:{value.name or vid}",
-            engine=EngineKind.DMA,
+            engine=dma_engine,
             items=[WorkItem(
                 f"spill_in:{vid}", OpClass.DATA_MOVE,
                 bytes_written=value.nbytes, pipelined=False,

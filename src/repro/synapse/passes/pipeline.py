@@ -31,7 +31,6 @@ and numerics stay byte-identical to the unpartitioned schedule.
 
 from __future__ import annotations
 
-from ...hw.costmodel import CostModel, EngineKind
 from ...hw.dtypes import DType, itemsize
 from ...util.errors import CompileError
 from ..ops import work_item_for
@@ -73,9 +72,10 @@ class PipelinePartitionPass(CompilerPass):
             for dep in op.deps:
                 consumers.setdefault(dep, []).append(op.index)
         tail: set[int] = set()
+        collective_engine = state.backend.collective_engine
         frontier = [
             op.index for op in ops
-            if op.engine is EngineKind.NIC and op.scope == "ddp"
+            if op.engine is collective_engine and op.scope == "ddp"
         ]
         while frontier:
             idx = frontier.pop()
@@ -92,7 +92,7 @@ class PipelinePartitionPass(CompilerPass):
             )
 
         # Contiguous duration-balanced cut of the body stream.
-        cost = CostModel(state.config)
+        cost = state.backend.cost_model(state.config)
         durations = [op_duration_us(cost, op) for op in body]
         total = sum(durations)
         stage_of_old: dict[int, int] = {}
@@ -162,7 +162,8 @@ class PipelinePartitionPass(CompilerPass):
                 | ({recv_at[b - 1]} if b - 1 in recv_at else set())
             )
             send = ScheduledOp(
-                index=0, label=f"send:stage{b}", engine=EngineKind.NIC,
+                index=0, label=f"send:stage{b}",
+                engine=collective_engine,
                 items=[work_item_for(
                     "send", [(elems,)], (elems,), DType.FP32, {},
                     label=f"send:stage{b}",
@@ -171,7 +172,8 @@ class PipelinePartitionPass(CompilerPass):
             )
             _append(send, b)
             recv = ScheduledOp(
-                index=0, label=f"recv:stage{b + 1}", engine=EngineKind.NIC,
+                index=0, label=f"recv:stage{b + 1}",
+                engine=collective_engine,
                 items=[work_item_for(
                     "recv", [(elems,)], (elems,), DType.FP32, {},
                     label=f"recv:stage{b + 1}",

@@ -51,7 +51,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ...hw.costmodel import CostModel, EngineKind
+from ...hw.costmodel import CostModel
 from ..graph import Graph, Node, TensorValue
 from ..lowering import _Rewriter
 from ..ops import OpDef, work_item_for
@@ -104,9 +104,13 @@ class TpcSlicingPass(CompilerPass):
 
     def run(self, state: CompilationState) -> dict:
         """Rewrite ``state.graph`` with every profitable chain sliced."""
-        cost = CostModel(state.config)
+        if not state.backend.supports_tpc_slicing:
+            # the split models the MME/TPC ping-pong; a single compute
+            # grid has no cross-engine bubble for slices to fill
+            return self.run_disabled(state)
+        cost = state.backend.cost_model(state.config)
         min_us = float(state.options.tpc_slice_min_us)
-        chains = _find_chains(state.graph, cost, min_us)
+        chains = _find_chains(state.graph, state.backend, cost, min_us)
         stats = {
             "transforms": len(chains),
             "sliced_chains": len(chains),
@@ -193,7 +197,7 @@ def _side_sliceable(shape: tuple[int, ...], rows: int) -> bool:
 
 
 def _find_chains(
-    graph: Graph, cost: CostModel, min_us: float
+    graph: Graph, backend, cost: CostModel, min_us: float
 ) -> list[_Chain]:
     """Maximal profitable slice chains, disjoint, in program order."""
     consumers: dict[int, list[Node]] = {}
@@ -209,14 +213,15 @@ def _find_chains(
         from ..ops import op as op_def
 
         opdef = opdefs.setdefault(node.op, op_def(node.op))
-        if opdef.engine is not EngineKind.TPC:
+        vector = backend.vector_engine
+        if backend.engine_for(opdef) is not vector:
             return 0.0
         out = graph.value(node.output)
         item = work_item_for(
             node.op, [graph.value(v).shape for v in node.inputs],
             out.shape, out.dtype, node.attrs, opdef=opdef,
         )
-        return cost.time_us(EngineKind.TPC, item)
+        return cost.time_us(vector, item)
 
     used: set[int] = set()
     chains: list[_Chain] = []
@@ -236,9 +241,7 @@ def _find_chains(
             used, marked,
         )
         chain_tpc_us = sum(tpc_us(n) for n in chain)
-        k = _pick_slices(
-            chain_tpc_us, rows, cost.config.tpc.launch_overhead_us
-        )
+        k = _pick_slices(chain_tpc_us, rows, cost.fused_launch_us)
         if k is None:
             continue
         used.update(n.nid for n in chain)

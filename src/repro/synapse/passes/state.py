@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ...hw.backend import Backend, get_backend
 from ...hw.config import GaudiConfig
 from ...hw.costmodel import EngineKind, WorkItem
 from ..graph import Graph, Node
@@ -61,6 +62,11 @@ class CompilationState:
     graph: Graph
     config: GaudiConfig
     options: "CompilerOptions"
+    #: the accelerator model compilation targets; passes consult its
+    #: placement table and role engines instead of naming EngineKind
+    #: members (the ``lint_passes`` backend-coupling rule polices this).
+    #: Resolved from ``options.backend`` when not supplied.
+    backend: Backend = None  # type: ignore[assignment]
     #: view-output vid -> the underlying storage's vid (ViewElisionPass)
     alias: dict[int, int] = field(default_factory=dict)
     #: node ids elided as pure views (ViewElisionPass)
@@ -75,6 +81,12 @@ class CompilationState:
     #: compiler statistics; ``stats["passes"]`` is the per-pass report
     stats: dict = field(default_factory=lambda: {"passes": []})
     _opdefs: dict[str, OpDef] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.backend is None:
+            self.backend = get_backend(
+                getattr(self.options, "backend", "gaudi")
+            )
 
     def opdef(self, name: str) -> OpDef:
         """Memoized registry lookup (one ``op_def`` call per op kind)."""

@@ -28,7 +28,6 @@ replicated and are priced at full size on every card.
 
 from __future__ import annotations
 
-from ...hw.costmodel import EngineKind
 from ..ops import work_item_for
 from ..schedule import ScheduledOp
 from .base import CompilerPass
@@ -71,7 +70,10 @@ class TensorParallelPass(CompilerPass):
         shard_vids: list[int] = []
         sharded = 0
         for op in state.ops:
-            if op.engine is not EngineKind.MME or len(op.node_ids) != 1:
+            if (
+                op.engine is not state.backend.matmul_engine
+                or len(op.node_ids) != 1
+            ):
                 continue
             node = node_of.get(op.node_ids[0])
             if node is None or node.op != "matmul":
@@ -171,7 +173,7 @@ class TensorParallelPass(CompilerPass):
             nic = ScheduledOp(
                 index=len(new_ops),
                 label=item.name,
-                engine=EngineKind.NIC,
+                engine=state.backend.collective_engine,
                 items=[item],
                 deps=[shard_op.index],
                 src=coll,

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from ..hw.config import GaudiConfig, HLS1Config
 from ..hw.costmodel import EngineKind
 from ..hw.device import GaudiDevice, HLS1Device
+from ..util.errors import ConfigError
 from ..util.tabulate import render_kv
 from ..util.units import fmt_bytes, fmt_time_us, us_to_ms
 from .compiler import (
@@ -196,9 +197,12 @@ class SynapseProfiler:
         config: GaudiConfig | None = None,
         options: CompilerOptions | None = None,
     ):
-        self.config = config or GaudiConfig()
         self.options = options or default_compiler_options()
-        self.compiler = GraphCompiler(self.config, self.options)
+        self.compiler = GraphCompiler(config, self.options)
+        # the compiler resolved options.backend and coerced the config,
+        # so a profiler built with a GaudiConfig retargets cleanly
+        self.backend = self.compiler.backend
+        self.config = self.compiler.config
 
     def compile(self, graph: Graph) -> Schedule:
         """Compile only (exposed for schedule inspection in tests)."""
@@ -214,7 +218,7 @@ class SynapseProfiler:
     ) -> ProfileResult:
         """Compile + execute ``graph``; returns a t=0-normalized result."""
         schedule = self.compiler.compile(graph)
-        device = device or GaudiDevice(self.config)
+        device = device or self.backend.make_device(self.config)
         runtime = Runtime(device)
         result = runtime.execute(
             schedule,
@@ -253,7 +257,7 @@ class SynapseProfiler:
         """
         if iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {iterations}")
-        device = device or GaudiDevice(self.config)
+        device = device or self.backend.make_device(self.config)
         runtime = Runtime(device)
         results: list[ProfileResult] = []
         for i in range(iterations):
@@ -264,17 +268,20 @@ class SynapseProfiler:
                 fresh_compile = i == 0
             if fresh_compile and compile_us_per_op > 0:
                 compile_us = compile_us_per_op * len(schedule)
-                interval = device.timeline(EngineKind.HOST).reserve(
+                host = self.backend.host_engine
+                interval = device.timeline(host).reserve(
                     device.now, compile_us, "graph_compile"
                 )
                 compile_event = TraceEvent(
-                    "graph_compile", EngineKind.HOST,
+                    "graph_compile", host,
                     interval.start, compile_us, src="compile",
                 )
                 # first iteration must wait for compilation: advance
-                # every engine's availability past it
-                for engine in (EngineKind.MME, EngineKind.TPC,
-                               EngineKind.DMA, EngineKind.NIC):
+                # every non-host engine's availability past it
+                # (whatever timelines the backend's device declares)
+                for engine in device.timelines:
+                    if engine is self.backend.host_engine:
+                        continue
                     device.timeline(engine).reserve(interval.end, 0.0,
                                                     "compile_barrier")
             else:
@@ -325,6 +332,11 @@ class HLS1Profiler:
     ):
         self.config = config or HLS1Config()
         base = options or default_compiler_options()
+        if base.backend != "gaudi":
+            raise ConfigError(
+                "HLS1Profiler models a Gaudi HLS-1 box; "
+                f"backend {base.backend!r} has no multi-card system model"
+            )
         if not base.inject_collectives:
             base = dataclasses.replace(base, inject_collectives=True)
         self.options = base

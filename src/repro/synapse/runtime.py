@@ -68,7 +68,6 @@ from ..hw.interconnect import (
     scale_plan,
 )
 from ..util.errors import ExecutionError
-from ..util.units import s_to_us
 from .schedule import Schedule, ScheduledOp
 from .trace import Timeline, TraceEvent, fast_trace_event
 
@@ -114,11 +113,12 @@ def op_duration_us(cost: CostModel, op: ScheduledOp) -> float:
         raise ExecutionError(f"scheduled op {op.label!r} has no work items")
     if len(op.items) == 1:
         return cost.time_us(op.engine, op.items[0])
-    # Fused chain: members compute back to back on-chip; HBM traffic is
-    # only the chain's external reads + final write; one launch total.
-    if op.engine is not EngineKind.TPC:
-        raise ExecutionError(f"fused op {op.label!r} must be on TPC")
-    launch = cost.config.tpc.launch_overhead_us
+    return op_cost_parts(cost, op).uncontended_time_us(cost.mem_bandwidth)
+
+
+def _fused_compute_us(cost: CostModel, op: ScheduledOp) -> float:
+    """Summed on-chip compute of a fused chain's members, launch-free."""
+    launch = cost.fused_launch_us
     compute = 0.0
     for item in op.items:
         bare = WorkItem(
@@ -126,37 +126,33 @@ def op_duration_us(cost: CostModel, op: ScheduledOp) -> float:
             dtype=item.dtype, special_fn=item.special_fn,
         )
         compute += cost.time_us(op.engine, bare) - launch
-    traffic = fused_chain_traffic_bytes(op)
-    mem = s_to_us(traffic / cost.config.hbm.effective_bandwidth)
-    fixed = sum(item.fixed_time_us for item in op.items)
-    return max(compute, mem) + launch + fixed
+    return compute
 
 
 def op_cost_parts(cost: CostModel, op: ScheduledOp) -> CostParts:
     """Decomposed cost of a scheduled op, for the contended runtime.
 
     Mirrors :func:`op_duration_us`: recomposing these parts at the full
-    effective bandwidth reproduces the uncontended duration.
+    effective bandwidth reproduces the uncontended duration. Fused
+    chains compute back to back on-chip, pay external traffic only at
+    the chain edges (all members' external reads + the final write) and
+    one launch total; how that traffic composes is the cost model's
+    ``fused_parts`` decision (Gaudi: the shared-HBM channel; WSE: the
+    wafer-SRAM drain, off the arbiter).
     """
     if not op.items:
         raise ExecutionError(f"scheduled op {op.label!r} has no work items")
     if len(op.items) == 1:
         return cost.cost_parts(op.engine, op.items[0])
-    if op.engine is not EngineKind.TPC:
-        raise ExecutionError(f"fused op {op.label!r} must be on TPC")
-    launch = cost.config.tpc.launch_overhead_us
-    compute = 0.0
-    for item in op.items:
-        bare = WorkItem(
-            item.name, item.op_class, flops=item.flops, elements=item.elements,
-            dtype=item.dtype, special_fn=item.special_fn,
+    fusion = cost.fusion_engine
+    if op.engine is not fusion:
+        raise ExecutionError(
+            f"fused op {op.label!r} must be on {fusion.value}"
         )
-        compute += cost.time_us(op.engine, bare) - launch
-    return CostParts(
-        compute_us=compute,
-        hbm_bytes=float(fused_chain_traffic_bytes(op)),
-        launch_us=launch,
-        fixed_us=sum(item.fixed_time_us for item in op.items),
+    return cost.fused_parts(
+        _fused_compute_us(cost, op),
+        fused_chain_traffic_bytes(op),
+        sum(item.fixed_time_us for item in op.items),
     )
 
 
@@ -583,7 +579,7 @@ class _SchedulePrep:
     )
 
     def __init__(self, schedule: Schedule, cost: CostModel):
-        bandwidth = cost.config.hbm.effective_bandwidth
+        bandwidth = cost.mem_bandwidth
         ops = schedule.ops
         parts = [op_cost_parts(cost, op) for op in ops]
         self.parts = parts
@@ -671,7 +667,7 @@ def _fluid_execute(
     """
     ncards = len(cards)
     cost = cards[0].cost_model
-    bandwidth = cost.config.hbm.effective_bandwidth
+    bandwidth = cost.mem_bandwidth
     if parts is None:
         parts = [op_cost_parts(cost, op) for op in schedule.ops]
     arbiters = [BandwidthArbiter(bandwidth, shared=shared) for _ in cards]
@@ -923,7 +919,7 @@ def _fluid_execute_vector(
     """
     ncards = len(cards)
     cost = cards[0].cost_model
-    bandwidth = cost.config.hbm.effective_bandwidth
+    bandwidth = cost.mem_bandwidth
     if prep is None:
         prep = _schedule_prep(schedule, cost)
     plans = plans or {}

@@ -124,7 +124,9 @@ class TestFigures89:
         assert any("optimizer" in s for s in srcs)
 
     def test_unknown_model_rejected(self):
-        with pytest.raises(KeyError):
+        from repro.util.errors import DataError
+
+        with pytest.raises(DataError, match="unknown model 'llama'"):
             run_e2e("llama")
 
     def test_render(self, e2e_gpt):

@@ -85,5 +85,7 @@ class TestForwardVsTraining:
         assert fwd.timeline.src_share("softmax", EngineKind.TPC) > 0.0
 
     def test_unknown_model_rejected(self):
-        with pytest.raises(KeyError):
+        from repro.util.errors import DataError
+
+        with pytest.raises(DataError, match="unknown model 'mamba'"):
             record_forward_step("mamba")
